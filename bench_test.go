@@ -1,0 +1,179 @@
+// Root benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§7). Each benchmark runs the corresponding
+// experiment at a representative size and reports the headline quantity as
+// a custom metric, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation in miniature. The full-size tables/figures come from
+// cmd/experiments.
+package firstaid_test
+
+import (
+	"testing"
+
+	"firstaid"
+	"firstaid/internal/apps"
+	"firstaid/internal/baseline"
+	"firstaid/internal/core"
+	"firstaid/internal/experiments"
+	"firstaid/internal/workloads"
+)
+
+// BenchmarkTable3Recovery measures the complete failure→diagnosis→patch→
+// recovery→validation cycle per application (Table 3's recovery and
+// validation times, rollback counts).
+func BenchmarkTable3Recovery(b *testing.B) {
+	for _, name := range apps.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var rollbacks, patches int
+			for i := 0; i < b.N; i++ {
+				a, _ := apps.New(name)
+				log := a.Workload(700, []int{230})
+				sup := firstaid.New(a, log, firstaid.Config{})
+				st := sup.Run()
+				if st.Failures == 0 || len(sup.Recoveries) == 0 {
+					b.Fatal("no recovery exercised")
+				}
+				rollbacks = sup.Recoveries[0].Result.Rollbacks
+				patches = len(sup.Recoveries[0].Patches)
+			}
+			b.ReportMetric(float64(rollbacks), "rollbacks")
+			b.ReportMetric(float64(patches), "patches")
+		})
+	}
+}
+
+// BenchmarkTable4PatchWeight measures First-Aid vs Rx change footprint in
+// the buggy region (Table 4).
+func BenchmarkTable4PatchWeight(b *testing.B) {
+	b.Run("first-aid", func(b *testing.B) {
+		var sites int
+		for i := 0; i < b.N; i++ {
+			a, _ := apps.New("squid")
+			sup := firstaid.New(a, a.Workload(700, []int{230}), firstaid.Config{})
+			sup.Run()
+			sites = len(sup.Recoveries[0].Patches)
+		}
+		b.ReportMetric(float64(sites), "changed-sites")
+	})
+	b.Run("rx", func(b *testing.B) {
+		var sites int
+		for i := 0; i < b.N; i++ {
+			a, _ := apps.New("squid")
+			rx := baseline.NewRx(a, a.Workload(700, []int{230}), core.MachineConfig{})
+			st := rx.Run()
+			sites = st.ChangedSites
+		}
+		b.ReportMetric(float64(sites), "changed-sites")
+	})
+}
+
+// BenchmarkTable5PatchSpace measures patch space overhead (Table 5).
+func BenchmarkTable5PatchSpace(b *testing.B) {
+	var padBytes uint64
+	for i := 0; i < b.N; i++ {
+		a, _ := apps.New("squid")
+		sup := firstaid.New(a, a.Workload(700, []int{230}), firstaid.Config{})
+		sup.Run()
+		padBytes = sup.Ext().PadPeak()
+	}
+	b.ReportMetric(float64(padBytes), "pad-bytes")
+}
+
+// BenchmarkTable6ExtSpace measures the allocator extension's heap overhead
+// on the worst-case small-object benchmark (Table 6).
+func BenchmarkTable6ExtSpace(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		k, _ := workloads.New("cfrac")
+		raw := experiments.RunProgram(k, experiments.RunConfig{Events: 60})
+		k2, _ := workloads.New("cfrac")
+		ext := experiments.RunProgram(k2, experiments.RunConfig{Events: 60, WithExt: true})
+		frac = float64(ext.HeapPeak)/float64(raw.HeapPeak) - 1
+	}
+	b.ReportMetric(100*frac, "space-overhead-%")
+}
+
+// BenchmarkTable7CkptSpace measures checkpoint retention on the fattest
+// dirtier (Table 7).
+func BenchmarkTable7CkptSpace(b *testing.B) {
+	var mbPerCkpt float64
+	for i := 0; i < b.N; i++ {
+		k, _ := workloads.New("255.vortex")
+		m := experiments.RunProgram(k, experiments.RunConfig{Events: 100, WithExt: true, WithCkpt: true})
+		mbPerCkpt = m.CkptStats.MBPerCheckpoint()
+	}
+	b.ReportMetric(mbPerCkpt, "MB-per-ckpt")
+}
+
+// BenchmarkFigure4Throughput measures sustained event processing under the
+// three recovery disciplines with periodic bug triggers (Figure 4).
+func BenchmarkFigure4Throughput(b *testing.B) {
+	triggers := []int{300, 700, 1100}
+	b.Run("first-aid", func(b *testing.B) {
+		var failures int
+		for i := 0; i < b.N; i++ {
+			a, _ := apps.New("squid")
+			sup := firstaid.New(a, a.Workload(1400, triggers), firstaid.Config{})
+			st := sup.Run()
+			failures = st.Failures
+		}
+		b.ReportMetric(float64(failures), "failures")
+	})
+	b.Run("rx", func(b *testing.B) {
+		var failures int
+		for i := 0; i < b.N; i++ {
+			a, _ := apps.New("squid")
+			rx := baseline.NewRx(a, a.Workload(1400, triggers), core.MachineConfig{})
+			st := rx.Run()
+			failures = st.Failures
+		}
+		b.ReportMetric(float64(failures), "failures")
+	})
+	b.Run("restart", func(b *testing.B) {
+		var failures int
+		for i := 0; i < b.N; i++ {
+			a, _ := apps.New("squid")
+			rs := baseline.NewRestart(a, a.Workload(1400, triggers), core.MachineConfig{})
+			st := rs.Run()
+			failures = st.Failures
+		}
+		b.ReportMetric(float64(failures), "failures")
+	})
+}
+
+// BenchmarkFigure6Overhead measures normal-run overhead configurations on
+// a representative pair of programs (Figure 6).
+func BenchmarkFigure6Overhead(b *testing.B) {
+	for _, name := range []string{"164.gzip", "cfrac"} {
+		name := name
+		for _, cfg := range []struct {
+			label string
+			rc    experiments.RunConfig
+		}{
+			{"original", experiments.RunConfig{Events: 100}},
+			{"allocator", experiments.RunConfig{Events: 100, WithExt: true}},
+			{"overall", experiments.RunConfig{Events: 100, WithExt: true, WithCkpt: true}},
+		} {
+			cfg := cfg
+			b.Run(name+"/"+cfg.label, func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					k, _ := workloads.New(name)
+					m := experiments.RunProgram(k, cfg.rc)
+					cycles = m.Cycles
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkSupervisedSteadyState measures per-event cost of supervised
+// execution after patches are installed — the normal-mode fast path.
+func BenchmarkSupervisedSteadyState(b *testing.B) {
+	a, _ := apps.New("squid")
+	log := a.Workload(b.N+400, nil)
+	sup := firstaid.New(a, log, firstaid.Config{})
+	b.ResetTimer()
+	sup.Run()
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§7).
+//
+// Usage:
+//
+//	experiments -all                 # everything (few minutes)
+//	experiments -table 3             # one table (2..7)
+//	experiments -figure 4 -app squid # one figure (4 or 6)
+//	experiments -figure 6 -events 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firstaid/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate one table (2..7)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (4, 5 or 6)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		appName   = flag.String("app", "", "application for figure 4 (apache, squid; empty = both)")
+		events    = flag.Int("events", 300, "events per measurement run (tables 6/7, figure 6)")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(n int) bool { return *all || *table == n }
+	runFig := func(n int) bool { return *all || *figure == n }
+
+	if run(2) {
+		fmt.Println(experiments.Table2())
+	}
+	if run(3) {
+		fmt.Println(experiments.RenderTable3(experiments.Table3()))
+	}
+	if run(4) {
+		fmt.Println(experiments.RenderTable4(experiments.Table4()))
+	}
+	if run(5) {
+		fmt.Println(experiments.RenderTable5(experiments.Table5()))
+	}
+	if run(6) {
+		fmt.Println(experiments.RenderTable6(experiments.Table6(*events)))
+	}
+	if run(7) {
+		fmt.Println(experiments.RenderTable7(experiments.Table7(*events)))
+	}
+	if runFig(4) {
+		names := []string{"apache", "squid"}
+		if *appName != "" {
+			names = []string{*appName}
+		}
+		for _, n := range names {
+			fmt.Println(experiments.RenderFigure4(experiments.Figure4(n)))
+		}
+	}
+	if runFig(5) {
+		fmt.Println(experiments.Figure5())
+	}
+	if runFig(6) {
+		fmt.Println(experiments.RenderFigure6(experiments.Figure6(*events)))
+	}
+	if *ablations || *all {
+		fmt.Println(experiments.RenderAblationSearch(experiments.AblationSearch()))
+		fmt.Println(experiments.RenderAblationCheckpoint(experiments.AblationCheckpoint(*events)))
+		fmt.Println(experiments.RenderAblationDelayLimit(experiments.AblationDelayLimit()))
+	}
+}

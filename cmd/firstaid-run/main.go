@@ -1,0 +1,134 @@
+// Command firstaid-run executes one of the paper's evaluation applications
+// under First-Aid supervision, triggers its bug, and prints recovery
+// statistics and (optionally) the full bug report.
+//
+// Usage:
+//
+//	firstaid-run -app apache -report
+//	firstaid-run -app squid -events 2000 -triggers 300,900,1500
+//	firstaid-run -app cvs -pool /tmp/cvs-patches.json   # persist patches
+//	firstaid-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"firstaid"
+	"firstaid/internal/apps"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "apache", "application to run (see -list)")
+		events    = flag.Int("events", 1200, "workload length in events")
+		triggers  = flag.String("triggers", "230", "comma-separated bug-trigger positions (empty = clean run)")
+		report    = flag.Bool("report", false, "print the full Figure-5-style bug report")
+		reportDir = flag.String("report-dir", "", "write the report artifacts (failure.core, diag.log, traces) into this directory")
+		poolPath  = flag.String("pool", "", "patch-pool file to load before and save after the run")
+		list      = flag.Bool("list", false, "list available applications and exit")
+		system    = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
+		parallel  = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available applications (paper Table 2):")
+		for _, n := range apps.Names() {
+			fmt.Printf("  %-12s %s\n", n, apps.Describe(n))
+		}
+		return
+	}
+
+	prog, err := apps.New(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var trig []int
+	if *triggers != "" {
+		for _, part := range strings.Split(*triggers, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad trigger %q: %v\n", part, err)
+				os.Exit(1)
+			}
+			trig = append(trig, v)
+		}
+	}
+
+	log := prog.Workload(*events, trig)
+
+	switch *system {
+	case "rx":
+		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{})
+		st := rx.Run()
+		fmt.Printf("%s under Rx: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
+		fmt.Printf("failures: %d, recoveries: %d, skipped: %d (Rx cannot prevent recurrences)\n",
+			st.Failures, st.Recoveries, st.Skipped)
+		return
+	case "restart":
+		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{})
+		st := rs.Run()
+		fmt.Printf("%s under restart: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
+		fmt.Printf("failures: %d, restarts: %d (state lost each time)\n", st.Failures, st.Restarts)
+		return
+	case "first-aid":
+		// fall through
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -system %q\n", *system)
+		os.Exit(1)
+	}
+
+	cfg := firstaid.Config{ParallelValidation: *parallel}
+	if *poolPath != "" {
+		if pool, err := firstaid.LoadPool(*poolPath); err == nil {
+			cfg.Pool = pool
+			fmt.Printf("loaded %d patch(es) from %s\n", pool.Len(), *poolPath)
+		}
+	}
+	sup := firstaid.New(prog, log, cfg)
+	stats := sup.Run()
+
+	fmt.Printf("%s: %d events in %.2f simulated seconds\n", prog.Name(), stats.Events, stats.SimSeconds)
+	fmt.Printf("failures: %d, recoveries: %d, skipped: %d, patches: %d\n",
+		stats.Failures, stats.Recoveries, stats.Skipped, stats.PatchesMade)
+	for i, rec := range sup.Recoveries {
+		fmt.Printf("\nrecovery %d: %v at event #%d\n", i+1, rec.Fault.Kind, rec.Fault.Event)
+		for _, fd := range rec.Result.Findings {
+			fmt.Printf("  diagnosed: %v at %d call-site(s)\n", fd.Bug, len(fd.Sites))
+		}
+		fmt.Printf("  rollbacks: %d, recovery: %.3fs, validation: %.3fs (consistent: %v)\n",
+			rec.Result.Rollbacks, rec.RecoveryWall.Seconds(), rec.ValidationWall.Seconds(), rec.Validated)
+	}
+	for _, p := range sup.Pool.Active() {
+		fmt.Printf("  %v\n", p)
+	}
+
+	if *report && len(sup.Recoveries) > 0 && sup.Recoveries[0].Report != nil {
+		fmt.Println()
+		fmt.Println(sup.Recoveries[0].Report)
+	}
+	if *reportDir != "" && len(sup.Recoveries) > 0 && sup.Recoveries[0].Report != nil {
+		paths, err := sup.Recoveries[0].Report.WriteFiles(*reportDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing report artifacts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport artifacts written:\n")
+		for _, p := range paths {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+	if *poolPath != "" {
+		if err := sup.Pool.SaveFile(*poolPath); err != nil {
+			fmt.Fprintf(os.Stderr, "saving pool: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npatch pool saved to %s\n", *poolPath)
+	}
+}

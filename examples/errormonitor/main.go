@@ -1,0 +1,94 @@
+// Errormonitor: deploying a pluggable error detector (paper §3: "one can
+// deploy more sophisticated error detectors such as AccMon if they incur
+// low overhead").
+//
+// This program's overflow smashes the boundary tag of a long-lived archive
+// record that nothing ever frees or reads again: with only the default
+// monitors (exceptions + assertions) the corruption is perfectly silent
+// and First-Aid never gets a failure to diagnose. Deploying the
+// heap-integrity detector turns the corruption into a caught failure at
+// the very event that caused it, and the normal diagnose→patch→prevent
+// pipeline takes over.
+//
+//	go run ./examples/errormonitor
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid"
+)
+
+// archiveServer appends sessions and archive records forever; oversized
+// session payloads overflow into the next record's boundary tag.
+type archiveServer struct{}
+
+func (a *archiveServer) Name() string             { return "archive" }
+func (a *archiveServer) Bugs() []firstaid.BugType { return []firstaid.BugType{firstaid.BufferOverflow} }
+func (a *archiveServer) Init(p *firstaid.Proc) {
+	defer p.Enter("main")()
+	p.SetRoot(0, 0)
+}
+
+func (a *archiveServer) Handle(p *firstaid.Proc, ev firstaid.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	session := func() firstaid.Addr {
+		defer p.Enter("session_alloc")()
+		return p.Malloc(48)
+	}()
+	record := func() firstaid.Addr {
+		defer p.Enter("archive_alloc")()
+		return p.Malloc(80)
+	}()
+	p.Memset(record, byte(ev.N), 80)
+	p.At("store_payload")
+	p.StoreString(session, ev.Data) // THE BUG: no bounds check
+	_ = record                      // kept forever, never re-read
+}
+
+func (a *archiveServer) Workload(n int, triggers []int) *firstaid.Log {
+	log := firstaid.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < n; i++ {
+		payload := "normal payload"
+		if trig[i] {
+			payload = strings.Repeat("X", 64) // 16 bytes past the session buffer
+		}
+		log.Append("put", payload, i)
+	}
+	return log
+}
+
+func main() {
+	// Without a detector: the corruption slips through (§6's limitation).
+	{
+		prog := &archiveServer{}
+		sup := firstaid.New(prog, prog.Workload(300, []int{100, 200}), firstaid.Config{})
+		st := sup.Run()
+		fmt.Printf("default monitors:   %d failures detected (corruption is silent!)\n", st.Failures)
+	}
+	// With the heap-integrity detector: caught at the triggering event.
+	{
+		prog := &archiveServer{}
+		sup := firstaid.New(prog, prog.Workload(300, []int{100, 200}), firstaid.Config{
+			Machine: firstaid.MachineConfig{IntegrityCheckEvery: 1},
+		})
+		st := sup.Run()
+		fmt.Printf("integrity detector: %d failure detected, %d patch(es) generated\n",
+			st.Failures, st.PatchesMade)
+		for _, rec := range sup.Recoveries {
+			fmt.Printf("  caught at event #%d: %v\n", rec.Fault.Event, rec.Fault.Kind)
+			for _, fd := range rec.Result.Findings {
+				fmt.Printf("  diagnosed: %v\n", fd.Bug)
+			}
+		}
+		if st.Failures == 1 {
+			fmt.Println("  the second trigger was absorbed by the padding patch")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Patchreuse: runtime patches outlive the process that generated them.
+//
+// The paper (§2): "since the patches are specific to the program executable
+// (not only the running process), First-Aid applies them to the subsequent
+// runs of the same program and other processes running the same
+// executable." This example runs one Squid process that hits the overflow
+// and generates a patch, persists the patch pool to disk, then starts a
+// *fresh* process with the loaded pool: the same exploit input never causes
+// a failure.
+//
+//	go run ./examples/patchreuse
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"firstaid"
+	"firstaid/internal/apps"
+)
+
+func main() {
+	poolPath := filepath.Join(os.TempDir(), "firstaid-squid-patches.json")
+	defer os.Remove(poolPath)
+
+	// First run: hits the bug, diagnoses, patches.
+	{
+		prog, _ := apps.New("squid")
+		sup := firstaid.New(prog, prog.Workload(700, []int{200}), firstaid.Config{})
+		st := sup.Run()
+		fmt.Printf("run 1: %d failure(s), %d patch(es) generated\n", st.Failures, st.PatchesMade)
+		if err := sup.Pool.SaveFile(poolPath); err != nil {
+			panic(err)
+		}
+		fmt.Printf("patch pool saved to %s\n\n", poolPath)
+	}
+
+	// Second run: fresh process, inherited patches, same exploit.
+	{
+		pool, err := firstaid.LoadPool(poolPath)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("loaded pool for %q with %d patch(es):\n", pool.Program, pool.Len())
+		for _, p := range pool.Active() {
+			fmt.Printf("  %v\n", p)
+		}
+
+		prog, _ := apps.New("squid")
+		sup := firstaid.New(prog, prog.Workload(700, []int{120, 400}), firstaid.Config{Pool: pool})
+		st := sup.Run()
+		fmt.Printf("\nrun 2: %d failure(s) across 2 exploit attempts\n", st.Failures)
+		if st.Failures == 0 {
+			fmt.Println("OK: inherited patches protected the fresh process from its first request on.")
+		} else {
+			fmt.Println("UNEXPECTED: the fresh process still failed.")
+		}
+	}
+}

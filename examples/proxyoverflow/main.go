@@ -1,0 +1,62 @@
+// Proxyoverflow: the Squid 2.3 buffer overflow under the three recovery
+// disciplines of the paper's Figure 4 — First-Aid, Rx, and restart — with
+// the bug triggered periodically by oversized URLs.
+//
+// First-Aid fails once, patches the URL-buffer allocation site with
+// padding, and sails through every later exploit attempt; Rx survives each
+// failure but pays a full rollback-and-re-execute every time; restart loses
+// its cache and pays a cold start every time.
+//
+//	go run ./examples/proxyoverflow
+package main
+
+import (
+	"fmt"
+
+	"firstaid"
+	"firstaid/internal/apps"
+)
+
+const (
+	events   = 1500
+	triggers = 3
+)
+
+func triggerAt() []int {
+	var t []int
+	for i := 1; i <= triggers; i++ {
+		t = append(t, i*events/(triggers+1))
+	}
+	return t
+}
+
+func main() {
+	// First-Aid.
+	{
+		prog, _ := apps.New("squid")
+		sup := firstaid.New(prog, prog.Workload(events, triggerAt()), firstaid.Config{})
+		st := sup.Run()
+		fmt.Printf("%-9s: %d triggers -> %d failures, %d recoveries, sim time %6.2fs\n",
+			"First-Aid", triggers, st.Failures, st.Recoveries, st.SimSeconds)
+		for _, p := range sup.Pool.Active() {
+			fmt.Printf("           %v\n", p)
+		}
+	}
+	// Rx.
+	{
+		prog, _ := apps.New("squid")
+		rx := firstaid.NewRx(prog, prog.Workload(events, triggerAt()), firstaid.MachineConfig{})
+		st := rx.Run()
+		fmt.Printf("%-9s: %d triggers -> %d failures, %d recoveries, sim time %6.2fs\n",
+			"Rx", triggers, st.Failures, st.Recoveries, st.SimSeconds)
+	}
+	// Restart.
+	{
+		prog, _ := apps.New("squid")
+		rs := firstaid.NewRestart(prog, prog.Workload(events, triggerAt()), firstaid.MachineConfig{})
+		st := rs.Run()
+		fmt.Printf("%-9s: %d triggers -> %d failures, %d restarts,   sim time %6.2fs\n",
+			"Restart", triggers, st.Failures, st.Restarts, st.SimSeconds)
+	}
+	fmt.Println("\nFirst-Aid fails once and prevents the rest; the baselines fail every time.")
+}

@@ -1,0 +1,117 @@
+// Quickstart: a minimal buggy program surviving under First-Aid.
+//
+// The program is a tiny note-keeping service written the way a C program
+// is: explicit Malloc/Free against the simulated process API, with a
+// classic buffer overflow — notes are copied into fixed 64-byte buffers
+// with no bounds check. One oversized note corrupts the neighbouring
+// index block and crashes the service; under First-Aid the failure is
+// diagnosed, an add-padding patch is generated for the one allocation
+// call-site, and every later oversized note is absorbed harmlessly.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid"
+	"firstaid/internal/mmbug"
+)
+
+const noteBufLen = 64
+
+// notebook is the buggy program.
+type notebook struct{}
+
+func (n *notebook) Name() string             { return "notebook" }
+func (n *notebook) Bugs() []firstaid.BugType { return []firstaid.BugType{mmbug.BufferOverflow} }
+
+// Init builds the index block the overflow will corrupt.
+func (n *notebook) Init(p *firstaid.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("notebook_init")()
+	idx := p.Malloc(64)
+	p.StoreU32(idx, 0x494E4458) // "INDX"
+	p.Memset(idx+4, 0, 60)
+	p.SetRoot(0, idx)
+}
+
+// Handle processes one "note" command.
+func (n *notebook) Handle(p *firstaid.Proc, ev firstaid.Event) {
+	defer p.Enter("handle_note")()
+	p.Tick(100_000)
+
+	buf := func() firstaid.Addr {
+		defer p.Enter("note_alloc")()
+		return p.Malloc(noteBufLen)
+	}()
+	// Per-note metadata record, allocated right after the buffer — the
+	// object the overflow destroys.
+	meta := func() firstaid.Addr {
+		defer p.Enter("meta_alloc")()
+		return p.Malloc(32)
+	}()
+	p.StoreU32(meta, 0x4D455441) // "META"
+	p.Memset(meta+4, 0, 28)
+
+	// THE BUG: strcpy with no bounds check.
+	p.At("copy_note")
+	p.StoreString(buf, ev.Data)
+
+	// Registering the note requires intact metadata.
+	p.At("register")
+	p.Assert(p.LoadU32(meta) == 0x4D455441, "note metadata corrupted")
+	p.Assert(p.LoadU32(p.RootAddr(0)) == 0x494E4458, "note index corrupted")
+
+	func() {
+		defer p.Enter("note_free")()
+		p.Free(meta)
+		p.Free(buf)
+	}()
+}
+
+// Workload generates notes; triggers inject oversized ones.
+func (n *notebook) Workload(count int, triggers []int) *firstaid.Log {
+	log := firstaid.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < count; i++ {
+		if trig[i] {
+			log.Append("note", strings.Repeat("A", 200), i)
+		}
+		log.Append("note", fmt.Sprintf("note number %d", i), i)
+	}
+	return log
+}
+
+func main() {
+	prog := &notebook{}
+	// 600 notes with oversized ones at positions 100, 300 and 500.
+	log := prog.Workload(600, []int{100, 300, 500})
+
+	sup := firstaid.New(prog, log, firstaid.Config{})
+	stats := sup.Run()
+
+	fmt.Printf("processed %d events in %.1f simulated seconds\n", stats.Events, stats.SimSeconds)
+	fmt.Printf("failures: %d (three bug triggers; only the first may fail)\n", stats.Failures)
+	fmt.Printf("recoveries: %d, patches generated: %d\n", stats.Recoveries, stats.PatchesMade)
+
+	for _, p := range sup.Pool.Active() {
+		fmt.Printf("  %v\n", p)
+	}
+	if len(sup.Recoveries) > 0 {
+		rec := sup.Recoveries[0]
+		fmt.Printf("\ndiagnosed: %v after %d diagnostic rollbacks (recovery %.2f ms)\n",
+			rec.Result.Findings[0].Bug, rec.Result.Rollbacks,
+			float64(rec.RecoveryWall.Microseconds())/1000)
+		fmt.Printf("validated: %v\n", rec.Validated)
+	}
+	if stats.Failures == 1 {
+		fmt.Println("\nOK: the runtime patch prevented both later triggers.")
+	} else {
+		fmt.Println("\nUNEXPECTED: later triggers were not prevented.")
+	}
+}

@@ -1,0 +1,119 @@
+package firstaid_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"firstaid"
+	"firstaid/internal/apps"
+)
+
+// miniApp is a minimal Program written purely against the public API,
+// proving the exported surface is sufficient to build and supervise a
+// program (the quickstart example, in test form).
+type miniApp struct{}
+
+func (m *miniApp) Name() string             { return "mini" }
+func (m *miniApp) Bugs() []firstaid.BugType { return []firstaid.BugType{firstaid.BufferOverflow} }
+func (m *miniApp) Init(p *firstaid.Proc) {
+	defer p.Enter("main")()
+	p.SetRoot(0, 0)
+}
+
+func (m *miniApp) Handle(p *firstaid.Proc, ev firstaid.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	buf := func() firstaid.Addr {
+		defer p.Enter("buf_alloc")()
+		return p.Malloc(32)
+	}()
+	guard := func() firstaid.Addr {
+		defer p.Enter("guard_alloc")()
+		return p.Malloc(24)
+	}()
+	p.StoreU32(guard, 0xFEEDFACE)
+	p.StoreString(buf, ev.Data) // no bounds check
+	p.At("check")
+	p.Assert(p.LoadU32(guard) == 0xFEEDFACE, "guard corrupted")
+	p.Free(guard)
+	p.Free(buf)
+}
+
+func (m *miniApp) Workload(n int, triggers []int) *firstaid.Log {
+	log := firstaid.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < n; i++ {
+		data := "short"
+		if trig[i] {
+			data = "this payload is far longer than the thirty-two byte buffer can hold!"
+		}
+		log.Append("req", data, i)
+	}
+	return log
+}
+
+func TestPublicAPISuperviseCustomProgram(t *testing.T) {
+	prog := &miniApp{}
+	log := prog.Workload(300, []int{80, 200})
+	sup := firstaid.New(prog, log, firstaid.Config{})
+	stats := sup.Run()
+	if stats.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 (second trigger prevented)", stats.Failures)
+	}
+	if stats.PatchesMade != 1 {
+		t.Fatalf("patches = %d", stats.PatchesMade)
+	}
+	rec := sup.Recoveries[0]
+	if !rec.Validated || rec.Report == nil {
+		t.Fatalf("recovery incomplete: %+v", rec)
+	}
+	if rec.Result.Findings[0].Bug != firstaid.BufferOverflow {
+		t.Fatalf("diagnosed %v", rec.Result.Findings[0].Bug)
+	}
+}
+
+func TestPublicAPIPoolPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.json")
+	prog := &miniApp{}
+	sup := firstaid.New(prog, prog.Workload(200, []int{80}), firstaid.Config{})
+	sup.Run()
+	if err := sup.Pool.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := firstaid.LoadPool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2 := &miniApp{}
+	sup2 := firstaid.New(prog2, prog2.Workload(200, []int{50}), firstaid.Config{Pool: pool})
+	if st := sup2.Run(); st.Failures != 0 {
+		t.Fatalf("inherited patches did not protect: %+v", st)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	a, _ := apps.New("squid")
+	rx := firstaid.NewRx(a, a.Workload(500, []int{150, 350}), firstaid.MachineConfig{})
+	if st := rx.Run(); st.Failures != 2 || st.Recoveries != 2 {
+		t.Fatalf("rx stats = %+v", st)
+	}
+
+	b, _ := apps.New("squid")
+	rs := firstaid.NewRestart(b, b.Workload(500, []int{150, 350}), firstaid.MachineConfig{})
+	if st := rs.Run(); st.Failures != 2 || st.Restarts != 2 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+}
+
+func TestPublicAPIParallelValidation(t *testing.T) {
+	prog := &miniApp{}
+	sup := firstaid.New(prog, prog.Workload(300, []int{80}), firstaid.Config{ParallelValidation: true})
+	sup.Run()
+	if len(sup.Recoveries) != 1 || !sup.Recoveries[0].Validated {
+		t.Fatalf("parallel validation through public API failed: %+v", sup.Recoveries)
+	}
+}

@@ -1,0 +1,3 @@
+module firstaid
+
+go 1.22

@@ -1,0 +1,81 @@
+package allocext
+
+import (
+	"testing"
+
+	"firstaid/internal/callsite"
+)
+
+func TestMaxPatchBytesDisablesPatching(t *testing.T) {
+	f := newFixture(t)
+	f.ext.MaxPatchBytes = 4096 // a handful of padded objects
+	patches := &fakePatches{
+		alloc: map[callsite.ID]AllocAction{f.site: {Pad: true}},
+	}
+	f.ext.SetPatches(patches)
+
+	// Padded objects cost ~1 KiB each; the budget trips after ~4.
+	var padded, plain int
+	for i := 0; i < 20; i++ {
+		a, err := f.ext.Malloc(64, f.site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _ := f.ext.Object(a)
+		if obj.PadFront > 0 {
+			padded++
+		} else {
+			plain++
+		}
+	}
+	if padded == 0 {
+		t.Fatal("no object was ever patched")
+	}
+	if plain == 0 {
+		t.Fatal("budget never tripped: all 20 objects padded")
+	}
+	if !f.ext.PatchingDisabled() {
+		t.Fatal("PatchingDisabled not latched")
+	}
+
+	// Re-enabling restores patching.
+	f.ext.ResetPatchBudget()
+	f.ext.MaxPatchBytes = 1 << 30
+	a, _ := f.ext.Malloc(64, f.site)
+	if obj, _ := f.ext.Object(a); obj.PadFront == 0 {
+		t.Fatal("patching not restored after budget reset")
+	}
+}
+
+func TestZeroMaxPatchBytesMeansUnlimited(t *testing.T) {
+	f := newFixture(t)
+	patches := &fakePatches{
+		alloc: map[callsite.ID]AllocAction{f.site: {Pad: true}},
+	}
+	f.ext.SetPatches(patches)
+	for i := 0; i < 50; i++ {
+		a, err := f.ext.Malloc(64, f.site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj, _ := f.ext.Object(a); obj.PadFront == 0 {
+			t.Fatal("patching stopped without a budget")
+		}
+	}
+}
+
+func TestDiagnosticModeIgnoresPatchBudget(t *testing.T) {
+	// Environmental changes during diagnosis are not "patching"; the
+	// budget must not interfere with recovery itself.
+	f := newFixture(t)
+	f.ext.MaxPatchBytes = 1 // absurdly small
+	f.ext.SetMode(ModeDiagnostic)
+	f.ext.SetChanges(AllPreventive())
+	a, err := f.ext.Malloc(64, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj, _ := f.ext.Object(a); obj.PadFront == 0 {
+		t.Fatal("diagnostic changes suppressed by patch budget")
+	}
+}

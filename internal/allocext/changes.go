@@ -1,0 +1,194 @@
+// Environmental changes (paper Table 1): the preventive and exposing
+// actions First-Aid applies at allocation and deallocation time, and the
+// ChangeSet machinery that scopes them to all objects, to specific
+// call-sites, or to half of a candidate set during the Phase-2 binary
+// search.
+package allocext
+
+import (
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+)
+
+// AllocAction is the set of changes applied when an object is allocated.
+type AllocAction struct {
+	Pad       bool // add padding to both ends (preventive: buffer overflow)
+	PadCanary bool // fill the padding with canary (exposing: buffer overflow); implies Pad
+	Zero      bool // zero-fill the payload (preventive: uninitialized read)
+	CanaryNew bool // canary-fill the payload (exposing: uninitialized read)
+}
+
+// Or merges two actions. Exposing wins over plain preventive for the same
+// mechanism (canary-filled padding is still padding).
+func (a AllocAction) Or(b AllocAction) AllocAction {
+	return AllocAction{
+		Pad:       a.Pad || b.Pad || a.PadCanary || b.PadCanary,
+		PadCanary: a.PadCanary || b.PadCanary,
+		Zero:      a.Zero || b.Zero,
+		CanaryNew: a.CanaryNew || b.CanaryNew,
+	}
+}
+
+// Any reports whether the action does anything.
+func (a AllocAction) Any() bool { return a.Pad || a.PadCanary || a.Zero || a.CanaryNew }
+
+// FreeAction is the set of changes applied when an object is deallocated.
+type FreeAction struct {
+	Delay      bool // delay recycling (preventive: dangling r/w, double free)
+	CanaryFill bool // fill the delayed object with canary (exposing: dangling r/w); implies Delay
+}
+
+// Or merges two actions.
+func (a FreeAction) Or(b FreeAction) FreeAction {
+	return FreeAction{
+		Delay:      a.Delay || b.Delay || a.CanaryFill || b.CanaryFill,
+		CanaryFill: a.CanaryFill || b.CanaryFill,
+	}
+}
+
+// Any reports whether the action does anything.
+func (a FreeAction) Any() bool { return a.Delay || a.CanaryFill }
+
+// PreventiveAlloc returns the allocation-time preventive change for the bug
+// class, with ok=false if the class is prevented at deallocation instead.
+func PreventiveAlloc(b mmbug.Type) (AllocAction, bool) {
+	switch b {
+	case mmbug.BufferOverflow:
+		return AllocAction{Pad: true}, true
+	case mmbug.UninitRead:
+		return AllocAction{Zero: true}, true
+	}
+	return AllocAction{}, false
+}
+
+// PreventiveFree returns the deallocation-time preventive change for the
+// bug class.
+func PreventiveFree(b mmbug.Type) (FreeAction, bool) {
+	switch b {
+	case mmbug.DanglingRead, mmbug.DanglingWrite, mmbug.DoubleFree:
+		return FreeAction{Delay: true}, true
+	}
+	return FreeAction{}, false
+}
+
+// ExposingAlloc returns the allocation-time exposing change for the bug
+// class.
+func ExposingAlloc(b mmbug.Type) (AllocAction, bool) {
+	switch b {
+	case mmbug.BufferOverflow:
+		return AllocAction{Pad: true, PadCanary: true}, true
+	case mmbug.UninitRead:
+		return AllocAction{CanaryNew: true}, true
+	}
+	return AllocAction{}, false
+}
+
+// ExposingFree returns the deallocation-time exposing change for the bug
+// class. Double free has no fill component: its exposing change is the
+// deallocation parameter check, which the extension performs whenever it is
+// in diagnostic mode.
+func ExposingFree(b mmbug.Type) (FreeAction, bool) {
+	switch b {
+	case mmbug.DanglingRead, mmbug.DanglingWrite:
+		return FreeAction{Delay: true, CanaryFill: true}, true
+	case mmbug.DoubleFree:
+		return FreeAction{Delay: true}, true
+	}
+	return FreeAction{}, false
+}
+
+// ChangeSet is the collection of environmental changes active during one
+// diagnostic re-execution. Each rule applies an action either to every
+// object (Sites == nil) or to objects allocated/deallocated at the given
+// call-sites.
+type ChangeSet struct {
+	allocRules []allocRule
+	freeRules  []freeRule
+}
+
+type allocRule struct {
+	sites *callsite.Set // nil means all call-sites
+	act   AllocAction
+}
+
+type freeRule struct {
+	sites *callsite.Set
+	act   FreeAction
+}
+
+// NewChangeSet returns an empty change set (no environmental changes: the
+// configuration of the Phase-1 "plain re-execution" that screens for
+// non-deterministic bugs).
+func NewChangeSet() *ChangeSet { return &ChangeSet{} }
+
+// AddAlloc scopes an allocation-time action to sites (nil = all).
+func (cs *ChangeSet) AddAlloc(sites *callsite.Set, act AllocAction) *ChangeSet {
+	cs.allocRules = append(cs.allocRules, allocRule{sites: sites, act: act})
+	return cs
+}
+
+// AddFree scopes a deallocation-time action to sites (nil = all).
+func (cs *ChangeSet) AddFree(sites *callsite.Set, act FreeAction) *ChangeSet {
+	cs.freeRules = append(cs.freeRules, freeRule{sites: sites, act: act})
+	return cs
+}
+
+// AddPreventive adds the preventive change for bug class b scoped to sites.
+func (cs *ChangeSet) AddPreventive(b mmbug.Type, sites *callsite.Set) *ChangeSet {
+	if act, ok := PreventiveAlloc(b); ok {
+		cs.AddAlloc(sites, act)
+	}
+	if act, ok := PreventiveFree(b); ok {
+		cs.AddFree(sites, act)
+	}
+	return cs
+}
+
+// AddExposing adds the exposing change for bug class b scoped to sites.
+func (cs *ChangeSet) AddExposing(b mmbug.Type, sites *callsite.Set) *ChangeSet {
+	if act, ok := ExposingAlloc(b); ok {
+		cs.AddAlloc(sites, act)
+	}
+	if act, ok := ExposingFree(b); ok {
+		cs.AddFree(sites, act)
+	}
+	return cs
+}
+
+// AllPreventive returns a change set with every preventive change applied
+// to every object — the Phase-1 probe for "is this failure patchable from
+// this checkpoint at all".
+func AllPreventive() *ChangeSet {
+	cs := NewChangeSet()
+	for _, b := range mmbug.All {
+		cs.AddPreventive(b, nil)
+	}
+	return cs
+}
+
+// AllocFor resolves the merged allocation action for a call-site.
+func (cs *ChangeSet) AllocFor(site callsite.ID) AllocAction {
+	var act AllocAction
+	for _, r := range cs.allocRules {
+		if r.sites == nil || r.sites.Contains(site) {
+			act = act.Or(r.act)
+		}
+	}
+	return act
+}
+
+// FreeFor resolves the merged deallocation action for a call-site.
+func (cs *ChangeSet) FreeFor(site callsite.ID) FreeAction {
+	var act FreeAction
+	for _, r := range cs.freeRules {
+		if r.sites == nil || r.sites.Contains(site) {
+			act = act.Or(r.act)
+		}
+	}
+	return act
+}
+
+// Empty reports whether the set contains no rules.
+func (cs *ChangeSet) Empty() bool {
+	return len(cs.allocRules) == 0 && len(cs.freeRules) == 0
+}

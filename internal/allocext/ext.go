@@ -1,0 +1,1011 @@
+// Package allocext implements First-Aid's lightweight memory allocator
+// extension (paper §3).
+//
+// The extension wraps the underlying Lea-style allocator and operates in
+// one of three modes:
+//
+//   - normal mode: each allocation/deallocation call-site is checked
+//     against the patch pool; matching preventive changes are applied.
+//   - diagnostic mode: preventive and exposing changes from a ChangeSet
+//     are applied to all or a subset of objects, multi-level call-site
+//     information is collected, and deallocation parameters are checked
+//     for double frees.
+//   - validation mode: allocation is randomized and full traces of memory
+//     management operations, patch triggers and illegal accesses are kept.
+//
+// Every object carries 16 bytes of in-heap metadata (magic, allocation
+// call-site, user size, flags) — the figure behind the paper's Table 6
+// space-overhead measurements. Padding adds 1016 bytes around an object
+// (Table 5); delay-freed objects accumulate until a configurable threshold
+// (1 MB in the paper's experiments) and are then recycled oldest-first.
+package allocext
+
+import (
+	"fmt"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/canary"
+	"firstaid/internal/heap"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/vmem"
+)
+
+// Mode selects the extension's operating mode.
+type Mode int
+
+// Operating modes.
+const (
+	ModeNormal Mode = iota
+	ModeDiagnostic
+	ModeValidation
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeDiagnostic:
+		return "diagnostic"
+	case ModeValidation:
+		return "validation"
+	}
+	return "unknown"
+}
+
+// Object metadata layout constants.
+const (
+	// HeaderLen is the in-heap metadata added to every object.
+	HeaderLen = 16
+	// PadFront and PadBack are the padding sizes of the add-padding
+	// change; together 1016 bytes, matching the paper's Table 5.
+	PadFront = 512
+	PadBack  = 504
+
+	headerMagic = 0xFA1D0BEE // "First-AID OBject
+)
+
+// PatchSource supplies the preventive actions of currently-installed
+// runtime patches; package patch implements it. A nil PatchSource means no
+// patches are installed.
+type PatchSource interface {
+	// AllocPatch returns the allocation-time action patched at site.
+	AllocPatch(site callsite.ID) (AllocAction, bool)
+	// FreePatch returns the deallocation-time action patched at site.
+	FreePatch(site callsite.ID) (FreeAction, bool)
+}
+
+// Object is the extension's record of one allocated (or delay-freed)
+// object.
+type Object struct {
+	User      vmem.Addr // address returned to the program
+	Base      vmem.Addr // underlying heap payload (= metadata header address)
+	UserSize  uint32
+	PadFront  uint32
+	PadBack   uint32
+	AllocSite callsite.ID
+	FreeSite  callsite.ID // set when delay-freed
+	Alloc     AllocAction // actions applied at allocation
+	Free      FreeAction  // actions applied at deallocation
+	Delayed   bool        // currently delay-freed
+	written   []uint64    // per-byte init bitmap (validation of zero-fill patches)
+}
+
+func (o *Object) overhead() uint64 {
+	return uint64(HeaderLen) + uint64(o.PadFront) + uint64(o.PadBack)
+}
+
+// totalLen is the full heap payload length backing the object.
+func (o *Object) totalLen() uint32 {
+	return HeaderLen + o.PadFront + o.UserSize + o.PadBack
+}
+
+type markRange struct {
+	addr vmem.Addr
+	n    int
+}
+
+// extState is the checkpointable part of the extension.
+type extState struct {
+	objects    map[vmem.Addr]*Object // by user address; live and delay-freed
+	delayQ     []vmem.Addr           // FIFO of delay-freed user addresses
+	delayBytes uint64
+	freed      map[vmem.Addr]callsite.ID // first-free site of recently freed addrs
+	freedOrder []vmem.Addr               // FIFO cap for freed
+	padded     []vmem.Addr               // live canary-padded objects (scan registry)
+	marks      []markRange               // Phase-1 heap-marking regions
+	metaBytes  uint64                    // current metadata+padding overhead
+	metaPeak   uint64
+	padBytes   uint64 // current padding bytes (live + delayed objects)
+	padPeak    uint64 // peak concurrent padding bytes (Table 5)
+}
+
+const freedCap = 4096
+
+func newExtState() extState {
+	return extState{
+		objects: make(map[vmem.Addr]*Object),
+		freed:   make(map[vmem.Addr]callsite.ID),
+	}
+}
+
+// clone deep-copies the state for a checkpoint.
+func (s *extState) clone() extState {
+	cp := extState{
+		objects:    make(map[vmem.Addr]*Object, len(s.objects)),
+		delayQ:     append([]vmem.Addr(nil), s.delayQ...),
+		delayBytes: s.delayBytes,
+		freed:      make(map[vmem.Addr]callsite.ID, len(s.freed)),
+		freedOrder: append([]vmem.Addr(nil), s.freedOrder...),
+		padded:     append([]vmem.Addr(nil), s.padded...),
+		marks:      append([]markRange(nil), s.marks...),
+		metaBytes:  s.metaBytes,
+		metaPeak:   s.metaPeak,
+		padBytes:   s.padBytes,
+		padPeak:    s.padPeak,
+	}
+	for k, o := range s.objects {
+		oc := *o
+		if o.written != nil {
+			oc.written = append([]uint64(nil), o.written...)
+		}
+		cp.objects[k] = &oc
+	}
+	for k, v := range s.freed {
+		cp.freed[k] = v
+	}
+	return cp
+}
+
+// Ext is the allocator extension.
+type Ext struct {
+	H     *heap.Heap
+	Sites *callsite.Table
+
+	mode    Mode
+	changes *ChangeSet  // diagnostic mode
+	patches PatchSource // normal and validation modes
+	s       extState
+
+	// DelayLimit caps the memory held by delay-freed objects; beyond it
+	// the oldest are recycled ("1 MB in our experiments", §7.6.1).
+	DelayLimit uint64
+
+	// MaxPatchBytes, when non-zero, disables runtime patching entirely
+	// once the extension's space overhead (metadata + padding + delayed
+	// objects) exceeds it — the paper's §2 escape hatch: "First-Aid can
+	// disable runtime patching … when the memory usage reaches a
+	// user-defined threshold. First-Aid allows users to decide how much
+	// extra memory space they are willing to pay for better system
+	// reliability."
+	MaxPatchBytes uint64
+
+	// patchingDisabled latches once MaxPatchBytes is crossed.
+	patchingDisabled bool
+
+	manifests ManifestSet
+	trace     *Trace // non-nil in validation mode
+
+	// lifetime patch-trigger counters (not rolled back), for Tables 4/5.
+	triggers map[callsite.ID]uint64
+
+	// watch is a Base-sorted index of "interesting" objects (padded,
+	// delay-freed, or init-tracked) used by validation-mode access
+	// classification; rebuilt lazily when dirty.
+	watch      []*Object
+	watchDirty bool
+
+	// Call-sites observed since ResetSeen, in first-seen order: the
+	// Phase-2 binary search's candidate sets ("a search range covering
+	// all N call-sites after the checkpoint", §4.2).
+	seenAllocOrder []callsite.ID
+	seenFreeOrder  []callsite.ID
+	seenAlloc      map[callsite.ID]bool
+	seenFree       map[callsite.ID]bool
+
+	// cost accumulates the simulated cycles the extension itself spends
+	// (patch-pool lookups, metadata maintenance, fills); the process
+	// drains it via TakeCost after each request. This is the source of
+	// the "allocator" bars in the paper's Figure 6.
+	cost uint64
+}
+
+// New wraps the allocator h. Site information is interned in sites, which
+// must be the same table the process uses.
+func New(h *heap.Heap, sites *callsite.Table) *Ext {
+	return &Ext{
+		H:          h,
+		Sites:      sites,
+		changes:    NewChangeSet(),
+		s:          newExtState(),
+		DelayLimit: 1 << 20,
+		triggers:   map[callsite.ID]uint64{},
+	}
+}
+
+// Mode returns the current operating mode.
+func (e *Ext) Mode() Mode { return e.mode }
+
+// SetMode switches the operating mode.
+func (e *Ext) SetMode(m Mode) { e.mode = m }
+
+// SetChanges installs the diagnostic-mode change set.
+func (e *Ext) SetChanges(cs *ChangeSet) {
+	if cs == nil {
+		cs = NewChangeSet()
+	}
+	e.changes = cs
+}
+
+// SetPatches installs the patch source consulted in normal and validation
+// modes.
+func (e *Ext) SetPatches(p PatchSource) { e.patches = p }
+
+// BeginTrace starts validation tracing; EndTrace returns and detaches the
+// trace.
+func (e *Ext) BeginTrace() { e.trace = NewTrace() }
+
+// EndTrace stops tracing and returns the collected trace.
+func (e *Ext) EndTrace() *Trace {
+	t := e.trace
+	e.trace = nil
+	return t
+}
+
+// Manifests returns the manifestations observed since the last reset.
+func (e *Ext) Manifests() *ManifestSet { return &e.manifests }
+
+// ResetManifests clears observed manifestations (before a re-execution).
+func (e *Ext) ResetManifests() { e.manifests = ManifestSet{} }
+
+// Cost-model constants (cycles). The fixed per-request overhead models the
+// patch-pool query and the 16-byte metadata bookkeeping; fills cost per
+// byte like any memory traffic.
+const (
+	costPerRequest  = 38 // pool lookup + header write/check
+	costFillPerByte = 4  // zero/canary fill, per 8 bytes
+)
+
+// TakeCost drains the extension's accumulated cycle cost; package proc
+// charges it to the process clock after each request.
+func (e *Ext) TakeCost() uint64 {
+	c := e.cost
+	e.cost = 0
+	return c
+}
+
+func (e *Ext) chargeFill(n int) { e.cost += uint64(n) / 8 * costFillPerByte }
+
+// ResetSeen clears the observed call-site sets (before a re-execution).
+func (e *Ext) ResetSeen() {
+	e.seenAllocOrder, e.seenFreeOrder = nil, nil
+	e.seenAlloc = make(map[callsite.ID]bool)
+	e.seenFree = make(map[callsite.ID]bool)
+}
+
+// SeenAllocSites returns the allocation call-sites observed since
+// ResetSeen, in first-seen order.
+func (e *Ext) SeenAllocSites() []callsite.ID {
+	return append([]callsite.ID(nil), e.seenAllocOrder...)
+}
+
+// SeenFreeSites returns the deallocation call-sites observed since
+// ResetSeen, in first-seen order.
+func (e *Ext) SeenFreeSites() []callsite.ID {
+	return append([]callsite.ID(nil), e.seenFreeOrder...)
+}
+
+func (e *Ext) noteSeen(site callsite.ID, alloc bool) {
+	if e.seenAlloc == nil {
+		return
+	}
+	if alloc {
+		if !e.seenAlloc[site] {
+			e.seenAlloc[site] = true
+			e.seenAllocOrder = append(e.seenAllocOrder, site)
+		}
+	} else if !e.seenFree[site] {
+		e.seenFree[site] = true
+		e.seenFreeOrder = append(e.seenFreeOrder, site)
+	}
+}
+
+// Triggers returns the lifetime patch trigger counts by application point.
+func (e *Ext) Triggers() map[callsite.ID]uint64 { return e.triggers }
+
+// ResetTriggers clears the lifetime trigger counters.
+func (e *Ext) ResetTriggers() { e.triggers = map[callsite.ID]uint64{} }
+
+// State snapshots the extension for a checkpoint.
+func (e *Ext) State() interface{} { st := e.s.clone(); return &st }
+
+// SetState restores a snapshot taken by State.
+func (e *Ext) SetState(v interface{}) {
+	st := v.(*extState)
+	e.s = st.clone()
+	e.watchDirty = true
+}
+
+// --- statistics -------------------------------------------------------------
+
+// LiveObjects returns the number of live (non-delayed) objects.
+func (e *Ext) LiveObjects() int {
+	n := 0
+	for _, o := range e.s.objects {
+		if !o.Delayed {
+			n++
+		}
+	}
+	return n
+}
+
+// DelayedBytes returns the memory currently held by delay-freed objects.
+func (e *Ext) DelayedBytes() uint64 { return e.s.delayBytes }
+
+// DelayedObjects returns the number of delay-freed objects held.
+func (e *Ext) DelayedObjects() int { return len(e.s.delayQ) }
+
+// MetaBytes returns the current metadata+padding overhead in bytes.
+func (e *Ext) MetaBytes() uint64 { return e.s.metaBytes }
+
+// MetaPeak returns the peak metadata+padding overhead.
+func (e *Ext) MetaPeak() uint64 { return e.s.metaPeak }
+
+// PadPeak returns the peak concurrent padding bytes (Table 5's padding
+// space overhead).
+func (e *Ext) PadPeak() uint64 { return e.s.padPeak }
+
+// --- action resolution -------------------------------------------------------
+
+// patchBudgetOK enforces MaxPatchBytes; once latched, patches stay off
+// until ResetPatchBudget (a policy decision left to the operator).
+func (e *Ext) patchBudgetOK() bool {
+	if e.patchingDisabled {
+		return false
+	}
+	if e.MaxPatchBytes != 0 && e.s.metaBytes+e.s.delayBytes > e.MaxPatchBytes {
+		e.patchingDisabled = true
+		return false
+	}
+	return true
+}
+
+// PatchingDisabled reports whether the space budget shut patching off.
+func (e *Ext) PatchingDisabled() bool { return e.patchingDisabled }
+
+// ResetPatchBudget re-enables patching after a budget trip.
+func (e *Ext) ResetPatchBudget() { e.patchingDisabled = false }
+
+func (e *Ext) allocActionFor(site callsite.ID) (act AllocAction, patched bool) {
+	switch e.mode {
+	case ModeDiagnostic:
+		return e.changes.AllocFor(site), false
+	default:
+		if e.patches != nil && e.patchBudgetOK() {
+			if a, ok := e.patches.AllocPatch(site); ok {
+				return a, true
+			}
+		}
+		return AllocAction{}, false
+	}
+}
+
+func (e *Ext) freeActionFor(site callsite.ID) (act FreeAction, patched bool) {
+	switch e.mode {
+	case ModeDiagnostic:
+		return e.changes.FreeFor(site), false
+	default:
+		if e.patches != nil && e.patchBudgetOK() {
+			if a, ok := e.patches.FreePatch(site); ok {
+				return a, true
+			}
+		}
+		return FreeAction{}, false
+	}
+}
+
+// paramCheckActive reports whether the deallocation parameter check guards
+// this free site: in diagnostic mode whenever environmental changes are
+// active (the check is double free's exposing change, Table 1 — but a
+// *plain* re-execution must reproduce the original crash), and in
+// normal/validation mode when a delay-free patch is installed at the site.
+func (e *Ext) paramCheckActive(site callsite.ID) bool {
+	if e.mode == ModeDiagnostic {
+		return !e.changes.Empty()
+	}
+	if e.patches != nil {
+		if a, ok := e.patches.FreePatch(site); ok && a.Delay {
+			return true
+		}
+	}
+	return false
+}
+
+// --- allocation ---------------------------------------------------------------
+
+// Malloc implements the allocation half of proc.MM.
+func (e *Ext) Malloc(n uint32, site callsite.ID) (vmem.Addr, error) {
+	e.noteSeen(site, true)
+	e.cost += costPerRequest
+	act, patched := e.allocActionFor(site)
+	var padF, padB uint32
+	if act.Pad || act.PadCanary {
+		padF, padB = PadFront, PadBack
+	}
+	total := HeaderLen + padF + n + padB
+	base, err := e.H.Malloc(total)
+	if err != nil {
+		return 0, err
+	}
+	mem := e.H.Mem()
+	user := base + HeaderLen + padF
+
+	// In-heap metadata header.
+	if err := mem.WriteU32(base, headerMagic); err != nil {
+		return 0, err
+	}
+	mem.WriteU32(base+4, uint32(site))
+	mem.WriteU32(base+8, n)
+	var flags uint32
+	if padF > 0 {
+		flags |= 1
+	}
+	mem.WriteU32(base+12, flags)
+
+	if act.PadCanary {
+		canary.Fill(mem, base+HeaderLen, int(padF), canary.Pad)
+		canary.Fill(mem, user+n, int(padB), canary.Pad)
+		e.chargeFill(int(padF) + int(padB))
+	}
+	if act.Zero {
+		mem.Fill(user, 0, int(n))
+		e.chargeFill(int(n))
+	}
+	if act.CanaryNew {
+		canary.Fill(mem, user, int(n), canary.Fresh)
+		e.chargeFill(int(n))
+	}
+
+	obj := &Object{
+		User:      user,
+		Base:      base,
+		UserSize:  n,
+		PadFront:  padF,
+		PadBack:   padB,
+		AllocSite: site,
+		Alloc:     act,
+	}
+	if e.mode == ModeValidation && act.Zero {
+		obj.written = make([]uint64, (n+63)/64)
+	}
+	e.s.objects[user] = obj
+	if act.PadCanary {
+		e.s.padded = append(e.s.padded, user)
+	}
+	e.accountAlloc(obj)
+	e.markWatchDirtyFor(obj)
+
+	// The address may recycle a previously freed object's slot; the old
+	// "freed" record is now stale.
+	delete(e.s.freed, user)
+	e.dropMarksNear(base, total)
+
+	if patched {
+		e.triggers[site]++
+	}
+	if e.trace != nil {
+		e.trace.Ops = append(e.trace.Ops, MMOp{Alloc: true, Site: site, Addr: user, Size: n, Patched: patched && act.Any()})
+		if patched && act.Any() {
+			e.trace.Triggers[site]++
+		}
+	}
+	return user, nil
+}
+
+func (e *Ext) accountAlloc(o *Object) {
+	e.s.metaBytes += o.overhead()
+	if e.s.metaBytes > e.s.metaPeak {
+		e.s.metaPeak = e.s.metaBytes
+	}
+	if pad := uint64(o.PadFront) + uint64(o.PadBack); pad > 0 {
+		e.s.padBytes += pad
+		if e.s.padBytes > e.s.padPeak {
+			e.s.padPeak = e.s.padBytes
+		}
+	}
+}
+
+// accountRelease reverses accountAlloc when an object's memory is actually
+// returned to the raw allocator.
+func (e *Ext) accountRelease(o *Object) {
+	e.s.metaBytes -= o.overhead()
+	e.s.padBytes -= uint64(o.PadFront) + uint64(o.PadBack)
+}
+
+// --- deallocation --------------------------------------------------------------
+
+// Free implements the deallocation half of proc.MM.
+func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
+	e.noteSeen(site, false)
+	e.cost += costPerRequest
+	obj, ok := e.s.objects[ptr]
+	if !ok {
+		// Not a live object: double free of a fully-recycled pointer,
+		// or a wild free.
+		if first, wasFreed := e.s.freed[ptr]; wasFreed {
+			// The patch application point is the *first* deallocation
+			// site — the premature free that characterises the
+			// bug-triggering objects; delaying there keeps the object
+			// alive so the re-free is caught by the parameter check.
+			e.manifests.Add(Manifestation{
+				Bug:      mmbug.DoubleFree,
+				FreeSite: first,
+				Addr:     ptr,
+				Detail:   fmt.Sprintf("object freed at site %d re-freed at site %d", first, site),
+			})
+			if e.paramCheckActive(site) {
+				e.recordBlockedRefree(ptr, site)
+				return nil
+			}
+		}
+		// Unprotected: hand the bogus pointer to the raw allocator,
+		// which faults the way glibc would.
+		return e.H.Free(ptr)
+	}
+
+	if obj.Delayed {
+		// Double free caught while the first free is still delayed.
+		e.manifests.Add(Manifestation{
+			Bug:       mmbug.DoubleFree,
+			AllocSite: obj.AllocSite,
+			FreeSite:  obj.FreeSite,
+			Addr:      ptr,
+			Detail:    fmt.Sprintf("object delay-freed at site %d re-freed at site %d", obj.FreeSite, site),
+		})
+		// The delay-free itself neutralises the re-free; this is the
+		// "delay free + check parameters" patch of Table 1.
+		e.recordBlockedRefree(ptr, site)
+		return nil
+	}
+
+	// Overflow evidence check at object death: corrupted pad canary.
+	if obj.Alloc.PadCanary {
+		e.checkPadding(obj)
+		e.removePadded(ptr)
+	}
+
+	act, patched := e.freeActionFor(site)
+	if patched {
+		e.triggers[site]++
+	}
+	if act.Delay {
+		obj.Delayed = true
+		obj.FreeSite = site
+		obj.Free = act
+		e.watchDirty = true
+		if act.CanaryFill {
+			canary.Fill(e.H.Mem(), obj.User, int(obj.UserSize), canary.Freed)
+			e.chargeFill(int(obj.UserSize))
+		}
+		e.s.delayQ = append(e.s.delayQ, ptr)
+		e.s.delayBytes += uint64(obj.totalLen())
+		e.rememberFreed(ptr, site)
+		if e.trace != nil {
+			e.trace.Ops = append(e.trace.Ops, MMOp{Site: site, Addr: ptr, Size: obj.UserSize, Patched: patched, Delayed: true})
+			if patched {
+				e.trace.Triggers[site]++
+			}
+		}
+		e.enforceDelayLimit()
+		return nil
+	}
+
+	// Immediate free.
+	delete(e.s.objects, ptr)
+	e.accountRelease(obj)
+	e.markWatchDirtyFor(obj)
+	e.rememberFreed(ptr, site)
+	if e.trace != nil {
+		e.trace.Ops = append(e.trace.Ops, MMOp{Site: site, Addr: ptr, Size: obj.UserSize, Patched: patched})
+		if patched {
+			e.trace.Triggers[site]++
+		}
+	}
+	return e.H.Free(obj.Base)
+}
+
+func (e *Ext) recordBlockedRefree(ptr vmem.Addr, site callsite.ID) {
+	e.triggers[site]++
+	if e.trace != nil {
+		e.trace.Ops = append(e.trace.Ops, MMOp{Site: site, Addr: ptr, Patched: true})
+		e.trace.Triggers[site]++
+		e.trace.Illegal = append(e.trace.Illegal, IllegalAccess{
+			Kind:      RefreeBlocked,
+			PatchSite: site,
+			Instr:     "free",
+			Obj:       ptr,
+		})
+	}
+}
+
+func (e *Ext) rememberFreed(ptr vmem.Addr, site callsite.ID) {
+	if _, dup := e.s.freed[ptr]; !dup {
+		e.s.freedOrder = append(e.s.freedOrder, ptr)
+	}
+	e.s.freed[ptr] = site
+	for len(e.s.freedOrder) > freedCap {
+		old := e.s.freedOrder[0]
+		e.s.freedOrder = e.s.freedOrder[1:]
+		delete(e.s.freed, old)
+	}
+}
+
+// enforceDelayLimit recycles the oldest delay-freed objects once their
+// accumulated footprint exceeds DelayLimit.
+func (e *Ext) enforceDelayLimit() {
+	for e.s.delayBytes > e.DelayLimit && len(e.s.delayQ) > 0 {
+		old := e.s.delayQ[0]
+		e.s.delayQ = e.s.delayQ[1:]
+		obj, ok := e.s.objects[old]
+		if !ok || !obj.Delayed {
+			continue
+		}
+		delete(e.s.objects, old)
+		e.s.delayBytes -= uint64(obj.totalLen())
+		e.accountRelease(obj)
+		e.watchDirty = true
+		// Deallocating very old delay-freed objects is usually safe
+		// (paper §2); a re-triggered bug would surface again and be
+		// re-diagnosed.
+		e.H.Free(obj.Base)
+	}
+}
+
+func (e *Ext) removePadded(ptr vmem.Addr) {
+	for i, p := range e.s.padded {
+		if p == ptr {
+			e.s.padded = append(e.s.padded[:i], e.s.padded[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- canary scanning -----------------------------------------------------------
+
+// checkPadding scans one padded object's canaries and records an overflow
+// manifestation if they were overwritten.
+func (e *Ext) checkPadding(obj *Object) {
+	mem := e.H.Mem()
+	if c := canary.Check(mem, obj.User+obj.UserSize, int(obj.PadBack), canary.Pad); c.Corrupted() {
+		offs := make([]int, len(c.Offsets))
+		for i, o := range c.Offsets {
+			offs[i] = int(obj.UserSize) + o
+		}
+		e.manifests.Add(Manifestation{
+			Bug:       mmbug.BufferOverflow,
+			AllocSite: obj.AllocSite,
+			Addr:      obj.User,
+			Offsets:   offs,
+			Detail:    fmt.Sprintf("%d bytes of rear padding overwritten", len(offs)),
+		})
+	}
+	if c := canary.Check(mem, obj.Base+HeaderLen, int(obj.PadFront), canary.Pad); c.Corrupted() {
+		offs := make([]int, len(c.Offsets))
+		for i, o := range c.Offsets {
+			offs[i] = o - int(obj.PadFront)
+		}
+		e.manifests.Add(Manifestation{
+			Bug:       mmbug.BufferOverflow,
+			AllocSite: obj.AllocSite,
+			Addr:      obj.User,
+			Offsets:   offs,
+			Detail:    fmt.Sprintf("%d bytes of front padding overwritten (underflow)", len(offs)),
+		})
+	}
+}
+
+// Scan checks every canary region — padded objects, canary-filled
+// delay-freed objects and heap-marking regions — recording manifestations
+// for corrupted ones. The error monitor calls this between events during
+// diagnostic re-execution and at the failure point.
+func (e *Ext) Scan() {
+	mem := e.H.Mem()
+	for _, p := range e.s.padded {
+		if obj, ok := e.s.objects[p]; ok && !obj.Delayed {
+			e.checkPadding(obj)
+		}
+	}
+	for _, p := range e.s.delayQ {
+		obj, ok := e.s.objects[p]
+		if !ok || !obj.Delayed || !obj.Free.CanaryFill {
+			continue
+		}
+		if c := canary.Check(mem, obj.User, int(obj.UserSize), canary.Freed); c.Corrupted() {
+			e.manifests.Add(Manifestation{
+				Bug:       mmbug.DanglingWrite,
+				AllocSite: obj.AllocSite,
+				FreeSite:  obj.FreeSite,
+				Addr:      obj.User,
+				Offsets:   c.Offsets,
+				Detail:    fmt.Sprintf("%d bytes of delay-freed object overwritten", len(c.Offsets)),
+			})
+		}
+	}
+	for _, m := range e.s.marks {
+		if c := canary.Check(mem, m.addr, m.n, canary.Mark); c.Corrupted() {
+			e.manifests.Add(Manifestation{
+				Bug:      mmbug.DanglingWrite, // or overflow: either way, pre-checkpoint
+				Addr:     m.addr,
+				Offsets:  c.Offsets,
+				FromMark: true,
+				Detail:   "heap-marking canary overwritten: bug triggered before checkpoint",
+			})
+		}
+	}
+	// A canary-filled delay-freed object that was *fully* re-corrupted
+	// would be caught above; scanning is deduplicated by the diagnosis
+	// engine, which treats manifests as evidence sets.
+}
+
+// MarkHeap canary-fills every free chunk (skipping the allocator's
+// free-list links) and the head of the top chunk — the Phase-1 heap-marking
+// technique of §4.1 that exposes bugs triggered before the checkpoint.
+func (e *Ext) MarkHeap() error {
+	e.s.marks = nil
+	chunks, err := e.H.FreeChunks()
+	if err != nil {
+		return err
+	}
+	mem := e.H.Mem()
+	for _, c := range chunks {
+		// Skip the 8-byte fd/bk links at the start of the payload.
+		start := c.Payload + 8
+		n := int(c.Size) - heapHeaderLen - 8
+		if c.Top {
+			// "Padding after the last memory object": mark only the
+			// head of the top chunk.
+			if n > 1024 {
+				n = 1024
+			}
+		}
+		if n <= 0 {
+			continue
+		}
+		if err := canary.Fill(mem, start, n, canary.Mark); err != nil {
+			return err
+		}
+		e.s.marks = append(e.s.marks, markRange{addr: start, n: n})
+	}
+	return nil
+}
+
+// heapHeaderLen mirrors the chunk header size of package heap.
+const heapHeaderLen = 8
+
+// dropMarksNear discards heap-marking ranges that overlap (or closely
+// neighbour) a newly carved chunk: the allocator legitimately writes
+// split-chunk headers and free-list links there, which must not read as
+// corruption.
+func (e *Ext) dropMarksNear(base vmem.Addr, total uint32) {
+	if len(e.s.marks) == 0 {
+		return
+	}
+	const slack = 64
+	lo := int64(base) - slack - heapHeaderLen
+	hi := int64(base) + int64(total) + slack
+	kept := e.s.marks[:0]
+	for _, m := range e.s.marks {
+		mlo, mhi := int64(m.addr), int64(m.addr)+int64(m.n)
+		if mhi <= lo || mlo >= hi {
+			kept = append(kept, m)
+		}
+	}
+	e.s.marks = kept
+}
+
+// ClearMarks removes heap-marking state (when leaving Phase 1).
+func (e *Ext) ClearMarks() { e.s.marks = nil }
+
+// --- object queries -------------------------------------------------------------
+
+// ObjectAt returns the object whose user region or padding contains addr,
+// searching live and delay-freed objects.
+func (e *Ext) ObjectAt(addr vmem.Addr) *Object {
+	// Fast path: exact user address.
+	if o, ok := e.s.objects[addr]; ok {
+		return o
+	}
+	for _, o := range e.s.objects {
+		if addr >= o.Base && addr < o.Base+o.totalLen() {
+			return o
+		}
+	}
+	return nil
+}
+
+// Object returns the record for the exact user address, if any.
+func (e *Ext) Object(user vmem.Addr) (*Object, bool) {
+	o, ok := e.s.objects[user]
+	return o, ok
+}
+
+// UserSize reports the live object's user size (proc.Realloc support).
+func (e *Ext) UserSize(user vmem.Addr) (uint32, bool) {
+	if o, ok := e.s.objects[user]; ok && !o.Delayed {
+		return o.UserSize, true
+	}
+	return 0, false
+}
+
+// LiveSites returns the deduplicated allocation call-sites of live objects.
+func (e *Ext) LiveSites() []callsite.ID {
+	seen := map[callsite.ID]bool{}
+	var out []callsite.ID
+	for _, o := range e.s.objects {
+		if !seen[o.AllocSite] {
+			seen[o.AllocSite] = true
+			out = append(out, o.AllocSite)
+		}
+	}
+	return out
+}
+
+// --- validation-mode access instrumentation --------------------------------------
+
+// interesting reports whether the object must be visible to access
+// classification: it has padding, is delay-freed, or tracks initialisation.
+func interesting(o *Object) bool {
+	return o.Delayed || o.PadFront > 0 || o.PadBack > 0 || o.written != nil
+}
+
+func (e *Ext) markWatchDirtyFor(o *Object) {
+	if interesting(o) {
+		e.watchDirty = true
+	}
+}
+
+// rebuildWatch regenerates the Base-sorted index of interesting objects.
+func (e *Ext) rebuildWatch() {
+	e.watch = e.watch[:0]
+	for _, o := range e.s.objects {
+		if interesting(o) {
+			e.watch = append(e.watch, o)
+		}
+	}
+	sortObjectsByBase(e.watch)
+	e.watchDirty = false
+}
+
+func sortObjectsByBase(objs []*Object) {
+	// Insertion sort: the list is small and often nearly sorted.
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j-1].Base > objs[j].Base; j-- {
+			objs[j-1], objs[j] = objs[j], objs[j-1]
+		}
+	}
+}
+
+// watchAt finds the interesting object whose backing region contains addr.
+func (e *Ext) watchAt(addr vmem.Addr) *Object {
+	if e.watchDirty {
+		e.rebuildWatch()
+	}
+	lo, hi := 0, len(e.watch)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		o := e.watch[mid]
+		switch {
+		case addr < o.Base:
+			hi = mid
+		case addr >= o.Base+o.totalLen():
+			lo = mid + 1
+		default:
+			return o
+		}
+	}
+	return nil
+}
+
+// Access implements proc.AccessChecker: in validation mode it classifies
+// every program access against patched objects and records the illegal
+// ones (the Pin instrumentation of §5). Outside validation mode it is a
+// no-op so normal execution stays cheap.
+func (e *Ext) Access(addr vmem.Addr, n int, write bool, instr string) {
+	if e.mode != ModeValidation || e.trace == nil || n <= 0 {
+		return
+	}
+	end := addr + vmem.Addr(n)
+	obj := e.watchAt(addr)
+	if obj == nil && n > 1 {
+		// The access may start outside any interesting object and run
+		// into one (an overflow from an unpatched neighbour).
+		obj = e.watchAt(end - 1)
+	}
+	if obj == nil {
+		return
+	}
+	if obj.Delayed {
+		kind := FreedRead
+		if write {
+			kind = FreedWrite
+		}
+		e.trace.Illegal = append(e.trace.Illegal, IllegalAccess{
+			Kind:      kind,
+			PatchSite: obj.FreeSite,
+			Instr:     instr,
+			Obj:       obj.User,
+			Offset:    int(addr) - int(obj.User),
+			Len:       n,
+		})
+		return
+	}
+	if obj.PadFront > 0 || obj.PadBack > 0 {
+		e.checkPadHit(obj, addr, end, write, instr)
+	}
+	if obj.written != nil {
+		e.trackInit(obj, addr, end, write, instr)
+	}
+}
+
+// checkPadHit records an access overlapping the object's padding.
+func (e *Ext) checkPadHit(obj *Object, addr, end vmem.Addr, write bool, instr string) {
+	padFrontStart := obj.Base + HeaderLen
+	userEnd := obj.User + obj.UserSize
+	padBackEnd := userEnd + obj.PadBack
+	overlapsFront := obj.PadFront > 0 && addr < obj.User && end > padFrontStart
+	overlapsBack := obj.PadBack > 0 && end > userEnd && addr < padBackEnd
+	if !overlapsFront && !overlapsBack {
+		return
+	}
+	kind := PadRead
+	if write {
+		kind = PadWrite
+	}
+	off := int(addr) - int(obj.User)
+	e.trace.Illegal = append(e.trace.Illegal, IllegalAccess{
+		Kind:      kind,
+		PatchSite: obj.AllocSite,
+		Instr:     instr,
+		Obj:       obj.User,
+		Offset:    off,
+		Len:       int(end - addr),
+	})
+}
+
+// trackInit maintains the per-byte init bitmap of zero-filled objects and
+// records reads of never-written bytes.
+func (e *Ext) trackInit(obj *Object, addr, end vmem.Addr, write bool, instr string) {
+	lo := int(addr) - int(obj.User)
+	hi := int(end) - int(obj.User)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int(obj.UserSize) {
+		hi = int(obj.UserSize)
+	}
+	if lo >= hi {
+		return
+	}
+	if write {
+		for i := lo; i < hi; i++ {
+			obj.written[i/64] |= 1 << (uint(i) % 64)
+		}
+		return
+	}
+	uninit := false
+	for i := lo; i < hi; i++ {
+		if obj.written[i/64]&(1<<(uint(i)%64)) == 0 {
+			uninit = true
+			break
+		}
+	}
+	if uninit {
+		e.trace.Illegal = append(e.trace.Illegal, IllegalAccess{
+			Kind:      UninitRead,
+			PatchSite: obj.AllocSite,
+			Instr:     instr,
+			Obj:       obj.User,
+			Offset:    lo,
+			Len:       hi - lo,
+		})
+	}
+}

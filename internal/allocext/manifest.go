@@ -1,0 +1,97 @@
+// Bug manifestations: the observable evidence that exposing changes turn a
+// silent memory error into (paper §2, Table 1 "bug manifestation" column).
+package allocext
+
+import (
+	"fmt"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/vmem"
+)
+
+// Manifestation records one piece of bug evidence observed during
+// re-execution: corrupted padding canary (buffer overflow), corrupted
+// delay-freed canary (dangling write), a deallocation parameter-check hit
+// (double free), or corruption of a Phase-1 heap-marking region (a bug
+// whose trigger predates the checkpoint).
+type Manifestation struct {
+	Bug       mmbug.Type
+	AllocSite callsite.ID // allocation call-site of the affected object (0 if unknown)
+	FreeSite  callsite.ID // deallocation call-site (0 if unknown)
+	Addr      vmem.Addr   // user address of the affected object or region
+	Offsets   []int       // corrupted byte offsets relative to the user region
+	FromMark  bool        // detected via heap marking: bug triggered before the checkpoint
+	Detail    string
+}
+
+func (m Manifestation) String() string {
+	site := m.AllocSite
+	kind := "alloc"
+	if site == 0 {
+		site = m.FreeSite
+		kind = "free"
+	}
+	mark := ""
+	if m.FromMark {
+		mark = " [pre-checkpoint, via heap marking]"
+	}
+	return fmt.Sprintf("%v at obj %#x (%s site %d)%s: %s", m.Bug, m.Addr, kind, site, mark, m.Detail)
+}
+
+// ManifestSet aggregates manifestations from one re-execution, with
+// convenience queries used by the diagnosis engine.
+type ManifestSet struct {
+	All []Manifestation
+}
+
+// Add appends a manifestation.
+func (s *ManifestSet) Add(m Manifestation) { s.All = append(s.All, m) }
+
+// Has reports whether any manifestation of bug class b was observed
+// (ignoring heap-marking evidence, which speaks about the pre-checkpoint
+// past, not the probed window).
+func (s *ManifestSet) Has(b mmbug.Type) bool {
+	for _, m := range s.All {
+		if m.Bug == b && !m.FromMark {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMark reports whether heap-marking corruption was observed, i.e. a bug
+// triggered before the checkpoint under probe.
+func (s *ManifestSet) HasMark() bool {
+	for _, m := range s.All {
+		if m.FromMark {
+			return true
+		}
+	}
+	return false
+}
+
+// Sites returns the deduplicated call-sites implicated for bug class b:
+// allocation sites for classes patched at allocation, deallocation sites
+// otherwise.
+func (s *ManifestSet) Sites(b mmbug.Type) []callsite.ID {
+	seen := map[callsite.ID]bool{}
+	var out []callsite.ID
+	for _, m := range s.All {
+		if m.Bug != b || m.FromMark {
+			continue
+		}
+		site := m.FreeSite
+		if b.AtAllocation() {
+			site = m.AllocSite
+		}
+		if site != 0 && !seen[site] {
+			seen[site] = true
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded manifestations.
+func (s *ManifestSet) Len() int { return len(s.All) }

@@ -1,0 +1,147 @@
+package allocext
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/vmem"
+)
+
+// Property: a LEGAL program (no out-of-bounds writes, no use-after-free,
+// no double free) must behave identically under every combination of
+// environmental changes — no faults, no manifestations, contents
+// preserved. This is the transparency guarantee the whole diagnosis
+// design rests on: environmental changes may only affect buggy accesses.
+func TestQuickChangesAreTransparentToLegalPrograms(t *testing.T) {
+	f := func(seed int64, exposeMask, preventMask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fx := newFixture(t)
+		fx.ext.SetMode(ModeDiagnostic)
+		fx.ext.DelayLimit = 1 << 22
+
+		cs := NewChangeSet()
+		for i, b := range mmbug.All {
+			if exposeMask&(1<<uint(i)) != 0 {
+				cs.AddExposing(b, nil)
+			} else if preventMask&(1<<uint(i)) != 0 {
+				cs.AddPreventive(b, nil)
+			}
+		}
+		fx.ext.SetChanges(cs)
+
+		type obj struct {
+			addr vmem.Addr
+			n    uint32
+			fill byte
+		}
+		var live []obj
+		sites := []callsite.ID{fx.site, fx.site2,
+			fx.sites.Intern(callsite.Key{"third", "x", "y"})}
+
+		for op := 0; op < 250; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				o := live[k]
+				// A legal program reads only bytes it wrote.
+				buf, err := fx.mem.Read(o.addr, int(o.n))
+				if err != nil {
+					t.Logf("read failed: %v", err)
+					return false
+				}
+				for _, x := range buf {
+					if x != o.fill {
+						t.Logf("contents changed under changes: %#x vs %#x", x, o.fill)
+						return false
+					}
+				}
+				if err := fx.ext.Free(o.addr, sites[rng.Intn(len(sites))]); err != nil {
+					t.Logf("legal free failed: %v", err)
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				n := uint32(rng.Intn(300) + 1)
+				a, err := fx.ext.Malloc(n, sites[rng.Intn(len(sites))])
+				if err != nil {
+					t.Logf("malloc failed: %v", err)
+					return false
+				}
+				fill := byte(rng.Intn(255) + 1)
+				if err := fx.mem.Fill(a, fill, int(n)); err != nil {
+					return false
+				}
+				live = append(live, obj{a, n, fill})
+			}
+		}
+		fx.ext.Scan()
+		if fx.ext.Manifests().Len() != 0 {
+			t.Logf("legal program manifested: %v", fx.ext.Manifests().All)
+			return false
+		}
+		return fx.h.CheckIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extension state snapshot/restore is a perfect round trip under
+// arbitrary operation sequences — the foundation of checkpoint rollback.
+func TestQuickStateRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fx := newFixture(t)
+		fx.ext.SetMode(ModeDiagnostic)
+		fx.ext.SetChanges(AllPreventive())
+		fx.ext.DelayLimit = 1 << 20
+
+		var live []vmem.Addr
+		step := func(n int) {
+			for i := 0; i < n; i++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(live))
+					fx.ext.Free(live[k], fx.site2)
+					live = append(live[:k], live[k+1:]...)
+				} else {
+					a, err := fx.ext.Malloc(uint32(rng.Intn(200)+1), fx.site)
+					if err != nil {
+						continue
+					}
+					live = append(live, a)
+				}
+			}
+		}
+		step(60)
+
+		extSnap := fx.ext.State()
+		heapSnap := fx.h.State()
+		memSnap := fx.mem.Snapshot()
+		defer memSnap.Release()
+		wantDelayed := fx.ext.DelayedBytes()
+		wantObjects := fx.ext.LiveObjects()
+		wantMeta := fx.ext.MetaBytes()
+		liveSnap := append([]vmem.Addr(nil), live...)
+
+		step(80)
+
+		fx.mem.Restore(memSnap)
+		fx.h.SetState(heapSnap)
+		fx.ext.SetState(extSnap)
+		live = liveSnap
+
+		if fx.ext.DelayedBytes() != wantDelayed ||
+			fx.ext.LiveObjects() != wantObjects ||
+			fx.ext.MetaBytes() != wantMeta {
+			return false
+		}
+		// The machine must still work identically after rollback.
+		step(40)
+		return fx.h.CheckIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

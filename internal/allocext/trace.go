@@ -1,0 +1,149 @@
+// Validation-mode tracing: memory-management operation traces, patch
+// trigger counts, and the illegal-access trace that the paper collects with
+// Pin (§5). The validation engine compares these across randomized
+// re-executions; the report generator renders them (Figure 5, items 4–5).
+package allocext
+
+import (
+	"fmt"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/vmem"
+)
+
+// IllegalKind classifies an access neutralised by a runtime patch.
+type IllegalKind int
+
+// Illegal access classes.
+const (
+	// PadWrite: a write landed in the padding added by an add-padding
+	// patch — the buffer overflow, absorbed.
+	PadWrite IllegalKind = iota
+	// PadRead: an out-of-bounds read from the padding.
+	PadRead
+	// FreedRead: a read from a delay-freed object — the dangling read,
+	// served with preserved contents.
+	FreedRead
+	// FreedWrite: a write to a delay-freed object — the dangling write,
+	// absorbed harmlessly.
+	FreedWrite
+	// UninitRead: a read of a never-written byte in a zero-filled object
+	// — the uninitialized read, served with a defined zero.
+	UninitRead
+	// RefreeBlocked: a deallocation of an already-freed object stopped
+	// by the parameter check — the double free, ignored.
+	RefreeBlocked
+)
+
+func (k IllegalKind) String() string {
+	switch k {
+	case PadWrite:
+		return "write to padding"
+	case PadRead:
+		return "read from padding"
+	case FreedRead:
+		return "read of freed object"
+	case FreedWrite:
+		return "write to freed object"
+	case UninitRead:
+		return "read before initialization"
+	case RefreeBlocked:
+		return "re-free blocked"
+	}
+	return "unknown"
+}
+
+// IsWrite reports whether the access class is a store.
+func (k IllegalKind) IsWrite() bool { return k == PadWrite || k == FreedWrite }
+
+// IllegalAccess is one neutralised illegal access.
+type IllegalAccess struct {
+	Kind      IllegalKind
+	PatchSite callsite.ID // call-site of the patch that neutralised it
+	Instr     string      // instruction label of the accessing code
+	Obj       vmem.Addr   // user address of the object involved
+	Offset    int         // byte offset relative to the user region start
+	Len       int
+}
+
+func (a IllegalAccess) String() string {
+	return fmt.Sprintf("%v by %s: obj %#x offset %d len %d (patch site %d)",
+		a.Kind, a.Instr, a.Obj, a.Offset, a.Len, a.PatchSite)
+}
+
+// MMOp is one entry of the allocation/deallocation trace.
+type MMOp struct {
+	Alloc   bool
+	Site    callsite.ID
+	Addr    vmem.Addr // user address
+	Size    uint32    // user size
+	Patched bool      // a runtime patch fired on this operation
+	Delayed bool      // the free was converted to a delay free
+}
+
+func (op MMOp) String() string {
+	if op.Alloc {
+		s := fmt.Sprintf("malloc(%d): %#x", op.Size, op.Addr)
+		if op.Patched {
+			s += "  (padded/filled, patched)"
+		}
+		return s
+	}
+	s := fmt.Sprintf("free(%#x)", op.Addr)
+	if op.Delayed {
+		s += "  (delayed, patched)"
+	} else if op.Patched {
+		s += "  (patched)"
+	}
+	return s
+}
+
+// Trace accumulates one validation iteration's observations.
+type Trace struct {
+	Ops      []MMOp
+	Illegal  []IllegalAccess
+	Triggers map[callsite.ID]int // patch trigger counts per application point
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{Triggers: map[callsite.ID]int{}}
+}
+
+// TriggerCount returns the total number of patch firings.
+func (t *Trace) TriggerCount() int {
+	n := 0
+	for _, c := range t.Triggers {
+		n += c
+	}
+	return n
+}
+
+// IllegalBySite groups the illegal accesses by patch application point.
+func (t *Trace) IllegalBySite() map[callsite.ID][]IllegalAccess {
+	m := map[callsite.ID][]IllegalAccess{}
+	for _, a := range t.Illegal {
+		m[a.PatchSite] = append(m[a.PatchSite], a)
+	}
+	return m
+}
+
+// AccessSignature is the layout-independent identity of an illegal access:
+// the instruction and the offset within the object, but not the (randomized)
+// object address. The validation consistency criterion (c) of §5 compares
+// multisets of these.
+type AccessSignature struct {
+	Kind   IllegalKind
+	Instr  string
+	Offset int
+	Len    int
+}
+
+// Signatures returns the multiset of access signatures as a count map.
+func (t *Trace) Signatures() map[AccessSignature]int {
+	m := map[AccessSignature]int{}
+	for _, a := range t.Illegal {
+		m[AccessSignature{Kind: a.Kind, Instr: a.Instr, Offset: a.Offset, Len: a.Len}]++
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package allocext
+
+import (
+	"testing"
+
+	"firstaid/internal/mmbug"
+)
+
+func TestFrontPaddingCatchesUnderflow(t *testing.T) {
+	f := newFixture(t)
+	f.ext.SetMode(ModeDiagnostic)
+	f.ext.SetChanges(NewChangeSet().AddExposing(mmbug.BufferOverflow, nil))
+
+	a, _ := f.ext.Malloc(64, f.site)
+	// Underflow: write BEFORE the start of the object (a negative index
+	// bug), landing in the front padding.
+	if err := f.mem.Write(a-8, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("underflow write should be absorbed: %v", err)
+	}
+	f.ext.Scan()
+	ms := f.ext.Manifests()
+	if !ms.Has(mmbug.BufferOverflow) {
+		t.Fatal("underflow not manifested via front canary")
+	}
+	m := ms.All[0]
+	if len(m.Offsets) != 4 || m.Offsets[0] != -8 {
+		t.Fatalf("offsets = %v, want negative offsets relative to user start", m.Offsets)
+	}
+	if m.AllocSite != f.site {
+		t.Fatalf("implicated site = %d", m.AllocSite)
+	}
+}
+
+func TestUnderflowDetectedAtFreeToo(t *testing.T) {
+	f := newFixture(t)
+	f.ext.SetMode(ModeDiagnostic)
+	f.ext.SetChanges(NewChangeSet().AddExposing(mmbug.BufferOverflow, nil))
+
+	a, _ := f.ext.Malloc(32, f.site)
+	f.mem.Write(a-4, []byte{0xFF})
+	// No interim scan: the free-time check must catch it.
+	if err := f.ext.Free(a, f.site2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ext.Manifests().Has(mmbug.BufferOverflow) {
+		t.Fatal("free-time padding check missed the underflow")
+	}
+}

@@ -1,0 +1,51 @@
+// Package app defines the interface simulated programs implement and small
+// shared helpers for writing them.
+//
+// A simulated program is an event-driven state machine: Init builds its
+// data structures in the virtual heap, Handle processes one recorded input
+// event. All mutable program state must live in the virtual heap (rooted
+// through the proc root registers) so that checkpoint rollback restores it
+// completely; the supervisor checkpoints only at event boundaries, where
+// the virtual stack is empty.
+package app
+
+import (
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+)
+
+// Program is a simulated application.
+type Program interface {
+	// Name returns the program identifier (also the patch-pool key).
+	Name() string
+	// Bugs returns the ground-truth bug classes embedded in the program,
+	// used by the experiment harness to score diagnosis accuracy.
+	Bugs() []mmbug.Type
+	// Init builds the program's initial heap state. It runs under a
+	// virtual stack frame and may allocate.
+	Init(p *proc.Proc)
+	// Handle processes one input event. Memory errors trap out of it.
+	Handle(p *proc.Proc, ev replay.Event)
+}
+
+// Workloader is implemented by programs that can generate their own input
+// logs for the evaluation harness.
+type Workloader interface {
+	// Workload returns an event log of about n events with the program's
+	// bug-triggering input sequence injected at each index in triggers
+	// (indices refer to positions in the normal stream).
+	Workload(n int, triggers []int) *replay.Log
+}
+
+// App combines the two; every evaluated application implements it.
+type App interface {
+	Program
+	Workloader
+}
+
+// EventCost is the baseline simulated cost of processing one input event
+// (~10 ms at the simulated clock: a 100-requests/second server). Individual
+// programs add to it; with the default 200 ms checkpoint interval this
+// yields roughly 20 events per checkpoint.
+const EventCost = 100_000

@@ -1,0 +1,533 @@
+// The Apache emulation: a web server front end over an LDAP connection
+// cache, carrying the dangling-pointer-read bug of the paper's flagship
+// case study (Table 2, Figure 5).
+//
+// The real bug lives in Apache 2.0.51's util_ldap module: the cache cleanup
+// operation util_ald_cache_purge frees cache nodes through the util_ald_free
+// wrapper while a search-result index still references them; later requests
+// read the freed nodes. The paper's patch delay-frees 7 call-sites — all
+// frees issued (directly or through per-node-type helpers) from the purge —
+// and its report shows each patch triggering 44 times in the buggy region
+// (Table 4: 315 objects across the 7 sites).
+//
+// The emulation mirrors that structure: a capacity-bounded cache whose
+// purge evicts purgeBatch nodes, freeing each node plus its six satellite
+// objects through seven distinct 3-level call-sites; a "recent results"
+// array that keeps dangling references across the purge; and a periodic
+// revisit request that dereferences them.
+package apps
+
+import (
+	"fmt"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// Heap object magics. Distinct magics per node kind make corrupted or
+// poisoned reads fail the integrity asserts, the way a C program crashes on
+// a garbage pointer loaded from recycled memory.
+const (
+	magicNode  = 0x4E4F4445 // "NODE"
+	magicValue = 0x56414C55 // "VALU"
+	magicKey   = 0x4B455953 // "KEYS"
+	magicURL   = 0x55524C53 // "URLS"
+	magicCmp   = 0x434D5052 // "CMPR"
+	magicWeak  = 0x5745414B // "WEAK"
+	magicSib   = 0x53494253 // "SIBS"
+)
+
+// Cache geometry.
+const (
+	apacheCacheCap   = 200 // nodes before a purge fires
+	apachePurgeBatch = 45  // nodes evicted per purge (7 objects each → 315)
+	apacheRecentCap  = 32  // dangling-reference index capacity
+)
+
+// Root register layout.
+const (
+	rootCacheArr   = 0 // address of the node-pointer array (cap entries)
+	rootCacheCount = 1 // number of live nodes
+	rootRecentArr  = 2 // address of the recent-results array
+	rootRecentLen  = 3
+	rootNextVictim = 4 // eviction cursor (index of oldest live slot)
+)
+
+// Apache is the emulated server. The three paper variants share its cache:
+// the base variant carries the dangling-read bug; InjectUIR and InjectDPW
+// add the paper's injected uninitialized-read and dangling-write bugs
+// (Apache-uir, Apache-dpw).
+type Apache struct {
+	InjectUIR bool
+	InjectDPW bool
+}
+
+// Name implements app.Program.
+func (a *Apache) Name() string {
+	switch {
+	case a.InjectUIR:
+		return "apache-uir"
+	case a.InjectDPW:
+		return "apache-dpw"
+	}
+	return "apache"
+}
+
+// Bugs implements app.Program.
+func (a *Apache) Bugs() []mmbug.Type {
+	switch {
+	case a.InjectUIR:
+		return []mmbug.Type{mmbug.UninitRead}
+	case a.InjectDPW:
+		return []mmbug.Type{mmbug.DanglingWrite}
+	}
+	return []mmbug.Type{mmbug.DanglingRead}
+}
+
+// Init implements app.Program.
+func (a *Apache) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("util_ldap_init")()
+	staticData(p, apacheStaticKB)
+	cache := a.allocTable(p, apacheCacheCap)
+	// The recent-results index stores (node pointer, key) pairs; the key
+	// copy is the consistency check that fails when the pointer dangles.
+	recent := a.allocTable(p, 2*apacheRecentCap)
+	p.SetRoot(rootCacheArr, cache)
+	p.SetRoot(rootCacheCount, 0)
+	p.SetRoot(rootRecentArr, recent)
+	p.SetRoot(rootRecentLen, 0)
+	p.SetRoot(rootNextVictim, 0)
+	p.SetRoot(rootDPWStale, 0)
+}
+
+func (a *Apache) allocTable(p *proc.Proc, slots int) vmem.Addr {
+	defer p.Enter("util_ald_alloc")()
+	t := p.Malloc(uint32(4 * slots))
+	p.Memset(t, 0, 4*slots)
+	return t
+}
+
+// Handle implements app.Program.
+func (a *Apache) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("ap_process_request")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "search":
+		a.search(p, uint32(ev.N))
+	case "insert":
+		a.insert(p, uint32(ev.N))
+	case "revisit":
+		a.revisit(p)
+	case "stat":
+		a.stat(p, uint32(ev.N))
+	case "unbind":
+		a.unbind(p, ev.N)
+	case "scribble":
+		a.scribble(p)
+	case "verify":
+		a.verifyNote(p)
+	default:
+		p.Assert(false, "apache: unknown request %q", ev.Kind)
+	}
+}
+
+// --- cache operations ---------------------------------------------------------
+
+// requestScratch models the per-request work of unrelated server
+// subsystems — logging, auth, header parsing, connection bookkeeping —
+// each with its own allocation and deallocation call-sites. This benign
+// call-site diversity is what Rx's whole-heap environmental changes sweep
+// up and First-Aid's scoped patches ignore (Table 4).
+func (a *Apache) requestScratch(p *proc.Proc, key uint32) {
+	subsystems := []string{"ap_log_transaction", "ap_check_auth", "ap_parse_headers", "ap_conn_note", "ap_dns_lookup"}
+	sub := subsystems[key%uint32(len(subsystems))]
+	defer p.Enter(sub)()
+	buf := func() vmem.Addr {
+		defer p.Enter("apr_palloc")()
+		return p.Malloc(48 + key%64)
+	}()
+	p.Memset(buf, byte(key), 48)
+	func() {
+		defer p.Enter("apr_pfree")()
+		p.Free(buf)
+	}()
+}
+
+// search looks the key up, inserting on miss, and records the node in the
+// recent-results index — the reference that goes stale across a purge.
+func (a *Apache) search(p *proc.Proc, key uint32) {
+	a.requestScratch(p, key)
+	defer p.Enter("util_ldap_cache_search")()
+	node := a.lookup(p, key)
+	if node == 0 {
+		node = a.cacheInsert(p, key)
+	}
+	// Record in the recent-results index.
+	n := p.Root(rootRecentLen)
+	if n < apacheRecentCap {
+		p.At("record_recent")
+		entry := p.RootAddr(rootRecentArr) + vmem.Addr(8*n)
+		p.StoreU32(entry, node)
+		p.StoreU32(entry+4, key)
+		p.SetRoot(rootRecentLen, n+1)
+	}
+	// Serve the value.
+	p.At("read_value")
+	val := p.LoadU32(node + 8)
+	p.Assert(p.LoadU32(val) == magicValue, "search: value magic lost for key %d", key)
+}
+
+func (a *Apache) insert(p *proc.Proc, key uint32) {
+	defer p.Enter("util_ldap_cache_insert_req")()
+	if a.lookup(p, key) == 0 {
+		a.cacheInsert(p, key)
+	}
+}
+
+func (a *Apache) lookup(p *proc.Proc, key uint32) vmem.Addr {
+	defer p.Enter("util_ald_cache_fetch")()
+	arr := p.RootAddr(rootCacheArr)
+	count := p.Root(rootCacheCount)
+	victim := p.Root(rootNextVictim)
+	for i := uint32(0); i < count; i++ {
+		slot := (victim + i) % apacheCacheCap
+		p.At("fetch_slot")
+		node := p.LoadU32(arr + vmem.Addr(4*slot))
+		if node == 0 {
+			continue
+		}
+		p.At("fetch_magic")
+		p.Assert(p.LoadU32(node) == magicNode, "fetch: node magic lost in slot %d", slot)
+		if p.LoadU32(node+4) == key {
+			return node
+		}
+	}
+	return 0
+}
+
+// cacheInsert adds a node for key, purging when full. This is the call
+// path through which the purge — and so all seven buggy frees — executes.
+func (a *Apache) cacheInsert(p *proc.Proc, key uint32) vmem.Addr {
+	defer p.Enter("util_ald_cache_insert")()
+	if p.Root(rootCacheCount) >= apacheCacheCap {
+		a.purge(p)
+	}
+	node := a.newNode(p, key)
+	arr := p.RootAddr(rootCacheArr)
+	count := p.Root(rootCacheCount)
+	slot := (p.Root(rootNextVictim) + count) % apacheCacheCap
+	p.At("install_node")
+	p.StoreU32(arr+vmem.Addr(4*slot), node)
+	p.SetRoot(rootCacheCount, count+1)
+	return node
+}
+
+// newNode builds a node and its six satellite objects.
+func (a *Apache) newNode(p *proc.Proc, key uint32) vmem.Addr {
+	defer p.Enter("util_ald_create_node")()
+	mk := func(magic uint32, size uint32) vmem.Addr {
+		defer p.Enter("util_ald_alloc")()
+		o := p.Malloc(size)
+		p.StoreU32(o, magic)
+		p.StoreU32(o+4, key)
+		// Initialise the body so later reads are defined.
+		p.Memset(o+8, byte(key), int(size-8))
+		return o
+	}
+	node := mk(magicNode, 36)
+	p.StoreU32(node+8, mk(magicValue, 100))
+	p.StoreU32(node+12, mk(magicKey, 24))
+	p.StoreU32(node+16, mk(magicURL, 48))
+	p.StoreU32(node+20, mk(magicCmp, 40))
+	p.StoreU32(node+24, mk(magicWeak, 16))
+	p.StoreU32(node+28, mk(magicSib, 20))
+	return node
+}
+
+// utilAldFree is the free wrapper all cache deallocations flow through, as
+// in Apache's util_ald_free.
+func utilAldFree(p *proc.Proc, a vmem.Addr) {
+	defer p.Enter("util_ald_free")()
+	p.Free(a)
+}
+
+// purge evicts the oldest purgeBatch nodes. THE BUG: the recent-results
+// index is not invalidated, leaving dangling pointers to every freed node.
+// Each eviction frees seven objects through seven distinct call-sites.
+func (a *Apache) purge(p *proc.Proc) {
+	defer p.Enter("util_ald_cache_purge")()
+	arr := p.RootAddr(rootCacheArr)
+	victim := p.Root(rootNextVictim)
+	count := p.Root(rootCacheCount)
+	n := uint32(apachePurgeBatch)
+	if n > count {
+		n = count
+	}
+	for i := uint32(0); i < n; i++ {
+		slot := (victim + i) % apacheCacheCap
+		p.At("purge_load")
+		node := p.LoadU32(arr + vmem.Addr(4*slot))
+		if node == 0 {
+			continue
+		}
+		// Satellite frees through per-kind helpers: six call-sites.
+		free := func(helper string, off vmem.Addr) {
+			defer p.Enter(helper)()
+			p.At("load_sat")
+			sat := p.LoadU32(node + off)
+			utilAldFree(p, sat)
+		}
+		free("util_ldap_search_node_free", 8)
+		free("util_ald_strdup_free", 12)
+		free("util_ldap_url_node_free", 16)
+		free("util_ldap_compare_node_free", 20)
+		free("util_ald_weak_free", 24)
+		free("util_ald_sib_free", 28)
+		// The node itself: seventh call-site, directly under purge.
+		utilAldFree(p, node)
+		p.StoreU32(arr+vmem.Addr(4*slot), 0)
+	}
+	p.SetRoot(rootNextVictim, (victim+n)%apacheCacheCap)
+	p.SetRoot(rootCacheCount, count-n)
+}
+
+// revisit walks the recent-results index re-reading every recorded node —
+// the dangling reads. Without First-Aid the purged nodes have been recycled
+// and the magic asserts fail; with the delay-free patches the reads return
+// the preserved (stale but consistent) entries and the request succeeds.
+func (a *Apache) revisit(p *proc.Proc) {
+	defer p.Enter("util_ldap_cache_check")()
+	recent := p.RootAddr(rootRecentArr)
+	n := p.Root(rootRecentLen)
+	for i := uint32(0); i < n; i++ {
+		p.At("load_recent")
+		entry := recent + vmem.Addr(8*i)
+		node := p.LoadU32(entry)
+		key := p.LoadU32(entry + 4)
+		if node == 0 {
+			continue
+		}
+		p.At("check_node")
+		p.Assert(p.LoadU32(node) == magicNode, "revisit: node %d magic lost", i)
+		p.At("check_key")
+		p.Assert(p.LoadU32(node+4) == key, "revisit: node %d key changed (cache entry recycled under us)", i)
+		checks := []struct {
+			off   vmem.Addr
+			magic uint32
+			what  string
+		}{
+			{8, magicValue, "value"}, {12, magicKey, "key"}, {16, magicURL, "url"},
+			{20, magicCmp, "compare"}, {24, magicWeak, "weak"}, {28, magicSib, "sib"},
+		}
+		for _, c := range checks {
+			p.At("check_" + c.what)
+			sat := p.LoadU32(node + c.off)
+			p.Assert(p.LoadU32(sat) == c.magic, "revisit: %s magic lost (node %d)", c.what, i)
+		}
+	}
+	p.SetRoot(rootRecentLen, 0)
+}
+
+// --- injected bugs (Apache-uir, Apache-dpw) -------------------------------------
+
+// stat is the request carrying the injected uninitialized read: it
+// allocates a result descriptor and consumes its flags field without
+// initialising it, assuming calloc semantics. A scratch buffer freed just
+// before makes the recycled memory deterministically dirty, as in the
+// paper's injection.
+func (a *Apache) stat(p *proc.Proc, key uint32) {
+	defer p.Enter("util_ldap_stat")()
+	// Scratch churn: dirties the free list with 0xFF bytes.
+	func() {
+		defer p.Enter("util_ldap_stat_scratch")()
+		s := p.Malloc(96)
+		p.Memset(s, 0xFF, 96)
+		utilAldFree(p, s)
+	}()
+	desc := func() vmem.Addr {
+		defer p.Enter("util_ldap_stat_alloc")()
+		defer p.Enter("util_ald_alloc")()
+		return p.Malloc(96)
+	}()
+	p.StoreU32(desc, key) // initialises only the key field
+	if a.InjectUIR {
+		// BUG: flags (offset 8) is read before any write.
+		p.At("read_flags")
+		flags := p.LoadU32(desc + 8)
+		p.Assert(flags == 0, "stat: unexpected flags %#x for key %d", flags, key)
+	} else {
+		p.StoreU32(desc+8, 0) // the correct code initialises flags
+	}
+	utilAldFree(p, desc)
+}
+
+const rootDPWStale = 5 // stale connection-buffer pointer (apache-dpw)
+
+// unbind carries the injected dangling write. Phase n=0 allocates a
+// connection buffer and frees it while keeping the pointer; phase n=1
+// writes through the stale pointer, corrupting whatever now occupies the
+// memory; the victim's next integrity check fails.
+func (a *Apache) unbind(p *proc.Proc, phase int) {
+	defer p.Enter("util_ldap_connection_unbind")()
+	if !a.InjectDPW {
+		return
+	}
+	switch phase {
+	case 0:
+		conn := func() vmem.Addr {
+			defer p.Enter("util_ldap_conn_alloc")()
+			defer p.Enter("util_ald_alloc")()
+			return p.Malloc(64)
+		}()
+		p.StoreU32(conn, 0x434F4E4E)
+		// BUG: the buffer is freed but the pointer is kept.
+		func() {
+			defer p.Enter("util_ldap_conn_free")()
+			utilAldFree(p, conn)
+		}()
+		p.SetRoot(rootDPWStale, conn)
+	case 1:
+		stale := p.RootAddr(rootDPWStale)
+		if stale != 0 {
+			p.At("stale_write")
+			// Write the "connection closed" marker through the
+			// dangling pointer.
+			p.StoreU32(stale, 0xDEADC0DE)
+			p.StoreU32(stale+4, 0xDEADC0DE)
+			p.StoreU32(stale+8, 0xDEADC0DE)
+			p.SetRoot(rootDPWStale, 0)
+		}
+	}
+}
+
+// scribble allocates a victim buffer in the hole left by the unbind free so
+// the dangling write has a deterministic victim, then verifies it — the
+// failing integrity check of the dangling-write scenario.
+func (a *Apache) scribble(p *proc.Proc) {
+	defer p.Enter("util_ldap_session_note")()
+	note := func() vmem.Addr {
+		defer p.Enter("util_ald_alloc")()
+		return p.Malloc(64)
+	}()
+	p.StoreU32(note, magicValue)
+	p.Memset(note+4, 0x11, 60)
+	p.SetRoot(rootDPWVictim, note)
+}
+
+const rootDPWVictim = 6
+
+// verifyNote re-checks the session note; a dangling write through the stale
+// unbind pointer lands here.
+func (a *Apache) verifyNote(p *proc.Proc) {
+	defer p.Enter("util_ldap_session_verify")()
+	note := p.RootAddr(rootDPWVictim)
+	if note == 0 {
+		return
+	}
+	p.At("verify_note")
+	p.Assert(p.LoadU32(note) == magicValue, "session note corrupted")
+}
+
+// --- workload -------------------------------------------------------------------
+
+// Workload implements app.Workloader. Normal traffic is a stream of
+// searches over a 40-key working set with a revisit every revisitEvery
+// events. A trigger injects an insert burst of fresh keys that overflows
+// the cache, firing a purge ~3 checkpoint intervals before the next
+// revisit — reproducing the paper's "bug-triggering point a little farther
+// (3 checkpoints) from the failure point".
+func (a *Apache) Workload(n int, triggers []int) *replay.Log {
+	switch {
+	case a.InjectUIR:
+		return a.workloadUIR(n, triggers)
+	case a.InjectDPW:
+		return a.workloadDPW(n, triggers)
+	}
+	return a.workloadBase(n, triggers)
+}
+
+const apacheRevisitEvery = 60
+
+func (a *Apache) workloadBase(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	const ws = 40 // working-set keys 0..39
+	fresh := uint32(1000)
+	step := 0
+	for log.Len() < n {
+		if trig[step] {
+			// Insert burst: fills the cache past capacity → purge.
+			burst := apacheCacheCap // guaranteed to overflow whatever is resident
+			for j := 0; j < burst; j++ {
+				log.Append("insert", fmt.Sprintf("uid=crawl%d", fresh), int(fresh))
+				fresh++
+			}
+		}
+		if step%apacheRevisitEvery == apacheRevisitEvery-1 {
+			log.Append("revisit", "", 0)
+		} else {
+			key := step * 7 % ws
+			log.Append("search", fmt.Sprintf("uid=user%d", key), key)
+		}
+		step++
+	}
+	return log
+}
+
+func (a *Apache) workloadUIR(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	const ws = 40
+	step := 0
+	for log.Len() < n {
+		if trig[step] {
+			log.Append("stat", "uid=admin", 7)
+		}
+		if step%apacheRevisitEvery == apacheRevisitEvery-1 {
+			log.Append("revisit", "", 0)
+		} else {
+			key := step * 7 % ws
+			log.Append("search", fmt.Sprintf("uid=user%d", key), key)
+		}
+		step++
+	}
+	return log
+}
+
+func (a *Apache) workloadDPW(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	const ws = 40
+	step := 0
+	for log.Len() < n {
+		if trig[step] {
+			// free-with-stale-pointer → victim alloc → stale write →
+			// victim check: the full dangling-write manifestation.
+			log.Append("unbind", "", 0)
+			log.Append("scribble", "", 0)
+			log.Append("unbind", "", 1)
+			log.Append("verify", "", 0)
+		}
+		if step%apacheRevisitEvery == apacheRevisitEvery-1 {
+			log.Append("revisit", "", 0)
+		} else {
+			key := step * 7 % ws
+			log.Append("search", fmt.Sprintf("uid=user%d", key), key)
+		}
+		step++
+	}
+	return log
+}

@@ -1,0 +1,241 @@
+// The BC emulation: the arbitrary-precision calculator with the two buffer
+// overflows of BC 1.06 (paper Table 2: "two buffer overflows", patched with
+// add padding(3)).
+//
+// Bug A lives in the array-table growth path: more_arrays/more_variables
+// copy count+8 entries into the freshly allocated count-entry name tables
+// (two call-sites). Bug B is an off-by-one in array stores: index == size
+// copies a 32-byte number one slot past the data block (a third call-site).
+// Guard objects sit adjacent to each victim — object sizes are chosen so
+// each class has its own allocator bin and the victim/guard pairing is
+// stable across recycling — and the corruption surfaces through the
+// program's own bookkeeping asserts.
+package apps
+
+import (
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+const magicGuard = 0x47554152 // "GUAR"
+
+// Object geometry. Every class gets a unique chunk size so each object
+// recycles its own previous chunk from the exact-size bin, keeping the
+// victim/guard adjacency deterministic across grows.
+const (
+	bcATableEntries = 16  // array name-table entries (4 bytes each)
+	bcVTableEntries = 18  // variable name-table entries
+	bcAGuardLen     = 200 // guard object sizes, one per class
+	bcVGuardLen     = 184
+	bcDGuardLen     = 168
+	bcDataElems     = 8  // data block elements
+	bcNumLen        = 32 // a bc number value (multi-precision limbs)
+)
+
+// Root registers.
+const (
+	bcRootANames = 0
+	bcRootAGuard = 1
+	bcRootVNames = 2
+	bcRootVGuard = 3
+	bcRootData   = 4
+	bcRootDGuard = 5
+	bcRootCount  = 6 // current name-table capacity (entries)
+	bcRootDSize  = 7 // current data block size (elements)
+)
+
+// BC is the emulated calculator.
+type BC struct{}
+
+// Name implements app.Program.
+func (b *BC) Name() string { return "bc" }
+
+// Bugs implements app.Program.
+func (b *BC) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow} }
+
+// Init implements app.Program.
+func (b *BC) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("bc_init")()
+	staticData(p, bcStaticKB)
+	b.allocTables(p, false)
+	b.allocData(p)
+}
+
+// allocTables (re)allocates the two name tables with their guards. When
+// buggy is true the copy loops overrun by 8 entries (32 bytes) — bug A.
+func (b *BC) allocTables(p *proc.Proc, buggy bool) {
+	oldA, oldAG := p.RootAddr(bcRootANames), p.RootAddr(bcRootAGuard)
+	oldV, oldVG := p.RootAddr(bcRootVNames), p.RootAddr(bcRootVGuard)
+
+	a := func() vmem.Addr {
+		defer p.Enter("more_arrays")()
+		defer p.Enter("bc_malloc")()
+		return p.Malloc(4 * bcATableEntries)
+	}()
+	ag := b.newGuard(p, "array_guard_alloc", bcAGuardLen)
+	v := func() vmem.Addr {
+		defer p.Enter("more_variables")()
+		defer p.Enter("bc_malloc")()
+		return p.Malloc(4 * bcVTableEntries)
+	}()
+	vg := b.newGuard(p, "var_guard_alloc", bcVGuardLen)
+
+	over := uint32(0)
+	if buggy {
+		over = 8 // BUG A: copies count+8 entries into both tables
+	}
+	p.At("copy_arrays")
+	for i := uint32(0); i < bcATableEntries+over; i++ {
+		var val uint32
+		if oldA != 0 && i < bcATableEntries {
+			val = p.LoadU32(oldA + vmem.Addr(4*i))
+		}
+		p.StoreU32(a+vmem.Addr(4*i), val)
+	}
+	p.At("copy_variables")
+	for i := uint32(0); i < bcVTableEntries+over; i++ {
+		var val uint32
+		if oldV != 0 && i < bcVTableEntries {
+			val = p.LoadU32(oldV + vmem.Addr(4*i))
+		}
+		p.StoreU32(v+vmem.Addr(4*i), val)
+	}
+
+	if oldA != 0 {
+		for _, old := range []vmem.Addr{oldA, oldAG, oldV, oldVG} {
+			func() {
+				defer p.Enter("bc_free")()
+				p.Free(old)
+			}()
+		}
+	}
+	p.SetRoot(bcRootANames, a)
+	p.SetRoot(bcRootAGuard, ag)
+	p.SetRoot(bcRootVNames, v)
+	p.SetRoot(bcRootVGuard, vg)
+	p.SetRoot(bcRootCount, bcATableEntries)
+}
+
+// allocData (re)allocates the array storage block and its guard. Called at
+// init and again on every grow, so the store path's victim is allocated
+// after the diagnostic checkpoint and the third call-site is patchable.
+func (b *BC) allocData(p *proc.Proc) {
+	oldD, oldDG := p.RootAddr(bcRootData), p.RootAddr(bcRootDGuard)
+	d := func() vmem.Addr {
+		defer p.Enter("lookup_array")()
+		defer p.Enter("bc_malloc")()
+		return p.Malloc(bcNumLen * bcDataElems)
+	}()
+	dg := b.newGuard(p, "data_guard_alloc", bcDGuardLen)
+	if oldD != 0 {
+		p.Memcpy(d, oldD, bcNumLen*bcDataElems)
+		for _, old := range []vmem.Addr{oldD, oldDG} {
+			func() {
+				defer p.Enter("bc_free")()
+				p.Free(old)
+			}()
+		}
+	} else {
+		p.Memset(d, 0, bcNumLen*bcDataElems)
+	}
+	p.SetRoot(bcRootData, d)
+	p.SetRoot(bcRootDGuard, dg)
+	p.SetRoot(bcRootDSize, bcDataElems)
+}
+
+func (b *BC) newGuard(p *proc.Proc, site string, size uint32) vmem.Addr {
+	defer p.Enter(site)()
+	g := func() vmem.Addr {
+		defer p.Enter("bc_malloc")()
+		return p.Malloc(size)
+	}()
+	p.StoreU32(g, magicGuard)
+	p.Memset(g+4, 0, int(size)-4)
+	return g
+}
+
+// Handle implements app.Program.
+func (b *BC) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("bc_program")()
+	p.Tick(app.EventCost / 2)
+	switch ev.Kind {
+	case "calc":
+		b.calc(p, ev.N)
+	case "grow":
+		b.allocTables(p, true)
+		b.allocData(p)
+	case "store":
+		b.store(p, uint32(ev.N))
+	default:
+		p.Assert(false, "bc: unknown statement %q", ev.Kind)
+	}
+}
+
+// calc is benign arithmetic with number-object churn. Number sizes stay
+// below the table/guard bins so churn cannot disturb victim adjacency.
+func (b *BC) calc(p *proc.Proc, n int) {
+	defer p.Enter("exec_expr")()
+	num := func() vmem.Addr {
+		defer p.Enter("bc_new_num")()
+		defer p.Enter("bc_malloc")()
+		return p.Malloc(uint32(16 + n%33)) // ≤ 48: below every table/guard bin
+	}()
+	p.Memset(num, byte(n), 16)
+	func() {
+		defer p.Enter("bc_free_num")()
+		p.Free(num)
+	}()
+}
+
+// store copies a 32-byte number into a[idx]. BUG B: the bound check
+// accepts idx == size, writing one full slot past the data block. The
+// statement then re-checks the interpreter's bookkeeping guards — where
+// corruption from bugs A and B surfaces as the original failure.
+func (b *BC) store(p *proc.Proc, idx uint32) {
+	defer p.Enter("exec_store")()
+	size := p.Root(bcRootDSize)
+	p.Assert(idx <= size, "store: index %d beyond array bound %d", idx, size) // buggy: <= instead of <
+	p.At("store_elem")
+	num := make([]byte, bcNumLen)
+	for i := range num {
+		num[i] = byte(idx + uint32(i))
+	}
+	p.Store(p.RootAddr(bcRootData)+vmem.Addr(bcNumLen*idx), num)
+
+	p.At("check_guards")
+	p.Assert(p.LoadU32(p.RootAddr(bcRootDGuard)) == magicGuard, "array bookkeeping corrupted")
+	p.Assert(p.LoadU32(p.RootAddr(bcRootAGuard)) == magicGuard, "array name table bookkeeping corrupted")
+	p.Assert(p.LoadU32(p.RootAddr(bcRootVGuard)) == magicGuard, "variable name table bookkeeping corrupted")
+}
+
+// Workload implements app.Workloader: arithmetic with occasional in-bounds
+// stores; each trigger injects a grow (bug A, two overflowed tables) and an
+// out-of-bounds store (bug B) whose guard checks fail.
+func (b *BC) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for step := 0; log.Len() < n; step++ {
+		if trig[step] {
+			log.Append("grow", "", 0)
+			// A few statements of separation, then the off-by-one
+			// store: the failure point observing both bugs.
+			for j := 0; j < 4; j++ {
+				log.Append("calc", "", step+j)
+			}
+			log.Append("store", "", bcDataElems) // idx == size: bug B
+		}
+		if step%6 == 5 {
+			log.Append("store", "", step%bcDataElems)
+		} else {
+			log.Append("calc", "", step)
+		}
+	}
+	return log
+}

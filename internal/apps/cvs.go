@@ -1,0 +1,130 @@
+// The CVS emulation: a version-control server whose error path frees a
+// request buffer that the common cleanup path frees again — the double
+// free of CVS 1.11.4 in the paper's Table 2.
+package apps
+
+import (
+	"fmt"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// CVS is the emulated server.
+type CVS struct{}
+
+// Name implements app.Program.
+func (c *CVS) Name() string { return "cvs" }
+
+// Bugs implements app.Program.
+func (c *CVS) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.DoubleFree} }
+
+// Init implements app.Program.
+func (c *CVS) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("server_init")()
+	staticData(p, cvsStaticKB)
+	// Repository entry list: a standing linked structure.
+	defer p.Enter("xmalloc")()
+	head := p.Malloc(16)
+	p.Memset(head, 0, 16)
+	p.SetRoot(0, head)
+}
+
+// Handle implements app.Program.
+func (c *CVS) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("do_cvs_command")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "entry":
+		c.serveEntry(p, ev.Data, ev.N != 0)
+	case "log":
+		c.serveLog(p, ev.Data)
+	default:
+		p.Assert(false, "cvs: unknown command %q", ev.Kind)
+	}
+}
+
+// serveEntry processes one Entry line. malformed selects the error path —
+// THE BUG: error_cleanup frees the line buffer, and the common cleanup at
+// the end frees it again.
+func (c *CVS) serveEntry(p *proc.Proc, entry string, malformed bool) {
+	defer p.Enter("serve_entry")()
+	buf := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(128)
+	}()
+	p.Memset(buf, 0, 128)
+	p.StoreString(buf, clip(entry, 120))
+
+	if malformed {
+		// Error path: reject the entry and release the buffer…
+		func() {
+			defer p.Enter("error_cleanup")()
+			defer p.Enter("xfree")()
+			p.Free(buf)
+		}()
+		// …but fall through to the common cleanup below (the bug:
+		// a missing early return).
+	} else {
+		c.recordEntry(p, buf)
+	}
+
+	// Common cleanup: frees buf a second time on the error path.
+	func() {
+		defer p.Enter("buf_free")()
+		defer p.Enter("xfree")()
+		p.Free(buf)
+	}()
+}
+
+// recordEntry copies the entry into the repository list (so the buffer is
+// "consumed" and the common cleanup's free is the only one on this path).
+func (c *CVS) recordEntry(p *proc.Proc, buf vmem.Addr) {
+	defer p.Enter("register_entry")()
+	node := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(32)
+	}()
+	p.Memcpy(node, buf, 24)
+	p.StoreU32(node+28, p.LoadU32(p.RootAddr(0)))
+	p.StoreU32(p.RootAddr(0), node)
+}
+
+// serveLog is benign traffic with allocator churn.
+func (c *CVS) serveLog(p *proc.Proc, msg string) {
+	defer p.Enter("serve_log")()
+	tmp := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(uint32(64 + len(msg)%32))
+	}()
+	p.StoreString(tmp, clip(msg, 60))
+	func() {
+		defer p.Enter("xfree")()
+		p.Free(tmp)
+	}()
+}
+
+// Workload implements app.Workloader: normal entry/log traffic; each
+// trigger injects one malformed Entry line.
+func (c *CVS) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for step := 0; log.Len() < n; step++ {
+		if trig[step] {
+			log.Append("entry", "/broken//entry//line", 1)
+		}
+		if step%3 == 0 {
+			log.Append("entry", fmt.Sprintf("/src/file%d.c/1.%d///", step%50, step%9), 0)
+		} else {
+			log.Append("log", fmt.Sprintf("commit message %d", step), 0)
+		}
+	}
+	return log
+}

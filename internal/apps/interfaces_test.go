@@ -1,0 +1,15 @@
+package apps
+
+import "firstaid/internal/app"
+
+// Compile-time checks: every evaluation application satisfies the full
+// app.App contract (Program + Workloader).
+var (
+	_ app.App = (*Apache)(nil)
+	_ app.App = (*Squid)(nil)
+	_ app.App = (*CVS)(nil)
+	_ app.App = (*Pine)(nil)
+	_ app.App = (*Mutt)(nil)
+	_ app.App = (*M4)(nil)
+	_ app.App = (*BC)(nil)
+)

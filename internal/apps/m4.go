@@ -1,0 +1,243 @@
+// The M4 emulation: a macro processor where undefining a macro frees its
+// definition while a pending expansion still references it — the dangling
+// pointer reads of M4 1.4.4 in the paper's Table 2. Two objects dangle per
+// macro (the definition text and the symbol entry), freed at two distinct
+// call-sites; the paper's patch is delay free(2).
+package apps
+
+import (
+	"fmt"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+const (
+	magicSymbol = 0x53594D42 // "SYMB"
+	magicDef    = 0x44454653 // "DEFS"
+
+	m4TableCap   = 64
+	m4PendingCap = 16
+)
+
+// Root registers.
+const (
+	m4RootTable   = 0 // symbol table: array of entry pointers
+	m4RootPending = 1 // pending-expansion stack: (defPtr, entryPtr, hash) triples
+	m4RootPendLen = 2
+)
+
+// M4 is the emulated macro processor.
+type M4 struct{}
+
+// Name implements app.Program.
+func (m *M4) Name() string { return "m4" }
+
+// Bugs implements app.Program.
+func (m *M4) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.DanglingRead} }
+
+// Init implements app.Program.
+func (m *M4) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("symtab_init")()
+	staticData(p, m4StaticKB)
+	defer p.Enter("xmalloc")()
+	table := p.Malloc(4 * m4TableCap)
+	p.Memset(table, 0, 4*m4TableCap)
+	pending := p.Malloc(12 * m4PendingCap)
+	p.Memset(pending, 0, 12*m4PendingCap)
+	p.SetRoot(m4RootTable, table)
+	p.SetRoot(m4RootPending, pending)
+	p.SetRoot(m4RootPendLen, 0)
+}
+
+// Handle implements app.Program.
+func (m *M4) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("expand_input")()
+	p.Tick(app.EventCost / 2) // a fast batch tool
+	switch ev.Kind {
+	case "define":
+		m.define(p, uint32(ev.N), ev.Data)
+	case "expand":
+		m.expand(p, uint32(ev.N))
+	case "queue":
+		m.queue(p, uint32(ev.N))
+	case "undefine":
+		m.undefine(p, uint32(ev.N))
+	case "flush":
+		m.flush(p)
+	default:
+		p.Assert(false, "m4: unknown input %q", ev.Kind)
+	}
+}
+
+func m4Slot(hash uint32) vmem.Addr { return vmem.Addr(4 * (hash % m4TableCap)) }
+
+// define installs (or replaces) a macro: a symbol entry referencing a
+// definition-text object.
+func (m *M4) define(p *proc.Proc, hash uint32, text string) {
+	defer p.Enter("define_macro")()
+	m.undefineIfPresent(p, hash)
+	def := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(uint32(16 + len(text)))
+	}()
+	p.StoreU32(def, magicDef)
+	p.StoreU32(def+4, hash)
+	p.StoreU32(def+8, uint32(len(text)))
+	p.StoreString(def+16, text)
+	entry := func() vmem.Addr {
+		defer p.Enter("symtab_insert")()
+		defer p.Enter("xmalloc")()
+		return p.Malloc(16)
+	}()
+	p.StoreU32(entry, magicSymbol)
+	p.StoreU32(entry+4, hash)
+	p.StoreU32(entry+8, def)
+	p.StoreU32(p.RootAddr(m4RootTable)+m4Slot(hash), entry)
+}
+
+// expand reads the macro's definition immediately — always safe.
+func (m *M4) expand(p *proc.Proc, hash uint32) {
+	defer p.Enter("expand_macro")()
+	p.At("lookup")
+	entry := p.LoadU32(p.RootAddr(m4RootTable) + m4Slot(hash))
+	if entry == 0 {
+		return
+	}
+	p.Assert(p.LoadU32(entry) == magicSymbol, "expand: symbol entry corrupt")
+	def := p.LoadU32(entry + 8)
+	p.At("read_def")
+	p.Assert(p.LoadU32(def) == magicDef, "expand: definition corrupt")
+	n := p.LoadU32(def + 8)
+	p.Load(def+16, int(n))
+	// Emit the expansion through a transient output token — the
+	// allocation churn that recycles prematurely freed symbol entries.
+	tok := func() vmem.Addr {
+		defer p.Enter("obstack_output")()
+		defer p.Enter("xmalloc")()
+		return p.Malloc(16)
+	}()
+	p.Memset(tok, 0x51, 16)
+	func() {
+		defer p.Enter("obstack_output")()
+		defer p.Enter("xfree")()
+		p.Free(tok)
+	}()
+}
+
+// queue records a pending (nested) expansion: pointers into the symbol
+// table that survive across inputs — the references that go stale.
+func (m *M4) queue(p *proc.Proc, hash uint32) {
+	defer p.Enter("push_pending_expansion")()
+	entry := p.LoadU32(p.RootAddr(m4RootTable) + m4Slot(hash))
+	if entry == 0 {
+		return
+	}
+	def := p.LoadU32(entry + 8)
+	n := p.Root(m4RootPendLen)
+	if n >= m4PendingCap {
+		return
+	}
+	rec := p.RootAddr(m4RootPending) + vmem.Addr(12*n)
+	p.StoreU32(rec, def)
+	p.StoreU32(rec+4, entry)
+	p.StoreU32(rec+8, hash)
+	p.SetRoot(m4RootPendLen, n+1)
+}
+
+// undefine frees the macro's definition and entry. THE BUG: pending
+// expansions are not checked, leaving dangling references. The two frees go
+// through two distinct call-sites — the two application points of the
+// paper's delay free(2) patch.
+func (m *M4) undefine(p *proc.Proc, hash uint32) {
+	defer p.Enter("handle_undefine")()
+	m.undefineIfPresent(p, hash)
+}
+
+func (m *M4) undefineIfPresent(p *proc.Proc, hash uint32) {
+	defer p.Enter("undefine_macro")()
+	slot := p.RootAddr(m4RootTable) + m4Slot(hash)
+	entry := p.LoadU32(slot)
+	if entry == 0 {
+		return
+	}
+	def := p.LoadU32(entry + 8)
+	func() {
+		defer p.Enter("free_macro_def")()
+		defer p.Enter("xfree")()
+		p.Free(def)
+	}()
+	func() {
+		defer p.Enter("free_symbol")()
+		defer p.Enter("xfree")()
+		p.Free(entry)
+	}()
+	p.StoreU32(slot, 0)
+}
+
+// flush replays the pending expansions — the dangling reads when an
+// undefine intervened.
+func (m *M4) flush(p *proc.Proc) {
+	defer p.Enter("flush_pending")()
+	n := p.Root(m4RootPendLen)
+	for i := uint32(0); i < n; i++ {
+		rec := p.RootAddr(m4RootPending) + vmem.Addr(12*i)
+		def := p.LoadU32(rec)
+		entry := p.LoadU32(rec + 4)
+		hash := p.LoadU32(rec + 8)
+		p.At("deref_entry")
+		p.Assert(p.LoadU32(entry) == magicSymbol, "flush: stale symbol entry %d", i)
+		p.Assert(p.LoadU32(entry+4) == hash, "flush: symbol entry %d rebound", i)
+		p.At("deref_def")
+		p.Assert(p.LoadU32(def) == magicDef, "flush: stale definition %d", i)
+		p.Assert(p.LoadU32(def+4) == hash, "flush: definition %d rebound", i)
+		sz := p.LoadU32(def + 8)
+		p.Assert(sz < 4096, "flush: absurd definition length %d", sz)
+		p.Load(def+16, int(sz))
+	}
+	p.SetRoot(m4RootPendLen, 0)
+}
+
+// Workload implements app.Workloader: macro definitions and expansions;
+// each trigger queues a pending expansion, later undefines the macro, lets
+// normal traffic recycle the freed objects, then flushes.
+func (m *M4) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	// A standing set of macros.
+	for h := 0; h < 8; h++ {
+		log.Append("define", fmt.Sprintf("body of macro %d", h), h)
+	}
+	pendingFlush := -1
+	for step := 8; log.Len() < n; step++ {
+		switch {
+		case trig[step]:
+			victim := 40 + step%8 // a macro outside the working set
+			log.Append("define", "doomed macro body with some text", victim)
+			log.Append("queue", "", victim)
+			log.Append("undefine", "", victim)
+			// Normal traffic recycles the freed objects; the flush
+			// lands ~1–2 checkpoint intervals after the undefine.
+			pendingFlush = step + 50
+		case step == pendingFlush:
+			log.Append("flush", "", 0)
+			pendingFlush = -1
+		case step%17 == 16 && pendingFlush < 0:
+			// Benign pending use: queue and flush back to back.
+			log.Append("queue", "", step%8)
+			log.Append("flush", "", 0)
+		case step%5 == 4:
+			log.Append("define", fmt.Sprintf("updated body %d", step), step%8)
+		default:
+			log.Append("expand", "", step%8)
+		}
+	}
+	return log
+}

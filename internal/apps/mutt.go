@@ -1,0 +1,144 @@
+// The Mutt emulation: a mail client whose IMAP folder-name conversion
+// (UTF-7 to modified UTF-8) writes up to twice the input length into a
+// fixed 64-byte output buffer — the buffer overflow of Mutt 1.3.99i in the
+// paper's Table 2. The conversion allocates two buffers (input copy and
+// output) at the same call-site; the paper's Table 4 reports 2 objects
+// patched in the buggy region.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+const (
+	muttConvBufLen = 64
+	magicMailbox   = 0x4D424F58 // "MBOX"
+)
+
+// Mutt is the emulated mail client.
+type Mutt struct{}
+
+// Name implements app.Program.
+func (m *Mutt) Name() string { return "mutt" }
+
+// Bugs implements app.Program.
+func (m *Mutt) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow} }
+
+// Init implements app.Program.
+func (m *Mutt) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("mutt_init")()
+	staticData(p, muttStaticKB)
+	defer p.Enter("safe_malloc")()
+	mbox := p.Malloc(128)
+	p.StoreU32(mbox, magicMailbox)
+	p.Memset(mbox+4, 0, 124)
+	p.SetRoot(0, mbox)
+}
+
+// Handle implements app.Program.
+func (m *Mutt) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("imap_exec")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "select":
+		m.selectFolder(p, ev.Data)
+	case "headers":
+		m.fetchHeaders(p, ev.N)
+	default:
+		p.Assert(false, "mutt: unknown command %q", ev.Kind)
+	}
+}
+
+// selectFolder converts the folder name. THE BUG: utf7_to_utf8 can emit up
+// to 2× the input into the 64-byte output buffer.
+func (m *Mutt) selectFolder(p *proc.Proc, name string) {
+	defer p.Enter("imap_utf7_decode")()
+	alloc := func() vmem.Addr {
+		defer p.Enter("conv_buf_alloc")()
+		defer p.Enter("safe_malloc")()
+		return p.Malloc(muttConvBufLen)
+	}()
+	in := alloc
+	out := func() vmem.Addr {
+		defer p.Enter("conv_buf_alloc")()
+		defer p.Enter("safe_malloc")()
+		return p.Malloc(muttConvBufLen)
+	}()
+	// Session state allocated right after the conversion buffers: the
+	// overflow's victim.
+	sess := func() vmem.Addr {
+		defer p.Enter("imap_new_session")()
+		defer p.Enter("safe_malloc")()
+		return p.Malloc(80)
+	}()
+	p.StoreU32(sess, magicMailbox)
+	p.Memset(sess+4, 0, 76)
+
+	p.Memset(in, 0, muttConvBufLen)
+	p.StoreString(in, clip(name, muttConvBufLen))
+
+	// The "decode": every input byte expands to two output bytes, with no
+	// bound on the output buffer.
+	p.At("utf7_expand")
+	expanded := make([]byte, 2*len(clip(name, muttConvBufLen)))
+	for i := 0; i < len(expanded); i += 2 {
+		expanded[i] = name[i/2]
+		expanded[i+1] = '.'
+	}
+	p.Store(out, expanded)
+
+	p.At("use_session")
+	p.Assert(p.LoadU32(sess) == magicMailbox, "imap session corrupted selecting %q…", clip(name, 20))
+
+	for _, a := range []vmem.Addr{sess, out, in} {
+		func() {
+			defer p.Enter("safe_free")()
+			p.Free(a)
+		}()
+	}
+}
+
+// fetchHeaders is benign traffic with allocator churn.
+func (m *Mutt) fetchHeaders(p *proc.Proc, count int) {
+	defer p.Enter("imap_fetch_headers")()
+	for i := 0; i < count%5+1; i++ {
+		h := func() vmem.Addr {
+			defer p.Enter("safe_malloc")()
+			return p.Malloc(uint32(40 + i*8))
+		}()
+		p.Memset(h, byte(i), 40)
+		func() {
+			defer p.Enter("safe_free")()
+			p.Free(h)
+		}()
+	}
+}
+
+// Workload implements app.Workloader: folder selection and header fetches;
+// each trigger selects a folder whose UTF-7 name expands past the buffer.
+func (m *Mutt) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for step := 0; log.Len() < n; step++ {
+		if trig[step] {
+			log.Append("select", "&"+strings.Repeat("JBje", 15)+"-", 0)
+		}
+		if step%3 == 0 {
+			log.Append("select", fmt.Sprintf("INBOX.lists.%d", step%12), 0)
+		} else {
+			log.Append("headers", "", step)
+		}
+	}
+	return log
+}

@@ -1,0 +1,148 @@
+// The Pine emulation: a mail client whose RFC 822 address parser copies a
+// From: header into a fixed-size address buffer — the buffer overflow of
+// Pine 4.44 in the paper's Table 2. Reading one message parses ten generic
+// headers plus one address header; the address buffer comes from the
+// parser's own call-site, the patch application point (the paper's Table 4
+// reports 11 padded objects in its buggy region — one per message parsed).
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+const (
+	pineHdrBufLen  = 128
+	pineAddrBufLen = 136 // distinct size: the address buffer recycles its own chunk
+	pineHdrPerMail = 11
+	magicEnvelope  = 0x454E5650 // "ENVP"
+)
+
+// Pine is the emulated mail client.
+type Pine struct{}
+
+// Name implements app.Program.
+func (pi *Pine) Name() string { return "pine" }
+
+// Bugs implements app.Program.
+func (pi *Pine) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow} }
+
+// Init implements app.Program.
+func (pi *Pine) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("pine_init")()
+	staticData(p, pineStaticKB)
+	defer p.Enter("fs_get")()
+	folder := p.Malloc(256)
+	p.Memset(folder, 0, 256)
+	p.SetRoot(0, folder)
+}
+
+// Handle implements app.Program.
+func (pi *Pine) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("mail_fetch_message")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "read":
+		pi.readMail(p, ev.Data)
+	case "next":
+		p.Tick(20_000) // navigation, no parsing
+	default:
+		p.Assert(false, "pine: unknown action %q", ev.Kind)
+	}
+}
+
+// readMail parses one message: ten generic header buffers, one address
+// buffer from the address-parser's own call-site, and an envelope. THE
+// BUG: rfc822_parse_adrlist copies the From: value into its fixed 128-byte
+// address buffer without a bounds check, overrunning into the envelope
+// allocated right after it. The paper's patch pads the address-parser
+// allocation site; in its buggy region 11 objects received padding (one
+// address buffer per message parsed).
+func (pi *Pine) readMail(p *proc.Proc, from string) {
+	defer p.Enter("mail_parse_headers")()
+	var bufs [pineHdrPerMail - 1]vmem.Addr
+	for i := range bufs {
+		bufs[i] = func() vmem.Addr {
+			defer p.Enter("rfc822_parse_header")()
+			defer p.Enter("fs_get")()
+			return p.Malloc(pineHdrBufLen)
+		}()
+		p.Memset(bufs[i], 0, pineHdrBufLen)
+	}
+	// THE VICTIM'S SOURCE: the address buffer, from the address parser's
+	// dedicated call-site — the future patch application point.
+	addrBuf := func() vmem.Addr {
+		defer p.Enter("rfc822_parse_adrlist")()
+		defer p.Enter("fs_get")()
+		return p.Malloc(pineAddrBufLen)
+	}()
+	p.Memset(addrBuf, 0, pineAddrBufLen)
+	env := func() vmem.Addr {
+		defer p.Enter("mail_newenvelope")()
+		defer p.Enter("fs_get")()
+		return p.Malloc(96)
+	}()
+	p.StoreU32(env, magicEnvelope)
+	p.Memset(env+4, 0, 92)
+
+	// The buggy copy: no bounds check against the 128-byte buffer.
+	func() {
+		defer p.Enter("rfc822_parse_adrlist")()
+		p.At("copy_from")
+		p.StoreString(addrBuf, from)
+	}()
+	// Generic headers are parsed correctly.
+	for i := range bufs {
+		p.StoreString(bufs[i], fmt.Sprintf("Header-%d: value", i))
+	}
+
+	p.At("render")
+	p.Assert(p.LoadU32(env) == magicEnvelope, "envelope corrupted while rendering message")
+
+	for i := range bufs {
+		func() {
+			defer p.Enter("fs_give_hdr")()
+			defer p.Enter("fs_give")()
+			p.Free(bufs[i])
+		}()
+	}
+	func() {
+		defer p.Enter("rfc822_free_adr")()
+		defer p.Enter("fs_give")()
+		p.Free(addrBuf)
+	}()
+	func() {
+		defer p.Enter("mail_free_envelope")()
+		defer p.Enter("fs_give")()
+		p.Free(env)
+	}()
+}
+
+// Workload implements app.Workloader: reading a mailbox message by
+// message; each trigger injects a message with an oversized From: header.
+func (pi *Pine) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for step := 0; log.Len() < n; step++ {
+		if trig[step] {
+			long := "\"" + strings.Repeat("spoofed name ", 18) + "\" <evil@example.com>"
+			log.Append("read", long, 0)
+		}
+		if step%4 == 3 {
+			log.Append("next", "", 0)
+		} else {
+			log.Append("read", fmt.Sprintf("Alice Example <alice%d@example.com>", step%23), 0)
+		}
+	}
+	return log
+}

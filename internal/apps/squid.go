@@ -1,0 +1,162 @@
+// The Squid emulation: a proxy cache whose request parser copies the URL
+// into a fixed 256-byte buffer without a bounds check — the buffer overflow
+// of Squid 2.3 in the paper's Table 2.
+//
+// Request handling allocates the URL buffer and then the per-request state
+// block; in steady state the allocator hands back the same adjacent chunk
+// pair every request (LIFO bins), so an oversized URL deterministically
+// overruns the buffer into the state block, destroying its integrity magic
+// and its chunk's boundary tag — the crash First-Aid's padding patch
+// absorbs.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+const (
+	squidURLBufLen = 256
+	magicReqState  = 0x52455153 // "REQS"
+)
+
+// Squid is the emulated proxy.
+type Squid struct{}
+
+// Name implements app.Program.
+func (s *Squid) Name() string { return "squid" }
+
+// Bugs implements app.Program.
+func (s *Squid) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow} }
+
+// Init implements app.Program.
+func (s *Squid) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("squid_init")()
+	// A modest object cache so the heap has realistic standing content.
+	staticData(p, squidStaticKB)
+	defer p.Enter("storeInit")()
+	idx := p.Malloc(4 * 64)
+	p.Memset(idx, 0, 4*64)
+	p.SetRoot(0, idx)
+	p.SetRoot(1, 0) // cached-object count
+}
+
+// Handle implements app.Program.
+func (s *Squid) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("clientProcessRequest")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "GET":
+		s.get(p, ev.Data)
+	default:
+		p.Assert(false, "squid: unknown request %q", ev.Kind)
+	}
+}
+
+func (s *Squid) get(p *proc.Proc, url string) {
+	// Header scratch, exercised and released per request.
+	hdr := func() vmem.Addr {
+		defer p.Enter("httpHeaderAlloc")()
+		defer p.Enter("xmalloc")()
+		return p.Malloc(64)
+	}()
+	p.Memset(hdr, 0, 64)
+
+	// THE VICTIM: fixed-size URL buffer.
+	buf := func() vmem.Addr {
+		defer p.Enter("parseHttpRequest")()
+		defer p.Enter("xmalloc")()
+		return p.Malloc(squidURLBufLen)
+	}()
+	// Per-request state, allocated right after the buffer: the object the
+	// overflow destroys.
+	state := func() vmem.Addr {
+		defer p.Enter("clientCreateStateBlock")()
+		defer p.Enter("xmalloc")()
+		return p.Malloc(200)
+	}()
+	p.StoreU32(state, magicReqState)
+	p.Memset(state+4, 0, 196)
+
+	// THE BUG: strcpy(buf, url) with no length check.
+	p.At("copy_url")
+	p.StoreString(buf, url)
+
+	// Serve the object; the state block must still be intact.
+	p.At("check_state")
+	p.Assert(p.LoadU32(state) == magicReqState, "request state corrupted while serving %q…", clip(url, 24))
+	s.cacheTouch(p, url)
+
+	func() {
+		defer p.Enter("clientFreeState")()
+		defer p.Enter("xfree")()
+		p.Free(state)
+	}()
+	func() {
+		defer p.Enter("parseCleanup")()
+		defer p.Enter("xfree")()
+		p.Free(buf)
+	}()
+	func() {
+		defer p.Enter("httpHeaderClean")()
+		defer p.Enter("xfree")()
+		p.Free(hdr)
+	}()
+}
+
+// cacheTouch keeps a small rotating object cache so the heap carries state
+// across requests.
+func (s *Squid) cacheTouch(p *proc.Proc, url string) {
+	defer p.Enter("storeAppend")()
+	idx := p.RootAddr(0)
+	n := p.Root(1)
+	slot := n % 64
+	p.At("load_slot")
+	old := p.LoadU32(idx + vmem.Addr(4*slot))
+	if old != 0 {
+		defer p.Enter("storeRelease")()
+		func() {
+			defer p.Enter("xfree")()
+			p.Free(old)
+		}()
+	}
+	obj := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(uint32(48 + len(url)%64))
+	}()
+	p.Memset(obj, byte(len(url)), 48)
+	p.StoreU32(idx+vmem.Addr(4*slot), obj)
+	p.SetRoot(1, n+1)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Workload implements app.Workloader: normal GETs with short URLs; each
+// trigger injects one request whose URL exceeds the 256-byte buffer.
+func (s *Squid) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for step := 0; log.Len() < n; step++ {
+		if trig[step] {
+			long := "/exploit/" + strings.Repeat("A", 300)
+			log.Append("GET", long, 0)
+		}
+		log.Append("GET", fmt.Sprintf("/site%d/page%d.html", step%9, step%37), 0)
+	}
+	return log
+}

@@ -1,0 +1,27 @@
+package apps
+
+import "firstaid/internal/proc"
+
+// staticData gives an application the standing heap footprint of its
+// real-world counterpart (paper Tables 5/6: Apache 0.8 MB … M4 16 MB).
+// The block models code-adjacent long-lived state — configuration, locale
+// tables, parsed templates — that exists from startup and is never freed
+// or rewritten, so it costs nothing at checkpoint time (untouched pages
+// are never COW-copied) but anchors the space-overhead ratios.
+func staticData(p *proc.Proc, kb int) {
+	defer p.Enter("static_data_alloc")()
+	p.Malloc(uint32(kb) * 1024)
+	// Fresh Sbrk pages arrive zeroed; no initialisation needed.
+}
+
+// Standing heap sizes in KiB, matching the paper's measured original
+// heaps (Table 6) minus the dynamic structures the emulations build.
+const (
+	apacheStaticKB = 600
+	squidStaticKB  = 2300
+	cvsStaticKB    = 200
+	pineStaticKB   = 630
+	muttStaticKB   = 350
+	m4StaticKB     = 16000
+	bcStaticKB     = 50
+)

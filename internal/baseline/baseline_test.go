@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"testing"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/core"
+)
+
+func TestRxSurvivesButDoesNotPrevent(t *testing.T) {
+	// Rx must survive every trigger (recover each time) but, unlike
+	// First-Aid, must keep failing on each new trigger.
+	a, _ := apps.New("squid")
+	log := a.Workload(1500, []int{200, 600, 1000})
+	rx := NewRx(a, log, core.MachineConfig{})
+	st := rx.Run()
+	if st.Failures != 3 {
+		t.Fatalf("failures = %d, want 3 (one per trigger)", st.Failures)
+	}
+	if st.Recoveries != 3 {
+		t.Fatalf("recoveries = %d, want 3", st.Recoveries)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("skipped = %d", st.Skipped)
+	}
+	if st.ChangedSites == 0 || st.ChangedObjects == 0 {
+		t.Fatalf("change footprint not measured: %+v", st)
+	}
+}
+
+func TestRxApacheSurvives(t *testing.T) {
+	a, _ := apps.New("apache")
+	log := a.Workload(900, []int{230})
+	rx := NewRx(a, log, core.MachineConfig{})
+	st := rx.Run()
+	if st.Failures != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Rx applies changes to every object in the region: far more than
+	// First-Aid's 7 call-sites / 315 objects.
+	if st.ChangedSites <= 7 {
+		t.Errorf("Rx changed sites = %d, expected well above First-Aid's 7", st.ChangedSites)
+	}
+	if st.ChangedObjects <= 315 {
+		t.Errorf("Rx changed objects = %d, expected well above First-Aid's 315", st.ChangedObjects)
+	}
+	t.Logf("Rx apache: %d sites, %d objects", st.ChangedSites, st.ChangedObjects)
+}
+
+func TestRestartLosesStateAndKeepsFailing(t *testing.T) {
+	a, _ := apps.New("squid")
+	log := a.Workload(1500, []int{200, 600, 1000})
+	rs := NewRestart(a, log, core.MachineConfig{})
+	st := rs.Run()
+	if st.Failures != 3 || st.Restarts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The restart penalty must appear in the timeline: 1500 events at
+	// ~10ms plus 3×2s restarts.
+	if st.SimSeconds < 15+3*2-1 {
+		t.Fatalf("SimSeconds = %.2f, restart penalties missing", st.SimSeconds)
+	}
+}
+
+func TestRestartCleanRunMatchesEventCount(t *testing.T) {
+	a, _ := apps.New("cvs")
+	log := a.Workload(300, nil)
+	rs := NewRestart(a, log, core.MachineConfig{})
+	st := rs.Run()
+	if st.Failures != 0 || st.Restarts != 0 {
+		t.Fatalf("clean run restarted: %+v", st)
+	}
+	if st.Events != log.Len() {
+		t.Fatalf("events = %d, want %d", st.Events, log.Len())
+	}
+}
+
+func TestRxTimelineAdvancesThroughRecovery(t *testing.T) {
+	a, _ := apps.New("squid")
+	clean := a.Workload(600, nil)
+	rxClean := NewRx(a, clean, core.MachineConfig{})
+	cleanStats := rxClean.Run()
+
+	b, _ := apps.New("squid")
+	buggy := b.Workload(600, []int{200})
+	rxBuggy := NewRx(b, buggy, core.MachineConfig{})
+	buggyStats := rxBuggy.Run()
+
+	if buggyStats.SimSeconds <= cleanStats.SimSeconds {
+		t.Fatalf("recovery work invisible in timeline: clean %.3fs vs buggy %.3fs",
+			cleanStats.SimSeconds, buggyStats.SimSeconds)
+	}
+}

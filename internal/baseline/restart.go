@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"firstaid/internal/app"
+	"firstaid/internal/core"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+)
+
+// RestartPenaltyCycles models the cold-start cost of killing and relaunching
+// the process (2 simulated seconds: exec, config parse, socket setup).
+const RestartPenaltyCycles = 2 * proc.CyclesPerSecond
+
+// RestartStats summarises a restart-discipline run.
+type RestartStats struct {
+	Events     int
+	Failures   int
+	Restarts   int
+	SimSeconds float64
+}
+
+// Restart runs a program under the classic restart discipline: any failure
+// kills the process; a fresh process resumes with the next input. All
+// session state (caches, tables) is lost, so deterministic bug inputs fail
+// again every time and throughput recovers slowly after each restart.
+type Restart struct {
+	Trace TraceFunc
+
+	prog  app.Program
+	log   *replay.Log
+	cfg   core.MachineConfig
+	m     *core.Machine
+	stats RestartStats
+
+	// simBase carries the monotonic timeline across process
+	// generations.
+	simBase uint64
+}
+
+// NewRestart builds the first process generation.
+func NewRestart(prog app.Program, log *replay.Log, cfg core.MachineConfig) *Restart {
+	return &Restart{prog: prog, log: log, cfg: cfg, m: core.NewMachine(prog, log, cfg)}
+}
+
+func (r *Restart) simNow() uint64 { return r.simBase + r.m.SimNow() }
+
+// Run processes the whole log.
+func (r *Restart) Run() RestartStats {
+	for {
+		r.m.Ckpt.MaybeCheckpoint() // checkpoints exist but are never used for recovery
+		r.m.SyncClock()
+		cursorBefore := r.m.Log.Cursor()
+		f, ok := r.m.Step()
+		if !ok {
+			break
+		}
+		r.stats.Events++
+		if r.Trace != nil {
+			r.Trace(r.m.Log.At(cursorBefore), r.simNow(), f)
+		}
+		if f != nil {
+			r.stats.Failures++
+			r.restart()
+		}
+	}
+	r.stats.SimSeconds = float64(r.simNow()) / proc.CyclesPerSecond
+	return r.stats
+}
+
+// restart replaces the machine with a fresh one: new heap, re-initialised
+// program state, cold caches. The replay log (external input) is shared;
+// the failing request is lost with the process.
+func (r *Restart) restart() {
+	r.stats.Restarts++
+	cursor := r.log.Cursor()
+	r.simBase = r.simNow() + RestartPenaltyCycles
+	r.m = core.NewMachine(r.prog, r.log, r.cfg)
+	r.log.SetCursor(cursor) // NewMachine does not move the cursor, but be explicit
+}

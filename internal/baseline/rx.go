@@ -1,0 +1,141 @@
+// Package baseline implements the two recovery baselines the paper
+// compares First-Aid against (§7.3, Figure 4, Table 4):
+//
+//   - Rx [Qin 2005b]: checkpoint rollback plus environmental changes
+//     applied to ALL memory objects during re-execution, disabled again
+//     once the failure region is passed. Rx survives each failure but —
+//     because the changes are too heavy to leave enabled — cannot prevent
+//     the same bug from striking again.
+//   - Restart [Gray 1986, Sullivan 1991]: kill and re-initialise the
+//     process, losing all session state and paying a cold-start penalty;
+//     deterministic bug-triggering inputs fail again every time.
+package baseline
+
+import (
+	"firstaid/internal/allocext"
+	"firstaid/internal/app"
+	"firstaid/internal/core"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+)
+
+// TraceFunc observes main-loop events for throughput measurement.
+type TraceFunc func(ev replay.Event, simNow uint64, fault *proc.Fault)
+
+// RxStats summarises an Rx run.
+type RxStats struct {
+	Events     int
+	Failures   int
+	Recoveries int
+	Skipped    int
+	SimSeconds float64
+	// ChangedSites / ChangedObjects measure the footprint of Rx's
+	// environmental changes in the buggy region of the *first* recovery:
+	// distinct allocation+deallocation call-sites exercised, and memory
+	// objects allocated or freed, all of which receive changes (the Rx
+	// columns of Table 4).
+	ChangedSites   int
+	ChangedObjects uint64
+}
+
+// Rx runs a program under the Rx recovery discipline.
+type Rx struct {
+	M     *core.Machine
+	Trace TraceFunc
+
+	cfg   core.MachineConfig
+	stats RxStats
+}
+
+// NewRx builds an Rx-supervised machine.
+func NewRx(prog app.Program, log *replay.Log, cfg core.MachineConfig) *Rx {
+	return &Rx{M: core.NewMachine(prog, log, cfg), cfg: cfg}
+}
+
+// Run processes the whole log.
+func (r *Rx) Run() RxStats {
+	for {
+		r.M.Ckpt.MaybeCheckpoint()
+		r.M.SyncClock()
+		cursorBefore := r.M.Log.Cursor()
+		f, ok := r.M.Step()
+		if !ok {
+			break
+		}
+		r.stats.Events++
+		if r.Trace != nil {
+			r.Trace(r.M.Log.At(cursorBefore), r.M.SimNow(), f)
+		}
+		if f != nil {
+			r.stats.Failures++
+			r.recover(f)
+		}
+	}
+	r.stats.SimSeconds = r.M.SimSeconds()
+	return r.stats
+}
+
+// window mirrors the supervisor's ~3-checkpoint-interval success horizon.
+func (r *Rx) window() int {
+	cps := r.M.Ckpt.Checkpoints()
+	if len(cps) >= 2 {
+		span := cps[len(cps)-1].Cursor - cps[0].Cursor
+		if per := span / (len(cps) - 1); per > 0 {
+			w := 3 * per
+			if w < 5 {
+				w = 5
+			}
+			if w > 400 {
+				w = 400
+			}
+			return w
+		}
+	}
+	return 30
+}
+
+// recover is Rx's survival loop: roll back, re-execute with all
+// environmental changes on all objects, and — crucially — disable the
+// changes once past the failure region.
+func (r *Rx) recover(f *proc.Fault) {
+	failCursor := r.M.Log.Cursor()
+	until := failCursor + r.window()
+	cps := r.M.Ckpt.Checkpoints()
+
+	for i := len(cps) - 1; i >= 0 && i >= len(cps)-8; i-- {
+		cp := cps[i]
+		r.M.Rollback(cp)
+		heapM0, heapF0 := heapCounts(r.M)
+		out := r.M.ReExecute(allocext.AllPreventive(), until)
+		if out.Fault == nil {
+			// Survived. The changes are now disabled (ReExecute
+			// restored normal mode with no patch source) and
+			// execution continues from the post-region state.
+			r.stats.Recoveries++
+			if r.stats.Recoveries == 1 {
+				heapM1, heapF1 := heapCounts(r.M)
+				r.stats.ChangedObjects = (heapM1 - heapM0) + (heapF1 - heapF0)
+				r.stats.ChangedSites = len(r.M.SeenAllocSites()) + len(r.M.SeenFreeSites())
+			}
+			r.M.Ckpt.DropAfter(cp)
+			return
+		}
+	}
+	// Unsurvivable: drop the failing request.
+	r.stats.Skipped++
+	cp := r.M.Ckpt.Latest()
+	r.M.Rollback(cp)
+	for r.M.Log.Cursor() < failCursor-1 {
+		if f, ok := r.M.Step(); !ok || f != nil {
+			break
+		}
+	}
+	r.M.Log.SetCursor(failCursor)
+}
+
+func heapCounts(m *core.Machine) (uint64, uint64) {
+	return heapMallocs(m), heapFrees(m)
+}
+
+func heapMallocs(m *core.Machine) uint64 { n, _ := m.Heap.Counts(); return n }
+func heapFrees(m *core.Machine) uint64   { _, n := m.Heap.Counts(); return n }

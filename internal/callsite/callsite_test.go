@@ -1,0 +1,192 @@
+package callsite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromStack(t *testing.T) {
+	k := FromStack([]string{"main", "handle", "wrapper", "alloc"})
+	want := Key{"alloc", "wrapper", "handle"}
+	if k != want {
+		t.Fatalf("FromStack = %v, want %v", k, want)
+	}
+}
+
+func TestFromStackShallow(t *testing.T) {
+	k := FromStack([]string{"main"})
+	if k != (Key{"main", "", ""}) {
+		t.Fatalf("shallow key = %v", k)
+	}
+	if k.Leaf() != "main" {
+		t.Fatalf("leaf = %q", k.Leaf())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{"free", "purge", "insert"}
+	if got := k.String(); got != "free<purge<insert" {
+		t.Fatalf("String = %q", got)
+	}
+	if (Key{}).String() != "<empty>" {
+		t.Fatal("empty key render")
+	}
+}
+
+func TestInternStableIDs(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern(Key{"a", "b", "c"})
+	b := tab.Intern(Key{"x", "y", "z"})
+	if a == b {
+		t.Fatal("distinct keys share an ID")
+	}
+	if got := tab.Intern(Key{"a", "b", "c"}); got != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", got, a)
+	}
+	if tab.Key(a) != (Key{"a", "b", "c"}) {
+		t.Fatal("Key round trip")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	tab := NewTable()
+	if id := tab.Lookup(Key{"nope", "", ""}); id != 0 {
+		t.Fatalf("unknown key got id %d", id)
+	}
+}
+
+func TestKeyPanicsOnBadID(t *testing.T) {
+	tab := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown id")
+		}
+	}()
+	tab.Key(42)
+}
+
+func TestAllOrder(t *testing.T) {
+	tab := NewTable()
+	tab.Intern(Key{"a", "", ""})
+	tab.Intern(Key{"b", "", ""})
+	ids := tab.All()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("All = %v", ids)
+	}
+}
+
+func TestFormatFrame(t *testing.T) {
+	k := Key{"util_ald_free", "util_ald_cache_purge", "util_ald_cache_insert"}
+	s := FormatFrame(k, 0)
+	if !strings.Contains(s, "@util_ald_free") || !strings.HasPrefix(s, "0x") {
+		t.Fatalf("FormatFrame = %q", s)
+	}
+	if FormatFrame(k, 3) != "" || FormatFrame(Key{"f", "", ""}, 1) != "" {
+		t.Fatal("out-of-range frames should render empty")
+	}
+}
+
+func TestSetHalves(t *testing.T) {
+	s := NewSet(5, 1, 3, 2, 4)
+	lo, hi := s.Halves()
+	if lo.Len() != 3 || hi.Len() != 2 {
+		t.Fatalf("halves %d/%d", lo.Len(), hi.Len())
+	}
+	for _, id := range []ID{1, 2, 3} {
+		if !lo.Contains(id) {
+			t.Fatalf("lo missing %d", id)
+		}
+	}
+	for _, id := range []ID{4, 5} {
+		if !hi.Contains(id) {
+			t.Fatalf("hi missing %d", id)
+		}
+	}
+}
+
+func TestSetAddRemoveClone(t *testing.T) {
+	s := NewSet(1, 2)
+	c := s.Clone()
+	s.Remove(1)
+	s.Add(9)
+	if !c.Contains(1) || c.Contains(9) {
+		t.Fatal("clone not independent")
+	}
+	if s.Contains(1) || !s.Contains(9) {
+		t.Fatal("add/remove broken")
+	}
+}
+
+// Property: interning is injective — distinct keys never collide on ID, and
+// IDs always map back to their keys.
+func TestQuickInternBijective(t *testing.T) {
+	tab := NewTable()
+	seen := map[Key]ID{}
+	f := func(a, b, c string) bool {
+		k := Key{a, b, c}
+		id := tab.Intern(k)
+		if prev, ok := seen[k]; ok && prev != id {
+			return false
+		}
+		seen[k] = id
+		return tab.Key(id) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Halves partitions the set.
+func TestQuickHalvesPartition(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := NewSet()
+		for _, r := range raw {
+			if r != 0 {
+				s.Add(ID(r))
+			}
+		}
+		lo, hi := s.Halves()
+		if lo.Len()+hi.Len() != s.Len() {
+			return false
+		}
+		for _, id := range s.Sorted() {
+			if lo.Contains(id) == hi.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern(Key{"a", "b", "c"})
+	cp := tab.Clone()
+	if cp.Lookup(Key{"a", "b", "c"}) != a {
+		t.Fatal("clone lost existing interning")
+	}
+	// Divergent interning does not cross over.
+	b := tab.Intern(Key{"only-orig", "", ""})
+	c := cp.Intern(Key{"only-clone", "", ""})
+	if b != c {
+		// Same numeric ID in both tables is expected (divergent
+		// namespaces); what matters is isolation:
+		t.Logf("ids diverged: %d vs %d", b, c)
+	}
+	if cp.Lookup(Key{"only-orig", "", ""}) != 0 {
+		t.Fatal("clone saw original's new interning")
+	}
+	if tab.Lookup(Key{"only-clone", "", ""}) != 0 {
+		t.Fatal("original saw clone's new interning")
+	}
+	if cp.Key(a) != (Key{"a", "b", "c"}) {
+		t.Fatal("clone Key() broken")
+	}
+}

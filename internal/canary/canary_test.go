@@ -1,0 +1,86 @@
+package canary
+
+import (
+	"testing"
+
+	"firstaid/internal/vmem"
+)
+
+func newMem(t *testing.T, pages int) (*vmem.Space, vmem.Addr) {
+	t.Helper()
+	s := vmem.New(1 << 22)
+	base, err := s.Sbrk(uint32(pages) * vmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, base
+}
+
+func TestPatternsDistinct(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, b := range []byte{Pad, Freed, Fresh, Mark} {
+		if seen[b] {
+			t.Fatalf("pattern %#x reused", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestWord32(t *testing.T) {
+	if Word32(0xAB) != 0xABABABAB {
+		t.Fatalf("Word32 = %#x", Word32(0xAB))
+	}
+}
+
+func TestIsPoisoned32(t *testing.T) {
+	for _, b := range []byte{Pad, Freed, Fresh, Mark} {
+		if !IsPoisoned32(Word32(b)) {
+			t.Errorf("Word32(%#x) not recognised as poisoned", b)
+		}
+	}
+	for _, v := range []uint32{0, 1, 0xDEADBEEF, 0xABABAB00} {
+		if IsPoisoned32(v) {
+			t.Errorf("%#x wrongly poisoned", v)
+		}
+	}
+}
+
+func TestFillAndCheckIntact(t *testing.T) {
+	mem, base := newMem(t, 1)
+	if err := Fill(mem, base+8, 100, Pad); err != nil {
+		t.Fatal(err)
+	}
+	if c := Check(mem, base+8, 100, Pad); c.Corrupted() {
+		t.Fatalf("fresh fill reported corrupted: %+v", c)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	mem, base := newMem(t, 1)
+	Fill(mem, base, 64, Freed)
+	mem.Write(base+10, []byte{0x00, 0x11})
+	c := Check(mem, base, 64, Freed)
+	if !c.Corrupted() {
+		t.Fatal("corruption missed")
+	}
+	if len(c.Offsets) != 2 || c.Offsets[0] != 10 || c.Offsets[1] != 11 {
+		t.Fatalf("offsets = %v, want [10 11]", c.Offsets)
+	}
+	if c.Pattern != Freed || c.Addr != base {
+		t.Fatalf("record fields wrong: %+v", c)
+	}
+}
+
+func TestCheckUnmappedRegionIsCorrupt(t *testing.T) {
+	mem, base := newMem(t, 1)
+	if c := Check(mem, base+vmem.PageSize, 16, Pad); !c.Corrupted() {
+		t.Fatal("unreadable region should be reported corrupted")
+	}
+}
+
+func TestNilCorruptionIsNotCorrupted(t *testing.T) {
+	var c *Corruption
+	if c.Corrupted() {
+		t.Fatal("nil must be intact")
+	}
+}

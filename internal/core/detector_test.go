@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// silentBug overflows into the boundary tag of a never-freed object. The
+// program itself never notices — the corrupted chunk is never freed,
+// walked, or integrity-asserted — so without a deployed detector the bug
+// sails through ("First-Aid cannot handle memory bugs that slip through
+// the deployed error monitors", §6). The heap-integrity detector of §3
+// turns it into a caught, diagnosable failure at the triggering event.
+type silentBug struct{}
+
+func (s *silentBug) Name() string       { return "silentbug" }
+func (s *silentBug) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow} }
+func (s *silentBug) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("init")()
+	list := p.Malloc(4 * 256) // keeper list
+	p.Memset(list, 0, 4*256)
+	p.SetRoot(0, list)
+	p.SetRoot(1, 0)
+}
+
+func (s *silentBug) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	// Both objects live for the whole run (an append-only archive), so
+	// no later allocator operation ever inspects the smashed boundary
+	// tag: the corruption is perfectly silent without a detector.
+	buf := func() vmem.Addr {
+		defer p.Enter("session_alloc")()
+		return p.Malloc(40)
+	}()
+	keeper := func() vmem.Addr {
+		defer p.Enter("archive_alloc")()
+		return p.Malloc(72)
+	}()
+	p.Memset(keeper, byte(ev.N), 72)
+	n := p.Root(1)
+	if n < 256 {
+		p.StoreU32(p.RootAddr(0)+vmem.Addr(4*n), keeper)
+		p.SetRoot(1, n+1)
+	}
+
+	fill := 40
+	if ev.Kind == "long" {
+		fill = 56 // THE BUG: 16 bytes past the buffer, into keeper's boundary tag
+	}
+	p.At("fill_session")
+	junk := make([]byte, fill)
+	for i := range junk {
+		junk[i] = 0xEE
+	}
+	p.Store(buf, junk)
+}
+
+func (s *silentBug) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < n; i++ {
+		kind := "req"
+		if trig[i] {
+			kind = "long"
+		}
+		log.Append(kind, "", i)
+	}
+	return log
+}
+
+func TestSilentCorruptionSlipsThroughDefaultMonitors(t *testing.T) {
+	prog := &silentBug{}
+	log := prog.Workload(120, []int{60})
+	sup := NewSupervisor(prog, log, Config{})
+	stats := sup.Run()
+	// The §6 limitation, demonstrated: the corruption is real (the
+	// keeper's boundary tag is destroyed) but nothing ever faults.
+	if stats.Failures != 0 {
+		t.Fatalf("expected the bug to slip through silently, got %d failures", stats.Failures)
+	}
+	if err := sup.M.Heap.CheckIntegrity(); err == nil {
+		t.Fatal("heap expected to be silently corrupted at end of run")
+	}
+}
+
+func TestIntegrityDetectorCatchesAndCuresSilentCorruption(t *testing.T) {
+	prog := &silentBug{}
+	log := prog.Workload(240, []int{60, 160})
+	sup := NewSupervisor(prog, log, Config{
+		Machine: MachineConfig{IntegrityCheckEvery: 1},
+	})
+	stats := sup.Run()
+
+	if stats.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 (detected once, then patched)", stats.Failures)
+	}
+	if len(sup.Recoveries) != 1 {
+		t.Fatalf("recoveries = %d", len(sup.Recoveries))
+	}
+	rec := sup.Recoveries[0]
+	if rec.Skipped {
+		t.Fatalf("diagnosis fell back to skip:\n%v", rec.Result.Log)
+	}
+	if rec.Fault.Kind != proc.HeapCorruption {
+		t.Fatalf("fault kind = %v, want detector-reported heap corruption", rec.Fault.Kind)
+	}
+	// Detected at (or immediately after) the triggering event.
+	if rec.Fault.Event < 60 || rec.Fault.Event > 64 {
+		t.Fatalf("detected at event %d, want ~60 (short propagation distance)", rec.Fault.Event)
+	}
+	found := false
+	for _, fd := range rec.Result.Findings {
+		if fd.Bug == mmbug.BufferOverflow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overflow not diagnosed: %+v\n%v", rec.Result.Findings, rec.Result.Log)
+	}
+	// And the heap ends the run sound: the second trigger was absorbed
+	// by padding.
+	if err := sup.M.Heap.CheckIntegrity(); err != nil {
+		t.Fatalf("final heap corrupt despite patch: %v", err)
+	}
+}

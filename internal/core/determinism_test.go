@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"firstaid/internal/apps"
+)
+
+// TestRecoveryIsFullyDeterministic: identical program + identical inputs
+// must produce bit-identical recovery behaviour — same failure event, same
+// diagnosis log, same rollback count, same patches, same simulated time.
+// This is the property the whole diagnosis design rests on ("deterministic
+// re-execution from a checkpoint"); any source of hidden nondeterminism
+// (map iteration order, pointer-keyed sorting, wall-clock leakage) would
+// surface here.
+func TestRecoveryIsFullyDeterministic(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			type fingerprint struct {
+				failEvent  int
+				rollbacks  int
+				patchCount int
+				simSeconds float64
+				logLen     int
+				firstPatch string
+			}
+			run := func() fingerprint {
+				a, _ := apps.New(name)
+				log := a.Workload(700, []int{230})
+				sup := NewSupervisor(a, log, Config{})
+				st := sup.Run()
+				if len(sup.Recoveries) == 0 {
+					t.Fatal("no recovery")
+				}
+				rec := sup.Recoveries[0]
+				fp := fingerprint{
+					failEvent:  rec.Fault.Event,
+					rollbacks:  rec.Result.Rollbacks,
+					patchCount: len(rec.Patches),
+					simSeconds: st.SimSeconds,
+					logLen:     len(rec.Result.Log),
+				}
+				if len(rec.Patches) > 0 {
+					fp.firstPatch = rec.Patches[0].Site.String()
+				}
+				return fp
+			}
+			a := run()
+			b := run()
+			if a != b {
+				t.Fatalf("nondeterministic recovery:\nrun1: %+v\nrun2: %+v", a, b)
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/diagnosis"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// leaker embodies the §6 limitation: "First-Aid cannot deal with memory
+// leak bugs, whose negative effects are cumulative and cannot be reverted
+// by simply rolling back to a recent checkpoint." Every request leaks a
+// buffer; the process eventually exhausts its address space. No
+// environmental change helps — the leak is not an illegal access — so
+// diagnosis must conclude non-patchable and the supervisor must degrade
+// gracefully rather than loop or crash the harness.
+type leaker struct{}
+
+func (l *leaker) Name() string       { return "leaker" }
+func (l *leaker) Bugs() []mmbug.Type { return nil }
+func (l *leaker) Init(p *proc.Proc)  { defer p.Enter("main")(); p.SetRoot(0, 0) }
+func (l *leaker) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	buf := func() vmem.Addr {
+		defer p.Enter("xmalloc")()
+		return p.Malloc(256 << 10)
+	}()
+	p.StoreU32(buf, uint32(ev.N))
+	// THE BUG: buf is never freed (and never rooted — it just leaks).
+}
+
+func (l *leaker) Workload(n int, _ []int) *replay.Log {
+	log := replay.NewLog()
+	for i := 0; i < n; i++ {
+		log.Append("req", "", i)
+	}
+	return log
+}
+
+func TestMemoryLeakIsNotPatchable(t *testing.T) {
+	prog := &leaker{}
+	log := prog.Workload(60, nil)
+	// A tight address space forces the OOM quickly; a shallow diagnosis
+	// budget keeps the repeated (hopeless) diagnoses cheap.
+	sup := NewSupervisor(prog, log, Config{
+		Machine:   MachineConfig{MemLimit: 8 << 20, Checkpoint: checkpoint.Config{Keep: 3}},
+		Diagnosis: diagnosisShallow(),
+	})
+	stats := sup.Run()
+
+	if stats.Failures == 0 {
+		t.Fatal("the leak never exhausted memory")
+	}
+	// No patch can exist for a leak.
+	if stats.PatchesMade != 0 {
+		t.Fatalf("patches fabricated for a leak: %d", stats.PatchesMade)
+	}
+	for _, rec := range sup.Recoveries {
+		if rec.Result.OK() {
+			t.Fatalf("diagnosis claimed a patchable memory bug: %+v", rec.Result.Findings)
+		}
+	}
+	// Graceful degradation: the supervisor kept going (skipping), not
+	// hanging — but a leak re-fails fast, so most events after
+	// exhaustion are casualties. The run itself must complete.
+	t.Logf("stats: %+v (leak correctly non-patchable)", stats)
+}
+
+// TestLatentBugBeyondCheckpointHistory exercises the other §6 limitation:
+// a bug whose trigger is farther in the past than any retained checkpoint
+// ("First-Aid cannot deal with latent bugs — bugs whose root causes are far
+// away from the error symptoms"). Diagnosis must time out cleanly and fall
+// back to dropping the request.
+func TestLatentBugBeyondCheckpointHistory(t *testing.T) {
+	prog := &latentBug{}
+	log := prog.Workload(600, []int{10}) // trigger long before the failure
+	sup := NewSupervisor(prog, log, Config{
+		// Keep very few checkpoints so the trigger falls off the end.
+		Machine: MachineConfig{Checkpoint: checkpoint.Config{Keep: 4}},
+	})
+	stats := sup.Run()
+	if stats.Failures == 0 {
+		t.Fatal("latent bug never failed")
+	}
+	if stats.Skipped == 0 {
+		t.Fatalf("latent bug was not handled by the fallback: %+v", stats)
+	}
+	for _, rec := range sup.Recoveries {
+		if rec.Result.OK() {
+			t.Fatalf("diagnosis claimed success beyond its checkpoint history")
+		}
+		if !rec.Result.Unpatchable {
+			t.Fatalf("expected unpatchable, got %+v", rec.Result)
+		}
+	}
+}
+
+func diagnosisShallow() diagnosis.Config {
+	return diagnosis.Config{MaxCheckpoints: 2, MaxRollbacks: 10}
+}
+
+// latentBug frees an object at the very start of the run, then reads it
+// hundreds of events — and many checkpoint generations — later.
+type latentBug struct{}
+
+func (l *latentBug) Name() string       { return "latent" }
+func (l *latentBug) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.DanglingRead} }
+func (l *latentBug) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("init")()
+	obj := p.Malloc(64)
+	p.StoreU32(obj, 0x4C415445) // "LATE"
+	p.SetRoot(0, obj)
+}
+
+func (l *latentBug) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	switch ev.Kind {
+	case "drop":
+		// The latent trigger: free the rooted object, keep the pointer.
+		func() {
+			defer p.Enter("xfree")()
+			p.Free(p.RootAddr(0))
+		}()
+	case "churn":
+		// Recycle the freed chunk.
+		buf := func() vmem.Addr {
+			defer p.Enter("xmalloc")()
+			return p.Malloc(64)
+		}()
+		p.Memset(buf, 0x77, 64)
+		func() {
+			defer p.Enter("xfree")()
+			p.Free(buf)
+		}()
+	case "use":
+		// The symptom, hundreds of events later.
+		p.At("late_read")
+		p.Assert(p.LoadU32(p.RootAddr(0)) == 0x4C415445, "stale object gone")
+	}
+}
+
+func (l *latentBug) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < n; i++ {
+		switch {
+		case trig[i]:
+			log.Append("drop", "", i)
+		case i == 500:
+			log.Append("use", "", i)
+		default:
+			log.Append("churn", "", i)
+		}
+	}
+	return log
+}

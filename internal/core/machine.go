@@ -1,0 +1,286 @@
+// Package core implements the First-Aid supervisor: it runs a simulated
+// program under checkpointing, catches failures, drives the diagnosis
+// engine, generates and applies runtime patches, re-executes for recovery,
+// validates the patches, and produces the bug report (paper Figure 1).
+package core
+
+import (
+	"firstaid/internal/allocext"
+	"firstaid/internal/app"
+	"firstaid/internal/callsite"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/diagnosis"
+	"firstaid/internal/heap"
+	"firstaid/internal/monitor"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// Machine bundles one supervised process: address space, allocator,
+// allocator extension, process, program, input log, checkpoint manager and
+// error monitor. It provides the rollback/re-execution primitives the
+// diagnosis and validation engines are built on.
+type Machine struct {
+	Mem  *vmem.Space
+	Heap *heap.Heap
+	Ext  *allocext.Ext
+	Proc *proc.Proc
+	Prog app.Program
+	Log  *replay.Log
+	Ckpt *checkpoint.Manager
+	Mon  *monitor.Monitor
+
+	// currentPatches mirrors the attached patch source (allocext does
+	// not expose it) so validation can detach and re-attach it around
+	// the unpatched baseline run.
+	currentPatches allocext.PatchSource
+
+	// cfg is retained for Clone.
+	cfg MachineConfig
+
+	// simNow is the monotonic simulated timeline: process-clock progress
+	// accumulates here and is never rewound by rollback, so recovery
+	// work (re-executions, checkpoint costs) shows up as elapsed time —
+	// the x-axis of the Figure-4 throughput plots.
+	simNow    uint64
+	lastClock uint64
+}
+
+// MachineConfig tunes a machine.
+type MachineConfig struct {
+	// MemLimit bounds the simulated address space (default 256 MiB).
+	MemLimit uint32
+	// Checkpoint configures the checkpoint manager.
+	Checkpoint checkpoint.Config
+	// DelayLimit caps delay-freed memory (default 1 MiB, the paper's
+	// threshold).
+	DelayLimit uint64
+	// IntegrityCheckEvery, when non-zero, deploys the heap-integrity
+	// error detector with the given event cadence (paper §3's pluggable
+	// detectors). Silent heap corruption is then caught near its cause
+	// instead of at the eventual crash.
+	IntegrityCheckEvery int
+}
+
+// NewMachine builds a machine for prog over the input log, runs the
+// program's Init, and takes checkpoint #0 so a pre-bug checkpoint always
+// exists. It returns an error-free machine or panics on an Init fault
+// (an Init fault is a harness bug, not a scenario First-Aid handles).
+func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
+	if cfg.MemLimit == 0 {
+		cfg.MemLimit = 256 << 20
+	}
+	mem := vmem.New(cfg.MemLimit)
+	h := heap.New(mem)
+	sites := callsite.NewTable()
+	ext := allocext.New(h, sites)
+	if cfg.DelayLimit != 0 {
+		ext.DelayLimit = cfg.DelayLimit
+	}
+	p := proc.New(mem, ext)
+	p.Sites = sites
+	m := &Machine{
+		Mem:  mem,
+		Heap: h,
+		Ext:  ext,
+		Proc: p,
+		Prog: prog,
+		Log:  log,
+		Mon:  monitor.New(ext),
+		cfg:  cfg,
+	}
+	if cfg.IntegrityCheckEvery > 0 {
+		m.Mon.Detectors = append(m.Mon.Detectors,
+			&monitor.HeapIntegrity{H: h, P: p, Every: cfg.IntegrityCheckEvery})
+	}
+	m.Ckpt = checkpoint.NewManager(cfg.Checkpoint, mem, h, p, ext, log)
+	if f := proc.Catch(func() { prog.Init(p) }); f != nil {
+		panic("core: program Init faulted: " + f.Error())
+	}
+	m.Ckpt.Take()
+	return m
+}
+
+// Clone returns a fully independent copy of the machine in its current
+// state: deep-copied memory, allocator, extension, process registers,
+// call-site table and replay log. The clone can run on another goroutine —
+// the substrate of the paper's parallel patch validation ("on a different
+// processor core based on a snapshot of the program"). The Program instance
+// is shared and must therefore be stateless (all nine evaluation apps keep
+// every mutable byte in the virtual heap). Patches are NOT attached; attach
+// a frozen source with SetPatches.
+func (m *Machine) Clone() *Machine {
+	mem := m.Mem.Clone()
+	h := heap.New(mem)
+	h.SetState(m.Heap.State())
+	sites := m.Proc.Sites.Clone()
+	ext := allocext.New(h, sites)
+	ext.SetState(m.Ext.State())
+	ext.DelayLimit = m.Ext.DelayLimit
+	ext.MaxPatchBytes = m.Ext.MaxPatchBytes
+	p := proc.New(mem, ext)
+	p.Sites = sites
+	p.SetState(m.Proc.State())
+	log := m.Log.Clone()
+	clone := &Machine{
+		Mem:  mem,
+		Heap: h,
+		Ext:  ext,
+		Proc: p,
+		Prog: m.Prog,
+		Log:  log,
+		Mon:  monitor.New(ext),
+		cfg:  m.cfg,
+	}
+	if m.cfg.IntegrityCheckEvery > 0 {
+		clone.Mon.Detectors = append(clone.Mon.Detectors,
+			&monitor.HeapIntegrity{H: h, P: p, Every: m.cfg.IntegrityCheckEvery})
+	}
+	clone.Ckpt = checkpoint.NewManager(checkpoint.Config{}, mem, h, p, ext, log)
+	clone.lastClock = p.Clock()
+	return clone
+}
+
+// Step consumes and executes one event in the current mode. It returns the
+// fault (nil on success) and ok=false when the log is exhausted.
+func (m *Machine) Step() (f *proc.Fault, ok bool) {
+	ev, ok := m.Log.Next()
+	if !ok {
+		return nil, false
+	}
+	f = m.Mon.RunEvent(ev.Seq, func() { m.Prog.Handle(m.Proc, ev) })
+	m.SyncClock()
+	return f, true
+}
+
+// SyncClock folds forward process-clock progress into the monotonic
+// timeline. Called automatically by Step; call it manually after
+// out-of-band clock charges (checkpoint costs).
+func (m *Machine) SyncClock() {
+	if c := m.Proc.Clock(); c > m.lastClock {
+		m.simNow += c - m.lastClock
+		m.lastClock = c
+	} else {
+		m.lastClock = c
+	}
+}
+
+// SimNow returns the monotonic simulated time in cycles.
+func (m *Machine) SimNow() uint64 { return m.simNow }
+
+// SimSeconds returns the monotonic simulated time in seconds.
+func (m *Machine) SimSeconds() float64 { return float64(m.simNow) / proc.CyclesPerSecond }
+
+// AddSimTime charges wall-of-machine time that has no process-clock
+// counterpart (e.g. a baseline's process restart penalty).
+func (m *Machine) AddSimTime(cycles uint64) { m.simNow += cycles }
+
+// --- diagnosis.Machine implementation -------------------------------------------
+
+// Checkpoints implements diagnosis.Machine.
+func (m *Machine) Checkpoints() []*checkpoint.Checkpoint { return m.Ckpt.Checkpoints() }
+
+// Rollback implements diagnosis.Machine. The monotonic timeline is rebased,
+// not rewound: rollback itself is (nearly) free, but the re-executed work
+// will accumulate again.
+func (m *Machine) Rollback(cp *checkpoint.Checkpoint) {
+	m.Ckpt.Rollback(cp)
+	m.lastClock = m.Proc.Clock()
+}
+
+// MarkHeap implements diagnosis.Machine (Phase-1 heap marking).
+func (m *Machine) MarkHeap() error { return m.Ext.MarkHeap() }
+
+// SiteKey implements diagnosis.Machine.
+func (m *Machine) SiteKey(id callsite.ID) callsite.Key { return m.Proc.Sites.Key(id) }
+
+// ReExecute implements diagnosis.Machine: it re-runs events in diagnostic
+// mode with the given environmental changes until the log cursor reaches
+// `until` (exclusive upper bound on event sequence numbers is until itself)
+// or a fault occurs. The machine must already be rolled back to the desired
+// checkpoint. Canary scans run after every event so manifestations carry
+// fresh context.
+func (m *Machine) ReExecute(cs *allocext.ChangeSet, until int) diagnosis.Outcome {
+	m.Ext.SetMode(allocext.ModeDiagnostic)
+	m.Ext.SetChanges(cs)
+	m.Ext.ResetManifests()
+	m.Ext.ResetSeen()
+	m.Mon.ScanEachEvent = true
+	defer func() {
+		m.Mon.ScanEachEvent = false
+		m.Ext.SetMode(allocext.ModeNormal)
+		m.Ext.SetChanges(nil)
+	}()
+
+	var fault *proc.Fault
+	for m.Log.Cursor() < until {
+		f, ok := m.Step()
+		if !ok {
+			break
+		}
+		if f != nil {
+			fault = f
+			break
+		}
+	}
+	m.Ext.Scan()
+	// Copy the manifest set: the extension's instance is reset by the
+	// next re-execution.
+	return diagnosis.Outcome{
+		Fault:     fault,
+		Manifests: *m.Ext.Manifests(),
+	}
+}
+
+// SeenAllocSites implements diagnosis.Machine (call-sites observed by the
+// last ReExecute).
+func (m *Machine) SeenAllocSites() []callsite.ID { return m.Ext.SeenAllocSites() }
+
+// SeenFreeSites implements diagnosis.Machine.
+func (m *Machine) SeenFreeSites() []callsite.ID { return m.Ext.SeenFreeSites() }
+
+// --- validation support ----------------------------------------------------------
+
+// RunValidation re-runs events in validation mode: randomized allocation
+// (when randomize is set), full MM-operation tracing, and illegal-access
+// instrumentation on every load/store. When patched is false the patch
+// source is detached, producing the "without patch" baseline trace of the
+// bug report. The machine must already be rolled back.
+func (m *Machine) RunValidation(seed uint64, randomize, patched bool, until int) (*allocext.Trace, *proc.Fault) {
+	m.Ext.SetMode(allocext.ModeValidation)
+	m.Heap.SetRandom(randomize, seed)
+	m.Proc.SetAccessChecker(m.Ext)
+	m.Ext.BeginTrace()
+	if !patched {
+		m.Ext.SetPatches(nil)
+	}
+	defer func() {
+		if !patched {
+			m.Ext.SetPatches(m.currentPatches)
+		}
+		m.Proc.SetAccessChecker(nil)
+		m.Heap.SetRandom(false, 0)
+		m.Ext.SetMode(allocext.ModeNormal)
+	}()
+
+	var fault *proc.Fault
+	for m.Log.Cursor() < until {
+		f, ok := m.Step()
+		if !ok {
+			break
+		}
+		if f != nil {
+			fault = f
+			break
+		}
+	}
+	return m.Ext.EndTrace(), fault
+}
+
+// SetPatches attaches the patch source, remembering it for baseline
+// detach/re-attach during validation.
+func (m *Machine) SetPatches(ps allocext.PatchSource) {
+	m.currentPatches = ps
+	m.Ext.SetPatches(ps)
+}

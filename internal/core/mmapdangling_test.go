@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// bigBufServer frees a large (mmap-path) response buffer while an async
+// writer still holds the pointer. Unlike small-object dangling reads —
+// which silently return recycled bytes until an integrity check trips —
+// reading a munmapped region faults instantly (SIGSEGV), the classic
+// large-buffer use-after-free. The delay-free patch keeps the mapping
+// alive, so the stale read returns preserved data and the request
+// completes.
+type bigBufServer struct{}
+
+func (b *bigBufServer) Name() string       { return "bigbuf" }
+func (b *bigBufServer) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.DanglingRead} }
+func (b *bigBufServer) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	p.SetRoot(0, 0) // pending async-writer pointer
+}
+
+func (b *bigBufServer) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("serve")()
+	p.Tick(100_000)
+	switch ev.Kind {
+	case "respond":
+		buf := func() vmem.Addr {
+			defer p.Enter("response_alloc")()
+			return p.Malloc(512 << 10) // mmap path
+		}()
+		p.Memset(buf, byte(ev.N), 4096)
+		if ev.N != 0 {
+			// BUG path: hand the buffer to the async writer…
+			p.SetRoot(0, buf)
+		}
+		// …but free it at the end of the handler regardless.
+		func() {
+			defer p.Enter("response_free")()
+			p.Free(buf)
+		}()
+	case "flush":
+		// The async writer drains the buffer it was handed.
+		stale := p.RootAddr(0)
+		if stale != 0 {
+			p.At("drain")
+			p.Load(stale, 4096) // SIGSEGV on a munmapped region
+			p.SetRoot(0, 0)
+		}
+	default:
+		p.Assert(false, "bigbuf: unknown event %q", ev.Kind)
+	}
+}
+
+func (b *bigBufServer) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	for i := 0; log.Len() < n; i++ {
+		if trig[i] {
+			log.Append("respond", "", i+1) // buggy: pointer escapes
+			log.Append("flush", "", 0)
+		}
+		log.Append("respond", "", 0)
+	}
+	return log
+}
+
+func TestDanglingReadOfMmappedBufferFaultsAndIsCured(t *testing.T) {
+	prog := &bigBufServer{}
+	log := prog.Workload(500, []int{150, 350})
+	sup := NewSupervisor(prog, log, Config{})
+	stats := sup.Run()
+
+	if stats.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 (second trigger prevented)", stats.Failures)
+	}
+	rec := sup.Recoveries[0]
+	if rec.Skipped {
+		t.Fatalf("fell back to skip:\n%v", rec.Result.Log)
+	}
+	// The original failure is a hard access violation, not an assert.
+	if rec.Fault.Kind != proc.AccessViolation {
+		t.Fatalf("fault kind = %v, want access violation (munmapped read)", rec.Fault.Kind)
+	}
+	if len(rec.Result.Findings) != 1 || rec.Result.Findings[0].Bug != mmbug.DanglingRead {
+		t.Fatalf("findings = %+v\n%v", rec.Result.Findings, rec.Result.Log)
+	}
+	site := sup.M.SiteKey(rec.Result.Findings[0].Sites[0])
+	if site.Leaf() != "response_free" {
+		t.Fatalf("patched site = %v", site)
+	}
+	if !rec.Validated {
+		t.Errorf("validation failed: %s", rec.ValidationResult.Reason)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// multiBug embeds TWO different bug classes whose manifestations land in
+// the same failure region — the case §4.2's algorithm "carefully
+// separates": a buffer overflow in the request parser AND a dangling
+// pointer read through a config cache. The overflow crashes first; the
+// dangling read would crash a few events later. The program survives only
+// if BOTH are patched, so Phase 2 must identify both classes and the final
+// verification must hold with both patches.
+type multiBug struct{}
+
+func (m *multiBug) Name() string       { return "multibug" }
+func (m *multiBug) Bugs() []mmbug.Type { return []mmbug.Type{mmbug.BufferOverflow, mmbug.DanglingRead} }
+
+const (
+	mbRootCfg     = 0 // current config object
+	mbRootStale   = 1 // stale pointer kept across reloads (the dangling read)
+	mbRootStaleID = 2
+)
+
+func (m *multiBug) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("init")()
+	m.newConfig(p, 1)
+	p.SetRoot(mbRootStale, 0)
+}
+
+func (m *multiBug) newConfig(p *proc.Proc, id uint32) {
+	defer p.Enter("config_load")()
+	cfg := func() vmem.Addr {
+		defer p.Enter("cfg_alloc")()
+		return p.Malloc(88)
+	}()
+	p.StoreU32(cfg, 0x43464947) // "CFIG"
+	p.StoreU32(cfg+4, id)
+	p.Memset(cfg+8, byte(id), 80)
+	p.SetRoot(mbRootCfg, cfg)
+}
+
+func (m *multiBug) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("dispatch")()
+	p.Tick(100_000)
+	switch ev.Kind {
+	case "req":
+		m.request(p, ev.Data)
+	case "pin":
+		// Hand out a reference to the current config (a session caches it).
+		p.SetRoot(mbRootStale, p.Root(mbRootCfg))
+		p.SetRoot(mbRootStaleID, p.LoadU32(p.RootAddr(mbRootCfg)+4))
+	case "reload":
+		// BUG 2 (dangling read source): reload frees the old config but
+		// sessions keep their cached pointers.
+		old := p.RootAddr(mbRootCfg)
+		func() {
+			defer p.Enter("config_reload")()
+			defer p.Enter("cfg_free")()
+			p.Free(old)
+		}()
+		m.newConfig(p, uint32(ev.N))
+	case "session":
+		// The dangling read: a session revalidates its cached config.
+		stale := p.RootAddr(mbRootStale)
+		if stale != 0 {
+			p.At("session_check")
+			p.Assert(p.LoadU32(stale) == 0x43464947, "session config magic lost")
+			p.Assert(p.LoadU32(stale+4) == p.Root(mbRootStaleID), "session config rebound")
+			p.SetRoot(mbRootStale, 0)
+		}
+	default:
+		p.Assert(false, "multibug: unknown event %q", ev.Kind)
+	}
+}
+
+// request is the squid-style parser: a fixed 128-byte buffer, a state
+// block allocated right after it, and an unchecked copy — BUG 1.
+func (m *multiBug) request(p *proc.Proc, url string) {
+	defer p.Enter("parse_request")()
+	buf := func() vmem.Addr {
+		defer p.Enter("url_alloc")()
+		return p.Malloc(128)
+	}()
+	state := func() vmem.Addr {
+		defer p.Enter("state_alloc")()
+		return p.Malloc(64)
+	}()
+	p.StoreU32(state, 0x53544154) // "STAT"
+	p.Memset(state+4, 0, 60)
+	p.At("copy_url")
+	p.StoreString(buf, url)
+	p.At("check_state")
+	p.Assert(p.LoadU32(state) == 0x53544154, "request state corrupted")
+	func() {
+		defer p.Enter("req_free")()
+		p.Free(state)
+		p.Free(buf)
+	}()
+}
+
+// Workload: normal requests with periodic pin/reload/session config churn
+// kept safe (session always revalidates before any reload). Each trigger
+// injects the combined sequence: pin → reload (creates the dangling
+// pointer) → a few requests (recycles the freed config) → an oversized URL
+// (overflow crash) → more requests → session (the dangling read, a few
+// events after the overflow's failure point).
+func (m *multiBug) Workload(n int, triggers []int) *replay.Log {
+	log := replay.NewLog()
+	trig := map[int]bool{}
+	for _, t := range triggers {
+		trig[t] = true
+	}
+	reload := 100
+	for i := 0; log.Len() < n; i++ {
+		if trig[i] {
+			log.Append("pin", "", 0)
+			log.Append("reload", "", reload)
+			reload++
+			for j := 0; j < 6; j++ {
+				log.Append("req", "/recycle/page", 0)
+			}
+			log.Append("req", "/exploit/"+strings.Repeat("A", 200), 0) // BUG 1 fires here
+			for j := 0; j < 4; j++ {
+				log.Append("req", "/tail/page", 0)
+			}
+			log.Append("session", "", 0) // BUG 2 would fire here
+		}
+		switch {
+		case i%13 == 12:
+			log.Append("pin", "", 0)
+			log.Append("session", "", 0) // benign: no reload in between
+		case i%9 == 8:
+			log.Append("reload", "", reload)
+			reload++
+		default:
+			log.Append("req", "/site/page", 0)
+		}
+	}
+	return log
+}
+
+func TestMultipleBugClassesInOneFailureRegion(t *testing.T) {
+	prog := &multiBug{}
+	log := prog.Workload(900, []int{250})
+	sup := NewSupervisor(prog, log, Config{})
+	stats := sup.Run()
+
+	if stats.Failures != 1 {
+		t.Fatalf("failures = %d, want 1 (both bugs patched from one diagnosis)", stats.Failures)
+	}
+	if len(sup.Recoveries) != 1 {
+		t.Fatalf("recoveries = %d", len(sup.Recoveries))
+	}
+	rec := sup.Recoveries[0]
+	if rec.Skipped {
+		t.Fatalf("fell back to skip\n%v", rec.Result.Log)
+	}
+	found := map[mmbug.Type][]string{}
+	for _, fd := range rec.Result.Findings {
+		for _, s := range fd.Sites {
+			found[fd.Bug] = append(found[fd.Bug], sup.M.SiteKey(s).String())
+		}
+	}
+	if len(found) != 2 {
+		t.Fatalf("bug classes diagnosed = %v, want both overflow and dangling read\nlog:\n%s",
+			found, strings.Join(rec.Result.Log, "\n"))
+	}
+	if sites := found[mmbug.BufferOverflow]; len(sites) != 1 || !strings.HasPrefix(sites[0], "url_alloc") {
+		t.Errorf("overflow sites = %v", sites)
+	}
+	if sites := found[mmbug.DanglingRead]; len(sites) != 1 || !strings.HasPrefix(sites[0], "cfg_free") {
+		t.Errorf("dangling-read sites = %v", sites)
+	}
+	if !rec.Validated {
+		reason := ""
+		if rec.ValidationResult != nil {
+			reason = rec.ValidationResult.Reason
+		}
+		t.Errorf("validation failed: %s", reason)
+	}
+	t.Logf("diagnosed both classes in %d rollbacks: %v", rec.Result.Rollbacks, found)
+}
+
+func TestMultiBugCleanRun(t *testing.T) {
+	prog := &multiBug{}
+	log := prog.Workload(400, nil)
+	sup := NewSupervisor(prog, log, Config{})
+	if stats := sup.Run(); stats.Failures != 0 {
+		t.Fatalf("clean run failed: %+v", stats)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/patch"
+)
+
+// TestConcurrentProcessesShareOnePool models the paper's deployment (§3):
+// several processes of the same program run at once, all attached to the
+// central patch pool. Whichever process hits the bug first diagnoses it
+// and publishes the patch; the others pick it up live. Invariants checked:
+// every process completes, the pool converges to exactly one validated
+// patch, and total failures are far below one-per-trigger-per-process.
+func TestConcurrentProcessesShareOnePool(t *testing.T) {
+	pool := patch.NewPool("squid")
+
+	// Process 0 hits the bug, diagnoses, and publishes the patch.
+	first, _ := apps.New("squid")
+	sup0 := NewSupervisor(first, first.Workload(500, []int{150}), Config{Pool: pool})
+	if st := sup0.Run(); st.Failures != 1 {
+		t.Fatalf("seed process failures = %d", st.Failures)
+	}
+
+	// Three further processes now run concurrently against the live
+	// shared pool — concurrent readers of a pool that a fourth process
+	// could still be mutating — and every exploit must be absorbed.
+	const procs = 3
+	var wg sync.WaitGroup
+	stats := make([]Stats, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		a, _ := apps.New("squid")
+		log := a.Workload(900, []int{100 + i*133, 500 + i*97})
+		sup := NewSupervisor(a, log, Config{Pool: pool})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i] = sup.Run()
+		}()
+	}
+	wg.Wait()
+
+	for i, st := range stats {
+		if st.Failures != 0 {
+			t.Errorf("process %d failed %d times despite the shared patch", i, st.Failures)
+		}
+		if st.Events == 0 {
+			t.Errorf("process %d processed nothing", i)
+		}
+	}
+	active := pool.Active()
+	if len(active) != 1 {
+		t.Fatalf("pool has %d active patches, want 1 (coalesced)", len(active))
+	}
+	if !active[0].Validated {
+		t.Error("shared patch never validated")
+	}
+}
+
+// TestConcurrentDiagnosesCoalesceInPool is the all-concurrent smoke test:
+// several processes may race to the same first failure; however many win,
+// the pool must coalesce to a single patch and every process must finish.
+func TestConcurrentDiagnosesCoalesceInPool(t *testing.T) {
+	const procs = 4
+	pool := patch.NewPool("squid")
+	var wg sync.WaitGroup
+	stats := make([]Stats, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		a, _ := apps.New("squid")
+		log := a.Workload(800, []int{100 + i*200})
+		sup := NewSupervisor(a, log, Config{Pool: pool})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i] = sup.Run()
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, st := range stats {
+		total += st.Failures
+	}
+	if total == 0 {
+		t.Fatal("no process ever failed")
+	}
+	if total > procs {
+		t.Fatalf("more failures (%d) than first-triggers (%d)", total, procs)
+	}
+	if active := pool.Active(); len(active) != 1 {
+		t.Fatalf("pool did not coalesce: %v", active)
+	}
+}
+
+// TestConcurrentProcessesDistinctPrograms must not cross-contaminate:
+// pools are per-program.
+func TestConcurrentProcessesDistinctPrograms(t *testing.T) {
+	var wg sync.WaitGroup
+	pools := map[string]*patch.Pool{}
+	names := []string{"squid", "cvs", "mutt"}
+	sups := make([]*Supervisor, len(names))
+	for i, name := range names {
+		pools[name] = patch.NewPool(name)
+		a, _ := apps.New(name)
+		log := a.Workload(600, []int{200})
+		sups[i] = NewSupervisor(a, log, Config{Pool: pools[name]})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sups[i].Run()
+		}(i)
+	}
+	wg.Wait()
+	for name, pool := range pools {
+		if len(pool.Active()) == 0 {
+			t.Errorf("%s: no patch generated", name)
+		}
+		for _, p := range pool.Active() {
+			// A squid patch must never reference CVS call-sites etc.
+			if name == "cvs" && p.Site.Leaf() != "xfree" {
+				t.Errorf("cvs pool has foreign patch %v", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/mmbug"
+)
+
+// TestSoakRandomTriggerPlacement is the failure-injection sweep: for every
+// application, bug triggers are injected at randomized positions and the
+// supervision invariants must hold regardless of where in the workload —
+// and relative to checkpoint boundaries — the bug lands:
+//
+//  1. the run completes;
+//  2. the first diagnosis identifies only ground-truth bug classes;
+//  3. once patched (and validated), later triggers never fail;
+//  4. the heap is intact at the end.
+func TestSoakRandomTriggerPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(0xF1257A1D))
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 3; round++ {
+				first := 120 + rng.Intn(250)
+				second := first + 300 + rng.Intn(300)
+				a, _ := apps.New(name)
+				log := a.Workload(second+400, []int{first, second})
+				sup := NewSupervisor(a, log, Config{})
+				stats := sup.Run()
+
+				if stats.Failures == 0 {
+					t.Fatalf("round %d (triggers %d,%d): no failure", round, first, second)
+				}
+				if stats.Failures != 1 {
+					t.Errorf("round %d (triggers %d,%d): %d failures, want 1 (prevention)",
+						round, first, second, stats.Failures)
+				}
+				if len(sup.Recoveries) == 0 {
+					t.Fatalf("round %d: no recovery", round)
+				}
+				rec := sup.Recoveries[0]
+				if rec.Skipped {
+					t.Errorf("round %d: diagnosis fell back to skip\n%v", round, rec.Result.Log)
+					continue
+				}
+				want := map[mmbug.Type]bool{}
+				for _, b := range a.Bugs() {
+					want[b] = true
+				}
+				for _, fd := range rec.Result.Findings {
+					if !want[fd.Bug] {
+						t.Errorf("round %d: misdiagnosed %v (truth %v)", round, fd.Bug, a.Bugs())
+					}
+				}
+				if !rec.Validated {
+					reason := ""
+					if rec.ValidationResult != nil {
+						reason = rec.ValidationResult.Reason
+					}
+					t.Errorf("round %d: validation failed: %s", round, reason)
+				}
+				if err := sup.M.Heap.CheckIntegrity(); err != nil {
+					t.Errorf("round %d: final heap corrupt: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakManyTriggersSameRun injects a dense trigger train: the first
+// fails, everything after the patch must be absorbed — including triggers
+// that arrive while delay-freed memory from earlier triggers is still
+// held.
+func TestSoakManyTriggersSameRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, name := range []string{"apache", "squid", "cvs", "m4", "bc", "pine", "mutt"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var triggers []int
+			for at := 200; at < 3200; at += 300 {
+				triggers = append(triggers, at)
+			}
+			a, _ := apps.New(name)
+			log := a.Workload(3600, triggers)
+			sup := NewSupervisor(a, log, Config{})
+			stats := sup.Run()
+			if stats.Failures != 1 {
+				t.Fatalf("failures = %d across %d triggers, want 1", stats.Failures, len(triggers))
+			}
+			if sup.Ext().DelayedBytes() > sup.Ext().DelayLimit+64<<10 {
+				t.Fatalf("delay-freed memory unbounded: %d", sup.Ext().DelayedBytes())
+			}
+		})
+	}
+}

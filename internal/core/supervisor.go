@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/app"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/diagnosis"
+	"firstaid/internal/patch"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/report"
+	"firstaid/internal/validate"
+)
+
+// Config tunes a supervisor.
+type Config struct {
+	Machine    MachineConfig
+	Diagnosis  diagnosis.Config
+	Validation validate.Config
+	// DisableValidation skips the post-recovery validation step.
+	DisableValidation bool
+	// ParallelValidation runs validation on a cloned machine in a
+	// separate goroutine — the paper's design: "this step can be done in
+	// parallel on a different processor core based on a snapshot of the
+	// program so that it does not delay the failure recovery." Inconsistent
+	// patches are revoked when the result is collected (each main-loop
+	// iteration, and at the end of Run).
+	ParallelValidation bool
+	// Pool is the shared patch pool; a fresh one is created when nil.
+	// Sharing a pool across supervisors models the paper's central
+	// per-program pool protecting other processes and later runs.
+	Pool *patch.Pool
+	// Trace, when set, observes every main-loop event: the event, the
+	// monotonic simulated time after processing it, and its fault (nil
+	// on success). The throughput experiments (Figure 4) hook in here.
+	Trace func(ev replay.Event, simNow uint64, fault *proc.Fault)
+	// MaxRetriesPerEvent bounds repeated recovery attempts on the same
+	// failing event before it is dropped (default 2).
+	MaxRetriesPerEvent int
+}
+
+// Recovery records one failure-recovery episode.
+type Recovery struct {
+	Fault            *proc.Fault
+	Result           diagnosis.Result
+	Patches          []*patch.Patch
+	RecoveryWall     time.Duration
+	ValidationWall   time.Duration
+	Validated        bool
+	ValidationResult *validate.Result
+	Report           *report.Report
+	// Skipped: diagnosis could not produce a patch and the failing
+	// request was dropped instead (the "resort to other recovery
+	// schemes" fallback of §2).
+	Skipped bool
+}
+
+// Stats summarises a supervised run.
+type Stats struct {
+	Events      int
+	Failures    int
+	Recoveries  int
+	Skipped     int
+	SimSeconds  float64
+	PatchesMade int
+}
+
+// Supervisor runs one program under First-Aid.
+type Supervisor struct {
+	M     *Machine
+	Pool  *patch.Pool
+	Bound *patch.Bound
+
+	cfg        Config
+	Recoveries []*Recovery
+
+	events   int
+	failures int
+	retries  map[int]int
+
+	// pending holds in-flight parallel validations.
+	pending []*pendingValidation
+}
+
+// pendingValidation tracks one asynchronous validation. The goroutine
+// fills rec.ValidationResult/ValidationWall and closes done; the main
+// thread applies the verdict (mark validated / revoke) when it collects.
+type pendingValidation struct {
+	rec  *Recovery
+	done chan struct{}
+}
+
+// NewSupervisor builds the machine, attaches the patch pool, and leaves the
+// program initialised at checkpoint #0.
+func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
+	if cfg.MaxRetriesPerEvent == 0 {
+		cfg.MaxRetriesPerEvent = 2
+	}
+	m := NewMachine(prog, log, cfg.Machine)
+	pool := cfg.Pool
+	if pool == nil {
+		pool = patch.NewPool(prog.Name())
+	}
+	s := &Supervisor{
+		M:       m,
+		Pool:    pool,
+		Bound:   pool.Bind(m.Proc.Sites),
+		cfg:     cfg,
+		retries: map[int]int{},
+	}
+	m.SetPatches(s.Bound)
+	return s
+}
+
+// SimSeconds returns the monotonic simulated time consumed so far,
+// including re-execution work during recovery (rollbacks rewind the process
+// clock, not this timeline).
+func (s *Supervisor) SimSeconds() float64 { return s.M.SimSeconds() }
+
+// Run processes the whole input log, recovering from failures as they
+// occur, and returns the run statistics.
+func (s *Supervisor) Run() Stats {
+	for {
+		s.collectValidations(false)
+		s.M.Ckpt.MaybeCheckpoint()
+		s.M.SyncClock()
+		cursorBefore := s.M.Log.Cursor()
+		f, ok := s.M.Step()
+		if !ok {
+			break
+		}
+		s.events++
+		if s.cfg.Trace != nil {
+			ev := s.M.Log.At(cursorBefore)
+			s.cfg.Trace(ev, s.M.SimNow(), f)
+		}
+		if f != nil {
+			s.failures++
+			s.recover(f)
+		}
+	}
+	s.collectValidations(true)
+	st := Stats{
+		Events:     s.events,
+		Failures:   s.failures,
+		SimSeconds: s.SimSeconds(),
+	}
+	for _, r := range s.Recoveries {
+		if r.Skipped {
+			st.Skipped++
+		} else {
+			st.Recoveries++
+		}
+		st.PatchesMade += len(r.Patches)
+	}
+	return st
+}
+
+// window estimates the success horizon: events corresponding to ~3
+// checkpoint intervals beyond the failure (§4.1's conservative end point).
+func (s *Supervisor) window() int {
+	cps := s.M.Ckpt.Checkpoints()
+	if len(cps) >= 2 {
+		span := cps[len(cps)-1].Cursor - cps[0].Cursor
+		if per := span / (len(cps) - 1); per > 0 {
+			w := 3 * per
+			if w < 5 {
+				w = 5
+			}
+			if w > 400 {
+				w = 400
+			}
+			return w
+		}
+	}
+	return 30
+}
+
+// recover diagnoses the failure, generates and applies patches, rolls back,
+// validates and reports (Figure 1's full cycle).
+func (s *Supervisor) recover(f *proc.Fault) {
+	t0 := time.Now()
+	failCursor := s.M.Log.Cursor() // the failing event is consumed
+	until := failCursor + s.window()
+
+	eng := diagnosis.New(s.M, s.cfg.Diagnosis)
+	res := eng.Diagnose(until)
+	rec := &Recovery{Fault: f, Result: res}
+	s.Recoveries = append(s.Recoveries, rec)
+
+	if res.Nondeterministic {
+		// The plain re-execution already carried the program past the
+		// failure region; continue from its state.
+
+		rec.RecoveryWall = time.Since(t0)
+		return
+	}
+
+	s.retries[f.Event]++
+	if !res.OK() || s.retries[f.Event] > s.cfg.MaxRetriesPerEvent {
+		s.skipFailingEvent(failCursor)
+		rec.Skipped = true
+		rec.RecoveryWall = time.Since(t0)
+		return
+	}
+
+	// Patch generation and application.
+	for _, fd := range res.Findings {
+		for _, site := range fd.Sites {
+			np := patch.New(fd.Bug, s.M.SiteKey(site))
+			np.Origin = fmt.Sprintf("diagnosed from failure at event #%d", f.Event)
+			rec.Patches = append(rec.Patches, s.Pool.Add(np))
+		}
+	}
+	s.Bound.Invalidate()
+
+	// Recovery: roll back to the chosen checkpoint; the main loop
+	// re-executes from there in normal mode with the patches active.
+	s.M.Rollback(res.Checkpoint)
+	s.M.Ckpt.DropAfter(res.Checkpoint)
+
+	rec.RecoveryWall = time.Since(t0)
+
+	// Patch validation on the buggy region. In parallel mode a cloned
+	// machine validates on another goroutine while the main loop resumes
+	// immediately — the paper's design; otherwise it runs inline, timed
+	// apart from recovery.
+	switch {
+	case s.cfg.DisableValidation:
+		rec.Report = s.buildReport(rec, f, res)
+	case s.cfg.ParallelValidation:
+		clone := s.M.Clone()
+		frozen := s.Pool.Clone().Bind(clone.Proc.Sites)
+		clone.SetPatches(frozen)
+		cpClone := clone.Ckpt.Take()
+		pv := &pendingValidation{rec: rec, done: make(chan struct{})}
+		s.pending = append(s.pending, pv)
+		go func() {
+			tv := time.Now()
+			v := validate.New(clone, s.cfg.Validation).Validate(cpClone, until)
+			rec.ValidationResult = &v
+			rec.ValidationWall = time.Since(tv)
+			close(pv.done)
+		}()
+		// The report is completed when the validation is collected.
+	default:
+		tv := time.Now()
+		v := validate.New(s.M, s.cfg.Validation).Validate(res.Checkpoint, until)
+		rec.ValidationWall = time.Since(tv)
+		rec.ValidationResult = &v
+		s.applyValidation(rec)
+		// Return to the recovery point for resumption.
+		s.M.Rollback(res.Checkpoint)
+		rec.Report = s.buildReport(rec, f, res)
+	}
+}
+
+// applyValidation applies a completed validation verdict to the pool.
+func (s *Supervisor) applyValidation(rec *Recovery) {
+	if rec.ValidationResult == nil {
+		return
+	}
+	if rec.ValidationResult.Consistent {
+		rec.Validated = true
+		for _, p := range rec.Patches {
+			s.Pool.MarkValidated(p.ID)
+		}
+		return
+	}
+	for _, p := range rec.Patches {
+		s.Pool.Revoke(p.ID)
+	}
+	s.Bound.Invalidate()
+}
+
+// collectValidations harvests finished (or, when block is set, all)
+// parallel validations, applying their verdicts and completing reports.
+func (s *Supervisor) collectValidations(block bool) {
+	remaining := s.pending[:0]
+	for _, pv := range s.pending {
+		if block {
+			<-pv.done
+		} else {
+			select {
+			case <-pv.done:
+			default:
+				remaining = append(remaining, pv)
+				continue
+			}
+		}
+		s.applyValidation(pv.rec)
+		pv.rec.Report = s.buildReport(pv.rec, pv.rec.Fault, pv.rec.Result)
+	}
+	s.pending = remaining
+}
+
+func (s *Supervisor) buildReport(rec *Recovery, f *proc.Fault, res diagnosis.Result) *report.Report {
+	// Snapshot the patches under the pool lock: with several processes
+	// sharing the pool, flags may be mutating while we render.
+	snap := make([]*patch.Patch, 0, len(rec.Patches))
+	for _, p := range rec.Patches {
+		if q, ok := s.Pool.Get(p.ID); ok {
+			snap = append(snap, &q)
+		}
+	}
+	return report.Build(
+		s.M.Prog.Name(), f, res.Log, res.Rollbacks,
+		snap, rec.ValidationResult, s.M.SiteKey,
+		rec.RecoveryWall.Seconds(), rec.ValidationWall.Seconds(),
+	)
+}
+
+// skipFailingEvent is the last-resort fallback: roll back to the latest
+// checkpoint, replay up to the failing event, and drop it.
+func (s *Supervisor) skipFailingEvent(failCursor int) {
+	cp := s.M.Ckpt.Latest()
+	s.M.Rollback(cp)
+
+	for s.M.Log.Cursor() < failCursor-1 {
+		if f, ok := s.M.Step(); !ok || f != nil {
+			break
+		}
+		s.M.SyncClock()
+	}
+	s.M.Log.SetCursor(failCursor)
+}
+
+// Checkpoint exposes the manager (experiments read Table-7 stats from it).
+func (s *Supervisor) Checkpoint() *checkpoint.Manager { return s.M.Ckpt }
+
+// Ext exposes the allocator extension (experiments read space stats).
+func (s *Supervisor) Ext() *allocext.Ext { return s.M.Ext }

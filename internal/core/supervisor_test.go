@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/mmbug"
+)
+
+// expectSites is the paper's Table-3 "No. of call-sites applied" column.
+var expectSites = map[string]int{
+	"apache":     7,
+	"squid":      1,
+	"cvs":        1,
+	"pine":       1,
+	"mutt":       1,
+	"m4":         2,
+	"bc":         3,
+	"apache-uir": 1,
+	"apache-dpw": 1,
+}
+
+func runApp(t *testing.T, name string, triggers []int, events int) (*Supervisor, Stats) {
+	t.Helper()
+	a, err := apps.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := a.Workload(events, triggers)
+	sup := NewSupervisor(a, log, Config{})
+	stats := sup.Run()
+	return sup, stats
+}
+
+func TestSurviveAndDiagnoseEachApplication(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sup, stats := runApp(t, name, []int{230}, 600)
+			if stats.Failures == 0 {
+				t.Fatal("trigger did not fail under supervision")
+			}
+			if len(sup.Recoveries) == 0 {
+				t.Fatal("no recovery recorded")
+			}
+			rec := sup.Recoveries[0]
+			if rec.Skipped {
+				t.Fatalf("diagnosis fell back to skipping; log:\n%v", rec.Result.Log)
+			}
+			// The diagnosed class must match the ground truth.
+			a, _ := apps.New(name)
+			want := a.Bugs()[0]
+			found := false
+			for _, fd := range rec.Result.Findings {
+				if fd.Bug == want {
+					found = true
+				}
+				if fd.Bug != want && name != "bc" {
+					t.Errorf("spurious finding %v (want only %v)", fd.Bug, want)
+				}
+			}
+			if !found {
+				t.Fatalf("bug %v not diagnosed; findings: %+v\nlog:\n%v", want, rec.Result.Findings, rec.Result.Log)
+			}
+			// Patch application points match the paper's counts.
+			if got := len(rec.Patches); got != expectSites[name] {
+				t.Errorf("patched call-sites = %d, want %d; patches: %v", got, expectSites[name], rec.Patches)
+				for _, l := range rec.Result.Log {
+					t.Log(l)
+				}
+			}
+			// The run completed: every event after recovery processed.
+			if stats.Events == 0 {
+				t.Fatal("no events processed")
+			}
+			// Validation must pass for a correctly diagnosed memory bug.
+			if !rec.Validated {
+				reason := ""
+				if rec.ValidationResult != nil {
+					reason = rec.ValidationResult.Reason
+				}
+				t.Errorf("validation failed: %s", reason)
+			}
+			t.Logf("%s: %d rollbacks, %d patches, recovery %.1fms, validation %.1fms",
+				name, rec.Result.Rollbacks, len(rec.Patches),
+				float64(rec.RecoveryWall.Microseconds())/1000,
+				float64(rec.ValidationWall.Microseconds())/1000)
+		})
+	}
+}
+
+func TestPatchesPreventFutureFailures(t *testing.T) {
+	// Repeated triggers: only the first may fail; the patches must absorb
+	// every later one (paper §7.3 / Figure 4).
+	for _, name := range []string{"apache", "squid", "cvs", "m4", "bc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sup, stats := runApp(t, name, []int{230, 700, 1200, 1700}, 2200)
+			if stats.Failures != 1 {
+				t.Fatalf("failures = %d, want exactly 1 (first trigger only); recoveries: %d",
+					stats.Failures, len(sup.Recoveries))
+			}
+			if len(sup.Recoveries) != 1 || sup.Recoveries[0].Skipped {
+				t.Fatalf("unexpected recovery records: %+v", sup.Recoveries)
+			}
+		})
+	}
+}
+
+func TestDiagnosisRollbackCountsAreReasonable(t *testing.T) {
+	// Shape check against Table 3: direct-evidence bugs take few
+	// rollbacks; binary-search bugs (apache, m4, apache-uir) take more.
+	direct := []string{"squid", "cvs", "pine", "mutt", "bc", "apache-dpw"}
+	for _, name := range direct {
+		sup, _ := runApp(t, name, []int{230}, 600)
+		rb := sup.Recoveries[0].Result.Rollbacks
+		if rb < 2 || rb > 15 {
+			t.Errorf("%s rollbacks = %d, want a small count (direct identification)", name, rb)
+		}
+	}
+	searchy := []string{"apache", "m4", "apache-uir"}
+	counts := map[string]int{}
+	for _, name := range searchy {
+		sup, _ := runApp(t, name, []int{230}, 600)
+		counts[name] = sup.Recoveries[0].Result.Rollbacks
+	}
+	// Apache (7 sites) must need more rollbacks than m4 (2 sites).
+	if counts["apache"] <= counts["m4"] {
+		t.Errorf("apache rollbacks (%d) should exceed m4's (%d): more sites to search", counts["apache"], counts["m4"])
+	}
+	for name, rb := range counts {
+		if rb < 5 {
+			t.Errorf("%s rollbacks = %d, suspiciously few for binary search", name, rb)
+		}
+		t.Logf("%s: %d rollbacks", name, rb)
+	}
+}
+
+func TestPatchPoolSharedAcrossProcesses(t *testing.T) {
+	// First process diagnoses and patches; a second process running the
+	// same program with the same pool never fails (paper §2: patches
+	// protect other processes running the same executable).
+	a1, _ := apps.New("squid")
+	log1 := a1.Workload(500, []int{200})
+	sup1 := NewSupervisor(a1, log1, Config{})
+	st1 := sup1.Run()
+	if st1.Failures != 1 {
+		t.Fatalf("first process failures = %d", st1.Failures)
+	}
+
+	a2, _ := apps.New("squid")
+	log2 := a2.Workload(500, []int{100})
+	sup2 := NewSupervisor(a2, log2, Config{Pool: sup1.Pool})
+	st2 := sup2.Run()
+	if st2.Failures != 0 {
+		t.Fatalf("second process failed %d times despite inherited patches", st2.Failures)
+	}
+}
+
+func TestNoTriggersMeansNoRecoveries(t *testing.T) {
+	sup, stats := runApp(t, "apache", nil, 500)
+	if stats.Failures != 0 || len(sup.Recoveries) != 0 {
+		t.Fatalf("clean run produced failures: %+v", stats)
+	}
+	if sup.Pool.Len() != 0 {
+		t.Fatal("patches generated without failures")
+	}
+}
+
+func TestDiagnosedBugTypesExactlyMatchGroundTruth(t *testing.T) {
+	// Correctness property (§4.3): First-Aid never misdiagnoses one
+	// memory bug class as another.
+	for _, name := range apps.Names() {
+		a, _ := apps.New(name)
+		sup, _ := runApp(t, name, []int{230}, 600)
+		if len(sup.Recoveries) == 0 {
+			t.Fatalf("%s: no recovery", name)
+		}
+		wantSet := map[mmbug.Type]bool{}
+		for _, b := range a.Bugs() {
+			wantSet[b] = true
+		}
+		for _, fd := range sup.Recoveries[0].Result.Findings {
+			if !wantSet[fd.Bug] {
+				t.Errorf("%s: misdiagnosed class %v (ground truth %v)", name, fd.Bug, a.Bugs())
+			}
+		}
+	}
+}
+
+func TestRecoveryReportIsComplete(t *testing.T) {
+	sup, _ := runApp(t, "apache", []int{230}, 600)
+	rec := sup.Recoveries[0]
+	if rec.Report == nil {
+		t.Fatal("no report")
+	}
+	text := rec.Report.String()
+	for _, want := range []string{
+		"1. Failure:", "2. Diagnosis summary", "3. Patch applied",
+		"4. Memory allocations", "5. Illegal access",
+		"delay free", "util_ald_free",
+	} {
+		if !containsStr(text, want) {
+			t.Errorf("report missing %q\n%s", want, text)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

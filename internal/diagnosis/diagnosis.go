@@ -1,0 +1,517 @@
+// Package diagnosis implements First-Aid's two-phase, environmental-change
+// based failure diagnosis (paper §4).
+//
+// Phase 1 finds the latest checkpoint taken before the bug-triggering
+// point: it rolls back through checkpoints in reverse chronological order,
+// first screening for non-deterministic failures with a plain re-execution,
+// then probing each checkpoint with every preventive change applied to all
+// objects — with the heap-marking technique (§4.1, Figure 3) rejecting
+// checkpoints whose apparent success merely reflects disturbed heap layout
+// after a bug that had already been triggered.
+//
+// Phase 2 identifies the bug types and the call-sites of the
+// bug-triggering objects: it probes each candidate type b with the
+// exposing change for b plus preventive changes for every other type
+// (so only b can manifest), checks convergence after each hit, reads
+// call-sites directly from canary and parameter-check evidence for
+// overflow / dangling-write / double-free, and runs the O(M·log N)
+// binary search over observed call-sites for the read-type bugs
+// (dangling read, uninitialized read).
+package diagnosis
+
+import (
+	"fmt"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+)
+
+// Outcome is the observable result of one diagnostic re-execution.
+type Outcome struct {
+	Fault     *proc.Fault
+	Manifests allocext.ManifestSet
+}
+
+// Passed reports whether the re-execution survived the failure region.
+func (o Outcome) Passed() bool { return o.Fault == nil }
+
+// Machine is the rollback/re-execution substrate the engine drives;
+// core.Machine implements it.
+type Machine interface {
+	// Checkpoints returns the retained checkpoints, oldest first.
+	Checkpoints() []*checkpoint.Checkpoint
+	// Rollback reinstates the given checkpoint's state.
+	Rollback(cp *checkpoint.Checkpoint)
+	// MarkHeap canary-fills free heap space (call after Rollback).
+	MarkHeap() error
+	// ReExecute re-runs events under the given changes until the replay
+	// cursor reaches `until` or a fault traps.
+	ReExecute(cs *allocext.ChangeSet, until int) Outcome
+	// SeenAllocSites / SeenFreeSites return the call-sites observed by
+	// the most recent ReExecute.
+	SeenAllocSites() []callsite.ID
+	SeenFreeSites() []callsite.ID
+	// SiteKey resolves an interned call-site for log rendering.
+	SiteKey(id callsite.ID) callsite.Key
+}
+
+// Config tunes the engine.
+type Config struct {
+	// MaxCheckpoints bounds the Phase-1 backward search (default 8);
+	// beyond it the bug is logged as non-patchable.
+	MaxCheckpoints int
+	// MaxRollbacks is the overall re-execution budget (default 200).
+	MaxRollbacks int
+
+	// DisableHeapMarking is an ablation switch: Phase 1 runs without the
+	// §4.1 marking pass, re-enabling the Figure-3 checkpoint
+	// misidentification. For experiments only.
+	DisableHeapMarking bool
+	// LinearSiteSearch is an ablation switch: identify read-type bug
+	// call-sites by probing candidates one at a time (O(M·N)
+	// re-executions) instead of the paper's O(M·log N) binary search.
+	// For experiments only.
+	LinearSiteSearch bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxCheckpoints == 0 {
+		c.MaxCheckpoints = 8
+	}
+	if c.MaxRollbacks == 0 {
+		c.MaxRollbacks = 200
+	}
+}
+
+// Finding is one diagnosed bug: its class and the call-sites of the
+// bug-triggering memory objects (patch application points).
+type Finding struct {
+	Bug   mmbug.Type
+	Sites []callsite.ID
+}
+
+// Result is the diagnosis outcome.
+type Result struct {
+	// Nondeterministic: plain re-execution succeeded; no patch needed.
+	Nondeterministic bool
+	// Unpatchable: no checkpoint/change combination survives; resort to
+	// other recovery schemes.
+	Unpatchable bool
+	// Checkpoint is the latest checkpoint before the bug-triggering
+	// point — the recovery and patch-validation base.
+	Checkpoint *checkpoint.Checkpoint
+	// Findings lists the diagnosed bug classes with their call-sites.
+	Findings []Finding
+	// Rollbacks counts diagnostic re-executions (Table 3's "No. of
+	// rollbacks for diagnosis").
+	Rollbacks int
+	// Log is the human-readable diagnosis log included in the bug
+	// report.
+	Log []string
+}
+
+// OK reports whether patches can be generated from the result.
+func (r *Result) OK() bool {
+	return !r.Nondeterministic && !r.Unpatchable && len(r.Findings) > 0
+}
+
+// Engine drives diagnosis over a Machine.
+type Engine struct {
+	m   Machine
+	cfg Config
+
+	rollbacks int
+	log       []string
+}
+
+// New creates an engine.
+func New(m Machine, cfg Config) *Engine {
+	cfg.fillDefaults()
+	return &Engine{m: m, cfg: cfg}
+}
+
+func (e *Engine) logf(format string, args ...interface{}) {
+	e.log = append(e.log, fmt.Sprintf(format, args...))
+}
+
+// reexec rolls back to cp (marking the heap when mark is set) and performs
+// one diagnostic re-execution.
+func (e *Engine) reexec(cp *checkpoint.Checkpoint, cs *allocext.ChangeSet, until int, mark bool) Outcome {
+	e.m.Rollback(cp)
+	if mark {
+		if err := e.m.MarkHeap(); err != nil {
+			e.logf("heap marking failed: %v", err)
+		}
+	}
+	e.rollbacks++
+	return e.m.ReExecute(cs, until)
+}
+
+func (e *Engine) budgetExceeded() bool { return e.rollbacks >= e.cfg.MaxRollbacks }
+
+// Diagnose runs both phases. until is the success horizon: a re-execution
+// that reaches this replay-cursor position without a fault has "passed the
+// original failure region" (the supervisor sets it to the failure cursor
+// plus ~3 checkpoint intervals of events, per §4.1).
+func (e *Engine) Diagnose(until int) Result {
+	e.rollbacks = 0
+	e.log = nil
+
+	cp, res := e.phase1(until)
+	if res != nil {
+		res.Rollbacks = e.rollbacks
+		res.Log = e.log
+		return *res
+	}
+
+	findings, ok := e.phase2(cp, until)
+	result := Result{Checkpoint: cp, Findings: findings, Rollbacks: e.rollbacks}
+	if !ok {
+		result.Unpatchable = true
+		e.logf("phase 2 failed to isolate a patchable bug set; marking non-patchable")
+	}
+	result.Log = e.log
+	return result
+}
+
+// --- Phase 1 ---------------------------------------------------------------------
+
+// phase1 returns the chosen checkpoint, or a terminal result (non-
+// deterministic or unpatchable).
+func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
+	cps := e.m.Checkpoints()
+	if len(cps) == 0 {
+		e.logf("no checkpoints available")
+		return nil, &Result{Unpatchable: true}
+	}
+
+	// Screen for non-deterministic failure: plain re-execution from the
+	// newest checkpoint, no memory-management changes.
+	newest := cps[len(cps)-1]
+	out := e.reexec(newest, allocext.NewChangeSet(), until, false)
+	if out.Passed() {
+		e.logf("plain re-execution from %v passed: non-deterministic failure", newest)
+		return nil, &Result{Nondeterministic: true}
+	}
+	e.logf("plain re-execution from %v failed again (%v): deterministic bug", newest, out.Fault.Kind)
+
+	tried := 0
+	for i := len(cps) - 1; i >= 0 && tried < e.cfg.MaxCheckpoints; i-- {
+		cp := cps[i]
+		tried++
+		out := e.reexec(cp, allocext.AllPreventive(), until, !e.cfg.DisableHeapMarking)
+		switch {
+		case out.Passed() && !out.Manifests.HasMark():
+			e.logf("all-preventive re-execution from %v passed with clean heap marks: checkpoint precedes the bug-triggering point", cp)
+			return cp, nil
+		case out.Manifests.HasMark():
+			e.logf("heap-marking canaries corrupted re-executing from %v: bug triggered before this checkpoint, searching earlier", cp)
+		default:
+			e.logf("all-preventive re-execution from %v still failed (%v): searching earlier", cp, out.Fault.Kind)
+		}
+		if e.budgetExceeded() {
+			break
+		}
+	}
+	e.logf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints)
+	return nil, &Result{Unpatchable: true}
+}
+
+// --- Phase 2 ---------------------------------------------------------------------
+
+// exposePlusPrevent builds the change set that exposes b and prevents every
+// other class (all objects).
+func exposePlusPrevent(b mmbug.Type) *allocext.ChangeSet {
+	cs := allocext.NewChangeSet().AddExposing(b, nil)
+	for _, t := range mmbug.All {
+		if t != b {
+			cs.AddPreventive(t, nil)
+		}
+	}
+	return cs
+}
+
+// manifested interprets an outcome as evidence for class b per Table 1:
+// canary corruption for overflow and dangling write, the parameter check
+// for double free, and program failure for the read-type classes.
+func manifested(b mmbug.Type, out Outcome) bool {
+	switch b {
+	case mmbug.BufferOverflow, mmbug.DanglingWrite, mmbug.DoubleFree:
+		return out.Manifests.Has(b)
+	case mmbug.DanglingRead, mmbug.UninitRead:
+		return out.Fault != nil
+	}
+	return false
+}
+
+func (e *Engine) phase2(cp *checkpoint.Checkpoint, until int) ([]Finding, bool) {
+	identified := []mmbug.Type{}
+	directSites := map[mmbug.Type][]callsite.ID{}
+	undecided := append([]mmbug.Type(nil), mmbug.All...)
+
+	for len(undecided) > 0 && !e.budgetExceeded() {
+		b := undecided[0]
+		undecided = undecided[1:]
+
+		out := e.reexec(cp, exposePlusPrevent(b), until, false)
+		if !manifested(b, out) {
+			e.logf("probe %v: no manifestation, ruled out", b)
+			continue
+		}
+		identified = append(identified, b)
+		if sites := out.Manifests.Sites(b); len(sites) > 0 {
+			directSites[b] = sites
+			e.logf("probe %v: manifested at %d call-site(s) %v", b, len(sites), e.renderSites(sites))
+		} else {
+			e.logf("probe %v: manifested as failure (%v); call-sites need binary search", b, out.Fault.Kind)
+		}
+
+		// Convergence check: preventive for the identified set plus
+		// exposing for the still-undecided set; if nothing manifests,
+		// the identified set covers every occurring bug type.
+		if len(undecided) == 0 {
+			break
+		}
+		cs := allocext.NewChangeSet()
+		for _, t := range identified {
+			cs.AddPreventive(t, nil)
+		}
+		for _, t := range undecided {
+			cs.AddExposing(t, nil)
+		}
+		out = e.reexec(cp, cs, until, false)
+		rest := false
+		for _, t := range undecided {
+			if manifested(t, out) {
+				rest = true
+			}
+		}
+		if !rest && out.Passed() {
+			e.logf("convergence check passed: identified set {%v} covers all occurring bug types", identified)
+			undecided = nil
+		}
+	}
+
+	if len(identified) == 0 {
+		// Extension beyond the paper: some dangling reads never consume
+		// the poisoned data in a checkable way (e.g. a bulk copy out of
+		// a large munmapped buffer — the failure is the unmapped page
+		// itself, which the exposing change's delay-free suppresses).
+		// No exposing probe manifests, yet Phase 1 proved the failure
+		// preventable. Fall back to identifying the class by which
+		// single preventive change suffices, and its call-sites by
+		// *omission* of prevention.
+		e.logf("no bug type manifested under any exposing change; falling back to prevention-based identification")
+		return e.phase2ByPrevention(cp, until)
+	}
+
+	// Call-site identification.
+	var findings []Finding
+	for _, b := range identified {
+		if !b.ReadType() {
+			findings = append(findings, Finding{Bug: b, Sites: directSites[b]})
+			continue
+		}
+		sites, ok := e.searchSites(cp, b, identified, until)
+		if !ok {
+			return nil, false
+		}
+		findings = append(findings, Finding{Bug: b, Sites: sites})
+	}
+
+	// Final verification: the preventive changes scoped exactly to the
+	// findings (the future runtime patches) must survive the region.
+	cs := allocext.NewChangeSet()
+	for _, f := range findings {
+		cs.AddPreventive(f.Bug, callsite.NewSet(f.Sites...))
+	}
+	out := e.reexec(cp, cs, until, false)
+	if !out.Passed() {
+		e.logf("final verification failed: scoped preventive changes did not survive (%v)", out.Fault.Kind)
+		return nil, false
+	}
+	e.logf("final verification passed: scoped preventive changes survive the failure region")
+	return findings, true
+}
+
+func (e *Engine) renderSites(sites []callsite.ID) []string {
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = e.m.SiteKey(s).String()
+	}
+	return out
+}
+
+// --- binary search over call-sites (read-type bugs, §4.2) -------------------------
+
+// candidateSites runs one fully-preventive pass from cp to collect the
+// complete set of call-sites exercised in the window: deallocation sites
+// for dangling reads, allocation sites for uninitialized reads.
+func (e *Engine) candidateSites(cp *checkpoint.Checkpoint, b mmbug.Type, until int) []callsite.ID {
+	e.reexec(cp, allocext.AllPreventive(), until, false)
+	if b == mmbug.UninitRead {
+		return e.m.SeenAllocSites()
+	}
+	return e.m.SeenFreeSites()
+}
+
+// searchChanges builds one binary-search iteration's change set: expose b
+// at `exposed`, prevent b at every other candidate site, prevent every
+// other identified class everywhere. When exposeByOmission is set the
+// "exposed" sites simply receive no change (the prevention-based fallback:
+// the bug manifests as the original failure whenever its site is left
+// unprotected).
+func searchChanges(b mmbug.Type, identified []mmbug.Type, exposed, prevented *callsite.Set, exposeByOmission bool) *allocext.ChangeSet {
+	cs := allocext.NewChangeSet()
+	if !exposeByOmission {
+		cs.AddExposing(b, exposed)
+	}
+	cs.AddPreventive(b, prevented)
+	for _, t := range identified {
+		if t != b {
+			cs.AddPreventive(t, nil)
+		}
+	}
+	return cs
+}
+
+// phase2ByPrevention identifies the bug class by probing each preventive
+// change alone against the whole heap, then locates call-sites with the
+// omission-based binary search.
+func (e *Engine) phase2ByPrevention(cp *checkpoint.Checkpoint, until int) ([]Finding, bool) {
+	var class mmbug.Type
+	for _, b := range mmbug.All {
+		if e.budgetExceeded() {
+			return nil, false
+		}
+		cs := allocext.NewChangeSet().AddPreventive(b, nil)
+		if cs.Empty() {
+			continue
+		}
+		out := e.reexec(cp, cs, until, false)
+		if out.Passed() {
+			class = b
+			e.logf("preventive change for %v alone survives the region", b)
+			break
+		}
+	}
+	if class == mmbug.None {
+		e.logf("no single preventive change survives; non-patchable")
+		return nil, false
+	}
+	// Delay-free covers three classes; with no corruption or re-free
+	// evidence from the earlier exposing probes, the read is what's left.
+	if class == mmbug.DanglingWrite || class == mmbug.DoubleFree {
+		class = mmbug.DanglingRead
+	}
+	sites, ok := e.searchSitesMode(cp, class, []mmbug.Type{class}, until, true)
+	if !ok {
+		return nil, false
+	}
+	findings := []Finding{{Bug: class, Sites: sites}}
+	cs := allocext.NewChangeSet().AddPreventive(class, callsite.NewSet(sites...))
+	out := e.reexec(cp, cs, until, false)
+	if !out.Passed() {
+		e.logf("final verification failed in prevention-based mode (%v)", out.Fault.Kind)
+		return nil, false
+	}
+	e.logf("final verification passed: scoped preventive changes survive the failure region")
+	return findings, true
+}
+
+// searchSites finds every bug-triggering call-site of read-type class b via
+// repeated binary search: each round isolates one site (exposing half the
+// range, preventing the rest), and rounds continue until exposing all
+// remaining candidates no longer fails — O(M·log N) re-executions for M
+// sites among N candidates.
+func (e *Engine) searchSites(cp *checkpoint.Checkpoint, b mmbug.Type, identified []mmbug.Type, until int) ([]callsite.ID, bool) {
+	return e.searchSitesMode(cp, b, identified, until, false)
+}
+
+// searchSitesMode implements searchSites; exposeByOmission selects the
+// prevention-based fallback semantics.
+func (e *Engine) searchSitesMode(cp *checkpoint.Checkpoint, b mmbug.Type, identified []mmbug.Type, until int, exposeByOmission bool) ([]callsite.ID, bool) {
+	candidates := e.candidateSites(cp, b, until)
+	if len(candidates) == 0 {
+		e.logf("binary search for %v: no candidate call-sites observed", b)
+		return nil, false
+	}
+	e.logf("binary search for %v over %d candidate call-sites", b, len(candidates))
+
+	found := callsite.NewSet()
+	remaining := callsite.NewSet(candidates...)
+
+	for remaining.Len() > 0 && !e.budgetExceeded() {
+		// Any buggy sites left? Expose everything unidentified.
+		out := e.reexec(cp, searchChanges(b, identified, remaining, found, exposeByOmission), until, false)
+		if out.Passed() {
+			break
+		}
+
+		var site callsite.ID
+		if e.cfg.LinearSiteSearch {
+			site = e.linearRound(cp, b, identified, found, remaining, until, exposeByOmission)
+			if site == 0 {
+				e.logf("linear search found no failing candidate")
+				return nil, false
+			}
+		} else {
+			// One binary-search round: narrow to a single site.
+			rng := remaining.Clone()
+			for rng.Len() > 1 && !e.budgetExceeded() {
+				lo, hi := rng.Halves()
+				// Prevent everything except lo: hi, candidates
+				// outside the range, and already-found sites.
+				prevented := found.Clone()
+				for _, s := range remaining.Sorted() {
+					if !lo.Contains(s) {
+						prevented.Add(s)
+					}
+				}
+				out := e.reexec(cp, searchChanges(b, identified, lo, prevented, exposeByOmission), until, false)
+				if out.Fault != nil {
+					rng = lo
+				} else {
+					rng = hi
+				}
+			}
+			site = rng.Sorted()[0]
+		}
+		found.Add(site)
+		remaining.Remove(site)
+		e.logf("search round: identified %v call-site %s", b, e.m.SiteKey(site))
+	}
+	if remaining.Len() > 0 && e.budgetExceeded() {
+		e.logf("binary search for %v exceeded the rollback budget", b)
+		return nil, false
+	}
+	if found.Len() == 0 {
+		e.logf("binary search for %v found no bug-triggering call-site", b)
+		return nil, false
+	}
+	return found.Sorted(), true
+}
+
+// linearRound is the ablation alternative to one binary-search round:
+// expose one candidate at a time (preventing all others) until one fails.
+func (e *Engine) linearRound(cp *checkpoint.Checkpoint, b mmbug.Type, identified []mmbug.Type, found, remaining *callsite.Set, until int, exposeByOmission bool) callsite.ID {
+	for _, s := range remaining.Sorted() {
+		if e.budgetExceeded() {
+			return 0
+		}
+		prevented := found.Clone()
+		for _, o := range remaining.Sorted() {
+			if o != s {
+				prevented.Add(o)
+			}
+		}
+		out := e.reexec(cp, searchChanges(b, identified, callsite.NewSet(s), prevented, exposeByOmission), until, false)
+		if out.Fault != nil {
+			return s
+		}
+	}
+	return 0
+}

@@ -1,0 +1,472 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+)
+
+// fakeBug models one latent bug for the mock machine: its class, the
+// call-site of the bug-triggering objects, and the checkpoint sequence
+// number after which the bug's trigger (the bad free, the overflowing
+// write…) executes. A rollback to cp with cp.Seq <= TrigSeq re-executes
+// the trigger, so environmental changes can prevent or expose it; a later
+// checkpoint cannot.
+type fakeBug struct {
+	Typ     mmbug.Type
+	Site    callsite.ID
+	TrigSeq int
+}
+
+// mockMachine simulates re-execution outcomes from Table-1 semantics
+// without running a real heap — an independent check of the engine's
+// logic.
+type mockMachine struct {
+	cps        []*checkpoint.Checkpoint
+	bugs       []fakeBug
+	allocSites []callsite.ID // benign candidate sites
+	freeSites  []callsite.ID
+
+	rolledBack *checkpoint.Checkpoint
+	marked     bool
+	tab        *callsite.Table
+	reexecs    int
+}
+
+func newMock(nCps int, bugs []fakeBug) *mockMachine {
+	m := &mockMachine{bugs: bugs, tab: callsite.NewTable()}
+	for i := 0; i < nCps; i++ {
+		m.cps = append(m.cps, &checkpoint.Checkpoint{Seq: i, Cursor: i * 10})
+	}
+	return m
+}
+
+func (m *mockMachine) Checkpoints() []*checkpoint.Checkpoint { return m.cps }
+
+func (m *mockMachine) Rollback(cp *checkpoint.Checkpoint) {
+	m.rolledBack = cp
+	m.marked = false
+}
+
+func (m *mockMachine) MarkHeap() error { m.marked = true; return nil }
+
+func (m *mockMachine) SiteKey(id callsite.ID) callsite.Key {
+	return callsite.Key{"site", "", ""}
+}
+
+func (m *mockMachine) SeenAllocSites() []callsite.ID {
+	out := append([]callsite.ID(nil), m.allocSites...)
+	for _, b := range m.bugs {
+		if b.Typ.AtAllocation() {
+			out = append(out, b.Site)
+		}
+	}
+	return out
+}
+
+func (m *mockMachine) SeenFreeSites() []callsite.ID {
+	out := append([]callsite.ID(nil), m.freeSites...)
+	for _, b := range m.bugs {
+		if !b.Typ.AtAllocation() {
+			out = append(out, b.Site)
+		}
+	}
+	return out
+}
+
+// ReExecute computes the outcome per Table 1: for each bug whose trigger
+// re-executes (cp.Seq <= TrigSeq), the active changes at its site decide
+// prevention, exposure, or failure; for pre-checkpoint bugs, heap marking
+// is the only detector.
+func (m *mockMachine) ReExecute(cs *allocext.ChangeSet, until int) Outcome {
+	m.reexecs++
+	var out Outcome
+	fail := func() {
+		if out.Fault == nil {
+			out.Fault = &proc.Fault{Kind: proc.AssertFailure, Msg: "mock failure"}
+		}
+	}
+	plain := cs.Empty()
+	for _, b := range m.bugs {
+		if m.rolledBack != nil && m.rolledBack.Seq > b.TrigSeq {
+			// Trigger predates the checkpoint: changes cannot help.
+			switch b.Typ {
+			case mmbug.DanglingRead:
+				// The stale read still happens and still fails
+				// (marking or recycled garbage either way).
+				fail()
+			default:
+				if plain {
+					// Original layout: the corruption lands where
+					// it did before → same failure.
+					fail()
+				} else if m.marked {
+					// Layout disturbed: failure masked, but the
+					// wild write lands in marked free space.
+					out.Manifests.Add(allocext.Manifestation{
+						Bug: b.Typ, FromMark: true,
+					})
+				}
+				// Changes active but no marking: silently masked —
+				// the misidentification trap of Figure 3.
+			}
+			continue
+		}
+		// Trigger re-executes under the change set.
+		switch b.Typ {
+		case mmbug.BufferOverflow:
+			act := cs.AllocFor(b.Site)
+			switch {
+			case act.PadCanary:
+				out.Manifests.Add(allocext.Manifestation{Bug: b.Typ, AllocSite: b.Site})
+			case act.Pad:
+				// absorbed silently
+			default:
+				fail()
+			}
+		case mmbug.DanglingWrite:
+			act := cs.FreeFor(b.Site)
+			switch {
+			case act.CanaryFill:
+				out.Manifests.Add(allocext.Manifestation{Bug: b.Typ, FreeSite: b.Site})
+			case act.Delay:
+				// absorbed silently
+			default:
+				fail()
+			}
+		case mmbug.DanglingRead:
+			act := cs.FreeFor(b.Site)
+			switch {
+			case act.CanaryFill:
+				fail() // poisoned read
+			case act.Delay:
+				// preserved contents: survives
+			default:
+				fail() // recycled garbage
+			}
+		case mmbug.DoubleFree:
+			act := cs.FreeFor(b.Site)
+			if plain {
+				fail() // raw allocator aborts
+			} else {
+				_ = act // parameter check catches it either way
+				out.Manifests.Add(allocext.Manifestation{Bug: b.Typ, FreeSite: b.Site})
+			}
+		case mmbug.UninitRead:
+			act := cs.AllocFor(b.Site)
+			switch {
+			case act.CanaryNew:
+				fail() // poisoned flags
+			case act.Zero:
+				// defined zeros: survives
+			default:
+				fail() // recycled garbage
+			}
+		}
+	}
+	return out
+}
+
+func sitesOf(m *mockMachine, n int, leaf string) []callsite.ID {
+	var out []callsite.ID
+	for i := 0; i < n; i++ {
+		out = append(out, m.tab.Intern(callsite.Key{leaf, "mid", string(rune('a' + i))}))
+	}
+	return out
+}
+
+// --- tests ------------------------------------------------------------------------
+
+func TestSingleOverflowDirectIdentification(t *testing.T) {
+	m := newMock(4, nil)
+	site := m.tab.Intern(callsite.Key{"xmalloc", "parse", "handle"})
+	m.bugs = []fakeBug{{Typ: mmbug.BufferOverflow, Site: site, TrigSeq: 99}}
+	m.freeSites = sitesOf(m, 3, "xfree")
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("not OK: %+v\n%v", res, res.Log)
+	}
+	if res.Checkpoint.Seq != 3 {
+		t.Fatalf("checkpoint = %d, want newest (3)", res.Checkpoint.Seq)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Bug != mmbug.BufferOverflow {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+	if len(res.Findings[0].Sites) != 1 || res.Findings[0].Sites[0] != site {
+		t.Fatalf("sites = %v", res.Findings[0].Sites)
+	}
+	// Direct identification: phase1 (plain + preventive) + 5 probes at
+	// most + convergence + final ≈ few rollbacks.
+	if res.Rollbacks > 10 {
+		t.Fatalf("rollbacks = %d, too many for direct identification", res.Rollbacks)
+	}
+}
+
+func TestHeapMarkingRejectsPostBugCheckpoint(t *testing.T) {
+	// The Figure-3 scenario: a dangling write triggered between cp1 and
+	// cp2. From cp2/cp3 the preventive changes mask the failure by
+	// disturbing the layout — only heap marking reveals that the bug
+	// predates them. The engine must select cp1.
+	m := newMock(4, nil)
+	site := m.tab.Intern(callsite.Key{"xfree", "conn_close", "handle"})
+	m.bugs = []fakeBug{{Typ: mmbug.DanglingWrite, Site: site, TrigSeq: 1}}
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("not OK: %+v\n%v", res, res.Log)
+	}
+	if res.Checkpoint.Seq != 1 {
+		t.Fatalf("checkpoint = %d, want 1 (last before the trigger)\nlog: %v", res.Checkpoint.Seq, res.Log)
+	}
+	if res.Findings[0].Bug != mmbug.DanglingWrite || res.Findings[0].Sites[0] != site {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+}
+
+func TestNondeterministicFailure(t *testing.T) {
+	m := newMock(3, nil) // no bugs: plain re-execution passes
+	res := New(m, Config{}).Diagnose(100)
+	if !res.Nondeterministic {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want exactly 1 (the plain screen)", res.Rollbacks)
+	}
+}
+
+func TestUnpatchableWhenBugPredatesAllCheckpoints(t *testing.T) {
+	m := newMock(3, nil)
+	site := m.tab.Intern(callsite.Key{"xfree", "old", "x"})
+	m.bugs = []fakeBug{{Typ: mmbug.DanglingRead, Site: site, TrigSeq: -1}}
+	res := New(m, Config{}).Diagnose(100)
+	if !res.Unpatchable {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+}
+
+func TestDoubleFreeIdentifiedFromParameterCheck(t *testing.T) {
+	m := newMock(3, nil)
+	site := m.tab.Intern(callsite.Key{"xfree", "error_path", "serve"})
+	m.bugs = []fakeBug{{Typ: mmbug.DoubleFree, Site: site, TrigSeq: 99}}
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() || res.Findings[0].Bug != mmbug.DoubleFree {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+	if res.Findings[0].Sites[0] != site {
+		t.Fatalf("sites = %v", res.Findings[0].Sites)
+	}
+}
+
+func TestBinarySearchFindsSingleReadSite(t *testing.T) {
+	m := newMock(3, nil)
+	m.freeSites = sitesOf(m, 15, "xfree") // benign candidates
+	buggy := m.tab.Intern(callsite.Key{"xfree", "purge", "insert"})
+	m.bugs = []fakeBug{{Typ: mmbug.DanglingRead, Site: buggy, TrigSeq: 99}}
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+	f := res.Findings[0]
+	if f.Bug != mmbug.DanglingRead || len(f.Sites) != 1 || f.Sites[0] != buggy {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+	// O(log 16) ≈ 4 narrowing steps + bookkeeping; generous bound.
+	if res.Rollbacks > 20 {
+		t.Fatalf("rollbacks = %d for 1 site among 16 candidates", res.Rollbacks)
+	}
+}
+
+func TestBinarySearchFindsAllOfSeveralReadSites(t *testing.T) {
+	m := newMock(3, nil)
+	m.freeSites = sitesOf(m, 9, "xfree")
+	var buggy []callsite.ID
+	for _, name := range []string{"purgeA", "purgeB", "purgeC"} {
+		s := m.tab.Intern(callsite.Key{"xfree", name, "insert"})
+		buggy = append(buggy, s)
+		m.bugs = append(m.bugs, fakeBug{Typ: mmbug.DanglingRead, Site: s, TrigSeq: 99})
+	}
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+	got := map[callsite.ID]bool{}
+	for _, s := range res.Findings[0].Sites {
+		got[s] = true
+	}
+	for _, s := range buggy {
+		if !got[s] {
+			t.Fatalf("missing buggy site %d; found %v", s, res.Findings[0].Sites)
+		}
+	}
+	if len(got) != len(buggy) {
+		t.Fatalf("extra sites found: %v", res.Findings[0].Sites)
+	}
+}
+
+func TestUninitReadSearchesAllocSites(t *testing.T) {
+	m := newMock(3, nil)
+	m.allocSites = sitesOf(m, 7, "xmalloc")
+	buggy := m.tab.Intern(callsite.Key{"xmalloc", "stat_alloc", "stat"})
+	m.bugs = []fakeBug{{Typ: mmbug.UninitRead, Site: buggy, TrigSeq: 99}}
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() || res.Findings[0].Bug != mmbug.UninitRead {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+	if len(res.Findings[0].Sites) != 1 || res.Findings[0].Sites[0] != buggy {
+		t.Fatalf("sites = %v", res.Findings[0].Sites)
+	}
+}
+
+func TestMultipleBugTypesSeparated(t *testing.T) {
+	// §4.2: "the case where multiple types of bugs are triggered and the
+	// program will not survive unless all of them are avoided."
+	m := newMock(3, nil)
+	ovf := m.tab.Intern(callsite.Key{"bc_malloc", "more_arrays", "grow"})
+	dr := m.tab.Intern(callsite.Key{"xfree", "purge", "insert"})
+	m.bugs = []fakeBug{
+		{Typ: mmbug.BufferOverflow, Site: ovf, TrigSeq: 99},
+		{Typ: mmbug.DanglingRead, Site: dr, TrigSeq: 99},
+	}
+	m.freeSites = sitesOf(m, 5, "xfree")
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("res = %+v\n%v", res, res.Log)
+	}
+	found := map[mmbug.Type][]callsite.ID{}
+	for _, f := range res.Findings {
+		found[f.Bug] = f.Sites
+	}
+	if len(found) != 2 {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+	if len(found[mmbug.BufferOverflow]) != 1 || found[mmbug.BufferOverflow][0] != ovf {
+		t.Fatalf("overflow sites = %v", found[mmbug.BufferOverflow])
+	}
+	if len(found[mmbug.DanglingRead]) != 1 || found[mmbug.DanglingRead][0] != dr {
+		t.Fatalf("dangling-read sites = %v", found[mmbug.DanglingRead])
+	}
+}
+
+func TestNoMisdiagnosisAcrossClasses(t *testing.T) {
+	// §4.3 Correctness: for each single-bug scenario the engine must
+	// report exactly that class, never a sibling.
+	for _, typ := range mmbug.All {
+		typ := typ
+		m := newMock(3, nil)
+		var site callsite.ID
+		if typ.AtAllocation() {
+			site = m.tab.Intern(callsite.Key{"xmalloc", "leaf", "h"})
+		} else {
+			site = m.tab.Intern(callsite.Key{"xfree", "leaf", "h"})
+		}
+		m.bugs = []fakeBug{{Typ: typ, Site: site, TrigSeq: 99}}
+		m.allocSites = sitesOf(m, 4, "xmalloc")
+		m.freeSites = sitesOf(m, 4, "xfree")
+
+		res := New(m, Config{}).Diagnose(100)
+		if !res.OK() {
+			t.Fatalf("%v: not OK: %v", typ, res.Log)
+		}
+		if len(res.Findings) != 1 || res.Findings[0].Bug != typ {
+			t.Fatalf("%v misdiagnosed: %+v", typ, res.Findings)
+		}
+	}
+}
+
+func TestRollbackBudgetExhaustion(t *testing.T) {
+	m := newMock(8, nil)
+	buggy := m.tab.Intern(callsite.Key{"xfree", "purge", "insert"})
+	m.freeSites = sitesOf(m, 30, "xfree")
+	m.bugs = []fakeBug{{Typ: mmbug.DanglingRead, Site: buggy, TrigSeq: 99}}
+
+	res := New(m, Config{MaxRollbacks: 3}).Diagnose(100)
+	if res.OK() {
+		t.Fatal("diagnosis claimed success within an impossible budget")
+	}
+	if !res.Unpatchable {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Rollbacks > 10 {
+		t.Fatalf("budget not respected: %d rollbacks", res.Rollbacks)
+	}
+}
+
+func TestNoCheckpointsIsUnpatchable(t *testing.T) {
+	m := newMock(0, nil)
+	res := New(m, Config{}).Diagnose(100)
+	if !res.Unpatchable {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDiagnosisLogIsInformative(t *testing.T) {
+	m := newMock(3, nil)
+	site := m.tab.Intern(callsite.Key{"xmalloc", "parse", "handle"})
+	m.bugs = []fakeBug{{Typ: mmbug.BufferOverflow, Site: site, TrigSeq: 99}}
+	res := New(m, Config{}).Diagnose(100)
+	if len(res.Log) < 3 {
+		t.Fatalf("log too sparse: %v", res.Log)
+	}
+}
+
+// silentDanglingRead models the consumer-never-checks case: the read of a
+// delay-freed (canary-filled) object does NOT fail — only the plain run's
+// recycled/unmapped access does. The mock: exposing canary-fill behaves
+// exactly like plain delay (no failure); absence of any change fails.
+type silentDanglingRead struct{ *mockMachine }
+
+func (m silentDanglingRead) ReExecute(cs *allocext.ChangeSet, until int) Outcome {
+	m.reexecs++
+	var out Outcome
+	for _, b := range m.bugs {
+		if b.Typ != mmbug.DanglingRead {
+			continue
+		}
+		act := cs.FreeFor(b.Site)
+		if !act.Delay {
+			// Unprotected: the munmap-style fault.
+			out.Fault = &proc.Fault{Kind: proc.AccessViolation, Msg: "unmapped"}
+		}
+		// Delay (with or without canary fill) survives: the program
+		// never inspects the bytes.
+	}
+	return out
+}
+
+func TestPreventionFallbackIdentifiesUncheckedDanglingRead(t *testing.T) {
+	inner := newMock(3, nil)
+	buggy := inner.tab.Intern(callsite.Key{"xfree", "response_free", "serve"})
+	inner.freeSites = sitesOf(inner, 6, "xfree")
+	inner.bugs = []fakeBug{{Typ: mmbug.DanglingRead, Site: buggy, TrigSeq: 99}}
+	m := silentDanglingRead{inner}
+
+	res := New(m, Config{}).Diagnose(100)
+	if !res.OK() {
+		t.Fatalf("fallback failed: %+v\n%v", res, res.Log)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Bug != mmbug.DanglingRead {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+	if len(res.Findings[0].Sites) != 1 || res.Findings[0].Sites[0] != buggy {
+		t.Fatalf("sites = %v, want [%d]", res.Findings[0].Sites, buggy)
+	}
+	// The log must record the fallback route.
+	sawFallback := false
+	for _, l := range res.Log {
+		if l == "no bug type manifested under any exposing change; falling back to prevention-based identification" {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatalf("fallback not logged:\n%v", res.Log)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+func TestAblationSearchBinaryBeatsLinear(t *testing.T) {
+	rows := AblationSearch()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BinaryRollbacks == 0 || r.LinearRollbacks == 0 {
+			t.Errorf("%s: missing measurement %+v", r.App, r)
+			continue
+		}
+		// With few candidates the strategies can tie; apache (7 buggy
+		// sites among ~12 candidates) must show the gap.
+		if r.App == "apache" && r.LinearRollbacks <= r.BinaryRollbacks {
+			t.Errorf("apache: linear (%d) not costlier than binary (%d)", r.LinearRollbacks, r.BinaryRollbacks)
+		}
+	}
+	t.Logf("\n%s", RenderAblationSearch(rows))
+}
+
+func TestAblationCheckpointAdaptiveCutsOverhead(t *testing.T) {
+	rows := AblationCheckpoint(150)
+	byKey := map[string]AblationCheckpointRow{}
+	for _, r := range rows {
+		byKey[r.Program+"/"+r.Mode] = r
+	}
+	vFixed := byKey["255.vortex/fixed-200ms"]
+	vAdapt := byKey["255.vortex/adaptive"]
+	if vAdapt.OverheadFrac >= vFixed.OverheadFrac {
+		t.Errorf("adaptive (%.2f%%) did not beat fixed (%.2f%%) on vortex",
+			100*vAdapt.OverheadFrac, 100*vFixed.OverheadFrac)
+	}
+	// On a light dirtier the two must be near-identical (the controller
+	// leaves the interval alone).
+	eFixed := byKey["252.eon/fixed-200ms"]
+	eAdapt := byKey["252.eon/adaptive"]
+	if diff := eAdapt.OverheadFrac - eFixed.OverheadFrac; diff > 0.01 || diff < -0.01 {
+		t.Errorf("adaptive changed eon's overhead by %.2f%%", 100*diff)
+	}
+	t.Logf("\n%s", RenderAblationCheckpoint(rows))
+}
+
+func TestAblationDelayLimitTradeoff(t *testing.T) {
+	rows := AblationDelayLimit()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's 1 MB threshold must give full prevention (1 failure);
+	// the 4 KB threshold recycles still-referenced objects and fails
+	// again.
+	small, big := rows[0], rows[2]
+	if big.Failures != 1 {
+		t.Errorf("1MB threshold: failures = %d, want 1", big.Failures)
+	}
+	if small.Failures <= big.Failures {
+		t.Errorf("4KB threshold did not undermine the patch: %d vs %d failures",
+			small.Failures, big.Failures)
+	}
+	if small.DelayedBytes > big.DelayedBytes {
+		t.Errorf("smaller threshold holds more delayed bytes: %+v", rows)
+	}
+	t.Logf("\n%s", RenderAblationDelayLimit(rows))
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Inventory(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"apache", "squid", "cvs", "pine", "mutt", "m4", "bc", "dangling pointer read", "double free"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3AllCorrectAndPreventive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recovery sweep")
+	}
+	rows := Table3()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("%s: diagnosis incorrect (%q)", r.App, r.Diagnosed)
+		}
+		if !r.AvoidFuture {
+			t.Errorf("%s: future errors not avoided", r.App)
+		}
+		if r.Rollbacks == 0 {
+			t.Errorf("%s: no rollbacks recorded", r.App)
+		}
+		if r.ValidationSec <= 0 {
+			t.Errorf("%s: validation time missing", r.App)
+		}
+	}
+	t.Logf("\n%s", RenderTable3(rows))
+}
+
+func TestTable4FirstAidIsLighterThanRx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recovery sweep")
+	}
+	rows := Table4()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FASites == 0 || r.RxSites == 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.App, r)
+			continue
+		}
+		if r.FASites >= r.RxSites {
+			t.Errorf("%s: First-Aid sites (%d) not lighter than Rx (%d)", r.App, r.FASites, r.RxSites)
+		}
+		if r.FAObjects >= r.RxObjects {
+			t.Errorf("%s: First-Aid objects (%d) not lighter than Rx (%d)", r.App, r.FAObjects, r.RxObjects)
+		}
+	}
+	t.Logf("\n%s", RenderTable4(rows))
+}
+
+func TestTable5PatchSpaceIsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recovery sweep")
+	}
+	rows := Table5()
+	for _, r := range rows {
+		if r.Overhead == 0 {
+			t.Errorf("%s: patch space overhead not measured", r.App)
+		}
+		// The paper's worst ratio is ~5%; allow an order of margin but
+		// catch runaway growth.
+		if r.Ratio > 0.5 {
+			t.Errorf("%s: patch overhead ratio %.1f%% is runaway", r.App, 100*r.Ratio)
+		}
+	}
+	t.Logf("\n%s", RenderTable5(rows))
+}
+
+func TestTable6ShapeMatchesPaper(t *testing.T) {
+	rows := Table6(150)
+	byName := map[string]Table6Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if len(rows) != 22 {
+		t.Fatalf("programs = %d, want 22", len(rows))
+	}
+	// Allocation-intensive small-object programs pay heavily…
+	if byName["cfrac"].OverheadFrac < 0.3 {
+		t.Errorf("cfrac overhead %.1f%%, want tens of %%", 100*byName["cfrac"].OverheadFrac)
+	}
+	if byName["300.twolf"].OverheadFrac < 0.2 {
+		t.Errorf("twolf overhead %.1f%%, want tens of %%", 100*byName["300.twolf"].OverheadFrac)
+	}
+	// …big-block programs pay nothing.
+	for _, name := range []string{"181.mcf", "256.bzip2", "164.gzip"} {
+		if byName[name].OverheadFrac > 0.02 {
+			t.Errorf("%s overhead %.2f%%, want ~0", name, 100*byName[name].OverheadFrac)
+		}
+	}
+	t.Logf("\n%s", RenderTable6(rows))
+}
+
+func TestTable7ShapeMatchesPaper(t *testing.T) {
+	rows := Table7(150)
+	byName := map[string]Table7Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// vortex has the fattest checkpoints; eon the slimmest of SPEC.
+	if byName["255.vortex"].MBPerCkpt <= byName["252.eon"].MBPerCkpt {
+		t.Errorf("vortex (%.2f MB/ckpt) should exceed eon (%.2f)",
+			byName["255.vortex"].MBPerCkpt, byName["252.eon"].MBPerCkpt)
+	}
+	if byName["255.vortex"].MBPerCkpt <= byName["164.gzip"].MBPerCkpt {
+		t.Errorf("vortex should exceed gzip")
+	}
+	// Adaptive checkpointing caps MB/second: the heaviest dirtier must
+	// not have proportionally heavy MB/s.
+	if v := byName["255.vortex"]; v.MBPerSecond > 3*byName["164.gzip"].MBPerSecond+5 {
+		t.Logf("note: vortex MB/s %.2f vs gzip %.2f (adaptive cap working less aggressively)", v.MBPerSecond, byName["164.gzip"].MBPerSecond)
+	}
+	t.Logf("\n%s", RenderTable7(rows))
+}
+
+func TestFigure6OverheadIsLowOnAverage(t *testing.T) {
+	rows := Figure6(150)
+	if len(rows) != 22 {
+		t.Fatalf("programs = %d, want 22", len(rows))
+	}
+	avg := Figure6Average(rows)
+	if avg < 0 || avg > 0.15 {
+		t.Errorf("average overall overhead %.1f%%, paper reports 3.7%% (0.4–11.6%%)", 100*avg)
+	}
+	for _, r := range rows {
+		if r.Overall < r.Allocator-1e-9 {
+			t.Errorf("%s: overall (%.3f) below allocator-only (%.3f)", r.Name, r.Overall, r.Allocator)
+		}
+		if r.Overall > 1.30 {
+			t.Errorf("%s: overall overhead %.1f%% is runaway", r.Name, 100*(r.Overall-1))
+		}
+	}
+	t.Logf("average overall overhead: %.2f%%\n%s", 100*avg, RenderFigure6(rows))
+}
+
+func TestFigure4ShapeFirstAidVsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long throughput runs")
+	}
+	for _, appName := range []string{"apache", "squid"} {
+		appName := appName
+		t.Run(appName, func(t *testing.T) {
+			series := Figure4(appName)
+			if len(series) != 3 {
+				t.Fatalf("series = %d", len(series))
+			}
+			bySys := map[string]Figure4Series{}
+			for _, s := range series {
+				bySys[s.System] = s
+			}
+			fa := DipCount(bySys["First-Aid"])
+			rx := DipCount(bySys["Rx"])
+			rs := DipCount(bySys["Restart"])
+			// First-Aid: a single dip (the first trigger). Rx and
+			// restart: a dip at (almost) every trigger.
+			nTriggers := len(fig4Triggers())
+			if fa > 2 {
+				t.Errorf("First-Aid dips = %d, want ≤2 (patch prevents recurrences)", fa)
+			}
+			if rx < nTriggers-1 {
+				t.Errorf("Rx dips = %d, want ~%d (one per trigger)", rx, nTriggers)
+			}
+			if rs < nTriggers-1 {
+				t.Errorf("Restart dips = %d, want ~%d", rs, nTriggers)
+			}
+			t.Logf("%s: triggers=%d FA=%d Rx=%d Restart=%d\n%s",
+				appName, nTriggers, fa, rx, rs, RenderFigure4(series))
+		})
+	}
+}

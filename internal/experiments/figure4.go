@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/baseline"
+	"firstaid/internal/core"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+)
+
+// Figure-4 workload geometry: a ~25-simulated-second window with the bug
+// triggered periodically, as in §7.3 ("we periodically triggered the real
+// bugs by sending bug-triggering requests mixed with normal inputs").
+const (
+	fig4Events       = 2600
+	fig4BinSeconds   = 0.5
+	fig4TriggerEvery = 450 // events ≈ 4.5 simulated seconds
+)
+
+// eventKB models the response size of one successful request, so that the
+// y-axis is MB/s as in the paper. Bug-triggering/maintenance inputs carry
+// little payload.
+func eventKB(app string, ev replay.Event) float64 {
+	switch ev.Kind {
+	case "search", "GET", "revisit":
+		return 100
+	case "insert", "stat", "unbind", "scribble", "verify":
+		return 4
+	}
+	return 8
+}
+
+// ThroughputPoint is one time-bin sample.
+type ThroughputPoint struct {
+	T    float64 // bin start, simulated seconds
+	MBps float64
+}
+
+// Figure4Series is one system's throughput timeline.
+type Figure4Series struct {
+	App    string
+	System string // "First-Aid" | "Rx" | "Restart"
+	Points []ThroughputPoint
+}
+
+func fig4Triggers() []int {
+	var t []int
+	for at := fig4TriggerEvery; at < fig4Events-200; at += fig4TriggerEvery {
+		t = append(t, at)
+	}
+	return t
+}
+
+// collector bins successful-event payload by simulated time.
+type collector struct {
+	app  string
+	bins map[int]float64
+	last float64
+}
+
+func (c *collector) trace(ev replay.Event, simNow uint64, fault *proc.Fault) {
+	t := float64(simNow) / proc.CyclesPerSecond
+	if t > c.last {
+		c.last = t
+	}
+	if fault != nil {
+		return
+	}
+	c.bins[int(t/fig4BinSeconds)] += eventKB(c.app, ev)
+}
+
+func (c *collector) series(app, system string) Figure4Series {
+	n := int(c.last/fig4BinSeconds) + 1
+	pts := make([]ThroughputPoint, n)
+	for i := 0; i < n; i++ {
+		pts[i] = ThroughputPoint{
+			T:    float64(i) * fig4BinSeconds,
+			MBps: c.bins[i] / 1024 / fig4BinSeconds,
+		}
+	}
+	return Figure4Series{App: app, System: system, Points: pts}
+}
+
+// Figure4 produces the three throughput timelines for the named server
+// application (apache or squid).
+func Figure4(appName string) []Figure4Series {
+	triggers := fig4Triggers()
+	var out []Figure4Series
+
+	// First-Aid.
+	{
+		a, _ := apps.New(appName)
+		log := a.Workload(fig4Events, triggers)
+		c := &collector{app: appName, bins: map[int]float64{}}
+		sup := core.NewSupervisor(a, log, core.Config{Trace: c.trace})
+		sup.Run()
+		out = append(out, c.series(appName, "First-Aid"))
+	}
+	// Rx.
+	{
+		a, _ := apps.New(appName)
+		log := a.Workload(fig4Events, triggers)
+		c := &collector{app: appName, bins: map[int]float64{}}
+		rx := baseline.NewRx(a, log, core.MachineConfig{})
+		rx.Trace = c.trace
+		rx.Run()
+		out = append(out, c.series(appName, "Rx"))
+	}
+	// Restart.
+	{
+		a, _ := apps.New(appName)
+		log := a.Workload(fig4Events, triggers)
+		c := &collector{app: appName, bins: map[int]float64{}}
+		rs := baseline.NewRestart(a, log, core.MachineConfig{})
+		rs.Trace = c.trace
+		rs.Run()
+		out = append(out, c.series(appName, "Restart"))
+	}
+	return out
+}
+
+// DipCount returns how many distinct throughput dips (bins below half the
+// series median) the series contains — the quantitative shape check for
+// Figure 4: First-Aid dips once, Rx and restart dip at every trigger.
+func DipCount(s Figure4Series) int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	med := medianMBps(s.Points)
+	dips, inDip := 0, false
+	for _, p := range s.Points {
+		low := p.MBps < med/2
+		if low && !inDip {
+			dips++
+		}
+		inDip = low
+	}
+	return dips
+}
+
+func medianMBps(pts []ThroughputPoint) float64 {
+	vals := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		vals = append(vals, p.MBps)
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j-1] > vals[j]; j-- {
+			vals[j-1], vals[j] = vals[j], vals[j-1]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+// RenderFigure4 formats the series as aligned sparkline rows plus CSV.
+func RenderFigure4(series []Figure4Series) string {
+	var b strings.Builder
+	if len(series) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "Figure 4. Throughput for %s under periodic bug triggers (MB/s vs seconds).\n", series[0].App)
+	maxV := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.MBps > maxV {
+				maxV = p.MBps
+			}
+		}
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	for _, s := range series {
+		var spark strings.Builder
+		for _, p := range s.Points {
+			idx := 0
+			if maxV > 0 {
+				idx = int(p.MBps / maxV * float64(len(glyphs)-1))
+			}
+			spark.WriteRune(glyphs[idx])
+		}
+		fmt.Fprintf(&b, "%-9s |%s| dips=%d\n", s.System, spark.String(), DipCount(s))
+	}
+	fmt.Fprintf(&b, "\nCSV (t_sec,%s):\n", strings.Join(systemNames(series), ","))
+	n := 0
+	for _, s := range series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%.1f", float64(i)*fig4BinSeconds)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Points) {
+				v = s.Points[i].MBps
+			}
+			fmt.Fprintf(&b, ",%.2f", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func systemNames(series []Figure4Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.System
+	}
+	return out
+}

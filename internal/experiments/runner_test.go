@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"firstaid/internal/app"
+	"firstaid/internal/apps"
+	"firstaid/internal/workloads"
+)
+
+func TestRunProgramConfigurationsAreOrdered(t *testing.T) {
+	// For any program: baseline ≤ allocator-only ≤ overall simulated
+	// time, and heap peaks grow monotonically with the extension.
+	for _, name := range []string{"squid", "cfrac", "164.gzip"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog := mustProgram(t, name)
+			base := RunProgram(prog, RunConfig{Events: 80})
+			prog2 := mustProgram(t, name)
+			ext := RunProgram(prog2, RunConfig{Events: 80, WithExt: true})
+			prog3 := mustProgram(t, name)
+			all := RunProgram(prog3, RunConfig{Events: 80, WithExt: true, WithCkpt: true})
+
+			if ext.Cycles < base.Cycles {
+				t.Errorf("allocator config faster than baseline: %d < %d", ext.Cycles, base.Cycles)
+			}
+			if all.Cycles < ext.Cycles {
+				t.Errorf("overall config faster than allocator-only: %d < %d", all.Cycles, ext.Cycles)
+			}
+			if ext.HeapPeak < base.HeapPeak {
+				t.Errorf("extension shrank the heap: %d < %d", ext.HeapPeak, base.HeapPeak)
+			}
+			if base.CkptStats.Taken != 0 {
+				t.Error("baseline took checkpoints")
+			}
+			if all.CkptStats.Taken == 0 {
+				t.Error("checkpointed config took no checkpoints")
+			}
+		})
+	}
+}
+
+func TestRunProgramDeterministic(t *testing.T) {
+	a := RunProgram(mustProgram(t, "175.vpr"), RunConfig{Events: 60, WithExt: true, WithCkpt: true})
+	b := RunProgram(mustProgram(t, "175.vpr"), RunConfig{Events: 60, WithExt: true, WithCkpt: true})
+	if a.Cycles != b.Cycles || a.HeapPeak != b.HeapPeak ||
+		a.CkptStats.TotalDirtyPages != b.CkptStats.TotalDirtyPages {
+		t.Fatalf("nondeterministic measurement: %+v vs %+v", a, b)
+	}
+}
+
+func mustProgram(t *testing.T, name string) app.App {
+	t.Helper()
+	if a, err := apps.New(name); err == nil {
+		return a
+	}
+	k, err := workloads.New(name)
+	if err != nil {
+		t.Fatalf("unknown program %q", name)
+	}
+	return k
+}

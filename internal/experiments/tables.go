@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/baseline"
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+)
+
+// defaultTrigger is the workload position where the bug-triggering input
+// sequence is injected in the recovery experiments.
+const defaultTrigger = 230
+
+// --- Table 2 ----------------------------------------------------------------------
+
+// Table2 renders the application-and-bug inventory.
+func Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Applications and bugs used in evaluation.\n")
+	fmt.Fprintf(&b, "%-12s | %s\n", "Application", "Version | Bug | LOC | Description")
+	for _, name := range apps.Names() {
+		fmt.Fprintf(&b, "%-12s | %s\n", name, apps.Describe(name))
+	}
+	return b.String()
+}
+
+// --- Table 3 ----------------------------------------------------------------------
+
+// Table3Row is one application's overall-effectiveness result.
+type Table3Row struct {
+	App           string
+	Diagnosed     string // e.g. "dangling pointer read"
+	Patch         string // e.g. "delay free(7)"
+	RecoverySec   float64
+	AvoidFuture   bool
+	Rollbacks     int
+	ValidationSec float64
+	Correct       bool // diagnosis matches ground truth
+}
+
+// Table3 reproduces the overall-effectiveness experiment: every
+// application runs with bug-triggering inputs mixed into normal traffic;
+// repeated triggers later in the log test future-error avoidance.
+func Table3() []Table3Row {
+	var rows []Table3Row
+	for _, name := range apps.Names() {
+		a, _ := apps.New(name)
+		log := a.Workload(2200, []int{defaultTrigger, 800, 1400, 1900})
+		sup := core.NewSupervisor(a, log, core.Config{})
+		stats := sup.Run()
+
+		row := Table3Row{App: name}
+		if len(sup.Recoveries) > 0 {
+			rec := sup.Recoveries[0]
+			var bugs, patches []string
+			nSites := 0
+			for _, fd := range rec.Result.Findings {
+				bugs = append(bugs, fd.Bug.String())
+				nSites += len(fd.Sites)
+			}
+			byChange := map[string]int{}
+			for _, p := range rec.Patches {
+				byChange[p.ChangeName()] += 1
+			}
+			names := make([]string, 0, len(byChange))
+			for n := range byChange {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				patches = append(patches, fmt.Sprintf("%s(%d)", n, byChange[n]))
+			}
+			row.Diagnosed = strings.Join(bugs, ", ")
+			row.Patch = strings.Join(patches, ", ")
+			row.RecoverySec = rec.RecoveryWall.Seconds()
+			row.ValidationSec = rec.ValidationWall.Seconds()
+			row.Rollbacks = rec.Result.Rollbacks
+			row.Correct = diagnosisCorrect(a.Bugs(), rec)
+		}
+		row.AvoidFuture = stats.Failures == 1
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func diagnosisCorrect(want []mmbug.Type, rec *core.Recovery) bool {
+	wantSet := map[mmbug.Type]bool{}
+	for _, b := range want {
+		wantSet[b] = true
+	}
+	if len(rec.Result.Findings) == 0 {
+		return false
+	}
+	for _, fd := range rec.Result.Findings {
+		if !wantSet[fd.Bug] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderTable3 formats the rows in the paper's layout.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Overall results for First-Aid in surviving and preventing memory bugs.\n")
+	fmt.Fprintf(&b, "%-12s %-26s %-18s %12s %8s %10s %12s\n",
+		"Application", "Diagnosed bugs", "Runtime patch", "Recovery(s)", "Avoid?", "Rollbacks", "Validate(s)")
+	for _, r := range rows {
+		avoid := "Yes"
+		if !r.AvoidFuture {
+			avoid = "NO"
+		}
+		fmt.Fprintf(&b, "%-12s %-26s %-18s %12.4f %8s %10d %12.4f\n",
+			r.App, r.Diagnosed, r.Patch, r.RecoverySec, avoid, r.Rollbacks, r.ValidationSec)
+	}
+	return b.String()
+}
+
+// --- Table 4 ----------------------------------------------------------------------
+
+// Table4Row compares the patch/change footprint of First-Aid and Rx in the
+// buggy region.
+type Table4Row struct {
+	App                    string
+	FASites, RxSites       int
+	FAObjects, RxObjects   uint64
+	SiteRatio, ObjectRatio float64
+}
+
+// Table4 measures, for the seven real-bug applications, how many call-sites
+// and memory objects receive changes: First-Aid's scoped patches vs Rx's
+// everything-everywhere environmental changes.
+func Table4() []Table4Row {
+	var rows []Table4Row
+	for _, name := range apps.RealBugNames() {
+		// First-Aid: patched sites; objects = patch triggers in the
+		// validated buggy region.
+		a, _ := apps.New(name)
+		log := a.Workload(700, []int{defaultTrigger})
+		sup := core.NewSupervisor(a, log, core.Config{})
+		sup.Run()
+		row := Table4Row{App: name}
+		if len(sup.Recoveries) > 0 {
+			rec := sup.Recoveries[0]
+			row.FASites = len(rec.Patches)
+			if rec.ValidationResult != nil && len(rec.ValidationResult.Traces) > 0 {
+				row.FAObjects = uint64(rec.ValidationResult.Traces[0].TriggerCount())
+			}
+		}
+
+		// Rx: every object allocated/freed during the surviving
+		// re-execution receives changes.
+		b, _ := apps.New(name)
+		logRx := b.Workload(700, []int{defaultTrigger})
+		rx := baseline.NewRx(b, logRx, core.MachineConfig{})
+		st := rx.Run()
+		row.RxSites = st.ChangedSites
+		row.RxObjects = st.ChangedObjects
+		if row.RxSites > 0 {
+			row.SiteRatio = float64(row.FASites) / float64(row.RxSites)
+		}
+		if row.RxObjects > 0 {
+			row.ObjectRatio = float64(row.FAObjects) / float64(row.RxObjects)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable4 formats the rows.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4. Call-sites and memory objects affected by the runtime patch in the buggy region.\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %8s %12s %10s %8s\n",
+		"Name", "FA sites", "Rx sites", "Ratio", "FA objects", "Rx objects", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %8d %7.2f%% %12d %10d %7.2f%%\n",
+			r.App, r.FASites, r.RxSites, 100*r.SiteRatio, r.FAObjects, r.RxObjects, 100*r.ObjectRatio)
+	}
+	return b.String()
+}
+
+// --- Table 5 ----------------------------------------------------------------------
+
+// Table5Row is one application's patch space overhead.
+type Table5Row struct {
+	App       string
+	HeapKB    float64
+	PatchType string
+	Overhead  uint64 // bytes
+	Ratio     float64
+}
+
+// Table5 measures the space cost of the applied patches: peak padding bytes
+// for add-padding patches, accumulated delay-freed bytes for delay-free
+// patches, zero for fill-with-zero patches.
+func Table5() []Table5Row {
+	var rows []Table5Row
+	for _, name := range apps.RealBugNames() {
+		a, _ := apps.New(name)
+		log := a.Workload(800, []int{defaultTrigger})
+
+		// Sample the delay-freed accumulation through the run: the
+		// supervisor's Trace hook fires after every main-loop event.
+		var sup *core.Supervisor
+		var maxDelayed uint64
+		cfg := core.Config{Trace: func(_ replay.Event, _ uint64, _ *proc.Fault) {
+			if sup != nil {
+				if d := sup.Ext().DelayedBytes(); d > maxDelayed {
+					maxDelayed = d
+				}
+			}
+		}}
+		sup = core.NewSupervisor(a, log, cfg)
+		sup.Run()
+
+		ext := sup.Ext()
+		if d := ext.DelayedBytes(); d > maxDelayed {
+			maxDelayed = d
+		}
+		row := Table5Row{App: name, HeapKB: float64(sup.M.Heap.PeakBytes()) / 1024}
+		bug := a.Bugs()[0]
+		row.PatchType = bug.PatchName()
+		switch bug {
+		case mmbug.BufferOverflow:
+			row.Overhead = ext.PadPeak()
+		case mmbug.DanglingRead, mmbug.DanglingWrite, mmbug.DoubleFree:
+			row.Overhead = maxDelayed
+		}
+		if row.HeapKB > 0 {
+			row.Ratio = float64(row.Overhead) / (row.HeapKB * 1024)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable5 formats the rows.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5. The space overhead for patches.\n")
+	fmt.Fprintf(&b, "%-10s %12s %-14s %16s %8s\n", "Name", "Heap(KB)", "Patch type", "Overhead(bytes)", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %-14s %16d %7.2f%%\n", r.App, r.HeapKB, r.PatchType, r.Overhead, 100*r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"firstaid/internal/vmem"
+)
+
+func TestMallocOOMPropagates(t *testing.T) {
+	h := New(vmem.New(128 * 1024))
+	var got []vmem.Addr
+	for {
+		p, err := h.Malloc(16 * 1024)
+		if err != nil {
+			if !errors.Is(err, vmem.ErrOutOfMemory) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			break
+		}
+		got = append(got, p)
+		if len(got) > 64 {
+			t.Fatal("allocator never ran out within the limit")
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing allocated before OOM")
+	}
+	// The heap must remain usable: freeing returns space for new work.
+	for _, p := range got {
+		if err := h.Free(p); err != nil {
+			t.Fatalf("free after OOM: %v", err)
+		}
+	}
+	if _, err := h.Malloc(16 * 1024); err != nil {
+		t.Fatalf("allocation after recovery from OOM: %v", err)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListSurvivesHeavyFragmentation(t *testing.T) {
+	h := New(vmem.New(32 << 20))
+	// Allocate 2000 objects, free every other one (maximum fragmentation),
+	// then allocate objects that fit exactly into the holes.
+	var ptrs []vmem.Addr
+	for i := 0; i < 2000; i++ {
+		p, err := h.Malloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i := 0; i < len(ptrs); i += 2 {
+		if err := h.Free(ptrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	footBefore := h.Footprint()
+	// 1000 holes of 48 bytes: the same-size requests must reuse them all
+	// without growing the footprint.
+	for i := 0; i < 1000; i++ {
+		if _, err := h.Malloc(48); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Footprint() != footBefore {
+		t.Fatalf("footprint grew from %d to %d despite perfect holes", footBefore, h.Footprint())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRemainderIsUsable(t *testing.T) {
+	h := New(vmem.New(8 << 20))
+	big, _ := h.Malloc(1000)
+	guard, _ := h.Malloc(16)
+	_ = guard
+	h.Free(big)
+	// Carve a small piece out of the 1000-byte hole; the remainder must
+	// land in a bin and serve the next request.
+	a, _ := h.Malloc(100)
+	if a != big {
+		t.Fatalf("small malloc did not reuse hole: %#x vs %#x", a, big)
+	}
+	b, err := h.Malloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < big || b > big+1100 {
+		t.Fatalf("remainder not reused: %#x", b)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAndTinyChunksNeverOverlapMetadata(t *testing.T) {
+	h := New(vmem.New(8 << 20))
+	var ptrs []vmem.Addr
+	for i := 0; i < 100; i++ {
+		p, err := h.Malloc(uint32(i % 9)) // 0..8 bytes
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill the full usable size; metadata must be outside it.
+		n, _ := h.UsableSize(p)
+		h.Mem().Fill(p, 0xEE, int(n))
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := h.Free(p); err != nil {
+			t.Fatalf("free of tiny object: %v", err)
+		}
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsableSizeErrors(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	p, _ := h.Malloc(64)
+	h.Free(p)
+	if _, err := h.UsableSize(p); err == nil {
+		t.Fatal("usable size of freed object succeeded")
+	}
+	if _, err := h.UsableSize(0x10); err == nil {
+		t.Fatal("usable size of wild pointer succeeded")
+	}
+}

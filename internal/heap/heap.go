@@ -1,0 +1,857 @@
+// Package heap implements a Lea-style (dlmalloc) memory allocator on top of
+// a vmem.Space.
+//
+// The paper's allocator extension modifies "the Lea allocator, the default
+// memory allocator used in the GNU C library" (§7.1). This package is the
+// underlying allocator that the extension (package allocext) wraps. It is a
+// genuine boundary-tag allocator: chunk headers, free-list links and
+// footers live inside the simulated heap, so memory-management bugs corrupt
+// real allocator state and manifest the way they do under glibc —
+//
+//   - a buffer overflow smashes the next chunk's boundary tag and the
+//     allocator faults on a later malloc/free,
+//   - a dangling read of a recycled chunk returns free-list link words,
+//   - a double free finds the chunk's in-use bit already clear and faults,
+//
+// which is exactly the raw material First-Aid's environmental changes
+// prevent or expose.
+//
+// # Chunk layout
+//
+//	chunk -> +-----------------------------+
+//	         | prev_size (u32)             |  valid only if PINUSE clear
+//	         | size (u32) | PINUSE|CINUSE  |
+//	payload->+-----------------------------+
+//	         | user data ...               |  free chunks: fd (u32), bk (u32)
+//	         +-----------------------------+
+//	         | footer: next.prev_size      |  free chunks only
+//
+// Sizes are multiples of 8; the minimum chunk is 16 bytes. Small requests
+// are served from exact-size bins, larger ones from a size-sorted list, and
+// the remainder from the "top" chunk that borders the program break and
+// grows via Sbrk.
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"firstaid/internal/vmem"
+)
+
+const (
+	align     = 8
+	headerLen = 8
+	// MinChunk is the smallest chunk the allocator manages (header plus
+	// room for the fd/bk free-list links).
+	MinChunk = 16
+
+	pinuse   = 1 // previous chunk is in use
+	cinuse   = 2 // this chunk is in use
+	flagMask = 7
+
+	maxSmall     = 256 // largest request size served by exact bins
+	numSmallBins = (maxSmall-MinChunk)/align + 1
+
+	// topReserve is the minimum slack kept in the top chunk so that the
+	// next small request does not immediately force another Sbrk.
+	topReserve = 64
+	// growUnit is the Sbrk granularity, mirroring dlmalloc's 64 KiB
+	// DEFAULT_GRANULARITY.
+	growUnit = 64 * 1024
+
+	// DefaultMmapThreshold mirrors dlmalloc's DEFAULT_MMAP_THRESHOLD:
+	// requests at or above it are served by dedicated page mappings
+	// instead of the sbrk heap. Freeing one unmaps it, so use-after-free
+	// of a large buffer faults immediately — the munmap failure mode.
+	DefaultMmapThreshold = 256 * 1024
+)
+
+// Allocator faults. All of them indicate that the program (not the
+// allocator) destroyed heap invariants; the simulated process surfaces them
+// as crashes.
+var (
+	// ErrCorrupt reports an inconsistent boundary tag or free-list link.
+	ErrCorrupt = errors.New("heap: corrupted heap metadata")
+	// ErrBadFree reports a free of a pointer that is not an in-use
+	// payload (wild free, or second free of the same object).
+	ErrBadFree = errors.New("heap: invalid free")
+)
+
+// CorruptError carries the location that failed validation.
+type CorruptError struct {
+	Addr   vmem.Addr
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("heap: corrupted metadata at %#x: %s", e.Addr, e.Detail)
+}
+
+// Unwrap matches ErrCorrupt for errors.Is.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Chunk describes one chunk during a Walk.
+type Chunk struct {
+	Addr    vmem.Addr // chunk start (header address)
+	Payload vmem.Addr // user data address
+	Size    uint32    // whole chunk size including header
+	InUse   bool
+	Top     bool // the trailing top chunk
+}
+
+// UsableSize returns the payload capacity of the chunk.
+func (c Chunk) UsableSize() uint32 { return c.Size - headerLen }
+
+// State is the allocator's out-of-heap state: bin heads, the top chunk and
+// statistics. Free-list links themselves live inside the heap, so a State
+// copy plus a vmem snapshot captures the allocator completely — this is
+// what the checkpoint manager saves and restores.
+type State struct {
+	Init      bool
+	Start     vmem.Addr // first chunk address
+	Top       vmem.Addr // top chunk address
+	TopSize   uint32
+	Small     [numSmallBins]vmem.Addr
+	Large     vmem.Addr // size-sorted list of chunks > maxSmall
+	Random    bool      // randomized placement (validation mode)
+	Rng       uint64    // xorshift64* state for randomized placement
+	NMalloc   uint64
+	NFree     uint64
+	LiveBytes uint64 // payload bytes currently allocated
+	PeakBytes uint64 // high-water mark of LiveBytes
+
+	// MmapThreshold selects the mmap path for large requests
+	// (DefaultMmapThreshold unless overridden; 0 disables).
+	MmapThreshold uint32
+	// Mmapped tracks live mmap-path objects: payload address → usable
+	// length. (The vmem mapping itself is part of the address-space
+	// snapshot; this is the allocator's view.)
+	Mmapped map[vmem.Addr]uint32
+}
+
+// clone deep-copies the state (the Mmapped map must not alias across
+// checkpoints).
+func (st State) clone() State {
+	cp := st
+	cp.Mmapped = make(map[vmem.Addr]uint32, len(st.Mmapped))
+	for k, v := range st.Mmapped {
+		cp.Mmapped[k] = v
+	}
+	return cp
+}
+
+// Heap is the allocator instance. It is not safe for concurrent use.
+type Heap struct {
+	mem *vmem.Space
+	st  State
+}
+
+// New creates an allocator that obtains memory from mem. No memory is
+// claimed until the first Malloc.
+func New(mem *vmem.Space) *Heap {
+	return &Heap{mem: mem, st: State{
+		MmapThreshold: DefaultMmapThreshold,
+		Mmapped:       make(map[vmem.Addr]uint32),
+	}}
+}
+
+// Mem returns the underlying address space.
+func (h *Heap) Mem() *vmem.Space { return h.mem }
+
+// State returns a deep copy of the allocator's out-of-heap state.
+func (h *Heap) State() State { return h.st.clone() }
+
+// SetState replaces the allocator state; used by rollback together with a
+// vmem restore taken at the same instant.
+func (h *Heap) SetState(st State) { h.st = st.clone() }
+
+// SetMmapThreshold overrides the mmap-path threshold (0 disables it).
+func (h *Heap) SetMmapThreshold(n uint32) { h.st.MmapThreshold = n }
+
+// SetRandom switches randomized placement on or off and seeds the placement
+// PRNG. First-Aid's validation engine re-executes the buggy region "with a
+// randomized allocation algorithm" (§5) to separate a patch's desired
+// effects from memory-layout accidents.
+func (h *Heap) SetRandom(on bool, seed uint64) {
+	h.st.Random = on
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	h.st.Rng = seed
+}
+
+func (h *Heap) rand() uint64 {
+	x := h.st.Rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	h.st.Rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Footprint returns the bytes of address space claimed from vmem,
+// including dedicated mappings for large objects.
+func (h *Heap) Footprint() uint64 {
+	if !h.st.Init {
+		return h.mem.MmapBytes()
+	}
+	return uint64(h.mem.Brk()-h.st.Start) + h.mem.MmapBytes()
+}
+
+// LiveBytes returns the payload bytes currently allocated.
+func (h *Heap) LiveBytes() uint64 { return h.st.LiveBytes }
+
+// PeakBytes returns the high-water mark of allocated payload bytes.
+func (h *Heap) PeakBytes() uint64 { return h.st.PeakBytes }
+
+// Counts returns the number of Malloc and Free calls served.
+func (h *Heap) Counts() (mallocs, frees uint64) { return h.st.NMalloc, h.st.NFree }
+
+// --- header helpers -------------------------------------------------------
+
+func (h *Heap) readHeader(c vmem.Addr) (size uint32, flags uint32, err error) {
+	w, err := h.mem.ReadU32(c + 4)
+	if err != nil {
+		return 0, 0, &CorruptError{Addr: c, Detail: "header unreadable"}
+	}
+	return w &^ flagMask, w & flagMask, nil
+}
+
+func (h *Heap) writeHeader(c vmem.Addr, size, flags uint32) error {
+	return h.mem.WriteU32(c+4, size|flags)
+}
+
+func (h *Heap) setFlag(c vmem.Addr, flag uint32, on bool) error {
+	w, err := h.mem.ReadU32(c + 4)
+	if err != nil {
+		return err
+	}
+	if on {
+		w |= flag
+	} else {
+		w &^= flag
+	}
+	return h.mem.WriteU32(c+4, w)
+}
+
+// validChunk checks that c could be a chunk boundary: aligned and within
+// the heap segment.
+func (h *Heap) validChunk(c vmem.Addr) bool {
+	return c >= h.st.Start && c < h.mem.Brk() && c%align == 0
+}
+
+// checkedHeader reads and validates a header, producing ErrCorrupt on
+// impossible values — the crash a real allocator suffers after its
+// boundary tags are overwritten.
+func (h *Heap) checkedHeader(c vmem.Addr) (size, flags uint32, err error) {
+	if !h.validChunk(c) {
+		return 0, 0, &CorruptError{Addr: c, Detail: "chunk pointer outside heap"}
+	}
+	size, flags, err = h.readHeader(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size < MinChunk || size%align != 0 || uint64(c)+uint64(size) > uint64(h.mem.Brk()) {
+		return 0, 0, &CorruptError{Addr: c, Detail: fmt.Sprintf("insane size %#x", size)}
+	}
+	return size, flags, nil
+}
+
+// --- free-list plumbing ----------------------------------------------------
+
+func (h *Heap) fd(c vmem.Addr) (vmem.Addr, error) { return h.mem.ReadU32(c + headerLen) }
+func (h *Heap) bk(c vmem.Addr) (vmem.Addr, error) { return h.mem.ReadU32(c + headerLen + 4) }
+
+func (h *Heap) setFd(c, v vmem.Addr) error { return h.mem.WriteU32(c+headerLen, v) }
+func (h *Heap) setBk(c, v vmem.Addr) error { return h.mem.WriteU32(c+headerLen+4, v) }
+
+func smallBinIndex(size uint32) int {
+	if size < MinChunk || size > maxSmall {
+		return -1
+	}
+	return int((size - MinChunk) / align)
+}
+
+// binHead returns a pointer to the Go-side head slot for the list that
+// holds free chunks of the given size.
+func (h *Heap) binHead(size uint32) *vmem.Addr {
+	if i := smallBinIndex(size); i >= 0 {
+		return &h.st.Small[i]
+	}
+	return &h.st.Large
+}
+
+// insertFree links chunk c of the given size into its bin. Small bins are
+// LIFO; the large list is kept sorted by size so the first fit is the best
+// fit.
+func (h *Heap) insertFree(c vmem.Addr, size uint32) error {
+	head := h.binHead(size)
+	if smallBinIndex(size) >= 0 {
+		old := *head
+		if err := h.setFd(c, old); err != nil {
+			return err
+		}
+		if err := h.setBk(c, 0); err != nil {
+			return err
+		}
+		if old != 0 {
+			if err := h.setBk(old, c); err != nil {
+				return err
+			}
+		}
+		*head = c
+		return nil
+	}
+	// Sorted insert into the large list.
+	var prev vmem.Addr
+	cur := *head
+	for cur != 0 {
+		csize, _, err := h.checkedHeader(cur)
+		if err != nil {
+			return err
+		}
+		if csize >= size {
+			break
+		}
+		prev = cur
+		var err2 error
+		cur, err2 = h.fd(cur)
+		if err2 != nil {
+			return err2
+		}
+	}
+	if err := h.setFd(c, cur); err != nil {
+		return err
+	}
+	if err := h.setBk(c, prev); err != nil {
+		return err
+	}
+	if cur != 0 {
+		if err := h.setBk(cur, c); err != nil {
+			return err
+		}
+	}
+	if prev == 0 {
+		*head = c
+	} else if err := h.setFd(prev, c); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unlink removes free chunk c (of the given size) from its bin, validating
+// the links it follows.
+func (h *Heap) unlink(c vmem.Addr, size uint32) error {
+	fd, err := h.fd(c)
+	if err != nil {
+		return err
+	}
+	bk, err := h.bk(c)
+	if err != nil {
+		return err
+	}
+	if fd != 0 && !h.validChunk(fd) {
+		return &CorruptError{Addr: c, Detail: fmt.Sprintf("free-list fd %#x outside heap", fd)}
+	}
+	if bk != 0 && !h.validChunk(bk) {
+		return &CorruptError{Addr: c, Detail: fmt.Sprintf("free-list bk %#x outside heap", bk)}
+	}
+	if bk == 0 {
+		head := h.binHead(size)
+		if *head != c {
+			return &CorruptError{Addr: c, Detail: "free-list head mismatch"}
+		}
+		*head = fd
+	} else if err := h.setFd(bk, fd); err != nil {
+		return err
+	}
+	if fd != 0 {
+		if err := h.setBk(fd, bk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- initialization and growth ---------------------------------------------
+
+func (h *Heap) initHeap() error {
+	base, err := h.mem.Sbrk(growUnit)
+	if err != nil {
+		return err
+	}
+	h.st.Init = true
+	h.st.Start = base
+	h.st.Top = base
+	h.st.TopSize = growUnit
+	// Top header: free, previous "chunk" (heap edge) considered in use.
+	return h.writeHeader(base, h.st.TopSize, pinuse)
+}
+
+func (h *Heap) growTop(need uint32) error {
+	grow := uint32(growUnit)
+	if need > grow {
+		grow = (need + growUnit - 1) / growUnit * growUnit
+	}
+	if _, err := h.mem.Sbrk(grow); err != nil {
+		return err
+	}
+	h.st.TopSize += grow
+	_, flags, err := h.readHeader(h.st.Top)
+	if err != nil {
+		return err
+	}
+	return h.writeHeader(h.st.Top, h.st.TopSize, flags&pinuse)
+}
+
+// --- malloc -----------------------------------------------------------------
+
+// chunkSize computes the chunk size for a payload request.
+func chunkSize(n uint32) uint32 {
+	sz := n + headerLen
+	if sz < MinChunk {
+		sz = MinChunk
+	}
+	return (sz + align - 1) &^ (align - 1)
+}
+
+// Malloc allocates n payload bytes and returns the payload address. The
+// returned memory is NOT cleared: like a C allocator it may hand back
+// recycled chunk contents, which is what makes uninitialised-read bugs
+// possible in the simulation. Fresh pages from Sbrk arrive zeroed, as from
+// the OS.
+func (h *Heap) Malloc(n uint32) (vmem.Addr, error) {
+	if !h.st.Init {
+		if err := h.initHeap(); err != nil {
+			return 0, err
+		}
+	}
+	if h.st.MmapThreshold != 0 && n >= h.st.MmapThreshold {
+		return h.mmapAlloc(n)
+	}
+	req := chunkSize(n)
+
+	// Randomized placement: occasionally burn a small spacer chunk so
+	// object addresses differ between validation iterations even when
+	// every request is served from the top chunk.
+	if h.st.Random && h.rand()%4 == 0 {
+		spacer := uint32(MinChunk + align*(h.rand()%6))
+		if c, err := h.carve(spacer); err == nil {
+			// Leaked deliberately: validation iterations are
+			// rolled back, so the waste is transient.
+			_ = c
+		}
+	}
+
+	c, err := h.carve(req)
+	if err != nil {
+		return 0, err
+	}
+	h.st.NMalloc++
+	h.st.LiveBytes += uint64(req - headerLen)
+	if h.st.LiveBytes > h.st.PeakBytes {
+		h.st.PeakBytes = h.st.LiveBytes
+	}
+	return c + headerLen, nil
+}
+
+// mmapAlloc serves a large request from a dedicated page mapping.
+func (h *Heap) mmapAlloc(n uint32) (vmem.Addr, error) {
+	start, err := h.mem.Map(n)
+	if err != nil {
+		return 0, err
+	}
+	h.st.Mmapped[start] = n
+	h.st.NMalloc++
+	h.st.LiveBytes += uint64(n)
+	if h.st.LiveBytes > h.st.PeakBytes {
+		h.st.PeakBytes = h.st.LiveBytes
+	}
+	return start, nil
+}
+
+// carve obtains an in-use chunk of exactly size req and returns its chunk
+// address.
+func (h *Heap) carve(req uint32) (vmem.Addr, error) {
+	// 1. Exact small bin, then successively larger small bins.
+	if i := smallBinIndex(req); i >= 0 {
+		for j := i; j < numSmallBins; j++ {
+			if h.st.Small[j] != 0 {
+				c, err := h.takeFromBin(&h.st.Small[j], req)
+				if err != nil {
+					return 0, err
+				}
+				if c != 0 {
+					return c, nil
+				}
+			}
+		}
+	}
+	// 2. Large list (sorted): first chunk big enough is best fit.
+	if h.st.Large != 0 {
+		c, err := h.takeFromLarge(req)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	// 3. Top chunk.
+	return h.takeFromTop(req)
+}
+
+// takeFromBin pops a chunk from a small bin (head, or a random element in
+// randomized mode), splits it to size req, and marks it in use. Returns 0
+// if the bin turned out unusable (shouldn't happen with intact metadata).
+func (h *Heap) takeFromBin(head *vmem.Addr, req uint32) (vmem.Addr, error) {
+	c := *head
+	if h.st.Random {
+		// Walk a random number of steps along the list.
+		steps := int(h.rand() % 4)
+		for steps > 0 {
+			fd, err := h.fd(c)
+			if err != nil {
+				return 0, err
+			}
+			if fd == 0 {
+				break
+			}
+			c = fd
+			steps--
+		}
+	}
+	size, _, err := h.checkedHeader(c)
+	if err != nil {
+		return 0, err
+	}
+	if size < req {
+		return 0, &CorruptError{Addr: c, Detail: "binned chunk smaller than its bin"}
+	}
+	if err := h.unlink(c, size); err != nil {
+		return 0, err
+	}
+	return c, h.finishAlloc(c, size, req)
+}
+
+func (h *Heap) takeFromLarge(req uint32) (vmem.Addr, error) {
+	c := h.st.Large
+	for c != 0 {
+		size, _, err := h.checkedHeader(c)
+		if err != nil {
+			return 0, err
+		}
+		if size >= req {
+			if err := h.unlink(c, size); err != nil {
+				return 0, err
+			}
+			return c, h.finishAlloc(c, size, req)
+		}
+		c, err = h.fd(c)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+func (h *Heap) takeFromTop(req uint32) (vmem.Addr, error) {
+	if h.st.TopSize < req+topReserve {
+		if err := h.growTop(req + topReserve); err != nil {
+			return 0, err
+		}
+	}
+	c := h.st.Top
+	_, flags, err := h.readHeader(c)
+	if err != nil {
+		return 0, err
+	}
+	h.st.Top = c + req
+	h.st.TopSize -= req
+	if err := h.writeHeader(c, req, flags&pinuse|cinuse); err != nil {
+		return 0, err
+	}
+	// New top header: previous (the chunk just carved) is in use.
+	return c, h.writeHeader(h.st.Top, h.st.TopSize, pinuse)
+}
+
+// finishAlloc splits chunk c (currently free, unlinked, of the given size)
+// down to req bytes and marks it in use.
+func (h *Heap) finishAlloc(c vmem.Addr, size, req uint32) error {
+	_, flags, err := h.readHeader(c)
+	if err != nil {
+		return err
+	}
+	if size-req >= MinChunk {
+		rem := c + req
+		remSize := size - req
+		if err := h.writeHeader(c, req, flags&pinuse|cinuse); err != nil {
+			return err
+		}
+		// Remainder is free, previous (c) in use.
+		if err := h.writeHeader(rem, remSize, pinuse); err != nil {
+			return err
+		}
+		if err := h.setFooter(rem, remSize); err != nil {
+			return err
+		}
+		return h.insertFree(rem, remSize)
+	}
+	if err := h.writeHeader(c, size, flags&pinuse|cinuse); err != nil {
+		return err
+	}
+	// Whole chunk used: successor's PINUSE must be set.
+	return h.setSuccPinuse(c, size, true)
+}
+
+// setFooter stores the free chunk's size into the next chunk's prev_size
+// slot so backward coalescing can find the chunk start.
+func (h *Heap) setFooter(c vmem.Addr, size uint32) error {
+	next := c + size
+	if next >= h.mem.Brk() {
+		return nil // borders the break; no successor header
+	}
+	return h.mem.WriteU32(next, size)
+}
+
+func (h *Heap) setSuccPinuse(c vmem.Addr, size uint32, on bool) error {
+	next := c + size
+	if next >= h.mem.Brk() {
+		return nil
+	}
+	return h.setFlag(next, pinuse, on)
+}
+
+// --- free -------------------------------------------------------------------
+
+// Free releases the payload at p, coalescing with free neighbours. Freeing
+// a pointer that is not an in-use payload — including the second free of an
+// object — fails with ErrBadFree or ErrCorrupt, the simulated equivalent of
+// glibc aborting on free-list corruption.
+func (h *Heap) Free(p vmem.Addr) error {
+	if !h.st.Init {
+		return ErrBadFree
+	}
+	if n, ok := h.st.Mmapped[p]; ok {
+		if err := h.mem.Unmap(p); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFree, err)
+		}
+		delete(h.st.Mmapped, p)
+		h.st.NFree++
+		if uint64(n) <= h.st.LiveBytes {
+			h.st.LiveBytes -= uint64(n)
+		} else {
+			h.st.LiveBytes = 0
+		}
+		return nil
+	}
+	c := p - headerLen
+	if !h.validChunk(c) {
+		return fmt.Errorf("%w: pointer %#x outside heap", ErrBadFree, p)
+	}
+	size, flags, err := h.checkedHeader(c)
+	if err != nil {
+		return err
+	}
+	if flags&cinuse == 0 {
+		return fmt.Errorf("%w: chunk %#x already free (double free?)", ErrBadFree, c)
+	}
+	if c == h.st.Top || c+size > h.mem.Brk() {
+		return fmt.Errorf("%w: pointer %#x overlaps top", ErrBadFree, p)
+	}
+	h.st.NFree++
+	if payload := uint64(size - headerLen); payload <= h.st.LiveBytes {
+		h.st.LiveBytes -= payload
+	} else {
+		h.st.LiveBytes = 0
+	}
+
+	start, total := c, size
+
+	// Backward coalesce.
+	if flags&pinuse == 0 {
+		prevSize, err := h.mem.ReadU32(c)
+		if err != nil {
+			return &CorruptError{Addr: c, Detail: "prev_size unreadable"}
+		}
+		prev := c - prevSize
+		psize, pflags, err := h.checkedHeader(prev)
+		if err != nil {
+			return err
+		}
+		if psize != prevSize || pflags&cinuse != 0 {
+			return &CorruptError{Addr: prev, Detail: "backward coalesce mismatch"}
+		}
+		if err := h.unlink(prev, psize); err != nil {
+			return err
+		}
+		start = prev
+		total += psize
+	}
+
+	// Forward coalesce (with a free successor or the top chunk).
+	next := c + size
+	if next == h.st.Top {
+		_, sflags, err := h.readHeader(start)
+		if err != nil {
+			return err
+		}
+		h.st.Top = start
+		h.st.TopSize += total
+		return h.writeHeader(start, h.st.TopSize, sflags&pinuse)
+	}
+	nsize, nflags, err := h.checkedHeader(next)
+	if err != nil {
+		return err
+	}
+	if nflags&cinuse == 0 {
+		if err := h.unlink(next, nsize); err != nil {
+			return err
+		}
+		total += nsize
+		if start+total == h.st.Top {
+			// Merged through to the top chunk's predecessor; if the
+			// merged region now borders top, fold into top.
+			_, sflags, err := h.readHeader(start)
+			if err != nil {
+				return err
+			}
+			h.st.Top = start
+			h.st.TopSize += total
+			return h.writeHeader(start, h.st.TopSize, sflags&pinuse)
+		}
+	}
+
+	_, sflags, err := h.readHeader(start)
+	if err != nil {
+		return err
+	}
+	if err := h.writeHeader(start, total, sflags&pinuse); err != nil {
+		return err
+	}
+	if err := h.setFooter(start, total); err != nil {
+		return err
+	}
+	if err := h.setSuccPinuse(start, total, false); err != nil {
+		return err
+	}
+	return h.insertFree(start, total)
+}
+
+// UsableSize returns the payload capacity of the in-use object at p.
+func (h *Heap) UsableSize(p vmem.Addr) (uint32, error) {
+	if n, ok := h.st.Mmapped[p]; ok {
+		return n, nil
+	}
+	c := p - headerLen
+	size, flags, err := h.checkedHeader(c)
+	if err != nil {
+		return 0, err
+	}
+	if flags&cinuse == 0 {
+		return 0, fmt.Errorf("%w: %#x not in use", ErrBadFree, p)
+	}
+	return size - headerLen, nil
+}
+
+// InUse reports whether p is currently the payload address of an in-use
+// chunk. Unlike UsableSize it never returns an error; wild pointers simply
+// report false. The allocator extension's double-free parameter check uses
+// this.
+func (h *Heap) InUse(p vmem.Addr) bool {
+	if !h.st.Init {
+		return false
+	}
+	if _, ok := h.st.Mmapped[p]; ok {
+		return true
+	}
+	if p < h.st.Start+headerLen {
+		return false
+	}
+	c := p - headerLen
+	if !h.validChunk(c) || c == h.st.Top {
+		return false
+	}
+	size, flags, err := h.readHeader(c)
+	if err != nil {
+		return false
+	}
+	if size < MinChunk || size%align != 0 || uint64(c)+uint64(size) > uint64(h.mem.Brk()) {
+		return false
+	}
+	return flags&cinuse != 0
+}
+
+// --- introspection ----------------------------------------------------------
+
+// Walk visits every chunk from the heap start through the top chunk in
+// address order. It stops early if fn returns false, and returns ErrCorrupt
+// if the chunk chain is inconsistent — Walk doubles as an integrity check.
+func (h *Heap) Walk(fn func(Chunk) bool) error {
+	if !h.st.Init {
+		return nil
+	}
+	c := h.st.Start
+	for c != h.st.Top {
+		size, flags, err := h.checkedHeader(c)
+		if err != nil {
+			return err
+		}
+		if c+size > h.st.Top {
+			return &CorruptError{Addr: c, Detail: "chunk overlaps top"}
+		}
+		if !fn(Chunk{Addr: c, Payload: c + headerLen, Size: size, InUse: flags&cinuse != 0}) {
+			return nil
+		}
+		c += size
+	}
+	fn(Chunk{Addr: h.st.Top, Payload: h.st.Top + headerLen, Size: h.st.TopSize, InUse: false, Top: true})
+	return nil
+}
+
+// FreeChunks returns every free chunk including the top chunk, for the
+// Phase-1 heap-marking pass.
+func (h *Heap) FreeChunks() ([]Chunk, error) {
+	var out []Chunk
+	err := h.Walk(func(c Chunk) bool {
+		if !c.InUse {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out, err
+}
+
+// CheckIntegrity walks the whole heap validating boundary tags, pairwise
+// PINUSE consistency and the no-adjacent-free-chunks coalescing invariant.
+// It returns nil when the heap is sound.
+func (h *Heap) CheckIntegrity() error {
+	lastInUse := true // heap edge counts as in use
+	first := true
+	var bad error
+	err := h.Walk(func(c Chunk) bool {
+		if !first {
+			_, flags, err := h.readHeader(c.Addr)
+			if err != nil {
+				bad = err
+				return false
+			}
+			if (flags&pinuse != 0) != lastInUse {
+				bad = &CorruptError{Addr: c.Addr, Detail: "PINUSE disagrees with predecessor"}
+				return false
+			}
+			if !lastInUse && !c.InUse {
+				bad = &CorruptError{Addr: c.Addr, Detail: "adjacent free chunks (missed coalesce)"}
+				return false
+			}
+		}
+		first = false
+		lastInUse = c.InUse
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bad
+}

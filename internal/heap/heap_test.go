@@ -1,0 +1,524 @@
+package heap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"firstaid/internal/vmem"
+)
+
+func newHeap(t testing.TB) *Heap {
+	t.Helper()
+	return New(vmem.New(64 << 20))
+}
+
+func TestMallocBasics(t *testing.T) {
+	h := newHeap(t)
+	p, err := h.Malloc(100)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if p%align != 0 {
+		t.Fatalf("payload %#x not aligned", p)
+	}
+	n, err := h.UsableSize(p)
+	if err != nil || n < 100 {
+		t.Fatalf("UsableSize = %d, %v", n, err)
+	}
+	// Payload is writable end to end.
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := h.Mem().Write(p, buf); err != nil {
+		t.Fatalf("write payload: %v", err)
+	}
+}
+
+func TestMallocZero(t *testing.T) {
+	h := newHeap(t)
+	p, err := h.Malloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.UsableSize(p); n < 8 {
+		t.Fatalf("zero-byte malloc usable size %d", n)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctObjectsDoNotOverlap(t *testing.T) {
+	h := newHeap(t)
+	type obj struct {
+		p vmem.Addr
+		n uint32
+	}
+	var objs []obj
+	for i := 0; i < 100; i++ {
+		n := uint32(1 + i*13%500)
+		p, err := h.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj{p, n})
+	}
+	for i, a := range objs {
+		for j, b := range objs {
+			if i == j {
+				continue
+			}
+			if a.p < b.p+b.n && b.p < a.p+a.n {
+				t.Fatalf("objects %d and %d overlap: [%#x,%d) vs [%#x,%d)", i, j, a.p, a.n, b.p, b.n)
+			}
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := newHeap(t)
+	p1, _ := h.Malloc(64)
+	h.Mem().Fill(p1, 0x5A, 64)
+	if err := h.Free(p1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// Same-size malloc should recycle the freed chunk (exact small bin).
+	p2, _ := h.Malloc(64)
+	if p2 != p1 {
+		t.Fatalf("expected recycling: p1=%#x p2=%#x", p1, p2)
+	}
+	// Recycled memory is NOT zeroed — the uninitialised-read substrate.
+	b, _ := h.Mem().Read(p2, 1)
+	if b[0] == 0 {
+		t.Log("first byte zero (free-list link); checking tail bytes")
+		tail, _ := h.Mem().Read(p2+16, 8)
+		allZero := true
+		for _, x := range tail {
+			if x != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			t.Fatal("recycled chunk appears zeroed; uninit-read bugs could never manifest")
+		}
+	}
+}
+
+func TestDoubleFreeFaults(t *testing.T) {
+	h := newHeap(t)
+	p, _ := h.Malloc(32)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Free(p)
+	if err == nil {
+		t.Fatal("double free succeeded")
+	}
+	if !errors.Is(err, ErrBadFree) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double free error = %v", err)
+	}
+}
+
+func TestWildFreeFaults(t *testing.T) {
+	h := newHeap(t)
+	p, _ := h.Malloc(32)
+	cases := []vmem.Addr{0, p + 4, p + 1, 0xFFFF_0000}
+	for _, bad := range cases {
+		if err := h.Free(bad); err == nil {
+			t.Fatalf("free(%#x) succeeded", bad)
+		}
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatalf("legitimate free failed after wild attempts: %v", err)
+	}
+}
+
+func TestOverflowCorruptsNeighborAndFaults(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc(24)
+	b, _ := h.Malloc(24)
+	_ = b
+	n, _ := h.UsableSize(a)
+	// Overflow: write 16 bytes past the end of a, smashing b's boundary tag.
+	junk := make([]byte, int(n)+16)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	if err := h.Mem().Write(a, junk); err != nil {
+		t.Fatalf("the overflow itself must succeed (it stays in mapped memory): %v", err)
+	}
+	// The allocator must now detect corruption on operations touching b.
+	if err := h.Free(b); err == nil {
+		t.Fatal("free of smashed chunk succeeded")
+	} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadFree) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestCoalesceForwardBackward(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc(40)
+	bptr, _ := h.Malloc(40)
+	c, _ := h.Malloc(40)
+	d, _ := h.Malloc(40) // guard against top coalesce
+	_ = d
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	// Freeing b must merge a+b+c into one free chunk.
+	if err := h.Free(bptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after coalesce: %v", err)
+	}
+	free, err := h.FreeChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect exactly two free chunks: the merged block and top.
+	if len(free) != 2 {
+		t.Fatalf("free chunks = %d, want 2 (merged + top)", len(free))
+	}
+	merged := free[0]
+	if merged.Payload != a {
+		t.Fatalf("merged chunk starts at %#x, want %#x", merged.Payload, a)
+	}
+	if merged.Size < 3*48 {
+		t.Fatalf("merged size %d too small", merged.Size)
+	}
+	// The merged block is reusable for a large request.
+	big, err := h.Malloc(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != a {
+		t.Fatalf("large malloc did not reuse merged block: %#x vs %#x", big, a)
+	}
+}
+
+func TestFreeAdjacentToTopMergesIntoTop(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc(100)
+	st0 := h.State()
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	st := h.State()
+	if st.Top >= st0.Top {
+		t.Fatalf("top did not move back: %#x -> %#x", st0.Top, st.Top)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeAllocationViaTopGrowth(t *testing.T) {
+	h := newHeap(t)
+	h.SetMmapThreshold(0) // force the sbrk path
+	p, err := h.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Fill(p, 0x11, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Freed large block should be reusable.
+	q, err := h.Malloc(1 << 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("large free block not reused: %#x vs %#x", q, p)
+	}
+}
+
+func TestLargeBinSortedBestFit(t *testing.T) {
+	h := newHeap(t)
+	// Create three free large chunks of different sizes, separated by
+	// live guards so they cannot coalesce.
+	var ptrs []vmem.Addr
+	sizes := []uint32{2000, 600, 1200}
+	for _, n := range sizes {
+		p, _ := h.Malloc(n)
+		ptrs = append(ptrs, p)
+		h.Malloc(16) // guard
+	}
+	for _, p := range ptrs {
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Request 500: the 600-byte chunk is the best fit.
+	got, err := h.Malloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ptrs[1] {
+		t.Fatalf("best fit picked %#x, want %#x (600-byte chunk)", got, ptrs[1])
+	}
+}
+
+func TestStateSnapshotRestore(t *testing.T) {
+	mem := vmem.New(64 << 20)
+	h := New(mem)
+	a, _ := h.Malloc(64)
+	h.Mem().Fill(a, 0x77, 64)
+
+	snap := mem.Snapshot()
+	st := h.State()
+
+	b, _ := h.Malloc(128)
+	h.Free(a)
+	_ = b
+
+	mem.Restore(snap)
+	h.SetState(st)
+	snap.Release()
+
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after rollback: %v", err)
+	}
+	if !h.InUse(a) {
+		t.Fatal("a not live after rollback")
+	}
+	buf, _ := h.Mem().Read(a, 64)
+	for _, x := range buf {
+		if x != 0x77 {
+			t.Fatal("contents lost after rollback")
+		}
+	}
+	// Allocation continues normally after rollback.
+	if _, err := h.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInUse(t *testing.T) {
+	h := newHeap(t)
+	p, _ := h.Malloc(32)
+	if !h.InUse(p) {
+		t.Fatal("live object reported free")
+	}
+	h.Free(p)
+	if h.InUse(p) {
+		t.Fatal("freed object reported live")
+	}
+	if h.InUse(0) || h.InUse(p+4) || h.InUse(0xFF00_0000) {
+		t.Fatal("wild pointer reported live")
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := newHeap(t)
+	p1, _ := h.Malloc(100)
+	p2, _ := h.Malloc(200)
+	if h.LiveBytes() < 300 {
+		t.Fatalf("LiveBytes = %d", h.LiveBytes())
+	}
+	peak := h.PeakBytes()
+	h.Free(p1)
+	h.Free(p2)
+	if h.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes after frees = %d", h.LiveBytes())
+	}
+	if h.PeakBytes() != peak {
+		t.Fatal("peak changed on free")
+	}
+	m, f := h.Counts()
+	if m != 2 || f != 2 {
+		t.Fatalf("counts = %d/%d", m, f)
+	}
+	if h.Footprint() == 0 {
+		t.Fatal("no footprint after allocations")
+	}
+}
+
+func TestWalkCoversWholeHeap(t *testing.T) {
+	h := newHeap(t)
+	for i := 0; i < 20; i++ {
+		h.Malloc(uint32(16 + i*24))
+	}
+	var end vmem.Addr
+	var sawTop bool
+	prevEnd := h.State().Start
+	err := h.Walk(func(c Chunk) bool {
+		if c.Addr != prevEnd {
+			t.Fatalf("gap in chunk chain at %#x (expected %#x)", c.Addr, prevEnd)
+		}
+		prevEnd = c.Addr + c.Size
+		end = prevEnd
+		sawTop = sawTop || c.Top
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawTop {
+		t.Fatal("walk did not reach top")
+	}
+	if end != h.Mem().Brk() {
+		t.Fatalf("walk ended at %#x, brk %#x", end, h.Mem().Brk())
+	}
+}
+
+func TestRandomizedModeVariesLayout(t *testing.T) {
+	layout := func(seed uint64) []vmem.Addr {
+		h := newHeap(t)
+		h.SetRandom(seed != 0, seed)
+		var ptrs []vmem.Addr
+		for i := 0; i < 30; i++ {
+			p, err := h.Malloc(uint32(24 + (i%5)*8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs = append(ptrs, p)
+			if i%3 == 2 {
+				h.Free(ptrs[i-1])
+			}
+		}
+		return ptrs
+	}
+	a := layout(1)
+	b := layout(2)
+	c := layout(0) // deterministic
+	d := layout(0)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("randomized layouts identical across seeds")
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("deterministic mode not deterministic")
+		}
+	}
+}
+
+func TestRandomizedModeStillSound(t *testing.T) {
+	h := newHeap(t)
+	h.SetRandom(true, 42)
+	var live []vmem.Addr
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(live))
+			if err := h.Free(live[k]); err != nil {
+				t.Fatalf("op %d free: %v", i, err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		} else {
+			p, err := h.Malloc(uint32(rng.Intn(700) + 1))
+			if err != nil {
+				t.Fatalf("op %d malloc: %v", i, err)
+			}
+			live = append(live, p)
+		}
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under arbitrary malloc/free/write sequences the heap never hands
+// out overlapping objects, survives an integrity check, and object contents
+// are preserved until freed.
+func TestQuickAllocatorSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(vmem.New(64 << 20))
+		type obj struct {
+			p    vmem.Addr
+			n    uint32
+			fill byte
+		}
+		var live []obj
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				o := live[k]
+				// Verify contents survived.
+				buf, err := h.Mem().Read(o.p, int(o.n))
+				if err != nil {
+					return false
+				}
+				for _, x := range buf {
+					if x != o.fill {
+						return false
+					}
+				}
+				if err := h.Free(o.p); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				n := uint32(rng.Intn(1000) + 1)
+				p, err := h.Malloc(n)
+				if err != nil {
+					return false
+				}
+				fill := byte(rng.Intn(255) + 1)
+				if err := h.Mem().Fill(p, fill, int(n)); err != nil {
+					return false
+				}
+				// No overlap with any live object.
+				for _, o := range live {
+					if p < o.p+o.n && o.p < p+n {
+						return false
+					}
+				}
+				live = append(live, obj{p, n, fill})
+			}
+		}
+		return h.CheckIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMallocFree(b *testing.B) {
+	h := New(vmem.New(256 << 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := h.Malloc(uint32(16 + i%256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMallocChurn(b *testing.B) {
+	h := New(vmem.New(256 << 20))
+	var ring [64]vmem.Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(ring)
+		if ring[slot] != 0 {
+			if err := h.Free(ring[slot]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p, err := h.Malloc(uint32(16 + (i*37)%512))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring[slot] = p
+	}
+}

@@ -1,0 +1,141 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"firstaid/internal/vmem"
+)
+
+func TestLargeAllocationsUseMmapPath(t *testing.T) {
+	h := newHeap(t)
+	p, err := h.Malloc(DefaultMmapThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < vmem.MmapBase {
+		t.Fatalf("large allocation at %#x, expected the Map zone (≥ %#x)", p, vmem.MmapBase)
+	}
+	if n, err := h.UsableSize(p); err != nil || n < DefaultMmapThreshold {
+		t.Fatalf("UsableSize = %d, %v", n, err)
+	}
+	if !h.InUse(p) {
+		t.Fatal("mmapped object not reported in use")
+	}
+	// Fully writable and zeroed.
+	buf, _ := h.Mem().Read(p, DefaultMmapThreshold)
+	for _, x := range buf {
+		if x != 0 {
+			t.Fatal("mmapped memory not zeroed")
+		}
+	}
+	// Small allocations stay in the sbrk zone.
+	q, _ := h.Malloc(64)
+	if q >= vmem.MmapBase {
+		t.Fatalf("small allocation at %#x, expected sbrk zone", q)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapFreeUnmapsImmediately(t *testing.T) {
+	h := newHeap(t)
+	p, _ := h.Malloc(512 << 10)
+	h.Mem().Fill(p, 0x42, 512<<10)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if h.InUse(p) {
+		t.Fatal("freed mmapped object still in use")
+	}
+	// Use-after-free of a munmapped region faults immediately — unlike
+	// recycled sbrk chunks, which silently return stale bytes.
+	if _, err := h.Mem().Read(p, 4); !errors.Is(err, vmem.ErrUnmapped) {
+		t.Fatalf("read of munmapped region: %v, want unmapped fault", err)
+	}
+	// Double free is a clean allocator error, not a crash of the harness.
+	if err := h.Free(p); err == nil {
+		t.Fatal("double free of mmapped object succeeded")
+	}
+}
+
+func TestMmapOverrunHitsGuardPage(t *testing.T) {
+	h := newHeap(t)
+	p, _ := h.Malloc(256 << 10)
+	n, _ := h.UsableSize(p)
+	regionEnd := (n + vmem.PageSize - 1) &^ (vmem.PageSize - 1)
+	// Writing past the mapped region faults on the guard page.
+	if err := h.Mem().Write(p+regionEnd, []byte{1}); !errors.Is(err, vmem.ErrUnmapped) {
+		t.Fatalf("overrun write: %v, want unmapped fault", err)
+	}
+}
+
+func TestMmapStateSurvivesRollback(t *testing.T) {
+	mem := vmem.New(64 << 20)
+	h := New(mem)
+	p, _ := h.Malloc(300 << 10)
+	mem.Write(p, []byte("mapped data"))
+
+	snap := mem.Snapshot()
+	st := h.State()
+
+	h.Free(p) // unmaps
+	q, _ := h.Malloc(400 << 10)
+	_ = q
+
+	mem.Restore(snap)
+	h.SetState(st)
+	snap.Release()
+
+	// The original mapping is back, contents intact.
+	if !h.InUse(p) {
+		t.Fatal("mmapped object lost across rollback")
+	}
+	got, err := mem.Read(p, 11)
+	if err != nil || string(got) != "mapped data" {
+		t.Fatalf("contents after rollback: %q, %v", got, err)
+	}
+	// And it can be freed again normally.
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapAccounting(t *testing.T) {
+	h := newHeap(t)
+	base := h.Footprint()
+	p, _ := h.Malloc(1 << 20)
+	if h.Footprint() < base+1<<20 {
+		t.Fatalf("footprint %d does not include the mapping", h.Footprint())
+	}
+	if h.LiveBytes() < 1<<20 {
+		t.Fatalf("LiveBytes = %d", h.LiveBytes())
+	}
+	h.Free(p)
+	if h.LiveBytes() >= 1<<20 {
+		t.Fatalf("LiveBytes after free = %d", h.LiveBytes())
+	}
+	m, f := h.Counts()
+	if m != 1 || f != 1 {
+		t.Fatalf("counts = %d/%d", m, f)
+	}
+}
+
+func TestMmapBudgetEnforced(t *testing.T) {
+	mem := vmem.New(2 << 20)
+	h := New(mem)
+	var got int
+	for i := 0; i < 32; i++ {
+		if _, err := h.Malloc(256 << 10); err != nil {
+			if !errors.Is(err, vmem.ErrOutOfMemory) {
+				t.Fatalf("wrong error class: %v", err)
+			}
+			break
+		}
+		got++
+	}
+	if got == 0 || got > 8 {
+		t.Fatalf("allocated %d × 256KB within a 2MB budget", got)
+	}
+}

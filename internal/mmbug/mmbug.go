@@ -1,0 +1,73 @@
+// Package mmbug enumerates the memory-management bug classes handled by
+// First-Aid (paper Table 1). The enum is shared by the allocator extension
+// (which implements the preventive/exposing changes per class), the
+// diagnosis engine (which searches over classes), the patch layer (a patch
+// is a preventive change for one class) and the report generator.
+package mmbug
+
+// Type identifies a memory-management bug class.
+type Type int
+
+// The bug classes of Table 1, in the order the diagnosis engine probes
+// them. The order matters only for determinism of the diagnostic log.
+const (
+	None Type = iota
+	BufferOverflow
+	DanglingWrite
+	DanglingRead
+	DoubleFree
+	UninitRead
+)
+
+// All lists every diagnosable class, the initial "undecided set" Su of the
+// paper's Phase-2 algorithm.
+var All = []Type{BufferOverflow, DanglingWrite, DanglingRead, DoubleFree, UninitRead}
+
+var names = map[Type]string{
+	None:           "none",
+	BufferOverflow: "buffer overflow",
+	DanglingWrite:  "dangling pointer write",
+	DanglingRead:   "dangling pointer read",
+	DoubleFree:     "double free",
+	UninitRead:     "uninitialized read",
+}
+
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// PatchName returns the paper's name for the preventive change that
+// patches this bug class (Table 1 / Table 3).
+func (t Type) PatchName() string {
+	switch t {
+	case BufferOverflow:
+		return "add padding"
+	case DanglingWrite, DanglingRead, DoubleFree:
+		return "delay free"
+	case UninitRead:
+		return "fill with zero"
+	}
+	return "none"
+}
+
+// AtAllocation reports whether this class's patch applies at allocation
+// call-sites (true) or deallocation call-sites (false), per Table 1's
+// "patch application point" column.
+func (t Type) AtAllocation() bool {
+	switch t {
+	case BufferOverflow, UninitRead:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReadType reports whether the class manifests only through incorrect
+// content reads, so its call-sites must be found by the Phase-2 binary
+// search rather than by direct canary/parameter evidence (paper §4.2).
+func (t Type) ReadType() bool {
+	return t == DanglingRead || t == UninitRead
+}

@@ -1,0 +1,77 @@
+package mmbug
+
+import "testing"
+
+func TestAllCoversFiveClasses(t *testing.T) {
+	if len(All) != 5 {
+		t.Fatalf("All = %v", All)
+	}
+	seen := map[Type]bool{}
+	for _, b := range All {
+		if b == None || seen[b] {
+			t.Fatalf("bad entry %v", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[Type]string{
+		None:           "none",
+		BufferOverflow: "buffer overflow",
+		DanglingWrite:  "dangling pointer write",
+		DanglingRead:   "dangling pointer read",
+		DoubleFree:     "double free",
+		UninitRead:     "uninitialized read",
+		Type(99):       "unknown",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}
+
+func TestPatchNamesMatchTable1(t *testing.T) {
+	cases := map[Type]string{
+		BufferOverflow: "add padding",
+		DanglingWrite:  "delay free",
+		DanglingRead:   "delay free",
+		DoubleFree:     "delay free",
+		UninitRead:     "fill with zero",
+		None:           "none",
+	}
+	for b, want := range cases {
+		if b.PatchName() != want {
+			t.Errorf("%v.PatchName() = %q, want %q", b, b.PatchName(), want)
+		}
+	}
+}
+
+func TestApplicationPointsMatchTable1(t *testing.T) {
+	// Table 1's "patch application point" column: allocation for buffer
+	// overflow and uninitialized read, deallocation for the rest.
+	atAlloc := map[Type]bool{
+		BufferOverflow: true,
+		UninitRead:     true,
+		DanglingWrite:  false,
+		DanglingRead:   false,
+		DoubleFree:     false,
+	}
+	for b, want := range atAlloc {
+		if b.AtAllocation() != want {
+			t.Errorf("%v.AtAllocation() = %v, want %v", b, b.AtAllocation(), want)
+		}
+	}
+}
+
+func TestReadTypeClassification(t *testing.T) {
+	// §4.2: only dangling read and uninitialized read need the binary
+	// search; the others are identified directly from evidence.
+	for _, b := range All {
+		want := b == DanglingRead || b == UninitRead
+		if b.ReadType() != want {
+			t.Errorf("%v.ReadType() = %v, want %v", b, b.ReadType(), want)
+		}
+	}
+}

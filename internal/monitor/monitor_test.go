@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/canary"
+	"firstaid/internal/heap"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/vmem"
+)
+
+func setup(t testing.TB) (*Monitor, *proc.Proc, *allocext.Ext) {
+	t.Helper()
+	mem := vmem.New(16 << 20)
+	h := heap.New(mem)
+	sites := callsite.NewTable()
+	ext := allocext.New(h, sites)
+	p := proc.New(mem, ext)
+	p.Sites = sites
+	return New(ext), p, ext
+}
+
+func TestRunEventSuccess(t *testing.T) {
+	m, p, _ := setup(t)
+	f := m.RunEvent(7, func() {
+		defer p.Enter("handler")()
+		a := p.Malloc(32)
+		p.Free(a)
+	})
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+	if m.Faults() != 0 {
+		t.Fatal("fault counted on success")
+	}
+}
+
+func TestRunEventCatchesAndStampsFault(t *testing.T) {
+	m, p, _ := setup(t)
+	f := m.RunEvent(42, func() {
+		defer p.Enter("handler")()
+		p.Assert(false, "boom")
+	})
+	if f == nil {
+		t.Fatal("fault not caught")
+	}
+	if f.Event != 42 {
+		t.Fatalf("event = %d", f.Event)
+	}
+	if f.Kind != proc.AssertFailure {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if m.Faults() != 1 {
+		t.Fatalf("Faults = %d", m.Faults())
+	}
+}
+
+func TestScanEachEventFindsCorruptionPromptly(t *testing.T) {
+	m, p, ext := setup(t)
+	ext.SetMode(allocext.ModeDiagnostic)
+	ext.SetChanges(allocext.NewChangeSet().AddExposing(mmbug.BufferOverflow, nil))
+	m.ScanEachEvent = true
+
+	var a vmem.Addr
+	if f := m.RunEvent(0, func() {
+		defer p.Enter("handler")()
+		a = p.Malloc(16)
+	}); f != nil {
+		t.Fatal(f)
+	}
+	// Event 1 overflows into the canary padding; the monitor's per-event
+	// scan must record the manifestation even though nothing faulted.
+	if f := m.RunEvent(1, func() {
+		defer p.Enter("handler")()
+		p.Store(a+16, []byte{1, 2, 3, 4})
+	}); f != nil {
+		t.Fatal(f)
+	}
+	if !ext.Manifests().Has(mmbug.BufferOverflow) {
+		t.Fatal("per-event scan missed the corruption")
+	}
+}
+
+func TestScanDisabledByDefault(t *testing.T) {
+	m, p, ext := setup(t)
+	ext.SetMode(allocext.ModeDiagnostic)
+	ext.SetChanges(allocext.NewChangeSet().AddExposing(mmbug.BufferOverflow, nil))
+
+	var a vmem.Addr
+	m.RunEvent(0, func() {
+		defer p.Enter("handler")()
+		a = p.Malloc(16)
+		p.Store(a+16, []byte{0xFF}) // corrupt the pad canary
+	})
+	if ext.Manifests().Has(mmbug.BufferOverflow) {
+		t.Fatal("scan ran although ScanEachEvent is off")
+	}
+	_ = canary.Pad
+}

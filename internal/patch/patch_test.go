@@ -1,0 +1,231 @@
+package patch
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+)
+
+var (
+	siteA = callsite.Key{"xmalloc", "parse_request", "handle"}
+	siteB = callsite.Key{"xfree", "cleanup", "handle"}
+)
+
+func TestNewPatchSides(t *testing.T) {
+	p := New(mmbug.BufferOverflow, siteA)
+	if !p.AtAlloc {
+		t.Fatal("overflow patch must apply at allocation")
+	}
+	if a, ok := p.AllocAction(); !ok || !a.Pad {
+		t.Fatalf("alloc action = %+v, %v", a, ok)
+	}
+	if _, ok := p.FreeAction(); ok {
+		t.Fatal("overflow patch has no free action")
+	}
+
+	q := New(mmbug.DanglingRead, siteB)
+	if q.AtAlloc {
+		t.Fatal("dangling-read patch must apply at deallocation")
+	}
+	if a, ok := q.FreeAction(); !ok || !a.Delay {
+		t.Fatalf("free action = %+v, %v", a, ok)
+	}
+
+	z := New(mmbug.UninitRead, siteA)
+	if a, ok := z.AllocAction(); !ok || !a.Zero {
+		t.Fatalf("uninit action = %+v, %v", a, ok)
+	}
+}
+
+func TestRevokedPatchHasNoActions(t *testing.T) {
+	p := New(mmbug.BufferOverflow, siteA)
+	p.Revoked = true
+	if _, ok := p.AllocAction(); ok {
+		t.Fatal("revoked patch still acts")
+	}
+}
+
+func TestPoolAddAssignsIDsAndCoalesces(t *testing.T) {
+	pl := NewPool("squid")
+	p1 := pl.Add(New(mmbug.BufferOverflow, siteA))
+	p2 := pl.Add(New(mmbug.DanglingRead, siteB))
+	if p1.ID == 0 || p1.ID == p2.ID {
+		t.Fatalf("ids: %d %d", p1.ID, p2.ID)
+	}
+	// Re-adding the same (bug, site) coalesces.
+	p3 := pl.Add(New(mmbug.BufferOverflow, siteA))
+	if p3 != p1 || pl.Len() != 2 {
+		t.Fatal("duplicate not coalesced")
+	}
+	// Re-adding revives a revoked patch.
+	pl.Revoke(p1.ID)
+	if len(pl.Active()) != 1 {
+		t.Fatal("revoke failed")
+	}
+	pl.Add(New(mmbug.BufferOverflow, siteA))
+	if len(pl.Active()) != 2 {
+		t.Fatal("revive failed")
+	}
+}
+
+func TestRevokeAndValidateUnknownIDs(t *testing.T) {
+	pl := NewPool("x")
+	if pl.Revoke(99) || pl.MarkValidated(99) {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pl := NewPool("apache")
+	p1 := pl.Add(New(mmbug.DanglingRead, siteB))
+	pl.MarkValidated(p1.ID)
+	p2 := pl.Add(New(mmbug.BufferOverflow, siteA))
+	pl.Revoke(p2.ID)
+
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "apache" || got.Len() != 2 {
+		t.Fatalf("loaded: %q len %d", got.Program, got.Len())
+	}
+	active := got.Active()
+	if len(active) != 1 || active[0].Bug != mmbug.DanglingRead || !active[0].Validated {
+		t.Fatalf("active after load: %+v", active)
+	}
+	// IDs continue from where they left off.
+	p3 := got.Add(New(mmbug.DoubleFree, callsite.Key{"f", "g", "h"}))
+	if p3.ID != 3 {
+		t.Fatalf("next id = %d", p3.ID)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.json")
+	pl := NewPool("cvs")
+	pl.Add(New(mmbug.DoubleFree, siteB))
+	if err := pl.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Active()[0].Bug != mmbug.DoubleFree {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBoundResolution(t *testing.T) {
+	pl := NewPool("squid")
+	pl.Add(New(mmbug.BufferOverflow, siteA))
+	tab := callsite.NewTable()
+	b := pl.Bind(tab)
+
+	idA := tab.Intern(siteA)
+	if a, ok := b.AllocPatch(idA); !ok || !a.Pad {
+		t.Fatalf("AllocPatch = %+v, %v", a, ok)
+	}
+	other := tab.Intern(callsite.Key{"other", "", ""})
+	if _, ok := b.AllocPatch(other); ok {
+		t.Fatal("unpatched site matched")
+	}
+	if _, ok := b.FreePatch(idA); ok {
+		t.Fatal("alloc patch matched on free side")
+	}
+
+	// Pool growth is picked up without explicit invalidation.
+	pl.Add(New(mmbug.DanglingRead, siteB))
+	idB := tab.Intern(siteB)
+	if a, ok := b.FreePatch(idB); !ok || !a.Delay {
+		t.Fatalf("new patch not resolved: %+v %v", a, ok)
+	}
+
+	// Revocation requires Invalidate (length unchanged).
+	pl.Revoke(1)
+	b.Invalidate()
+	if _, ok := b.AllocPatch(idA); ok {
+		t.Fatal("revoked patch still resolves")
+	}
+
+	if p, ok := b.PatchAt(idB); !ok || p.Bug != mmbug.DanglingRead {
+		t.Fatalf("PatchAt = %+v, %v", p, ok)
+	}
+	sites := b.Sites()
+	if len(sites) != 1 || sites[0] != idB {
+		t.Fatalf("Sites = %v", sites)
+	}
+}
+
+func TestBoundInternsUnseenSites(t *testing.T) {
+	// A pool loaded from disk may reference call-sites the new process
+	// has not hit yet; binding must intern them so the first hit matches.
+	pl := NewPool("squid")
+	pl.Add(New(mmbug.BufferOverflow, siteA))
+	tab := callsite.NewTable()
+	b := pl.Bind(tab)
+	b.resolve()
+	if tab.Lookup(siteA) == 0 {
+		t.Fatal("patch site not interned at bind time")
+	}
+}
+
+func TestPatchString(t *testing.T) {
+	p := New(mmbug.BufferOverflow, siteA)
+	p.ID = 3
+	s := p.String()
+	for _, want := range []string{"patch 3", "add padding", "buffer overflow", "xmalloc"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+// Property: save/load is lossless for arbitrary pools.
+func TestQuickPoolRoundTrip(t *testing.T) {
+	bugs := []mmbug.Type{mmbug.BufferOverflow, mmbug.DanglingRead, mmbug.DanglingWrite, mmbug.DoubleFree, mmbug.UninitRead}
+	f := func(names []string, revoke []bool) bool {
+		pl := NewPool("prog")
+		for i, n := range names {
+			p := pl.Add(New(bugs[i%len(bugs)], callsite.Key{n, "mid", "outer"}))
+			if i < len(revoke) && revoke[i] {
+				pl.Revoke(p.ID)
+			}
+		}
+		var buf bytes.Buffer
+		if err := pl.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != pl.Len() || len(got.Active()) != len(pl.Active()) {
+			return false
+		}
+		for i, p := range pl.All() {
+			q := got.All()[i]
+			if p.ID != q.ID || p.Bug != q.Bug || p.Site != q.Site || p.Revoked != q.Revoked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

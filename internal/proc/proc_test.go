@@ -1,0 +1,268 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/heap"
+	"firstaid/internal/vmem"
+)
+
+func newProc(t testing.TB) *Proc {
+	t.Helper()
+	mem := vmem.New(64 << 20)
+	h := heap.New(mem)
+	return New(mem, RawMM{H: h})
+}
+
+func TestMallocStoreLoad(t *testing.T) {
+	p := newProc(t)
+	var a vmem.Addr
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a = p.Malloc(64)
+		p.StoreU32(a, 0x1234)
+		if v := p.LoadU32(a); v != 0x1234 {
+			t.Fatalf("LoadU32 = %#x", v)
+		}
+		p.StoreString(a+8, "hello")
+		if s := p.LoadString(a+8, 5); s != "hello" {
+			t.Fatalf("LoadString = %q", s)
+		}
+		p.Free(a)
+	})
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+}
+
+func TestWildLoadTraps(t *testing.T) {
+	p := newProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		p.At("deref")
+		p.Load(0, 4) // nil dereference
+	})
+	if f == nil {
+		t.Fatal("no trap")
+	}
+	if f.Kind != AccessViolation {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if f.Instr != "main:deref" {
+		t.Fatalf("instr = %q", f.Instr)
+	}
+	if len(f.Stack) != 1 || f.Stack[0] != "main" {
+		t.Fatalf("stack = %v", f.Stack)
+	}
+}
+
+func TestDoubleFreeTrapsAsBadFree(t *testing.T) {
+	p := newProc(t)
+	var a vmem.Addr
+	if f := Catch(func() {
+		defer p.Enter("main")()
+		a = p.Malloc(32)
+		p.Free(a)
+	}); f != nil {
+		t.Fatalf("setup fault: %v", f)
+	}
+	f := Catch(func() {
+		defer p.Enter("main")()
+		p.Free(a)
+	})
+	if f == nil || (f.Kind != BadFree && f.Kind != HeapCorruption) {
+		t.Fatalf("double free fault = %+v", f)
+	}
+}
+
+func TestAssert(t *testing.T) {
+	p := newProc(t)
+	if f := Catch(func() { p.Assert(true, "fine") }); f != nil {
+		t.Fatalf("true assert trapped: %v", f)
+	}
+	f := Catch(func() {
+		defer p.Enter("check_magic")()
+		p.Assert(false, "bad magic %#x", 0xCDCDCDCD)
+	})
+	if f == nil || f.Kind != AssertFailure {
+		t.Fatalf("fault = %+v", f)
+	}
+	if !strings.Contains(f.Msg, "0xcdcdcdcd") {
+		t.Fatalf("msg = %q", f.Msg)
+	}
+}
+
+func TestCatchPropagatesNonFaultPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("simulator panic swallowed")
+		}
+	}()
+	Catch(func() { panic("simulator bug") })
+}
+
+func TestSiteUsesTopThreeFrames(t *testing.T) {
+	p := newProc(t)
+	var id callsite.ID
+	Catch(func() {
+		defer p.Enter("main")()
+		defer p.Enter("handle_request")()
+		defer p.Enter("cache_insert")()
+		defer p.Enter("xmalloc")()
+		id = p.Site()
+	})
+	key := p.Sites.Key(id)
+	want := callsite.Key{"xmalloc", "cache_insert", "handle_request"}
+	if key != want {
+		t.Fatalf("site key = %v, want %v", key, want)
+	}
+}
+
+func TestSitesStableAcrossCalls(t *testing.T) {
+	p := newProc(t)
+	alloc := func() callsite.ID {
+		defer p.Enter("main")()
+		defer p.Enter("wrapper")()
+		a := p.Malloc(16)
+		id := p.Site()
+		p.Free(a)
+		return id
+	}
+	var a, b callsite.ID
+	Catch(func() { a = alloc() })
+	Catch(func() { b = alloc() })
+	if a != b {
+		t.Fatalf("same code path interned two sites: %d vs %d", a, b)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	p := newProc(t)
+	p.SetRoot(3, 0xABCD)
+	p.Tick(500)
+	p.Rand()
+	st := p.State()
+
+	p.SetRoot(3, 1)
+	p.Tick(100)
+	p.Rand()
+
+	p.SetState(st)
+	if p.Root(3) != 0xABCD {
+		t.Fatal("root not restored")
+	}
+	if p.Clock() != st.Clock {
+		t.Fatal("clock not restored")
+	}
+}
+
+func TestRandDeterministicFromState(t *testing.T) {
+	p := newProc(t)
+	st := p.State()
+	a := []uint64{p.Rand(), p.Rand(), p.Rand()}
+	p.SetState(st)
+	b := []uint64{p.Rand(), p.Rand(), p.Rand()}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PRNG not replayable")
+		}
+	}
+}
+
+func TestClockAdvancesOnOps(t *testing.T) {
+	p := newProc(t)
+	c0 := p.Clock()
+	Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(64)
+		p.Store(a, make([]byte, 64))
+		p.Load(a, 64)
+		p.Free(a)
+	})
+	if p.Clock() <= c0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	p := newProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		src := p.Malloc(32)
+		dst := p.Malloc(32)
+		p.StoreString(src, "copy me")
+		p.Memcpy(dst, src, 7)
+		if s := p.LoadString(dst, 7); s != "copy me" {
+			t.Fatalf("copied %q", s)
+		}
+	})
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+}
+
+type countingChecker struct {
+	reads, writes int
+	lastInstr     string
+}
+
+func (c *countingChecker) Access(_ vmem.Addr, _ int, write bool, instr string) {
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	c.lastInstr = instr
+}
+
+func TestAccessCheckerObservesAll(t *testing.T) {
+	p := newProc(t)
+	ck := &countingChecker{}
+	p.SetAccessChecker(ck)
+	Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(16)
+		p.At("init")
+		p.StoreU32(a, 1)
+		p.LoadU32(a)
+		p.Memset(a, 0, 16)
+	})
+	if ck.writes != 2 || ck.reads != 1 {
+		t.Fatalf("checker saw %d writes, %d reads", ck.writes, ck.reads)
+	}
+	p.SetAccessChecker(nil)
+	Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(16)
+		p.StoreU32(a, 1)
+	})
+	if ck.writes != 2 {
+		t.Fatal("checker still active after removal")
+	}
+}
+
+func TestInstrDefaultsToFrameName(t *testing.T) {
+	p := newProc(t)
+	Catch(func() {
+		defer p.Enter("worker")()
+		if p.Instr() != "worker" {
+			t.Fatalf("Instr = %q", p.Instr())
+		}
+	})
+	if p.Instr() != "<no frame>" {
+		t.Fatalf("empty-stack Instr = %q", p.Instr())
+	}
+}
+
+func BenchmarkMallocFreeThroughProc(b *testing.B) {
+	p := newProc(b)
+	pop := p.Enter("bench")
+	defer pop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := p.Malloc(uint32(16 + i%128))
+		p.Free(a)
+	}
+}

@@ -1,0 +1,150 @@
+package proc
+
+import (
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/heap"
+	"firstaid/internal/vmem"
+)
+
+func newExtProc(t testing.TB) (*Proc, *allocext.Ext) {
+	t.Helper()
+	mem := vmem.New(64 << 20)
+	h := heap.New(mem)
+	sites := callsite.NewTable()
+	ext := allocext.New(h, sites)
+	p := New(mem, ext)
+	p.Sites = sites
+	return p, ext
+}
+
+func TestCallocReturnsZeroedMemory(t *testing.T) {
+	p, _ := newExtProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		// Dirty the recycling path first.
+		a := p.Malloc(64)
+		p.Memset(a, 0xFF, 64)
+		p.Free(a)
+		b := p.Calloc(64)
+		for _, x := range p.Load(b, 64) {
+			if x != 0 {
+				t.Fatal("calloc returned dirty memory")
+			}
+		}
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestReallocGrowPreservesContents(t *testing.T) {
+	p, _ := newExtProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(32)
+		p.StoreString(a, "keep this content!")
+		b := p.Realloc(a, 256)
+		if s := p.LoadString(b, 18); s != "keep this content!" {
+			t.Fatalf("contents after grow: %q", s)
+		}
+		// The old object is gone.
+		p.Free(b)
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestReallocShrinkTruncates(t *testing.T) {
+	p, _ := newExtProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(64)
+		p.StoreString(a, "0123456789")
+		b := p.Realloc(a, 8)
+		if s := p.LoadString(b, 8); s != "01234567" {
+			t.Fatalf("contents after shrink: %q", s)
+		}
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestReallocNilIsMalloc(t *testing.T) {
+	p, _ := newExtProc(t)
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a := p.Realloc(0, 48)
+		p.Memset(a, 1, 48)
+		p.Free(a)
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestReallocFreesOldObject(t *testing.T) {
+	p, ext := newExtProc(t)
+	var a, b vmem.Addr
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a = p.Malloc(32)
+		b = p.Realloc(a, 512)
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, ok := ext.Object(a); ok && a != b {
+		t.Fatal("old object still live after realloc")
+	}
+	if _, ok := ext.Object(b); !ok {
+		t.Fatal("new object not tracked")
+	}
+}
+
+func TestReallocThroughRawMM(t *testing.T) {
+	mem := vmem.New(16 << 20)
+	h := heap.New(mem)
+	p := New(mem, RawMM{H: h})
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a := p.Malloc(32)
+		p.StoreString(a, "raw path")
+		b := p.Realloc(a, 128)
+		if s := p.LoadString(b, 8); s != "raw path" {
+			t.Fatalf("raw realloc lost contents: %q", s)
+		}
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestReallocRespectsDelayFreePatch(t *testing.T) {
+	// Under a delay-free regime the original object must be delay-freed,
+	// not recycled — stale pointers into it keep reading valid data.
+	p, ext := newExtProc(t)
+	ext.SetMode(allocext.ModeDiagnostic)
+	ext.SetChanges(allocext.NewChangeSet().AddFree(nil, allocext.FreeAction{Delay: true}))
+	var a vmem.Addr
+	f := Catch(func() {
+		defer p.Enter("main")()
+		a = p.Malloc(32)
+		p.StoreString(a, "stale but safe")
+		p.Realloc(a, 128)
+		// Dangling read through the old pointer: preserved.
+		if s := p.LoadString(a, 14); s != "stale but safe" {
+			t.Fatalf("delay-freed original corrupted: %q", s)
+		}
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if obj, ok := ext.Object(a); !ok || !obj.Delayed {
+		t.Fatal("realloc'd-away object not delay-freed")
+	}
+}

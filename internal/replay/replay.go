@@ -1,0 +1,89 @@
+// Package replay provides the recorded-input substrate for deterministic
+// re-execution.
+//
+// First-Aid "leverages a network proxy to record network messages during
+// normal execution and replay them during re-execution" (§3). In the
+// simulated machine a program consumes an ordered log of input events; the
+// checkpoint manager saves the log cursor with each checkpoint, and a
+// rollback rewinds the cursor so re-execution sees exactly the original
+// inputs.
+package replay
+
+import "fmt"
+
+// Event is one recorded input: a request, a command, a message. Kind
+// selects the program's handler; Data and N carry the payload.
+type Event struct {
+	Seq  int    // position in the log, assigned by Append
+	Kind string // handler selector, e.g. "GET", "purge", "mail"
+	Data string // payload (request body, file name, expression…)
+	N    int    // numeric argument (sizes, counts)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s(%q,%d)", e.Seq, e.Kind, e.Data, e.N)
+}
+
+// Log is an append-only event log with a replay cursor. A Log is built
+// either up front by a workload generator or incrementally as "live"
+// traffic arrives; consumption through Next never discards events, so any
+// earlier cursor position can be replayed.
+type Log struct {
+	events []Event
+	cursor int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append records an event at the tail and returns its sequence number.
+func (l *Log) Append(kind, data string, n int) int {
+	seq := len(l.events)
+	l.events = append(l.events, Event{Seq: seq, Kind: kind, Data: data, N: n})
+	return seq
+}
+
+// Next returns the event under the cursor and advances. ok is false when
+// the log is exhausted.
+func (l *Log) Next() (ev Event, ok bool) {
+	if l.cursor >= len(l.events) {
+		return Event{}, false
+	}
+	ev = l.events[l.cursor]
+	l.cursor++
+	return ev, true
+}
+
+// Peek returns the event under the cursor without advancing.
+func (l *Log) Peek() (ev Event, ok bool) {
+	if l.cursor >= len(l.events) {
+		return Event{}, false
+	}
+	return l.events[l.cursor], true
+}
+
+// Cursor returns the replay position (the index of the next event).
+func (l *Log) Cursor() int { return l.cursor }
+
+// SetCursor rewinds (or advances) the replay position; rollback support.
+func (l *Log) SetCursor(c int) {
+	if c < 0 {
+		c = 0
+	}
+	if c > len(l.events) {
+		c = len(l.events)
+	}
+	l.cursor = c
+}
+
+// Len returns the total number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Clone returns an independent log with the same recorded events and
+// cursor, for replaying on a forked machine without racing the original.
+func (l *Log) Clone() *Log {
+	return &Log{events: append([]Event(nil), l.events...), cursor: l.cursor}
+}
+
+// At returns the event at index i.
+func (l *Log) At(i int) Event { return l.events[i] }

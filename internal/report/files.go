@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteFiles materialises the report's referenced artifacts the way the
+// paper's Figure 5 names them:
+//
+//	failure.core          — the fault, stack and context
+//	diag.log              — the full diagnosis log
+//	mm_trace_orig.log     — allocation/deallocation trace without patches
+//	mm_trace_patched.log  — the same region with patches applied
+//	illegal_access.log    — every neutralised illegal access
+//	report.txt            — the rendered summary report
+//
+// It returns the paths written.
+func (r *Report) WriteFiles(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	if err := write("failure.core", r.coreDump()); err != nil {
+		return written, err
+	}
+	if err := write("diag.log", strings.Join(r.DiagnosisLog, "\n")+"\n"); err != nil {
+		return written, err
+	}
+	orig, patched := r.mmTraces()
+	if err := write("mm_trace_orig.log", orig); err != nil {
+		return written, err
+	}
+	if err := write("mm_trace_patched.log", patched); err != nil {
+		return written, err
+	}
+	if err := write("illegal_access.log", r.illegalLog()); err != nil {
+		return written, err
+	}
+	if err := write("report.txt", r.String()); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+func (r *Report) coreDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %s\n", r.Program)
+	if r.Fault == nil {
+		fmt.Fprintf(&b, "no fault recorded\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "signal:  %v\n", r.Fault.Kind)
+	fmt.Fprintf(&b, "pc:      %s\n", r.Fault.Instr)
+	fmt.Fprintf(&b, "addr:    %#x\n", r.Fault.Addr)
+	fmt.Fprintf(&b, "event:   #%d\n", r.Fault.Event)
+	fmt.Fprintf(&b, "clock:   %d\n", r.Fault.Clock)
+	fmt.Fprintf(&b, "message: %s\n", r.Fault.Msg)
+	fmt.Fprintf(&b, "backtrace (innermost last):\n")
+	for i, fr := range r.Fault.Stack {
+		fmt.Fprintf(&b, "  #%d %s\n", len(r.Fault.Stack)-1-i, fr)
+	}
+	return b.String()
+}
+
+func (r *Report) mmTraces() (orig, patched string) {
+	var ob, pb strings.Builder
+	if r.Validation != nil {
+		if r.Validation.Baseline != nil {
+			for _, op := range r.Validation.Baseline.Ops {
+				fmt.Fprintln(&ob, op)
+			}
+			if r.Validation.BaselineFault != nil {
+				fmt.Fprintf(&ob, "<run ends in failure: %v>\n", r.Validation.BaselineFault.Kind)
+			}
+		}
+		if len(r.Validation.Traces) > 0 {
+			for _, op := range r.Validation.Traces[0].Ops {
+				fmt.Fprintln(&pb, op)
+			}
+		}
+	}
+	return ob.String(), pb.String()
+}
+
+func (r *Report) illegalLog() string {
+	var b strings.Builder
+	if r.Validation == nil || len(r.Validation.Traces) == 0 {
+		return "(no validation traces)\n"
+	}
+	for _, a := range r.Validation.Traces[0].Illegal {
+		fmt.Fprintln(&b, a)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFilesProducesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleReport(t)
+	paths, err := r.WriteFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"failure.core", "diag.log", "mm_trace_orig.log",
+		"mm_trace_patched.log", "illegal_access.log", "report.txt",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("wrote %d files, want %d: %v", len(paths), len(want), paths)
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+
+	core, _ := os.ReadFile(filepath.Join(dir, "failure.core"))
+	for _, want := range []string{"assertion failure", "util_ldap_cache_check", "backtrace"} {
+		if !strings.Contains(string(core), want) {
+			t.Errorf("failure.core missing %q", want)
+		}
+	}
+	patched, _ := os.ReadFile(filepath.Join(dir, "mm_trace_patched.log"))
+	if !strings.Contains(string(patched), "delayed, patch") {
+		t.Errorf("mm_trace_patched.log missing patched op:\n%s", patched)
+	}
+	orig, _ := os.ReadFile(filepath.Join(dir, "mm_trace_orig.log"))
+	if !strings.Contains(string(orig), "run ends in failure") {
+		t.Errorf("mm_trace_orig.log missing failure marker:\n%s", orig)
+	}
+	ill, _ := os.ReadFile(filepath.Join(dir, "illegal_access.log"))
+	if !strings.Contains(string(ill), "read of freed object") {
+		t.Errorf("illegal_access.log missing accesses:\n%s", ill)
+	}
+}
+
+func TestWriteFilesEmptyReport(t *testing.T) {
+	dir := t.TempDir()
+	r := Build("x", nil, nil, 0, nil, nil, nil, 0, 0)
+	if _, err := r.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+}

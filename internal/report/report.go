@@ -1,0 +1,259 @@
+// Package report builds First-Aid's on-site bug report (paper §5,
+// Figure 5): failure core dump, diagnosis summary and log, runtime patch
+// details with call-site chains and trigger counts, the with/without-patch
+// memory-management trace diff, and the illegal-access summary grouped by
+// patch and instruction.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/patch"
+	"firstaid/internal/proc"
+	"firstaid/internal/validate"
+)
+
+// PatchInfo is one patch's entry in the report.
+type PatchInfo struct {
+	Patch    *patch.Patch
+	Site     callsite.Key
+	Triggers int // times triggered in the validated buggy region
+}
+
+// Report is the assembled bug report.
+type Report struct {
+	Program        string
+	Fault          *proc.Fault
+	RecoverySec    float64
+	ValidationSec  float64
+	DiagnosisLog   []string
+	Patches        []PatchInfo
+	Validation     *validate.Result
+	SiteKey        func(callsite.ID) callsite.Key
+	DiagRollbacks  int
+	FailureEvent   int
+	ValidationOK   bool
+	ValidationNote string
+}
+
+// Build assembles a report. trace data comes from the validation result's
+// first patched iteration; trigger counts come from its Triggers map.
+func Build(program string, fault *proc.Fault, diagLog []string, rollbacks int,
+	patches []*patch.Patch, val *validate.Result,
+	siteKey func(callsite.ID) callsite.Key,
+	recoverySec, validationSec float64) *Report {
+
+	r := &Report{
+		Program:       program,
+		Fault:         fault,
+		RecoverySec:   recoverySec,
+		ValidationSec: validationSec,
+		DiagnosisLog:  diagLog,
+		Validation:    val,
+		SiteKey:       siteKey,
+		DiagRollbacks: rollbacks,
+	}
+	if fault != nil {
+		r.FailureEvent = fault.Event
+	}
+	if val != nil {
+		r.ValidationOK = val.Consistent
+		r.ValidationNote = val.Reason
+	}
+
+	var trig map[callsite.ID]int
+	if val != nil && len(val.Traces) > 0 {
+		trig = val.Traces[0].Triggers
+	}
+	for _, p := range patches {
+		info := PatchInfo{Patch: p, Site: p.Site}
+		if trig != nil {
+			// Match trigger counts by site key through the resolver.
+			for site, n := range trig {
+				if siteKey != nil && siteKey(site) == p.Site {
+					info.Triggers = n
+				}
+			}
+		}
+		r.Patches = append(r.Patches, info)
+	}
+	sort.Slice(r.Patches, func(i, j int) bool { return r.Patches[i].Patch.ID < r.Patches[j].Patch.ID })
+	return r
+}
+
+// String renders the report in the paper's Figure-5 layout.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bug report for %s:\n", r.Program)
+
+	// 1. Failure core dump.
+	fmt.Fprintf(&b, "1. Failure: ")
+	if r.Fault != nil {
+		fmt.Fprintf(&b, "%v at %s (event #%d)\n", r.Fault.Kind, r.Fault.Instr, r.Fault.Event)
+		fmt.Fprintf(&b, "   message: %s\n", r.Fault.Msg)
+		fmt.Fprintf(&b, "   stack:   %s\n", strings.Join(r.Fault.Stack, " < "))
+	} else {
+		fmt.Fprintf(&b, "(none recorded)\n")
+	}
+
+	// 2. Diagnosis summary.
+	fmt.Fprintf(&b, "2. Diagnosis summary: recovery: %.3f(s); validation: %.3f(s); rollbacks: %d\n",
+		r.RecoverySec, r.ValidationSec, r.DiagRollbacks)
+	for _, line := range r.DiagnosisLog {
+		fmt.Fprintf(&b, "   diag: %s\n", line)
+	}
+
+	// 3. Patches.
+	fmt.Fprintf(&b, "3. Patch applied: %d runtime patch(es)\n", len(r.Patches))
+	for _, pi := range r.Patches {
+		fmt.Fprintf(&b, "   Patch %d: %s for %v\n", pi.Patch.ID, pi.Patch.ChangeName(), pi.Patch.Bug)
+		for lvl := 0; lvl < callsite.Depth; lvl++ {
+			if f := callsite.FormatFrame(pi.Site, lvl); f != "" {
+				fmt.Fprintf(&b, "            callsite: %s\n", f)
+			}
+		}
+		if pi.Triggers > 0 {
+			fmt.Fprintf(&b, "            (triggered %d times in the buggy region)\n", pi.Triggers)
+		}
+	}
+
+	// 4. Memory allocation/deallocation trace diff.
+	fmt.Fprintf(&b, "4. Memory allocations/deallocations in buggy region (without patch | with patch):\n")
+	for _, line := range r.TraceDiff(12) {
+		fmt.Fprintf(&b, "   %s\n", line)
+	}
+
+	// 5. Illegal access summary.
+	fmt.Fprintf(&b, "5. Illegal access trace in buggy region:\n")
+	for _, line := range r.IllegalSummary() {
+		fmt.Fprintf(&b, "   %s\n", line)
+	}
+
+	if r.ValidationOK {
+		fmt.Fprintf(&b, "Validation: consistent across randomized re-executions\n")
+	} else {
+		fmt.Fprintf(&b, "Validation: FAILED (%s); patches removed\n", r.ValidationNote)
+	}
+	return b.String()
+}
+
+// TraceDiff renders up to max paired lines of the without/with-patch
+// memory-management traces. Lines where a patch fired come first (the
+// `(delayed, patch)` rows of the paper's Figure 5); remaining slots show
+// other divergences (the randomized allocator shifts every address, so
+// plain divergence alone is uninformative).
+func (r *Report) TraceDiff(max int) []string {
+	if r.Validation == nil || r.Validation.Baseline == nil || len(r.Validation.Traces) == 0 {
+		return []string{"(no validation traces)"}
+	}
+	orig := r.Validation.Baseline.Ops
+	pat := r.Validation.Traces[0].Ops
+	n := len(orig)
+	if len(pat) > n {
+		n = len(pat)
+	}
+	line := func(i int) string {
+		var l, rt string
+		if i < len(orig) {
+			l = orig[i].String()
+		}
+		if i < len(pat) {
+			rt = pat[i].String()
+		}
+		return fmt.Sprintf("%-44s | %s", l, rt)
+	}
+
+	var out []string
+	patchedShown := 0
+	for i := 0; i < n && len(out) < max; i++ {
+		if i < len(pat) && (pat[i].Patched || pat[i].Delayed) {
+			out = append(out, line(i))
+			patchedShown++
+		}
+	}
+	for i := 0; i < n && len(out) < max; i++ {
+		if i < len(pat) && (pat[i].Patched || pat[i].Delayed) {
+			continue // already shown
+		}
+		var l, rt string
+		if i < len(orig) {
+			l = orig[i].String()
+		}
+		if i < len(pat) {
+			rt = pat[i].String()
+		}
+		if l != rt {
+			out = append(out, line(i))
+		}
+	}
+	if len(out) == 0 {
+		return []string{"(traces identical)"}
+	}
+	if len(out) == max {
+		out = append(out, fmt.Sprintf("... (%d operations total; full traces in validation data)", n))
+	}
+	return out
+}
+
+// IllegalSummary groups the illegal accesses of the first patched run by
+// patch site and instruction, Figure-5 item-5 style.
+func (r *Report) IllegalSummary() []string {
+	if r.Validation == nil || len(r.Validation.Traces) == 0 {
+		return []string{"(no validation traces)"}
+	}
+	tr := r.Validation.Traces[0]
+	if len(tr.Illegal) == 0 {
+		return []string{"(no illegal accesses recorded — patch neutralised nothing in this window)"}
+	}
+	bySite := tr.IllegalBySite()
+	sites := make([]callsite.ID, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	var out []string
+	for _, s := range sites {
+		accs := bySite[s]
+		reads, writes := 0, 0
+		instrs := map[string]int{}
+		for _, a := range accs {
+			if a.Kind.IsWrite() {
+				writes++
+			} else {
+				reads++
+			}
+			instrs[a.Instr]++
+		}
+		label := fmt.Sprintf("site %d", s)
+		if r.SiteKey != nil {
+			label = r.SiteKey(s).String()
+		}
+		out = append(out, fmt.Sprintf("patch at %s: %d accesses (%d read, %d write):", label, len(accs), reads, writes))
+		names := make([]string, 0, len(instrs))
+		for in := range instrs {
+			names = append(names, in)
+		}
+		sort.Strings(names)
+		for _, in := range names {
+			out = append(out, fmt.Sprintf("  %d access(es) from %s", instrs[in], in))
+		}
+	}
+	return out
+}
+
+// IllegalByKind tallies the first patched run's illegal accesses by class.
+func (r *Report) IllegalByKind() map[allocext.IllegalKind]int {
+	m := map[allocext.IllegalKind]int{}
+	if r.Validation == nil || len(r.Validation.Traces) == 0 {
+		return m
+	}
+	for _, a := range r.Validation.Traces[0].Illegal {
+		m[a.Kind]++
+	}
+	return m
+}

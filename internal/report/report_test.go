@@ -1,0 +1,134 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/patch"
+	"firstaid/internal/proc"
+	"firstaid/internal/validate"
+)
+
+func sampleValidation(site callsite.ID) *validate.Result {
+	base := allocext.NewTrace()
+	base.Ops = []allocext.MMOp{
+		{Alloc: true, Site: site, Addr: 0x1000, Size: 64},
+		{Site: site, Addr: 0x1000, Size: 64},
+	}
+	pat := allocext.NewTrace()
+	pat.Ops = []allocext.MMOp{
+		{Alloc: true, Site: site, Addr: 0x1000, Size: 64},
+		{Site: site, Addr: 0x1000, Size: 64, Patched: true, Delayed: true},
+	}
+	pat.Triggers[site] = 44
+	pat.Illegal = []allocext.IllegalAccess{
+		{Kind: allocext.FreedRead, PatchSite: site, Instr: "util_ald_cache_fetch:read", Obj: 0x1000, Offset: 8, Len: 4},
+		{Kind: allocext.FreedRead, PatchSite: site, Instr: "util_ald_cache_fetch:read", Obj: 0x1000, Offset: 12, Len: 4},
+		{Kind: allocext.FreedWrite, PatchSite: site, Instr: "purge:clear", Obj: 0x1000, Offset: 0, Len: 4},
+	}
+	return &validate.Result{
+		Consistent:    true,
+		Traces:        []*allocext.Trace{pat},
+		Baseline:      base,
+		BaselineFault: &proc.Fault{Kind: proc.AssertFailure, Msg: "original"},
+	}
+}
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	tab := callsite.NewTable()
+	key := callsite.Key{"util_ald_free", "util_ald_cache_purge", "util_ald_cache_insert"}
+	site := tab.Intern(key)
+	p := patch.New(mmbug.DanglingRead, key)
+	p.ID = 1
+	fault := &proc.Fault{
+		Kind:  proc.AssertFailure,
+		Msg:   "revisit: node 0 key changed",
+		Stack: []string{"ap_process_request", "util_ldap_cache_check"},
+		Instr: "util_ldap_cache_check:check_key",
+		Event: 439,
+	}
+	return Build("apache", fault, []string{"phase 1 …", "phase 2 …"}, 28,
+		[]*patch.Patch{p}, sampleValidation(site), tab.Key, 0.108, 0.160)
+}
+
+func TestReportHasAllFiveSections(t *testing.T) {
+	text := sampleReport(t).String()
+	for _, want := range []string{
+		"1. Failure:", "2. Diagnosis summary", "3. Patch applied",
+		"4. Memory allocations", "5. Illegal access",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+}
+
+func TestReportContent(t *testing.T) {
+	r := sampleReport(t)
+	text := r.String()
+	for _, want := range []string{
+		"assertion failure",
+		"event #439",
+		"rollbacks: 28",
+		"delay free",
+		"util_ald_free",
+		"util_ald_cache_purge",
+		"(triggered 44 times",
+		"(delayed, patch",
+		"2 access(es) from util_ald_cache_fetch:read",
+		"1 access(es) from purge:clear",
+		"3 accesses (2 read, 1 write)",
+		"consistent across randomized re-executions",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in report:\n%s", want, text)
+		}
+	}
+}
+
+func TestFailedValidationRendering(t *testing.T) {
+	r := sampleReport(t)
+	r.ValidationOK = false
+	r.ValidationNote = "iteration 1: patch triggered 3 times vs 44"
+	text := r.String()
+	if !strings.Contains(text, "FAILED") || !strings.Contains(text, "patches removed") {
+		t.Errorf("failed validation not rendered:\n%s", text)
+	}
+}
+
+func TestIllegalByKind(t *testing.T) {
+	r := sampleReport(t)
+	kinds := r.IllegalByKind()
+	if kinds[allocext.FreedRead] != 2 || kinds[allocext.FreedWrite] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestTraceDiffHighlightsPatchedOps(t *testing.T) {
+	r := sampleReport(t)
+	lines := r.TraceDiff(10)
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "delayed, patch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diff missing patched op: %v", lines)
+	}
+}
+
+func TestEmptyReportDoesNotPanic(t *testing.T) {
+	r := Build("x", nil, nil, 0, nil, nil, nil, 0, 0)
+	text := r.String()
+	if !strings.Contains(text, "(none recorded)") {
+		t.Errorf("empty fault rendering:\n%s", text)
+	}
+	if len(r.IllegalSummary()) == 0 || len(r.TraceDiff(5)) == 0 {
+		t.Fatal("helpers returned nothing")
+	}
+}

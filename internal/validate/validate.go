@@ -1,0 +1,138 @@
+// Package validate implements First-Aid's patch validation engine (paper
+// §5).
+//
+// Even though the diagnosis algorithm cannot confuse one memory-bug class
+// with another, a non-memory bug whose manifestation depends on heap layout
+// could still be misdiagnosed as a memory bug. To rule that out, the engine
+// re-executes the buggy region several times with a randomized allocation
+// algorithm and checks that the patch's effect is *consistent*:
+//
+//	(a) the patch is triggered the same number of times,
+//	(b) the same number of illegal accesses is neutralised, and
+//	(c) each illegal access is made by the same instruction at the same
+//	    offset within its object (addresses are randomized).
+//
+// A patch with layout-dependent (accidental) effects fails the check and is
+// removed. The collected traces — including an unpatched baseline run —
+// become items 4 and 5 of the bug report (Figure 5).
+package validate
+
+import (
+	"fmt"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/proc"
+)
+
+// Machine is the substrate the engine drives; core.Machine implements it.
+type Machine interface {
+	Rollback(cp *checkpoint.Checkpoint)
+	// RunValidation re-runs events in validation mode until the replay
+	// cursor reaches `until` or a fault traps. randomize selects the
+	// randomized allocator; patched selects whether the patch source is
+	// attached.
+	RunValidation(seed uint64, randomize, patched bool, until int) (*allocext.Trace, *proc.Fault)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Iterations is the number of randomized patched re-executions
+	// (default 3, as in the paper).
+	Iterations int
+}
+
+// Result is the validation outcome.
+type Result struct {
+	// Consistent reports whether every criterion held across iterations.
+	Consistent bool
+	// Reason explains an inconsistency.
+	Reason string
+	// Traces are the randomized patched-run traces (one per iteration).
+	Traces []*allocext.Trace
+	// Faults are the corresponding faults (normally all nil: the patch
+	// must survive the region).
+	Faults []*proc.Fault
+	// Baseline is the unpatched, non-randomized trace for the report's
+	// with/without diff; BaselineFault is its (expected) failure.
+	Baseline      *allocext.Trace
+	BaselineFault *proc.Fault
+}
+
+// Engine validates patches over a Machine.
+type Engine struct {
+	m   Machine
+	cfg Config
+}
+
+// New creates an engine.
+func New(m Machine, cfg Config) *Engine {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 3
+	}
+	return &Engine{m: m, cfg: cfg}
+}
+
+// Validate re-executes the buggy region [cp, until) with randomized
+// allocation and the patches applied, plus one unpatched baseline run, and
+// checks consistency.
+func (e *Engine) Validate(cp *checkpoint.Checkpoint, until int) Result {
+	var res Result
+
+	// Baseline: without patches, deterministic allocator — reproduces
+	// the original failure and yields the "without patch" trace.
+	e.m.Rollback(cp)
+	res.Baseline, res.BaselineFault = e.m.RunValidation(0, false, false, until)
+
+	for i := 0; i < e.cfg.Iterations; i++ {
+		e.m.Rollback(cp)
+		seed := 0x9E3779B97F4A7C15 * uint64(i+1)
+		tr, f := e.m.RunValidation(seed, true, true, until)
+		res.Traces = append(res.Traces, tr)
+		res.Faults = append(res.Faults, f)
+	}
+
+	res.Consistent, res.Reason = e.consistent(res)
+	return res
+}
+
+func (e *Engine) consistent(res Result) (bool, string) {
+	if len(res.Traces) == 0 {
+		return false, "no validation traces collected"
+	}
+	// The patched region must survive in every iteration.
+	for i, f := range res.Faults {
+		if f != nil {
+			return false, fmt.Sprintf("iteration %d failed despite patches: %v", i, f)
+		}
+	}
+	ref := res.Traces[0]
+	refSigs := ref.Signatures()
+	for i := 1; i < len(res.Traces); i++ {
+		tr := res.Traces[i]
+		// (a) same per-site trigger counts.
+		if len(tr.Triggers) != len(ref.Triggers) {
+			return false, fmt.Sprintf("iteration %d: patch triggered at %d sites vs %d", i, len(tr.Triggers), len(ref.Triggers))
+		}
+		for site, n := range ref.Triggers {
+			if tr.Triggers[site] != n {
+				return false, fmt.Sprintf("iteration %d: patch at site %d triggered %d times vs %d", i, site, tr.Triggers[site], n)
+			}
+		}
+		// (b) same total illegal-access count.
+		if len(tr.Illegal) != len(ref.Illegal) {
+			return false, fmt.Sprintf("iteration %d: %d illegal accesses vs %d", i, len(tr.Illegal), len(ref.Illegal))
+		}
+		// (c) same (instruction, offset) multiset.
+		sigs := tr.Signatures()
+		if len(sigs) != len(refSigs) {
+			return false, fmt.Sprintf("iteration %d: %d distinct access signatures vs %d", i, len(sigs), len(refSigs))
+		}
+		for sig, n := range refSigs {
+			if sigs[sig] != n {
+				return false, fmt.Sprintf("iteration %d: access %v/%q@%d count %d vs %d", i, sig.Kind, sig.Instr, sig.Offset, sigs[sig], n)
+			}
+		}
+	}
+	return true, ""
+}

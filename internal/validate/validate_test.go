@@ -1,0 +1,189 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/proc"
+)
+
+// scriptedMachine feeds pre-built traces to the engine.
+type scriptedMachine struct {
+	traces    []*allocext.Trace
+	faults    []*proc.Fault
+	baseline  *allocext.Trace
+	baseFault *proc.Fault
+	calls     int
+	rollbacks int
+}
+
+func (m *scriptedMachine) Rollback(*checkpoint.Checkpoint) { m.rollbacks++ }
+
+func (m *scriptedMachine) RunValidation(seed uint64, randomize, patched bool, until int) (*allocext.Trace, *proc.Fault) {
+	if !patched {
+		return m.baseline, m.baseFault
+	}
+	i := m.calls
+	m.calls++
+	if i >= len(m.traces) {
+		i = len(m.traces) - 1
+	}
+	var f *proc.Fault
+	if i < len(m.faults) {
+		f = m.faults[i]
+	}
+	return m.traces[i], f
+}
+
+func mkTrace(site callsite.ID, triggers int, accesses ...allocext.IllegalAccess) *allocext.Trace {
+	tr := allocext.NewTrace()
+	tr.Triggers[site] = triggers
+	tr.Illegal = append(tr.Illegal, accesses...)
+	return tr
+}
+
+func acc(instr string, offset int, obj uint32) allocext.IllegalAccess {
+	return allocext.IllegalAccess{
+		Kind: allocext.FreedRead, PatchSite: 1, Instr: instr, Obj: obj, Offset: offset, Len: 4,
+	}
+}
+
+func cp() *checkpoint.Checkpoint { return &checkpoint.Checkpoint{} }
+
+func TestConsistentTracesValidate(t *testing.T) {
+	// Same triggers, same signatures, different (randomized) addresses.
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5, acc("revisit:check", 0, 0x1000), acc("revisit:check", 8, 0x1000)),
+			mkTrace(1, 5, acc("revisit:check", 0, 0x2000), acc("revisit:check", 8, 0x2000)),
+			mkTrace(1, 5, acc("revisit:check", 0, 0x3000), acc("revisit:check", 8, 0x3000)),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if !res.Consistent {
+		t.Fatalf("inconsistent: %s", res.Reason)
+	}
+	if m.rollbacks != 4 {
+		t.Fatalf("rollbacks = %d, want 4 (baseline + 3 iterations)", m.rollbacks)
+	}
+	if len(res.Traces) != 3 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+}
+
+func TestTriggerCountMismatchFails(t *testing.T) {
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5),
+			mkTrace(1, 4), // one fewer firing
+			mkTrace(1, 5),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if res.Consistent {
+		t.Fatal("trigger mismatch accepted")
+	}
+	if !strings.Contains(res.Reason, "triggered") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestIllegalAccessCountMismatchFails(t *testing.T) {
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5, acc("f", 0, 1)),
+			mkTrace(1, 5, acc("f", 0, 1), acc("f", 4, 1)),
+			mkTrace(1, 5, acc("f", 0, 1)),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if res.Consistent {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestSignatureMismatchFails(t *testing.T) {
+	// Same count, but the access comes from a different instruction — a
+	// layout-dependent side effect, §5's misdiagnosis guard.
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5, acc("revisit:check", 0, 1)),
+			mkTrace(1, 5, acc("search:read", 0, 2)),
+			mkTrace(1, 5, acc("revisit:check", 0, 3)),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if res.Consistent {
+		t.Fatal("signature mismatch accepted")
+	}
+}
+
+func TestOffsetMismatchFails(t *testing.T) {
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5, acc("f", 0, 1)),
+			mkTrace(1, 5, acc("f", 8, 2)), // different offset in the object
+			mkTrace(1, 5, acc("f", 0, 3)),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if res.Consistent {
+		t.Fatal("offset mismatch accepted")
+	}
+}
+
+func TestFaultDuringPatchedRunFails(t *testing.T) {
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces: []*allocext.Trace{
+			mkTrace(1, 5), mkTrace(1, 5), mkTrace(1, 5),
+		},
+		faults: []*proc.Fault{nil, {Kind: proc.AssertFailure, Msg: "still broken"}, nil},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if res.Consistent {
+		t.Fatal("patched-run fault accepted")
+	}
+	if !strings.Contains(res.Reason, "despite patches") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestBaselineFaultIsExpectedAndKept(t *testing.T) {
+	m := &scriptedMachine{
+		baseline:  mkTrace(0, 0),
+		baseFault: &proc.Fault{Kind: proc.AssertFailure, Msg: "original bug"},
+		traces: []*allocext.Trace{
+			mkTrace(1, 5), mkTrace(1, 5), mkTrace(1, 5),
+		},
+	}
+	res := New(m, Config{}).Validate(cp(), 100)
+	if !res.Consistent {
+		t.Fatalf("baseline fault broke validation: %s", res.Reason)
+	}
+	if res.BaselineFault == nil {
+		t.Fatal("baseline fault not recorded for the report")
+	}
+}
+
+func TestIterationCountConfigurable(t *testing.T) {
+	m := &scriptedMachine{
+		baseline: allocext.NewTrace(),
+		traces:   []*allocext.Trace{mkTrace(1, 1), mkTrace(1, 1), mkTrace(1, 1), mkTrace(1, 1), mkTrace(1, 1)},
+	}
+	res := New(m, Config{Iterations: 5}).Validate(cp(), 100)
+	if len(res.Traces) != 5 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	if !res.Consistent {
+		t.Fatal(res.Reason)
+	}
+}

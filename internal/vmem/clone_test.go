@@ -1,0 +1,70 @@
+package vmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCloneDeepCopies(t *testing.T) {
+	s := New(1 << 22)
+	base, _ := s.Sbrk(4 * PageSize)
+	s.Write(base, []byte("shared past"))
+
+	c := s.Clone()
+	if c.Brk() != s.Brk() {
+		t.Fatal("brk differs")
+	}
+	got, err := c.Read(base, 11)
+	if err != nil || string(got) != "shared past" {
+		t.Fatalf("clone contents: %q, %v", got, err)
+	}
+
+	// Divergent futures.
+	s.Write(base, []byte("original!!!"))
+	c.Write(base+PageSize, []byte("clone only"))
+	if g, _ := c.Read(base, 11); string(g) != "shared past" {
+		t.Fatalf("clone saw original's write: %q", g)
+	}
+	if g, _ := s.Read(base+PageSize, 10); string(g) == "clone only" {
+		t.Fatal("original saw clone's write")
+	}
+	// Independent growth.
+	if _, err := c.Sbrk(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.Brk() == c.Brk() {
+		t.Fatal("growth not independent")
+	}
+}
+
+func TestCloneIsConcurrencySafe(t *testing.T) {
+	s := New(1 << 22)
+	base, _ := s.Sbrk(16 * PageSize)
+	s.Fill(base, 0xAA, 16*PageSize)
+	c := s.Clone()
+
+	// Hammer both spaces from different goroutines: with deep-copied
+	// pages there is no shared mutable state, so the race detector must
+	// stay quiet.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			s.Write(base+Addr(i%(15*PageSize)), []byte{byte(i)})
+			snap := s.Snapshot()
+			s.Restore(snap)
+			snap.Release()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			c.Write(base+Addr(i%(15*PageSize)), []byte{byte(i + 1)})
+			snap := c.Snapshot()
+			c.Restore(snap)
+			snap.Release()
+		}
+	}()
+	wg.Wait()
+}

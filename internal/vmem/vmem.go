@@ -1,0 +1,453 @@
+// Package vmem implements a paged 32-bit virtual address space with
+// copy-on-write snapshots.
+//
+// It is the machine substrate for the First-Aid reproduction: the simulated
+// heap allocator (package heap) obtains memory from a Space via Sbrk, every
+// simulated load and store is checked against the page table (touching an
+// unmapped page raises an access-violation fault, as a hardware MMU would),
+// and the checkpointing layer (package checkpoint) takes snapshots whose
+// cost is proportional to the number of pages dirtied since the previous
+// snapshot — exactly the fork/COW behaviour of the Flashback kernel module
+// used by the paper.
+package vmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr is a virtual address in a Space. The address space is 32-bit, which
+// comfortably holds every simulated workload while keeping snapshots small.
+type Addr = uint32
+
+// PageSize is the size of a virtual page in bytes. It matches the x86 page
+// size used by the paper's testbed so that COW page counts are comparable.
+const PageSize = 4096
+
+const pageShift = 12
+
+// HeapBase is the address at which Sbrk-managed memory begins. Address 0 is
+// kept unmapped so that nil-pointer dereferences fault, and a guard region
+// below HeapBase catches large negative offsets.
+const HeapBase Addr = 0x0001_0000
+
+// Fault kinds reported by Space operations.
+var (
+	// ErrUnmapped is returned when an access touches a page that has
+	// never been mapped (beyond the break, or in the guard region).
+	ErrUnmapped = errors.New("vmem: access to unmapped page")
+	// ErrOutOfMemory is returned by Sbrk when the requested growth would
+	// exceed the configured limit.
+	ErrOutOfMemory = errors.New("vmem: out of memory")
+)
+
+// AccessError describes a faulting memory access. It unwraps to ErrUnmapped
+// so callers can match with errors.Is.
+type AccessError struct {
+	Addr  Addr
+	Len   int
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("vmem: %s of %d bytes at %#x touches unmapped page", kind, e.Len, e.Addr)
+}
+
+// Unwrap reports the underlying sentinel so errors.Is(err, ErrUnmapped) works.
+func (e *AccessError) Unwrap() error { return ErrUnmapped }
+
+// page is a unit of COW sharing. refs counts how many page tables (the live
+// Space plus outstanding Snapshots) reference the data; a write through a
+// page with refs > 1 first copies it.
+type page struct {
+	data []byte
+	refs int32
+}
+
+// MmapBase is the address at which Map-managed regions begin. The break
+// may grow at most to here; large allocations live above. 32 MiB of sbrk
+// zone is ample once the allocator diverts big blocks to Map.
+const MmapBase Addr = 0x0200_0000
+
+// Space is a virtual address space. It is not safe for concurrent use; the
+// simulated machine is single-threaded, as were the paper's per-process
+// runtimes.
+type Space struct {
+	pages    []*page // indexed by page number; nil entries are unmapped
+	brk      Addr    // current program break (end of mapped heap)
+	limit    Addr    // maximum break
+	dirty    uint64  // pages copied (COW faults) since last TakeDirty
+	everMapd uint64  // total pages ever mapped, for stats
+
+	mmapCursor Addr            // next Map placement
+	mmaps      map[Addr]uint32 // live Map regions: start → length (bytes)
+	mmapBytes  uint64          // total bytes currently mapped via Map
+	budget     uint64          // total memory budget (sbrk + Map)
+}
+
+// New creates an empty Space whose break starts at HeapBase and may grow to
+// at most limit bytes of mapped heap (0 means the full 32-bit space).
+func New(limit uint32) *Space {
+	if limit == 0 {
+		limit = 0xFFFF_F000
+	}
+	lim := uint64(HeapBase) + uint64(limit)
+	if lim > uint64(MmapBase) {
+		lim = uint64(MmapBase)
+	}
+	return &Space{
+		brk:        HeapBase,
+		limit:      Addr(lim),
+		mmapCursor: MmapBase,
+		mmaps:      make(map[Addr]uint32),
+		budget:     uint64(limit),
+	}
+}
+
+// Brk returns the current program break.
+func (s *Space) Brk() Addr { return s.brk }
+
+// MappedBytes returns the number of bytes between HeapBase and the break.
+func (s *Space) MappedBytes() uint64 { return uint64(s.brk - HeapBase) }
+
+// Sbrk grows the mapped region by n bytes (rounded up to whole pages) and
+// returns the previous break, which is the start of the new region. New
+// pages are zero-filled, as the OS would deliver them.
+func (s *Space) Sbrk(n uint32) (Addr, error) {
+	old := s.brk
+	if n == 0 {
+		return old, nil
+	}
+	end := uint64(old) + uint64(n)
+	if end > uint64(s.limit) {
+		return 0, ErrOutOfMemory
+	}
+	newBrk := Addr(end)
+	firstPage := pageNum(old)
+	lastPage := pageNum(newBrk - 1)
+	if need := int(lastPage) + 1; need > len(s.pages) {
+		grown := make([]*page, need)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	for pn := firstPage; pn <= lastPage; pn++ {
+		if s.pages[pn] == nil {
+			s.pages[pn] = &page{data: make([]byte, PageSize), refs: 1}
+			s.everMapd++
+		}
+	}
+	s.brk = newBrk
+	return old, nil
+}
+
+func pageNum(a Addr) uint32 { return uint32(a) >> pageShift }
+
+// mapped reports whether the range [a, a+n) lies entirely within mapped
+// memory: below the break in the sbrk zone (strict, so stray accesses past
+// the break fault even within the break's final page), page-presence in
+// the Map zone.
+func (s *Space) mapped(a Addr, n int) bool {
+	if n <= 0 {
+		return n == 0
+	}
+	end := uint64(a) + uint64(n)
+	if a < HeapBase || end > 0xFFFF_FFFF {
+		return false
+	}
+	if a < MmapBase && end > uint64(s.brk) {
+		return false
+	}
+	for pn := pageNum(a); pn <= pageNum(Addr(end-1)); pn++ {
+		if int(pn) >= len(s.pages) || s.pages[pn] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Map / Unmap (the mmap(2) analogue) -----------------------------------------
+
+// MapError describes a failed Map/Unmap operation.
+var ErrBadUnmap = errors.New("vmem: unmap of address that is not a mapping start")
+
+// Map allocates a fresh page-aligned region of at least n bytes in the Map
+// zone, zero-filled, with an unmapped guard page after it (so overruns
+// fault immediately, as they do past a real mmap region). It is the
+// allocator's backend for large objects, dlmalloc's mmap path.
+func (s *Space) Map(n uint32) (Addr, error) {
+	if n == 0 {
+		n = 1
+	}
+	length := (n + PageSize - 1) &^ (PageSize - 1)
+	start := s.mmapCursor
+	end := uint64(start) + uint64(length)
+	if end+PageSize > 0xFFFF_F000 {
+		return 0, ErrOutOfMemory
+	}
+	// The budget covers sbrk and Map zones together.
+	if s.MappedBytes()+s.mmapBytes+uint64(length) > s.budget {
+		return 0, ErrOutOfMemory
+	}
+	firstPage := pageNum(start)
+	lastPage := pageNum(Addr(end - 1))
+	if need := int(lastPage) + 1; need > len(s.pages) {
+		grown := make([]*page, need)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	for pn := firstPage; pn <= lastPage; pn++ {
+		s.pages[pn] = &page{data: make([]byte, PageSize), refs: 1}
+		s.everMapd++
+	}
+	s.mmapCursor = Addr(end) + PageSize // skip a guard page
+	s.mmaps[start] = length
+	s.mmapBytes += uint64(length)
+	return start, nil
+}
+
+// Unmap releases a region returned by Map. Subsequent accesses fault — the
+// immediate-SIGSEGV use-after-free behaviour of munmapped memory.
+func (s *Space) Unmap(start Addr) error {
+	length, ok := s.mmaps[start]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadUnmap, start)
+	}
+	for pn := pageNum(start); pn <= pageNum(start+length-1); pn++ {
+		if p := s.pages[pn]; p != nil {
+			p.refs--
+			s.pages[pn] = nil
+		}
+	}
+	delete(s.mmaps, start)
+	s.mmapBytes -= uint64(length)
+	return nil
+}
+
+// MappedRegion reports whether start is a live Map region and its length.
+func (s *Space) MappedRegion(start Addr) (uint32, bool) {
+	n, ok := s.mmaps[start]
+	return n, ok
+}
+
+// MmapBytes returns the bytes currently held by Map regions.
+func (s *Space) MmapBytes() uint64 { return s.mmapBytes }
+
+// Read copies n bytes starting at a into a fresh slice.
+func (s *Space) Read(a Addr, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := s.ReadInto(a, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadInto fills buf with the bytes starting at a.
+func (s *Space) ReadInto(a Addr, buf []byte) error {
+	if !s.mapped(a, len(buf)) {
+		return &AccessError{Addr: a, Len: len(buf)}
+	}
+	off := 0
+	for off < len(buf) {
+		pn := pageNum(a + Addr(off))
+		po := int(a+Addr(off)) & (PageSize - 1)
+		n := copy(buf[off:], s.pages[pn].data[po:])
+		off += n
+	}
+	return nil
+}
+
+// writablePage returns the page's data ready for mutation, performing the
+// copy-on-write if the page is shared with a snapshot.
+func (s *Space) writablePage(pn uint32) []byte {
+	p := s.pages[pn]
+	if p.refs > 1 {
+		cp := &page{data: append([]byte(nil), p.data...), refs: 1}
+		p.refs--
+		s.pages[pn] = cp
+		s.dirty++
+		return cp.data
+	}
+	return p.data
+}
+
+// Write stores data at address a.
+func (s *Space) Write(a Addr, data []byte) error {
+	if !s.mapped(a, len(data)) {
+		return &AccessError{Addr: a, Len: len(data), Write: true}
+	}
+	off := 0
+	for off < len(data) {
+		cur := a + Addr(off)
+		pn := pageNum(cur)
+		po := int(cur) & (PageSize - 1)
+		n := copy(s.writablePage(pn)[po:], data[off:])
+		off += n
+	}
+	return nil
+}
+
+// Fill writes n copies of byte b starting at address a.
+func (s *Space) Fill(a Addr, b byte, n int) error {
+	if !s.mapped(a, n) {
+		return &AccessError{Addr: a, Len: n, Write: true}
+	}
+	off := 0
+	for off < n {
+		cur := a + Addr(off)
+		pn := pageNum(cur)
+		po := int(cur) & (PageSize - 1)
+		data := s.writablePage(pn)[po:]
+		span := len(data)
+		if span > n-off {
+			span = n - off
+		}
+		for i := 0; i < span; i++ {
+			data[i] = b
+		}
+		off += span
+	}
+	return nil
+}
+
+// ReadU32 loads a little-endian 32-bit word.
+func (s *Space) ReadU32(a Addr) (uint32, error) {
+	var buf [4]byte
+	if err := s.ReadInto(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+}
+
+// WriteU32 stores a little-endian 32-bit word.
+func (s *Space) WriteU32(a Addr, v uint32) error {
+	buf := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return s.Write(a, buf[:])
+}
+
+// TakeDirty returns the number of COW page copies performed since the last
+// call and resets the counter. The checkpoint manager uses this as the COW
+// page rate that drives the adaptive checkpointing interval (paper §3).
+func (s *Space) TakeDirty() uint64 {
+	d := s.dirty
+	s.dirty = 0
+	return d
+}
+
+// DirtyPages returns the COW copy count without resetting it.
+func (s *Space) DirtyPages() uint64 { return s.dirty }
+
+// Clone returns a fully independent deep copy of the Space: every mapped
+// page is duplicated, so the clone can be handed to another goroutine (the
+// paper's parallel patch validation runs "on a different processor core
+// based on a snapshot of the program"). Clone must be called while no other
+// goroutine is using the Space.
+func (s *Space) Clone() *Space {
+	cp := &Space{
+		pages:      make([]*page, len(s.pages)),
+		brk:        s.brk,
+		limit:      s.limit,
+		mmapCursor: s.mmapCursor,
+		mmaps:      make(map[Addr]uint32, len(s.mmaps)),
+		mmapBytes:  s.mmapBytes,
+	}
+	for i, p := range s.pages {
+		if p != nil {
+			cp.pages[i] = &page{data: append([]byte(nil), p.data...), refs: 1}
+		}
+	}
+	for k, v := range s.mmaps {
+		cp.mmaps[k] = v
+	}
+	return cp
+}
+
+// Snapshot captures the current contents of the Space. Taking a snapshot is
+// O(pages) pointer work; page data is shared copy-on-write, so the memory
+// cost of holding a snapshot is the number of pages subsequently dirtied —
+// the quantity reported in Table 7 of the paper.
+type Snapshot struct {
+	pages      []*page
+	brk        Addr
+	mmapCursor Addr
+	mmaps      map[Addr]uint32
+	mmapBytes  uint64
+}
+
+// Snapshot records the current state for a later Restore.
+func (s *Space) Snapshot() *Snapshot {
+	pages := make([]*page, len(s.pages))
+	copy(pages, s.pages)
+	for _, p := range pages {
+		if p != nil {
+			p.refs++
+		}
+	}
+	mmaps := make(map[Addr]uint32, len(s.mmaps))
+	for k, v := range s.mmaps {
+		mmaps[k] = v
+	}
+	return &Snapshot{
+		pages:      pages,
+		brk:        s.brk,
+		mmapCursor: s.mmapCursor,
+		mmaps:      mmaps,
+		mmapBytes:  s.mmapBytes,
+	}
+}
+
+// Restore rewinds the Space to the snapshot's state. The snapshot remains
+// valid and may be restored again (diagnosis rolls back to the same
+// checkpoint many times).
+func (s *Space) Restore(snap *Snapshot) {
+	for _, p := range s.pages {
+		if p != nil {
+			p.refs--
+		}
+	}
+	s.pages = make([]*page, len(snap.pages))
+	copy(s.pages, snap.pages)
+	for _, p := range s.pages {
+		if p != nil {
+			p.refs++
+		}
+	}
+	s.brk = snap.brk
+	s.mmapCursor = snap.mmapCursor
+	s.mmapBytes = snap.mmapBytes
+	s.mmaps = make(map[Addr]uint32, len(snap.mmaps))
+	for k, v := range snap.mmaps {
+		s.mmaps[k] = v
+	}
+}
+
+// Release drops the snapshot's references so its pages can be collected.
+// The snapshot must not be used afterwards.
+func (snap *Snapshot) Release() {
+	for _, p := range snap.pages {
+		if p != nil {
+			p.refs--
+		}
+	}
+	snap.pages = nil
+}
+
+// Bytes returns the number of bytes of heap captured by the snapshot.
+func (snap *Snapshot) Bytes() uint64 { return uint64(snap.brk - HeapBase) }
+
+// UniqueBytes returns the number of bytes held by pages that are, at call
+// time, referenced only through snapshots (refs recorded at snapshot time
+// is not tracked per holder; this reports pages*PageSize as an upper bound
+// for accounting displays).
+func (snap *Snapshot) UniqueBytes() uint64 {
+	var n uint64
+	for _, p := range snap.pages {
+		if p != nil {
+			n += PageSize
+		}
+	}
+	return n
+}

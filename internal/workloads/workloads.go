@@ -1,0 +1,215 @@
+// Package workloads provides the synthetic benchmark kernels standing in
+// for SPEC INT2000 and the four allocation-intensive benchmarks (cfrac,
+// espresso, lindsay, p2c) used in the paper's overhead evaluation
+// (Figure 6, Tables 6 and 7).
+//
+// Each kernel reproduces the published *profile* of its namesake along the
+// three axes the experiments measure:
+//
+//   - working set / COW dirty rate (Table 7's MB-per-checkpoint column),
+//   - live-object count and size distribution (Table 6's allocator-
+//     extension space overhead: 16 bytes of metadata per object), and
+//   - allocation intensity relative to compute (Figure 6's allocator bar).
+//
+// Memory footprints are scaled to 1/8 of the paper's (a 2 GB testbed does
+// not fit a laptop-friendly simulation 22×3 times over); the COW cost
+// constant in package checkpoint is scaled inversely, so overhead
+// *fractions* remain comparable while absolute MB columns are 1/8 of the
+// paper's. The SPEC kernels keep full-scale object populations where those
+// dominate (twolf, perlbmk); the allocation-intensive kernels are small
+// enough to run at full scale.
+package workloads
+
+import (
+	"fmt"
+
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// Class labels for reporting.
+const (
+	ClassSpec  = "SPEC INT2000"
+	ClassAlloc = "allocation intensive"
+)
+
+// Profile parameterises one kernel.
+type Profile struct {
+	Name  string
+	Class string
+
+	// WSKB is the rooted working-set block size in KiB.
+	WSKB int
+	// DirtyKBPerStep is how many KiB of the working set each step
+	// rewrites (rotating cursor → distinct pages within an interval).
+	DirtyKBPerStep int
+	// Live is the steady-state live-object population (churn ring size).
+	Live int
+	// ObjMin/ObjMax bound object sizes (bytes).
+	ObjMin, ObjMax uint32
+	// AllocsPerStep is the number of alloc/free pairs per step.
+	AllocsPerStep int
+	// ComputeCycles is the per-step compute cost.
+	ComputeCycles uint64
+}
+
+// Kernel is a runnable synthetic benchmark; it implements app.App with no
+// embedded bugs.
+type Kernel struct {
+	P Profile
+}
+
+// Root registers.
+const (
+	rootWS     = 0 // working-set block address
+	rootRing   = 1 // churn ring table address
+	rootCursor = 2 // ring cursor
+	rootTouch  = 3 // working-set touch cursor (bytes)
+)
+
+// Name implements app.Program.
+func (k *Kernel) Name() string { return k.P.Name }
+
+// Bugs implements app.Program: kernels are bug-free.
+func (k *Kernel) Bugs() []mmbug.Type { return nil }
+
+// Init implements app.Program: allocates the working set and pre-fills the
+// churn ring to the steady-state population.
+func (k *Kernel) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter(k.P.Name + "_init")()
+	ws := func() vmem.Addr {
+		defer p.Enter("ws_alloc")()
+		return p.Malloc(uint32(k.P.WSKB) * 1024)
+	}()
+	ring := func() vmem.Addr {
+		defer p.Enter("ring_alloc")()
+		return p.Malloc(uint32(4 * max(1, k.P.Live)))
+	}()
+	p.Memset(ring, 0, 4*max(1, k.P.Live))
+	p.SetRoot(rootWS, ws)
+	p.SetRoot(rootRing, ring)
+	p.SetRoot(rootCursor, 0)
+	p.SetRoot(rootTouch, 0)
+	for i := 0; i < k.P.Live; i++ {
+		k.churn(p, i)
+	}
+}
+
+// objSize derives a deterministic size in [ObjMin, ObjMax] from the step.
+func (k *Kernel) objSize(i int) uint32 {
+	if k.P.ObjMax <= k.P.ObjMin {
+		return k.P.ObjMin
+	}
+	span := k.P.ObjMax - k.P.ObjMin + 1
+	return k.P.ObjMin + uint32(i*2654435761)%span
+}
+
+// churn replaces one ring slot: free the displaced object, allocate a new
+// one.
+func (k *Kernel) churn(p *proc.Proc, i int) {
+	defer p.Enter("work_alloc")()
+	if k.P.Live == 0 {
+		return
+	}
+	ring := p.RootAddr(rootRing)
+	slot := p.Root(rootCursor) % uint32(k.P.Live)
+	old := p.LoadU32(ring + vmem.Addr(4*slot))
+	if old != 0 {
+		func() {
+			defer p.Enter("work_free")()
+			p.Free(old)
+		}()
+	}
+	n := k.objSize(i)
+	obj := p.Malloc(n)
+	// Initialise the header word; bulk init is modelled by compute.
+	p.StoreU32(obj, uint32(i))
+	p.StoreU32(ring+vmem.Addr(4*slot), obj)
+	p.SetRoot(rootCursor, p.Root(rootCursor)+1)
+}
+
+// Handle implements app.Program: one benchmark step.
+func (k *Kernel) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter(k.P.Name + "_step")()
+	p.Tick(k.P.ComputeCycles)
+
+	// Dirty the working set: one word per page across the step's quota,
+	// rotating so an interval touches distinct pages.
+	if k.P.DirtyKBPerStep > 0 && k.P.WSKB > 0 {
+		ws := p.RootAddr(rootWS)
+		size := uint32(k.P.WSKB) * 1024
+		cursor := p.Root(rootTouch)
+		pages := (k.P.DirtyKBPerStep*1024 + vmem.PageSize - 1) / vmem.PageSize
+		for j := 0; j < pages; j++ {
+			off := cursor % size
+			p.StoreU32(ws+vmem.Addr(off), uint32(ev.N+j))
+			cursor += vmem.PageSize
+		}
+		p.SetRoot(rootTouch, cursor%size)
+	}
+
+	for a := 0; a < k.P.AllocsPerStep; a++ {
+		k.churn(p, ev.N*k.P.AllocsPerStep+a)
+	}
+}
+
+// Workload implements app.Workloader: n steps, no triggers (kernels have no
+// bugs).
+func (k *Kernel) Workload(n int, _ []int) *replay.Log {
+	log := replay.NewLog()
+	for i := 0; i < n; i++ {
+		log.Append("step", "", i)
+	}
+	return log
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Profiles is the kernel catalogue: 11 SPEC INT2000 programs and 4
+// allocation-intensive benchmarks, in the paper's Figure-6 order.
+var Profiles = []Profile{
+	// SPEC INT2000 (memory figures ≈ paper's / 8).
+	{Name: "164.gzip", Class: ClassSpec, WSKB: 23040, DirtyKBPerStep: 29, Live: 24, ObjMin: 16384, ObjMax: 32768, AllocsPerStep: 1, ComputeCycles: 90_000},
+	{Name: "175.vpr", Class: ClassSpec, WSKB: 1024, DirtyKBPerStep: 9, Live: 4000, ObjMin: 64, ObjMax: 600, AllocsPerStep: 4, ComputeCycles: 85_000},
+	{Name: "176.gcc", Class: ClassSpec, WSKB: 10700, DirtyKBPerStep: 29, Live: 500, ObjMin: 64, ObjMax: 340, AllocsPerStep: 10, ComputeCycles: 80_000},
+	{Name: "181.mcf", Class: ClassSpec, WSKB: 12140, DirtyKBPerStep: 62, Live: 20, ObjMin: 1024, ObjMax: 4096, AllocsPerStep: 1, ComputeCycles: 75_000},
+	{Name: "186.crafty", Class: ClassSpec, WSKB: 256, DirtyKBPerStep: 6, Live: 48, ObjMin: 128, ObjMax: 512, AllocsPerStep: 1, ComputeCycles: 95_000},
+	{Name: "197.parser", Class: ClassSpec, WSKB: 3840, DirtyKBPerStep: 70, Live: 1500, ObjMin: 32, ObjMax: 128, AllocsPerStep: 14, ComputeCycles: 80_000},
+	{Name: "252.eon", Class: ClassSpec, WSKB: 40, DirtyKBPerStep: 1, Live: 50, ObjMin: 400, ObjMax: 800, AllocsPerStep: 2, ComputeCycles: 95_000},
+	{Name: "253.perlbmk", Class: ClassSpec, WSKB: 1024, DirtyKBPerStep: 29, Live: 40000, ObjMin: 64, ObjMax: 240, AllocsPerStep: 18, ComputeCycles: 70_000},
+	{Name: "255.vortex", Class: ClassSpec, WSKB: 13900, DirtyKBPerStep: 214, Live: 5500, ObjMin: 128, ObjMax: 384, AllocsPerStep: 6, ComputeCycles: 80_000},
+	{Name: "256.bzip2", Class: ClassSpec, WSKB: 23670, DirtyKBPerStep: 103, Live: 12, ObjMin: 32768, ObjMax: 65536, AllocsPerStep: 1, ComputeCycles: 85_000},
+	{Name: "300.twolf", Class: ClassSpec, WSKB: 64, DirtyKBPerStep: 10, Live: 14000, ObjMin: 8, ObjMax: 40, AllocsPerStep: 8, ComputeCycles: 85_000},
+	// Allocation-intensive [Berger 2000] (full scale: they are small).
+	{Name: "cfrac", Class: ClassAlloc, WSKB: 16, DirtyKBPerStep: 8, Live: 11000, ObjMin: 8, ObjMax: 24, AllocsPerStep: 60, ComputeCycles: 38_000},
+	{Name: "espresso", Class: ClassAlloc, WSKB: 80, DirtyKBPerStep: 8, Live: 5000, ObjMin: 16, ObjMax: 60, AllocsPerStep: 30, ComputeCycles: 45_000},
+	{Name: "lindsay", Class: ClassAlloc, WSKB: 1780, DirtyKBPerStep: 13, Live: 250, ObjMin: 64, ObjMax: 180, AllocsPerStep: 6, ComputeCycles: 70_000},
+	{Name: "p2c", Class: ClassAlloc, WSKB: 100, DirtyKBPerStep: 3, Live: 15000, ObjMin: 8, ObjMax: 40, AllocsPerStep: 40, ComputeCycles: 35_000},
+}
+
+// New returns the kernel with the given name.
+func New(name string) (*Kernel, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return &Kernel{P: p}, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown kernel %q", name)
+}
+
+// Names lists every kernel in catalogue order.
+func Names() []string {
+	out := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/heap"
+	"firstaid/internal/proc"
+	"firstaid/internal/vmem"
+)
+
+func runKernel(t testing.TB, k *Kernel, steps int, withExt bool) (cycles uint64, heapPeak uint64) {
+	t.Helper()
+	mem := vmem.New(512 << 20)
+	h := heap.New(mem)
+	var p *proc.Proc
+	if withExt {
+		sites := callsite.NewTable()
+		ext := allocext.New(h, sites)
+		p = proc.New(mem, ext)
+		p.Sites = sites
+	} else {
+		p = proc.New(mem, proc.RawMM{H: h})
+	}
+	if f := proc.Catch(func() { k.Init(p) }); f != nil {
+		t.Fatalf("%s init: %v", k.P.Name, f)
+	}
+	log := k.Workload(steps, nil)
+	for {
+		ev, ok := log.Next()
+		if !ok {
+			break
+		}
+		if f := proc.Catch(func() { k.Handle(p, ev) }); f != nil {
+			t.Fatalf("%s step %d: %v", k.P.Name, ev.N, f)
+		}
+	}
+	return p.Clock(), h.PeakBytes()
+}
+
+func TestAllKernelsRunClean(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles, peak := runKernel(t, k, 60, false)
+			if cycles == 0 || peak == 0 {
+				t.Fatalf("degenerate run: cycles=%d peak=%d", cycles, peak)
+			}
+		})
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	if _, err := New("999.nonesuch"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestExtensionSpaceOverheadShape(t *testing.T) {
+	// Table 6's shape: per-object metadata hits small-object programs
+	// hardest. cfrac must show tens of percent; mcf must be ~0.
+	k, _ := New("cfrac")
+	_, rawPeak := runKernel(t, k, 60, false)
+	k2, _ := New("cfrac")
+	_, extPeak := runKernel(t, k2, 60, true)
+	cfracOverhead := float64(extPeak-rawPeak) / float64(rawPeak)
+	if cfracOverhead < 0.30 {
+		t.Errorf("cfrac ext space overhead = %.1f%%, want large (paper: 93%%)", 100*cfracOverhead)
+	}
+
+	m, _ := New("181.mcf")
+	_, rawM := runKernel(t, m, 60, false)
+	m2, _ := New("181.mcf")
+	_, extM := runKernel(t, m2, 60, true)
+	mcfOverhead := float64(extM-rawM) / float64(rawM)
+	if mcfOverhead > 0.01 {
+		t.Errorf("mcf ext space overhead = %.2f%%, want ~0 (paper: 0%%)", 100*mcfOverhead)
+	}
+	t.Logf("cfrac %.1f%%, mcf %.3f%%", 100*cfracOverhead, 100*mcfOverhead)
+}
+
+func TestExtensionTimeOverheadShape(t *testing.T) {
+	// Figure 6's allocator bar: allocation-intensive kernels pay more
+	// than compute-heavy ones.
+	rel := func(name string) float64 {
+		k1, _ := New(name)
+		base, _ := runKernel(t, k1, 80, false)
+		k2, _ := New(name)
+		ext, _ := runKernel(t, k2, 80, true)
+		return float64(ext)/float64(base) - 1
+	}
+	cfrac := rel("cfrac")
+	gzip := rel("164.gzip")
+	if cfrac <= gzip {
+		t.Errorf("cfrac allocator overhead (%.2f%%) should exceed gzip's (%.2f%%)", 100*cfrac, 100*gzip)
+	}
+	if cfrac > 0.25 {
+		t.Errorf("cfrac allocator overhead = %.1f%%, implausibly high", 100*cfrac)
+	}
+	t.Logf("cfrac %.2f%%, gzip %.2f%%", 100*cfrac, 100*gzip)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	k1, _ := New("175.vpr")
+	c1, p1 := runKernel(t, k1, 50, true)
+	k2, _ := New("175.vpr")
+	c2, p2 := runKernel(t, k2, 50, true)
+	if c1 != c2 || p1 != p2 {
+		t.Fatalf("kernel not deterministic: (%d,%d) vs (%d,%d)", c1, p1, c2, p2)
+	}
+}
