@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the tier-1 gate: build, vet, the full test suite, and the test
+# suite again under the race detector (the supervisor's parallel validation
+# runs cloned machines on separate goroutines, so every PR must stay
+# race-clean).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

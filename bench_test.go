@@ -8,6 +8,7 @@ package firstaid_test
 
 import (
 	"testing"
+	"time"
 
 	"firstaid"
 	"firstaid/internal/apps"
@@ -176,4 +177,80 @@ func BenchmarkSupervisedSteadyState(b *testing.B) {
 	sup := firstaid.New(a, log, firstaid.Config{})
 	b.ResetTimer()
 	sup.Run()
+}
+
+// benchSteadyState runs the supervised steady-state workload with the given
+// telemetry registry (nil = telemetry off).
+func benchSteadyState(b *testing.B, reg *firstaid.Metrics) {
+	a, _ := apps.New("squid")
+	log := a.Workload(b.N+400, nil)
+	cfg := firstaid.Config{}
+	cfg.Machine.Metrics = reg
+	sup := firstaid.New(a, log, cfg)
+	b.ResetTimer()
+	sup.Run()
+}
+
+// BenchmarkTelemetryOff / BenchmarkTelemetryOn are the comparable pair for
+// `go test -bench 'Telemetry(Off|On)'`: the supervised hot path with the
+// registry detached vs attached.
+func BenchmarkTelemetryOff(b *testing.B) { benchSteadyState(b, nil) }
+func BenchmarkTelemetryOn(b *testing.B)  { benchSteadyState(b, firstaid.NewMetrics()) }
+
+// BenchmarkTelemetryOverheadGuard is the regression guard for the
+// telemetry layer's design budget: instrumentation must cost < 5% on the
+// supervised hot path (every update is a single pre-resolved atomic add; a
+// nil registry is free). testing.Benchmark cannot be nested inside a
+// benchmark (it deadlocks on the global benchmark lock), so the guard
+// times fixed-size supervised runs directly, interleaving off/on and
+// taking the best of several rounds to shed scheduler noise; a measurement
+// above the budget is re-measured once before failing.
+func BenchmarkTelemetryOverheadGuard(b *testing.B) {
+	const (
+		budget = 5.0 // percent
+		events = 4000
+		rounds = 5
+	)
+
+	run := func(reg *firstaid.Metrics) time.Duration {
+		a, _ := apps.New("squid")
+		log := a.Workload(events, nil)
+		cfg := firstaid.Config{}
+		cfg.Machine.Metrics = reg
+		sup := firstaid.New(a, log, cfg)
+		t0 := time.Now()
+		sup.Run()
+		return time.Since(t0)
+	}
+
+	measure := func() float64 {
+		best := func(d, prev time.Duration) time.Duration {
+			if prev == 0 || d < prev {
+				return d
+			}
+			return prev
+		}
+		var off, on time.Duration
+		run(nil)                     // warmup
+		run(firstaid.NewMetrics())   // warmup
+		for r := 0; r < rounds; r++ { // interleaved: drift hits both sides
+			off = best(run(nil), off)
+			on = best(run(firstaid.NewMetrics()), on)
+		}
+		return 100 * (float64(on)/float64(off) - 1)
+	}
+
+	overhead := 0.0
+	for i := 0; i < b.N; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			overhead = measure()
+			if overhead < budget {
+				break
+			}
+		}
+	}
+	b.ReportMetric(overhead, "overhead-%")
+	if overhead >= budget {
+		b.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget", overhead, budget)
+	}
 }

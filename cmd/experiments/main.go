@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"firstaid/internal/experiments"
+	"firstaid/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +26,13 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		appName   = flag.String("app", "", "application for figure 4 (apache, squid; empty = both)")
 		events    = flag.Int("events", 300, "events per measurement run (tables 6/7, figure 6)")
+		metrics   = flag.Bool("metrics", false, "collect telemetry across all supervised runs and dump the JSON snapshot at exit")
 	)
 	flag.Parse()
+
+	if *metrics {
+		experiments.Metrics = telemetry.NewRegistry()
+	}
 
 	if !*all && *table == 0 && *figure == 0 && !*ablations {
 		flag.Usage()
@@ -73,5 +79,14 @@ func main() {
 		fmt.Println(experiments.RenderAblationSearch(experiments.AblationSearch()))
 		fmt.Println(experiments.RenderAblationCheckpoint(experiments.AblationCheckpoint(*events)))
 		fmt.Println(experiments.RenderAblationDelayLimit(experiments.AblationDelayLimit()))
+	}
+
+	if experiments.Metrics != nil {
+		out, err := experiments.Metrics.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendering metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry snapshot (all runs):\n%s\n", out)
 	}
 }

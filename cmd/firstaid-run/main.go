@@ -32,6 +32,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available applications and exit")
 		system    = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
 		parallel  = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
+		metrics   = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
 	)
 	flag.Parse()
 
@@ -63,19 +64,37 @@ func main() {
 
 	log := prog.Workload(*events, trig)
 
+	var reg *firstaid.Metrics
+	if *metrics {
+		reg = firstaid.NewMetrics()
+	}
+	dumpMetrics := func() {
+		if reg == nil {
+			return
+		}
+		out, err := reg.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendering metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry snapshot:\n%s\n", out)
+	}
+
 	switch *system {
 	case "rx":
-		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{})
+		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{Metrics: reg})
 		st := rx.Run()
 		fmt.Printf("%s under Rx: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, recoveries: %d, skipped: %d (Rx cannot prevent recurrences)\n",
 			st.Failures, st.Recoveries, st.Skipped)
+		dumpMetrics()
 		return
 	case "restart":
-		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{})
+		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{Metrics: reg})
 		st := rs.Run()
 		fmt.Printf("%s under restart: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, restarts: %d (state lost each time)\n", st.Failures, st.Restarts)
+		dumpMetrics()
 		return
 	case "first-aid":
 		// fall through
@@ -85,6 +104,7 @@ func main() {
 	}
 
 	cfg := firstaid.Config{ParallelValidation: *parallel}
+	cfg.Machine.Metrics = reg
 	if *poolPath != "" {
 		if pool, err := firstaid.LoadPool(*poolPath); err == nil {
 			cfg.Pool = pool
@@ -130,5 +150,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\npatch pool saved to %s\n", *poolPath)
+	}
+	if reg != nil {
+		out, err := reg.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendering metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry snapshot:\n%s\n", out)
 	}
 }

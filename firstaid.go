@@ -45,6 +45,7 @@ import (
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
 	"firstaid/internal/report"
+	"firstaid/internal/telemetry"
 	"firstaid/internal/vmem"
 )
 
@@ -90,6 +91,27 @@ type (
 	// Pool is the persistent per-program patch store.
 	Pool = patch.Pool
 )
+
+// Telemetry types. A Registry wired into MachineConfig.Metrics collects
+// counters, gauges and histograms from every layer of the runtime plus one
+// journal span per recovery episode; Snapshot() renders it all as JSON.
+type (
+	// Metrics is the telemetry registry (see internal/telemetry).
+	Metrics = telemetry.Registry
+	// MetricsSnapshot is the JSON view of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// NewMetrics creates a telemetry registry. Assign it to
+// Config.Machine.Metrics before New to instrument a supervised run:
+//
+//	reg := firstaid.NewMetrics()
+//	cfg := firstaid.Config{}
+//	cfg.Machine.Metrics = reg
+//	sup := firstaid.New(prog, log, cfg)
+//	sup.Run()
+//	out, _ := reg.Snapshot().JSON()
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
 
 // BugType identifies a memory-management bug class.
 type BugType = mmbug.Type

@@ -20,6 +20,7 @@ import (
 	"firstaid/internal/heap"
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
+	"firstaid/internal/telemetry"
 	"firstaid/internal/vmem"
 )
 
@@ -137,6 +138,39 @@ type Manager struct {
 	startMark uint64 // clock when stats started
 
 	stats Stats
+	met   metrics
+}
+
+// metrics holds the manager's pre-resolved telemetry instruments; the zero
+// value (all nil) discards updates.
+type metrics struct {
+	taken          *telemetry.Counter
+	rollbacks      *telemetry.Counter
+	dirtyPages     *telemetry.Counter
+	intervalGrows  *telemetry.Counter
+	intervalShrink *telemetry.Counter
+	interval       *telemetry.Gauge
+	dirtyPerCkpt   *telemetry.Histogram
+}
+
+// SetMetrics wires the manager to a telemetry registry (nil detaches). The
+// snapshot count, the per-interval COW page rate that drives the adaptive
+// interval, and the interval decisions themselves all become observable.
+func (m *Manager) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		m.met = metrics{}
+		return
+	}
+	m.met = metrics{
+		taken:          reg.Counter("ckpt.taken"),
+		rollbacks:      reg.Counter("ckpt.rollbacks"),
+		dirtyPages:     reg.Counter("ckpt.cow_pages"),
+		intervalGrows:  reg.Counter("ckpt.interval_grows"),
+		intervalShrink: reg.Counter("ckpt.interval_shrinks"),
+		interval:       reg.Gauge("ckpt.interval_cycles"),
+		dirtyPerCkpt:   reg.Histogram("ckpt.cow_pages_per_ckpt"),
+	}
+	m.met.interval.Set(int64(m.interval))
 }
 
 // NewManager wires a manager to the machine's components.
@@ -206,6 +240,9 @@ func (m *Manager) Take() *Checkpoint {
 		m.cps[0].mem.Release()
 		m.cps = m.cps[1:]
 	}
+	m.met.taken.Inc()
+	m.met.dirtyPages.Add(dirty)
+	m.met.dirtyPerCkpt.Observe(dirty)
 
 	interval := m.p.Clock() - m.lastClock
 	m.lastClock = m.p.Clock()
@@ -229,18 +266,22 @@ func (m *Manager) adapt(dirty, interval uint64) {
 		if m.interval > m.cfg.MaxInterval {
 			m.interval = m.cfg.MaxInterval
 		}
+		m.met.intervalGrows.Inc()
 	case overhead < m.cfg.OverheadTarget/4 && m.interval > m.cfg.Interval:
 		m.interval -= m.interval / 4
 		if m.interval < m.cfg.Interval {
 			m.interval = m.cfg.Interval
 		}
+		m.met.intervalShrink.Inc()
 	}
+	m.met.interval.Set(int64(m.interval))
 }
 
 // Rollback reinstates the machine state saved in cp. The checkpoint stays
 // valid and may be rolled back to again (diagnosis re-executes from the
 // same checkpoint many times).
 func (m *Manager) Rollback(cp *Checkpoint) {
+	m.met.rollbacks.Inc()
 	m.mem.Restore(cp.mem)
 	m.h.SetState(cp.heapSt)
 	m.p.SetState(cp.procSt)

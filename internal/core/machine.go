@@ -14,6 +14,7 @@ import (
 	"firstaid/internal/monitor"
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
+	"firstaid/internal/telemetry"
 	"firstaid/internal/vmem"
 )
 
@@ -30,6 +31,12 @@ type Machine struct {
 	Log  *replay.Log
 	Ckpt *checkpoint.Manager
 	Mon  *monitor.Monitor
+
+	// Tel is the machine's telemetry registry (nil when telemetry is off).
+	// Every component of the machine is wired to it; a clone receives a
+	// fresh registry of its own so validation goroutines never contend
+	// with the main loop — the supervisor merges it back on collect.
+	Tel *telemetry.Registry
 
 	// currentPatches mirrors the attached patch source (allocext does
 	// not expose it) so validation can detach and re-attach it around
@@ -61,6 +68,10 @@ type MachineConfig struct {
 	// detectors). Silent heap corruption is then caught near its cause
 	// instead of at the eventual crash.
 	IntegrityCheckEvery int
+	// Metrics, when set, wires every machine component (heap, checkpoint
+	// manager, monitor, patch binding) to the registry. Nil keeps
+	// telemetry off at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // NewMachine builds a machine for prog over the input log, runs the
@@ -88,6 +99,7 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 		Prog: prog,
 		Log:  log,
 		Mon:  monitor.New(ext),
+		Tel:  cfg.Metrics,
 		cfg:  cfg,
 	}
 	if cfg.IntegrityCheckEvery > 0 {
@@ -95,11 +107,20 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 			&monitor.HeapIntegrity{H: h, P: p, Every: cfg.IntegrityCheckEvery})
 	}
 	m.Ckpt = checkpoint.NewManager(cfg.Checkpoint, mem, h, p, ext, log)
+	m.wireMetrics()
 	if f := proc.Catch(func() { prog.Init(p) }); f != nil {
 		panic("core: program Init faulted: " + f.Error())
 	}
 	m.Ckpt.Take()
 	return m
+}
+
+// wireMetrics attaches every component to m.Tel. With a nil registry the
+// components resolve nil instruments and the hot paths stay no-ops.
+func (m *Machine) wireMetrics() {
+	m.Heap.SetMetrics(m.Tel)
+	m.Ckpt.SetMetrics(m.Tel)
+	m.Mon.SetMetrics(m.Tel)
 }
 
 // Clone returns a fully independent copy of the machine in its current
@@ -133,11 +154,20 @@ func (m *Machine) Clone() *Machine {
 		Mon:  monitor.New(ext),
 		cfg:  m.cfg,
 	}
+	if m.Tel != nil {
+		// The clone runs on a validation goroutine: give it a registry of
+		// its own so its hot paths never contend with the parent's, and
+		// let the supervisor fold it into the parent when it collects the
+		// validation result.
+		clone.Tel = telemetry.NewRegistry()
+		clone.cfg.Metrics = clone.Tel
+	}
 	if m.cfg.IntegrityCheckEvery > 0 {
 		clone.Mon.Detectors = append(clone.Mon.Detectors,
 			&monitor.HeapIntegrity{H: h, P: p, Every: m.cfg.IntegrityCheckEvery})
 	}
 	clone.Ckpt = checkpoint.NewManager(checkpoint.Config{}, mem, h, p, ext, log)
+	clone.wireMetrics()
 	clone.lastClock = p.Clock()
 	return clone
 }

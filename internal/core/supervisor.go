@@ -12,6 +12,7 @@ import (
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
 	"firstaid/internal/report"
+	"firstaid/internal/telemetry"
 	"firstaid/internal/validate"
 )
 
@@ -83,14 +84,36 @@ type Supervisor struct {
 
 	// pending holds in-flight parallel validations.
 	pending []*pendingValidation
+
+	met supMetrics
+}
+
+// supMetrics holds the supervisor's pre-resolved telemetry instruments; the
+// zero value (all nil) discards updates.
+type supMetrics struct {
+	failures       *telemetry.Counter
+	recoveries     *telemetry.Counter
+	skipped        *telemetry.Counter
+	nondet         *telemetry.Counter
+	patchesMade    *telemetry.Counter
+	patchRevoked   *telemetry.Counter
+	patchValidated *telemetry.Counter
+	recoveryWallUS *telemetry.Histogram
+	validWallUS    *telemetry.Histogram
+	queueDepth     *telemetry.Gauge
 }
 
 // pendingValidation tracks one asynchronous validation. The goroutine
 // fills rec.ValidationResult/ValidationWall and closes done; the main
 // thread applies the verdict (mark validated / revoke) when it collects.
+// The clone's telemetry registry and the recovery span ride along so the
+// main thread can fold the clone's counters into the parent and close the
+// span race-free at collect time.
 type pendingValidation struct {
-	rec  *Recovery
-	done chan struct{}
+	rec      *Recovery
+	done     chan struct{}
+	span     *telemetry.Span
+	cloneTel *telemetry.Registry
 }
 
 // NewSupervisor builds the machine, attaches the patch pool, and leaves the
@@ -112,8 +135,26 @@ func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
 		retries: map[int]int{},
 	}
 	m.SetPatches(s.Bound)
+	s.Bound.SetMetrics(m.Tel)
+	// With a nil registry every instrument resolves to nil and stays a
+	// no-op; recover() and Run() carry no telemetry conditionals.
+	s.met = supMetrics{
+		failures:       m.Tel.Counter("core.failures"),
+		recoveries:     m.Tel.Counter("core.recoveries"),
+		skipped:        m.Tel.Counter("core.skipped_events"),
+		nondet:         m.Tel.Counter("core.nondeterministic"),
+		patchesMade:    m.Tel.Counter("patch.generated"),
+		patchRevoked:   m.Tel.Counter("patch.revocations"),
+		patchValidated: m.Tel.Counter("patch.validated"),
+		recoveryWallUS: m.Tel.Histogram("core.recovery_wall_us"),
+		validWallUS:    m.Tel.Histogram("core.validation_wall_us"),
+		queueDepth:     m.Tel.Gauge("core.pending_validations"),
+	}
 	return s
 }
+
+// Telemetry returns the machine's registry (nil when telemetry is off).
+func (s *Supervisor) Telemetry() *telemetry.Registry { return s.M.Tel }
 
 // SimSeconds returns the monotonic simulated time consumed so far,
 // including re-execution work during recovery (rollbacks rewind the process
@@ -139,6 +180,7 @@ func (s *Supervisor) Run() Stats {
 		}
 		if f != nil {
 			s.failures++
+			s.met.failures.Inc()
 			s.recover(f)
 		}
 	}
@@ -186,7 +228,16 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	failCursor := s.M.Log.Cursor() // the failing event is consumed
 	until := failCursor + s.window()
 
-	eng := diagnosis.New(s.M, s.cfg.Diagnosis)
+	// One telemetry span per pipeline episode: the diagnosis engine adds
+	// the phase-1/phase-2 phases, this function the patch-gen, rollback
+	// and validation phases plus the terminal outcome. On a nil registry
+	// the span is nil and every call is a no-op.
+	span := s.M.Tel.Journal().Begin("recovery", f.Event)
+
+	dcfg := s.cfg.Diagnosis
+	dcfg.Metrics = s.M.Tel
+	dcfg.Span = span
+	eng := diagnosis.New(s.M, dcfg)
 	res := eng.Diagnose(until)
 	rec := &Recovery{Fault: f, Result: res}
 	s.Recoveries = append(s.Recoveries, rec)
@@ -196,6 +247,9 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		// failure region; continue from its state.
 
 		rec.RecoveryWall = time.Since(t0)
+		s.met.nondet.Inc()
+		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
+		span.End("nondeterministic")
 		return
 	}
 
@@ -204,10 +258,14 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.skipFailingEvent(failCursor)
 		rec.Skipped = true
 		rec.RecoveryWall = time.Since(t0)
+		s.met.skipped.Inc()
+		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
+		span.End("skipped")
 		return
 	}
 
 	// Patch generation and application.
+	endGen := span.Phase("patch-gen")
 	for _, fd := range res.Findings {
 		for _, site := range fd.Sites {
 			np := patch.New(fd.Bug, s.M.SiteKey(site))
@@ -216,13 +274,19 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		}
 	}
 	s.Bound.Invalidate()
+	s.met.patchesMade.Add(uint64(len(rec.Patches)))
+	endGen("", len(rec.Patches))
 
 	// Recovery: roll back to the chosen checkpoint; the main loop
 	// re-executes from there in normal mode with the patches active.
+	endRb := span.Phase("rollback")
 	s.M.Rollback(res.Checkpoint)
 	s.M.Ckpt.DropAfter(res.Checkpoint)
+	endRb("", 1)
 
 	rec.RecoveryWall = time.Since(t0)
+	s.met.recoveries.Inc()
+	s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
 
 	// Patch validation on the buggy region. In parallel mode a cloned
 	// machine validates on another goroutine while the main loop resumes
@@ -231,13 +295,21 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	switch {
 	case s.cfg.DisableValidation:
 		rec.Report = s.buildReport(rec, f, res)
+		span.End("recovered")
 	case s.cfg.ParallelValidation:
 		clone := s.M.Clone()
 		frozen := s.Pool.Clone().Bind(clone.Proc.Sites)
+		frozen.SetMetrics(clone.Tel)
 		clone.SetPatches(frozen)
 		cpClone := clone.Ckpt.Take()
-		pv := &pendingValidation{rec: rec, done: make(chan struct{})}
+		pv := &pendingValidation{
+			rec:      rec,
+			done:     make(chan struct{}),
+			span:     span,
+			cloneTel: clone.Tel,
+		}
 		s.pending = append(s.pending, pv)
+		s.met.queueDepth.Set(int64(len(s.pending)))
 		go func() {
 			tv := time.Now()
 			v := validate.New(clone, s.cfg.Validation).Validate(cpClone, until)
@@ -245,7 +317,8 @@ func (s *Supervisor) recover(f *proc.Fault) {
 			rec.ValidationWall = time.Since(tv)
 			close(pv.done)
 		}()
-		// The report is completed when the validation is collected.
+		// The report — and the span — are completed when the validation
+		// is collected on the main goroutine.
 	default:
 		tv := time.Now()
 		v := validate.New(s.M, s.cfg.Validation).Validate(res.Checkpoint, until)
@@ -255,7 +328,27 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		// Return to the recovery point for resumption.
 		s.M.Rollback(res.Checkpoint)
 		rec.Report = s.buildReport(rec, f, res)
+		s.finishSpan(span, rec)
 	}
+}
+
+// finishSpan records the validation phase and the terminal outcome on a
+// completed recovery. Called on the main goroutine only (inline validation,
+// or parallel collect).
+func (s *Supervisor) finishSpan(span *telemetry.Span, rec *Recovery) {
+	if rec.ValidationResult != nil {
+		outcome := "consistent"
+		if !rec.ValidationResult.Consistent {
+			outcome = "inconsistent"
+		}
+		span.AddPhase("validation", rec.ValidationWall, outcome, len(rec.ValidationResult.Traces))
+		s.met.validWallUS.Observe(uint64(rec.ValidationWall.Microseconds()))
+	}
+	if rec.ValidationResult != nil && !rec.ValidationResult.Consistent {
+		span.End("patches-revoked")
+		return
+	}
+	span.End("recovered")
 }
 
 // applyValidation applies a completed validation verdict to the pool.
@@ -268,11 +361,13 @@ func (s *Supervisor) applyValidation(rec *Recovery) {
 		for _, p := range rec.Patches {
 			s.Pool.MarkValidated(p.ID)
 		}
+		s.met.patchValidated.Add(uint64(len(rec.Patches)))
 		return
 	}
 	for _, p := range rec.Patches {
 		s.Pool.Revoke(p.ID)
 	}
+	s.met.patchRevoked.Add(uint64(len(rec.Patches)))
 	s.Bound.Invalidate()
 }
 
@@ -293,8 +388,14 @@ func (s *Supervisor) collectValidations(block bool) {
 		}
 		s.applyValidation(pv.rec)
 		pv.rec.Report = s.buildReport(pv.rec, pv.rec.Fault, pv.rec.Result)
+		// Fold the clone's telemetry into the parent and close the span;
+		// both happen on the main goroutine, after the validation
+		// goroutine has closed done, so neither races with the clone.
+		s.M.Tel.Merge(pv.cloneTel)
+		s.finishSpan(pv.span, pv.rec)
 	}
 	s.pending = remaining
+	s.met.queueDepth.Set(int64(len(s.pending)))
 }
 
 func (s *Supervisor) buildReport(rec *Recovery, f *proc.Fault, res diagnosis.Result) *report.Report {

@@ -27,6 +27,7 @@ import (
 	"firstaid/internal/checkpoint"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/proc"
+	"firstaid/internal/telemetry"
 )
 
 // Outcome is the observable result of one diagnostic re-execution.
@@ -75,6 +76,13 @@ type Config struct {
 	// re-executions) instead of the paper's O(M·log N) binary search.
 	// For experiments only.
 	LinearSiteSearch bool
+
+	// Metrics, when set, receives diagnosis counters: total rollbacks and
+	// probe re-executions per phase.
+	Metrics *telemetry.Registry
+	// Span, when set, receives one timed phase per diagnosis phase run,
+	// with the phase's rollback count and outcome.
+	Span *telemetry.Span
 }
 
 func (c *Config) fillDefaults() {
@@ -125,12 +133,25 @@ type Engine struct {
 
 	rollbacks int
 	log       []string
+
+	metRollbacks *telemetry.Counter
+	metPhase1    *telemetry.Counter
+	metPhase2    *telemetry.Counter
+	curPhase     *telemetry.Counter // phase counter reexec charges to
 }
 
 // New creates an engine.
 func New(m Machine, cfg Config) *Engine {
 	cfg.fillDefaults()
-	return &Engine{m: m, cfg: cfg}
+	return &Engine{
+		m:   m,
+		cfg: cfg,
+		// A nil Metrics registry resolves to nil counters, whose methods
+		// are no-ops — the probe loop carries no conditionals.
+		metRollbacks: cfg.Metrics.Counter("diag.rollbacks"),
+		metPhase1:    cfg.Metrics.Counter("diag.phase1_reexecs"),
+		metPhase2:    cfg.Metrics.Counter("diag.phase2_reexecs"),
+	}
 }
 
 func (e *Engine) logf(format string, args ...interface{}) {
@@ -147,6 +168,8 @@ func (e *Engine) reexec(cp *checkpoint.Checkpoint, cs *allocext.ChangeSet, until
 		}
 	}
 	e.rollbacks++
+	e.metRollbacks.Inc()
+	e.curPhase.Inc()
 	return e.m.ReExecute(cs, until)
 }
 
@@ -160,18 +183,32 @@ func (e *Engine) Diagnose(until int) Result {
 	e.rollbacks = 0
 	e.log = nil
 
+	e.curPhase = e.metPhase1
+	endPhase1 := e.cfg.Span.Phase("phase1")
 	cp, res := e.phase1(until)
 	if res != nil {
+		outcome := "unpatchable"
+		if res.Nondeterministic {
+			outcome = "nondeterministic"
+		}
+		endPhase1(outcome, e.rollbacks)
 		res.Rollbacks = e.rollbacks
 		res.Log = e.log
 		return *res
 	}
+	endPhase1("checkpoint found", e.rollbacks)
+	phase1Rollbacks := e.rollbacks
 
+	e.curPhase = e.metPhase2
+	endPhase2 := e.cfg.Span.Phase("phase2")
 	findings, ok := e.phase2(cp, until)
 	result := Result{Checkpoint: cp, Findings: findings, Rollbacks: e.rollbacks}
 	if !ok {
 		result.Unpatchable = true
 		e.logf("phase 2 failed to isolate a patchable bug set; marking non-patchable")
+		endPhase2("unpatchable", e.rollbacks-phase1Rollbacks)
+	} else {
+		endPhase2("identified", e.rollbacks-phase1Rollbacks)
 	}
 	result.Log = e.log
 	return result

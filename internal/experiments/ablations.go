@@ -32,7 +32,7 @@ func AblationSearch() []AblationSearchRow {
 		for _, linear := range []bool{false, true} {
 			a, _ := apps.New(name)
 			log := a.Workload(700, []int{defaultTrigger})
-			sup := core.NewSupervisor(a, log, core.Config{
+			sup := newSupervisor(a, log, core.Config{
 				Diagnosis: diagnosis.Config{LinearSiteSearch: linear, MaxRollbacks: 600},
 			})
 			sup.Run()
@@ -133,7 +133,7 @@ func AblationDelayLimit() []AblationDelayLimitRow {
 	for _, limitKB := range []int{4, 64, 1024} {
 		a, _ := apps.New("apache")
 		log := a.Workload(1600, []int{defaultTrigger, 900})
-		sup := core.NewSupervisor(a, log, core.Config{
+		sup := newSupervisor(a, log, core.Config{
 			Machine: core.MachineConfig{DelayLimit: uint64(limitKB) * 1024},
 		})
 		st := sup.Run()

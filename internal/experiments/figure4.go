@@ -95,7 +95,7 @@ func Figure4(appName string) []Figure4Series {
 		a, _ := apps.New(appName)
 		log := a.Workload(fig4Events, triggers)
 		c := &collector{app: appName, bins: map[int]float64{}}
-		sup := core.NewSupervisor(a, log, core.Config{Trace: c.trace})
+		sup := newSupervisor(a, log, core.Config{Trace: c.trace})
 		sup.Run()
 		out = append(out, c.series(appName, "First-Aid"))
 	}

@@ -13,10 +13,25 @@ import (
 	"firstaid/internal/app"
 	"firstaid/internal/callsite"
 	"firstaid/internal/checkpoint"
+	"firstaid/internal/core"
 	"firstaid/internal/heap"
 	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/telemetry"
 	"firstaid/internal/vmem"
 )
+
+// Metrics, when set, instruments every supervised run the experiments
+// launch. cmd/experiments -metrics assigns a registry here and dumps its
+// snapshot at exit; successive runs accumulate into the same registry.
+var Metrics *telemetry.Registry
+
+// newSupervisor builds a supervisor with the package registry injected.
+// Every experiment goes through it so -metrics covers them uniformly.
+func newSupervisor(prog app.Program, log *replay.Log, cfg core.Config) *core.Supervisor {
+	cfg.Machine.Metrics = Metrics
+	return core.NewSupervisor(prog, log, cfg)
+}
 
 // RunConfig selects one of the three measurement configurations of §7.5:
 // original allocator only; plus the memory allocator extension; plus

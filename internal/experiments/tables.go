@@ -52,7 +52,7 @@ func Table3() []Table3Row {
 	for _, name := range apps.Names() {
 		a, _ := apps.New(name)
 		log := a.Workload(2200, []int{defaultTrigger, 800, 1400, 1900})
-		sup := core.NewSupervisor(a, log, core.Config{})
+		sup := newSupervisor(a, log, core.Config{})
 		stats := sup.Run()
 
 		row := Table3Row{App: name}
@@ -143,7 +143,7 @@ func Table4() []Table4Row {
 		// validated buggy region.
 		a, _ := apps.New(name)
 		log := a.Workload(700, []int{defaultTrigger})
-		sup := core.NewSupervisor(a, log, core.Config{})
+		sup := newSupervisor(a, log, core.Config{})
 		sup.Run()
 		row := Table4Row{App: name}
 		if len(sup.Recoveries) > 0 {
@@ -217,7 +217,7 @@ func Table5() []Table5Row {
 				}
 			}
 		}}
-		sup = core.NewSupervisor(a, log, cfg)
+		sup = newSupervisor(a, log, cfg)
 		sup.Run()
 
 		ext := sup.Ext()

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 
+	"firstaid/internal/telemetry"
 	"firstaid/internal/vmem"
 )
 
@@ -141,10 +142,46 @@ func (st State) clone() State {
 	return cp
 }
 
+// metrics holds the allocator's pre-resolved telemetry instruments. The
+// zero value (all nil) is the disabled state: nil counters discard updates,
+// so the hot path needs no enable checks.
+type metrics struct {
+	mallocs      *telemetry.Counter
+	frees        *telemetry.Counter
+	allocBytes   *telemetry.Counter
+	freeBytes    *telemetry.Counter
+	smallbinHits *telemetry.Counter
+	largebinHits *telemetry.Counter
+	topHits      *telemetry.Counter
+	mmapHits     *telemetry.Counter
+	sbrkGrows    *telemetry.Counter
+}
+
 // Heap is the allocator instance. It is not safe for concurrent use.
 type Heap struct {
 	mem *vmem.Space
 	st  State
+	met metrics
+}
+
+// SetMetrics wires the allocator to a telemetry registry (nil detaches).
+// Instruments are resolved once here; per-operation cost is an atomic add.
+func (h *Heap) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		h.met = metrics{}
+		return
+	}
+	h.met = metrics{
+		mallocs:      reg.Counter("heap.mallocs"),
+		frees:        reg.Counter("heap.frees"),
+		allocBytes:   reg.Counter("heap.alloc_bytes"),
+		freeBytes:    reg.Counter("heap.free_bytes"),
+		smallbinHits: reg.Counter("heap.smallbin_hits"),
+		largebinHits: reg.Counter("heap.largebin_hits"),
+		topHits:      reg.Counter("heap.top_hits"),
+		mmapHits:     reg.Counter("heap.mmap_hits"),
+		sbrkGrows:    reg.Counter("heap.sbrk_grows"),
+	}
 }
 
 // New creates an allocator that obtains memory from mem. No memory is
@@ -397,6 +434,7 @@ func (h *Heap) growTop(need uint32) error {
 	if _, err := h.mem.Sbrk(grow); err != nil {
 		return err
 	}
+	h.met.sbrkGrows.Inc()
 	h.st.TopSize += grow
 	_, flags, err := h.readHeader(h.st.Top)
 	if err != nil {
@@ -449,6 +487,8 @@ func (h *Heap) Malloc(n uint32) (vmem.Addr, error) {
 		return 0, err
 	}
 	h.st.NMalloc++
+	h.met.mallocs.Inc()
+	h.met.allocBytes.Add(uint64(req - headerLen))
 	h.st.LiveBytes += uint64(req - headerLen)
 	if h.st.LiveBytes > h.st.PeakBytes {
 		h.st.PeakBytes = h.st.LiveBytes
@@ -464,6 +504,9 @@ func (h *Heap) mmapAlloc(n uint32) (vmem.Addr, error) {
 	}
 	h.st.Mmapped[start] = n
 	h.st.NMalloc++
+	h.met.mallocs.Inc()
+	h.met.mmapHits.Inc()
+	h.met.allocBytes.Add(uint64(n))
 	h.st.LiveBytes += uint64(n)
 	if h.st.LiveBytes > h.st.PeakBytes {
 		h.st.PeakBytes = h.st.LiveBytes
@@ -483,6 +526,7 @@ func (h *Heap) carve(req uint32) (vmem.Addr, error) {
 					return 0, err
 				}
 				if c != 0 {
+					h.met.smallbinHits.Inc()
 					return c, nil
 				}
 			}
@@ -495,10 +539,12 @@ func (h *Heap) carve(req uint32) (vmem.Addr, error) {
 			return 0, err
 		}
 		if c != 0 {
+			h.met.largebinHits.Inc()
 			return c, nil
 		}
 	}
 	// 3. Top chunk.
+	h.met.topHits.Inc()
 	return h.takeFromTop(req)
 }
 
@@ -639,6 +685,8 @@ func (h *Heap) Free(p vmem.Addr) error {
 		}
 		delete(h.st.Mmapped, p)
 		h.st.NFree++
+		h.met.frees.Inc()
+		h.met.freeBytes.Add(uint64(n))
 		if uint64(n) <= h.st.LiveBytes {
 			h.st.LiveBytes -= uint64(n)
 		} else {
@@ -661,6 +709,8 @@ func (h *Heap) Free(p vmem.Addr) error {
 		return fmt.Errorf("%w: pointer %#x overlaps top", ErrBadFree, p)
 	}
 	h.st.NFree++
+	h.met.frees.Inc()
+	h.met.freeBytes.Add(uint64(size - headerLen))
 	if payload := uint64(size - headerLen); payload <= h.st.LiveBytes {
 		h.st.LiveBytes -= payload
 	} else {

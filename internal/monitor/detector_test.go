@@ -1,0 +1,192 @@
+package monitor
+
+import (
+	"testing"
+
+	"firstaid/internal/proc"
+	"firstaid/internal/telemetry"
+)
+
+// scriptedDetector is a pluggable Detector driven by a per-call fault
+// script: entry i is returned by the i-th Check (nil past the end).
+type scriptedDetector struct {
+	name   string
+	script []*proc.Fault
+	calls  int
+}
+
+func (d *scriptedDetector) Name() string { return d.name }
+
+func (d *scriptedDetector) Check() *proc.Fault {
+	d.calls++
+	if d.calls <= len(d.script) {
+		return d.script[d.calls-1]
+	}
+	return nil
+}
+
+func detFault(msg string) *proc.Fault {
+	return &proc.Fault{Kind: proc.HeapCorruption, Msg: msg}
+}
+
+// TestDetectorFaultPaths drives RunEvent through a stream of events with
+// custom detectors plugged in and checks, per scenario, which event (if
+// any) the detector converts into a fault.
+func TestDetectorFaultPaths(t *testing.T) {
+	cases := []struct {
+		name      string
+		detectors func() []Detector
+		events    int
+		wantFault map[int]string // event seq -> expected fault Msg
+		wantCount int            // monitor Faults() after the stream
+	}{
+		{
+			name:      "no detectors, clean stream",
+			detectors: func() []Detector { return nil },
+			events:    4,
+			wantFault: map[int]string{},
+		},
+		{
+			name: "nil-fault detector is a no-op",
+			detectors: func() []Detector {
+				return []Detector{&scriptedDetector{name: "quiet"}}
+			},
+			events:    4,
+			wantFault: map[int]string{},
+		},
+		{
+			name: "detector fires mid-stream",
+			detectors: func() []Detector {
+				return []Detector{&scriptedDetector{
+					name:   "midstream",
+					script: []*proc.Fault{nil, nil, detFault("leak at event 2")},
+				}}
+			},
+			events:    5,
+			wantFault: map[int]string{2: "leak at event 2"},
+			wantCount: 1,
+		},
+		{
+			name: "first firing detector wins",
+			detectors: func() []Detector {
+				return []Detector{
+					&scriptedDetector{name: "first", script: []*proc.Fault{detFault("from first")}},
+					&scriptedDetector{name: "second", script: []*proc.Fault{detFault("from second")}},
+				}
+			},
+			events:    1,
+			wantFault: map[int]string{0: "from first"},
+			wantCount: 1,
+		},
+		{
+			name: "detector fires repeatedly",
+			detectors: func() []Detector {
+				return []Detector{&scriptedDetector{
+					name:   "flappy",
+					script: []*proc.Fault{detFault("a"), nil, detFault("b")},
+				}}
+			},
+			events:    3,
+			wantFault: map[int]string{0: "a", 2: "b"},
+			wantCount: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, p, _ := setup(t)
+			m.Detectors = tc.detectors()
+			for seq := 0; seq < tc.events; seq++ {
+				f := m.RunEvent(seq, func() {
+					defer p.Enter("handler")()
+					p.Free(p.Malloc(16))
+				})
+				want, wantHit := tc.wantFault[seq]
+				switch {
+				case f == nil && wantHit:
+					t.Fatalf("event %d: expected fault %q, got none", seq, want)
+				case f != nil && !wantHit:
+					t.Fatalf("event %d: unexpected fault %v", seq, f)
+				case f != nil:
+					if f.Msg != want {
+						t.Fatalf("event %d: fault %q, want %q", seq, f.Msg, want)
+					}
+					if f.Event != seq {
+						t.Fatalf("event %d: fault stamped with event %d", seq, f.Event)
+					}
+				}
+			}
+			if m.Faults() != tc.wantCount {
+				t.Fatalf("Faults() = %d, want %d", m.Faults(), tc.wantCount)
+			}
+		})
+	}
+}
+
+// TestDetectorsSkippedAfterTrap: a trapped handler fault takes precedence —
+// detectors must not run (and cannot mask or replace the original fault).
+func TestDetectorsSkippedAfterTrap(t *testing.T) {
+	m, p, _ := setup(t)
+	det := &scriptedDetector{name: "shadow", script: []*proc.Fault{detFault("detector noise")}}
+	m.Detectors = []Detector{det}
+	f := m.RunEvent(9, func() {
+		defer p.Enter("handler")()
+		p.Assert(false, "handler trap")
+	})
+	if f == nil || f.Kind != proc.AssertFailure {
+		t.Fatalf("fault = %v, want the handler's assert", f)
+	}
+	if det.calls != 0 {
+		t.Fatalf("detector ran %d time(s) after a trapped fault", det.calls)
+	}
+}
+
+// TestScanEachEventToggle verifies the scan-per-event switch both ways via
+// the monitor's own telemetry: scans happen iff the toggle is on.
+func TestScanEachEventToggle(t *testing.T) {
+	for _, scan := range []bool{false, true} {
+		m, p, _ := setup(t)
+		reg := telemetry.NewRegistry()
+		m.SetMetrics(reg)
+		m.ScanEachEvent = scan
+		const events = 3
+		for seq := 0; seq < events; seq++ {
+			if f := m.RunEvent(seq, func() {
+				defer p.Enter("handler")()
+				p.Free(p.Malloc(8))
+			}); f != nil {
+				t.Fatal(f)
+			}
+		}
+		wantScans := uint64(0)
+		if scan {
+			wantScans = events
+		}
+		if got := reg.Counter("monitor.scans").Value(); got != wantScans {
+			t.Fatalf("ScanEachEvent=%v: scans = %d, want %d", scan, got, wantScans)
+		}
+		if got := reg.Counter("monitor.events").Value(); got != events {
+			t.Fatalf("events counter = %d, want %d", got, events)
+		}
+	}
+}
+
+// TestMonitorFaultCounter: the telemetry fault counter tracks Faults().
+func TestMonitorFaultCounter(t *testing.T) {
+	m, p, _ := setup(t)
+	reg := telemetry.NewRegistry()
+	m.SetMetrics(reg)
+	m.RunEvent(0, func() {
+		defer p.Enter("handler")()
+		p.Assert(false, "boom")
+	})
+	m.RunEvent(1, func() {
+		defer p.Enter("handler")()
+		p.Free(p.Malloc(8))
+	})
+	if got := reg.Counter("monitor.faults").Value(); got != 1 {
+		t.Fatalf("faults counter = %d, want 1", got)
+	}
+	if m.Faults() != 1 {
+		t.Fatalf("Faults() = %d", m.Faults())
+	}
+}

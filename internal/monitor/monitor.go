@@ -15,6 +15,7 @@ import (
 	"firstaid/internal/allocext"
 	"firstaid/internal/heap"
 	"firstaid/internal/proc"
+	"firstaid/internal/telemetry"
 )
 
 // Detector is a pluggable error detector, the paper's hook for
@@ -41,18 +42,32 @@ type Monitor struct {
 
 	faults int
 	events int
+
+	// Pre-resolved instruments; nil (the default) discards updates.
+	metEvents *telemetry.Counter
+	metFaults *telemetry.Counter
+	metScans  *telemetry.Counter
 }
 
 // New returns a monitor over the given allocator extension.
 func New(ext *allocext.Ext) *Monitor { return &Monitor{Ext: ext} }
 
+// SetMetrics wires the monitor to a telemetry registry (nil detaches).
+func (m *Monitor) SetMetrics(reg *telemetry.Registry) {
+	m.metEvents = reg.Counter("monitor.events")
+	m.metFaults = reg.Counter("monitor.faults")
+	m.metScans = reg.Counter("monitor.scans")
+}
+
 // RunEvent executes fn (one event handler), returning the trapped fault, if
 // any. The event's replay sequence number is stamped into the fault.
 func (m *Monitor) RunEvent(seq int, fn func()) *proc.Fault {
 	m.events++
+	m.metEvents.Inc()
 	f := proc.Catch(fn)
 	if m.ScanEachEvent {
 		m.Ext.Scan()
+		m.metScans.Inc()
 	}
 	if f == nil {
 		for _, d := range m.Detectors {
@@ -65,6 +80,7 @@ func (m *Monitor) RunEvent(seq int, fn func()) *proc.Fault {
 	if f != nil {
 		f.Event = seq
 		m.faults++
+		m.metFaults.Inc()
 	}
 	return f
 }

@@ -21,6 +21,7 @@ import (
 	"firstaid/internal/allocext"
 	"firstaid/internal/callsite"
 	"firstaid/internal/mmbug"
+	"firstaid/internal/telemetry"
 )
 
 // Patch is one runtime patch.
@@ -287,6 +288,18 @@ type Bound struct {
 	byAlloc map[callsite.ID]*Patch
 	byFree  map[callsite.ID]*Patch
 	dirty   bool
+
+	// Pre-resolved instruments; nil (the default) discards updates.
+	allocHits *telemetry.Counter
+	freeHits  *telemetry.Counter
+}
+
+// SetMetrics wires the binding to a telemetry registry (nil detaches):
+// every allocation or deallocation that resolves to an active patch counts
+// as a pool hit.
+func (b *Bound) SetMetrics(reg *telemetry.Registry) {
+	b.allocHits = reg.Counter("patch.alloc_hits")
+	b.freeHits = reg.Counter("patch.free_hits")
 }
 
 // Bind attaches the pool to a call-site table.
@@ -320,7 +333,10 @@ func (b *Bound) resolve() {
 func (b *Bound) AllocPatch(site callsite.ID) (allocext.AllocAction, bool) {
 	b.resolve()
 	if p, ok := b.byAlloc[site]; ok {
-		return p.AllocAction()
+		if act, ok := p.AllocAction(); ok {
+			b.allocHits.Inc()
+			return act, true
+		}
 	}
 	return allocext.AllocAction{}, false
 }
@@ -329,7 +345,10 @@ func (b *Bound) AllocPatch(site callsite.ID) (allocext.AllocAction, bool) {
 func (b *Bound) FreePatch(site callsite.ID) (allocext.FreeAction, bool) {
 	b.resolve()
 	if p, ok := b.byFree[site]; ok {
-		return p.FreeAction()
+		if act, ok := p.FreeAction(); ok {
+			b.freeHits.Inc()
+			return act, true
+		}
 	}
 	return allocext.FreeAction{}, false
 }

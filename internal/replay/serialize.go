@@ -1,0 +1,92 @@
+// Log persistence. The paper's network proxy records messages so they can
+// be replayed during re-execution; persisting the log gives the simulated
+// equivalent — a workload captured in one run can be re-driven later (or
+// attached to a bug report) and replays deterministically.
+
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// logFile is the serialized form: the recorded events plus the replay
+// cursor. Event payloads must be valid UTF-8 (they are JSON strings).
+type logFile struct {
+	Cursor int     `json:"cursor"`
+	Events []Event `json:"events"`
+}
+
+// MarshalJSON renders the event with explicit field tags.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Seq  int    `json:"seq"`
+		Kind string `json:"kind"`
+		Data string `json:"data,omitempty"`
+		N    int    `json:"n,omitempty"`
+	}
+	return json.Marshal(wire(e))
+}
+
+// UnmarshalJSON parses the wire form of MarshalJSON.
+func (e *Event) UnmarshalJSON(raw []byte) error {
+	type wire struct {
+		Seq  int    `json:"seq"`
+		Kind string `json:"kind"`
+		Data string `json:"data,omitempty"`
+		N    int    `json:"n,omitempty"`
+	}
+	var w wire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	*e = Event(w)
+	return nil
+}
+
+// Save writes the log (events and cursor) as JSON.
+func (l *Log) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(logFile{Cursor: l.cursor, Events: l.events})
+}
+
+// Load reads a log written by Save. Event sequence numbers must match
+// their positions (they are assigned by Append, and rollback arithmetic
+// depends on seq == index); the cursor is clamped to the log's bounds.
+func Load(r io.Reader) (*Log, error) {
+	var lf logFile
+	if err := json.NewDecoder(r).Decode(&lf); err != nil {
+		return nil, fmt.Errorf("replay: decoding log: %w", err)
+	}
+	for i, ev := range lf.Events {
+		if ev.Seq != i {
+			return nil, fmt.Errorf("replay: event at index %d has seq %d", i, ev.Seq)
+		}
+	}
+	l := &Log{events: lf.Events}
+	l.SetCursor(lf.Cursor)
+	return l, nil
+}
+
+// SaveFile writes the log to path.
+func (l *Log) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.Save(f)
+}
+
+// LoadFile reads a log from path.
+func LoadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

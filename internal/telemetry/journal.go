@@ -1,0 +1,168 @@
+// The event journal: one structured span per supervision-pipeline episode.
+//
+// Where the metrics registry answers "how much", the journal answers "what
+// happened": each failure produces a span that records the pipeline phases
+// it went through — diagnosis (phase-1 checkpoint search, phase-2 bug/site
+// identification), patch generation, rollback, validation — with wall-clock
+// timing, per-phase work counts and a terminal outcome. The spans are the
+// per-recovery trace dumped by `firstaid-run --metrics`.
+
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Journal is an append-only list of spans. The zero value is ready to use;
+// a nil *Journal discards everything.
+type Journal struct {
+	mu     sync.Mutex
+	nextID int
+	spans  []*Span
+}
+
+// Begin opens a new span of the given kind (e.g. "recovery") anchored at a
+// replay event sequence number. Returns nil on a nil journal.
+func (j *Journal) Begin(kind string, event int) *Span {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sp := &Span{id: j.nextID, kind: kind, event: event, start: time.Now()}
+	j.nextID++
+	j.spans = append(j.spans, sp)
+	return sp
+}
+
+// Len returns the number of spans recorded so far.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.spans)
+}
+
+// Snapshot returns a copy of every span's current state.
+func (j *Journal) Snapshot() []SpanSnapshot {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	spans := append([]*Span(nil), j.spans...)
+	j.mu.Unlock()
+	out := make([]SpanSnapshot, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.snapshot()
+	}
+	return out
+}
+
+// Span is one pipeline episode in flight or completed.
+type Span struct {
+	mu      sync.Mutex
+	id      int
+	kind    string
+	event   int
+	start   time.Time
+	phases  []Phase
+	outcome string
+	wall    time.Duration
+	done    bool
+}
+
+// Phase is one step of a span.
+type Phase struct {
+	Name    string        `json:"name"`
+	Wall    time.Duration `json:"wallNs"`
+	Outcome string        `json:"outcome,omitempty"`
+	// N counts the phase's units of work (rollbacks for diagnosis phases,
+	// patches for generation, iterations for validation).
+	N int `json:"n,omitempty"`
+}
+
+// AddPhase records an externally-timed phase.
+func (sp *Span) AddPhase(name string, wall time.Duration, outcome string, n int) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.phases = append(sp.phases, Phase{Name: name, Wall: wall, Outcome: outcome, N: n})
+}
+
+// Phase starts an internally-timed phase; the returned func closes it with
+// an outcome and a work count. On a nil span the returned func is a no-op.
+func (sp *Span) Phase(name string) func(outcome string, n int) {
+	if sp == nil {
+		return func(string, int) {}
+	}
+	t0 := time.Now()
+	return func(outcome string, n int) {
+		sp.AddPhase(name, time.Since(t0), outcome, n)
+	}
+}
+
+// End closes the span with its terminal outcome ("recovered", "skipped",
+// "nondeterministic", …). Ending twice keeps the first outcome and wall.
+func (sp *Span) End(outcome string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.done {
+		return
+	}
+	sp.done = true
+	sp.outcome = outcome
+	sp.wall = time.Since(sp.start)
+}
+
+// Done reports whether the span has ended.
+func (sp *Span) Done() bool {
+	if sp == nil {
+		return false
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.done
+}
+
+// Outcome returns the terminal outcome ("" while in flight or on nil).
+func (sp *Span) Outcome() string {
+	if sp == nil {
+		return ""
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.outcome
+}
+
+// SpanSnapshot is the JSON view of one span.
+type SpanSnapshot struct {
+	ID      int           `json:"id"`
+	Kind    string        `json:"kind"`
+	Event   int           `json:"event"`
+	Outcome string        `json:"outcome,omitempty"`
+	Wall    time.Duration `json:"wallNs,omitempty"`
+	Done    bool          `json:"done"`
+	Phases  []Phase       `json:"phases,omitempty"`
+}
+
+func (sp *Span) snapshot() SpanSnapshot {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return SpanSnapshot{
+		ID:      sp.id,
+		Kind:    sp.kind,
+		Event:   sp.event,
+		Outcome: sp.outcome,
+		Wall:    sp.wall,
+		Done:    sp.done,
+		Phases:  append([]Phase(nil), sp.phases...),
+	}
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsSafeNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(-1)
+	r.Histogram("h").Observe(42)
+	r.Journal().Begin("recovery", 1).AddPhase("p", time.Second, "ok", 1)
+	sp := r.Journal().Begin("recovery", 2)
+	sp.Phase("q")("done", 3)
+	sp.End("recovered")
+	if sp.Done() || sp.Outcome() != "" {
+		t.Fatal("nil span reported state")
+	}
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	if r.CounterNames() != nil {
+		t.Fatal("nil CounterNames not nil")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("heap.mallocs")
+	c.Inc()
+	c.Add(9)
+	if got := r.Counter("heap.mallocs").Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	g := r.Gauge("queue")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	// Same name resolves to the same instrument.
+	if r.Counter("heap.mallocs") != c {
+		t.Fatal("counter not interned")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1<<20 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantSum := uint64(0 + 1 + 2 + 3 + 100 + 1000 + 1000 + 1<<20)
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	if p50 := h.Quantile(0.5); p50 < 3 || p50 > 127 {
+		t.Fatalf("p50 = %d out of plausible band", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 1<<20 && p99 != 1<<21-1 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Quantile(1.0) < 1000 {
+		t.Fatalf("p100 = %d", h.Quantile(1.0))
+	}
+	if mean := h.Mean(); mean <= 0 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestMergeAggregatesCloneIntoParent(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("diag.rollbacks").Add(3)
+	parent.Histogram("ckpt.dirty").Observe(10)
+	parent.Gauge("queue").Set(7)
+
+	clone := NewRegistry()
+	clone.Counter("diag.rollbacks").Add(4)
+	clone.Counter("heap.mallocs").Add(100)
+	clone.Histogram("ckpt.dirty").Observe(20)
+	clone.Gauge("queue").Set(99)
+
+	parent.Merge(clone)
+	if got := parent.Counter("diag.rollbacks").Value(); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := parent.Counter("heap.mallocs").Value(); got != 100 {
+		t.Fatalf("new counter = %d, want 100", got)
+	}
+	h := parent.Histogram("ckpt.dirty")
+	if h.Count() != 2 || h.Sum() != 30 || h.Max() != 20 {
+		t.Fatalf("merged histogram count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	// Gauges are instantaneous levels: not merged.
+	if got := parent.Gauge("queue").Value(); got != 7 {
+		t.Fatalf("gauge merged: %d", got)
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+				r.Gauge("g").Set(int64(i))
+			}
+		}()
+	}
+	// Concurrent merges and snapshots must not race or corrupt.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			src := NewRegistry()
+			src.Counter("m").Inc()
+			r.Merge(src)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("m").Value(); got != 100 {
+		t.Fatalf("merged counter = %d, want 100", got)
+	}
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d", got)
+	}
+}
+
+func TestJournalSpanLifecycle(t *testing.T) {
+	r := NewRegistry()
+	j := r.Journal()
+	sp := j.Begin("recovery", 439)
+	done := sp.Phase("phase1")
+	done("checkpoint found", 5)
+	sp.AddPhase("patch-gen", 3*time.Millisecond, "", 7)
+	if sp.Done() {
+		t.Fatal("span done before End")
+	}
+	sp.End("recovered")
+	sp.End("overwritten") // second End must not overwrite
+	if !sp.Done() || sp.Outcome() != "recovered" {
+		t.Fatalf("outcome = %q", sp.Outcome())
+	}
+
+	spans := j.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Kind != "recovery" || s.Event != 439 || !s.Done || s.Outcome != "recovered" {
+		t.Fatalf("span snapshot = %+v", s)
+	}
+	if len(s.Phases) != 2 || s.Phases[0].Name != "phase1" || s.Phases[0].N != 5 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	if s.Phases[1].Wall != 3*time.Millisecond || s.Phases[1].N != 7 {
+		t.Fatalf("phase 2 = %+v", s.Phases[1])
+	}
+	if j.Len() != 1 {
+		t.Fatalf("journal len = %d", j.Len())
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.failures").Inc()
+	r.Gauge("core.pending_validations").Set(2)
+	r.Histogram("ckpt.dirty_pages_per_ckpt").Observe(33)
+	sp := r.Journal().Begin("recovery", 10)
+	sp.AddPhase("validation", time.Millisecond, "consistent", 3)
+	sp.End("recovered")
+
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	if back.Counters["core.failures"] != 1 {
+		t.Fatalf("counters = %+v", back.Counters)
+	}
+	if back.Gauges["core.pending_validations"] != 2 {
+		t.Fatalf("gauges = %+v", back.Gauges)
+	}
+	if back.Histograms["ckpt.dirty_pages_per_ckpt"].Count != 1 {
+		t.Fatalf("histograms = %+v", back.Histograms)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Outcome != "recovered" {
+		t.Fatalf("spans = %+v", back.Spans)
+	}
+}
+
+func TestCounterNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Counter("a")
+	r.Counter("m")
+	names := r.CounterNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if bucketLabel(0) != "0" {
+		t.Fatal(bucketLabel(0))
+	}
+	if bucketLabel(1) != "1" {
+		t.Fatal(bucketLabel(1))
+	}
+	if bucketLabel(4) != "15" {
+		t.Fatal(bucketLabel(4))
+	}
+}
