@@ -7,14 +7,19 @@
 package firstaid_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"firstaid"
+	"firstaid/internal/app"
 	"firstaid/internal/apps"
 	"firstaid/internal/baseline"
 	"firstaid/internal/core"
 	"firstaid/internal/experiments"
+	"firstaid/internal/fleet"
 	"firstaid/internal/workloads"
 )
 
@@ -231,8 +236,8 @@ func BenchmarkTelemetryOverheadGuard(b *testing.B) {
 			return prev
 		}
 		var off, on time.Duration
-		run(nil)                     // warmup
-		run(firstaid.NewMetrics())   // warmup
+		run(nil)                      // warmup
+		run(firstaid.NewMetrics())    // warmup
 		for r := 0; r < rounds; r++ { // interleaved: drift hits both sides
 			off = best(run(nil), off)
 			on = best(run(firstaid.NewMetrics()), on)
@@ -252,5 +257,71 @@ func BenchmarkTelemetryOverheadGuard(b *testing.B) {
 	b.ReportMetric(overhead, "overhead-%")
 	if overhead >= budget {
 		b.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget", overhead, budget)
+	}
+}
+
+// BenchmarkFleetThroughput measures the fleet subsystem end to end
+// (dispatch → bounded inbox → streaming supervisor → shared pool) at 1, 4
+// and 8 workers, reporting events/s plus the p50/p99 service latency from
+// the fleet's own telemetry histograms. On a multi-core host throughput
+// must scale with the worker count (the workers share nothing but the
+// patch pool and atomic counters); single-core runs report the numbers but
+// skip the scaling assertion, which would measure the scheduler, not us.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const (
+		perClient = 400
+		clients   = 8
+	)
+	run := func(workers int) (evPerSec float64, p50, p99 float64) {
+		f := fleet.New(func() app.Program {
+			a, _ := apps.New("apache")
+			return a
+		}, fleet.Config{Workers: workers, Dispatch: fleet.HashBySource})
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			a, _ := apps.New("apache")
+			wl := a.Workload(perClient, nil)
+			src := fmt.Sprintf("c%d", c)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ev, ok := wl.Next()
+					if !ok {
+						return
+					}
+					f.Do(fleet.Request{Kind: ev.Kind, Data: ev.Data, N: ev.N, Src: src})
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		snap := f.Snapshot()
+		f.Close()
+		h := snap.Histograms["fleet.latency_us"]
+		return float64(clients*perClient) / wall.Seconds(), float64(h.P50), float64(h.P99)
+	}
+
+	scales := runtime.GOMAXPROCS(0) >= 4
+	var t1, t4 float64
+	for i := 0; i < b.N; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			var p50, p99 float64
+			t1, _, _ = run(1)
+			t4, p50, p99 = run(4)
+			t8, _, _ := run(8)
+			b.ReportMetric(t1, "ev/s-1w")
+			b.ReportMetric(t4, "ev/s-4w")
+			b.ReportMetric(t8, "ev/s-8w")
+			b.ReportMetric(p50, "p50-µs-4w")
+			b.ReportMetric(p99, "p99-µs-4w")
+			if !scales || t4 > 1.5*t1 {
+				break
+			}
+		}
+	}
+	if scales && t4 <= 1.5*t1 {
+		b.Fatalf("fleet does not scale: %0.f ev/s at 1 worker, %0.f ev/s at 4", t1, t4)
 	}
 }

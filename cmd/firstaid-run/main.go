@@ -106,9 +106,18 @@ func main() {
 	cfg := firstaid.Config{ParallelValidation: *parallel}
 	cfg.Machine.Metrics = reg
 	if *poolPath != "" {
-		if pool, err := firstaid.LoadPool(*poolPath); err == nil {
+		switch pool, err := firstaid.LoadPool(*poolPath); {
+		case err == nil:
 			cfg.Pool = pool
 			fmt.Printf("loaded %d patch(es) from %s\n", pool.Len(), *poolPath)
+		case os.IsNotExist(err):
+			// First run against this pool file: legitimate, start empty.
+			fmt.Printf("pool file %s not found; starting with an empty pool\n", *poolPath)
+		default:
+			// A corrupt pool must not silently degrade into an empty one —
+			// that would discard every previously diagnosed patch on save.
+			fmt.Fprintf(os.Stderr, "loading pool %s: %v\n", *poolPath, err)
+			os.Exit(1)
 		}
 	}
 	sup := firstaid.New(prog, log, cfg)

@@ -164,6 +164,16 @@ func (s *Supervisor) SimSeconds() float64 { return s.M.SimSeconds() }
 // Run processes the whole input log, recovering from failures as they
 // occur, and returns the run statistics.
 func (s *Supervisor) Run() Stats {
+	s.drain()
+	return s.Finish()
+}
+
+// drain processes events until the log cursor reaches the tail, recovering
+// from failures as they occur. It is the shared main loop of offline Run
+// (the whole log is the tail) and streaming Ingest (the tail advances one
+// event at a time); a recovery rewinds the cursor, so the loop naturally
+// re-executes up to the tail before returning.
+func (s *Supervisor) drain() {
 	for {
 		s.collectValidations(false)
 		s.M.Ckpt.MaybeCheckpoint()
@@ -171,7 +181,7 @@ func (s *Supervisor) Run() Stats {
 		cursorBefore := s.M.Log.Cursor()
 		f, ok := s.M.Step()
 		if !ok {
-			break
+			return
 		}
 		s.events++
 		if s.cfg.Trace != nil {
@@ -184,6 +194,12 @@ func (s *Supervisor) Run() Stats {
 			s.recover(f)
 		}
 	}
+}
+
+// Finish collects all outstanding parallel validations and returns the
+// statistics accumulated so far. The supervisor stays usable: streaming
+// callers may keep ingesting after a Finish.
+func (s *Supervisor) Finish() Stats {
 	s.collectValidations(true)
 	st := Stats{
 		Events:     s.events,
@@ -200,6 +216,78 @@ func (s *Supervisor) Run() Stats {
 	}
 	return st
 }
+
+// IngestResult reports how one live event was resolved by streaming
+// supervision. The event is recorded into the replay log before execution,
+// so Seq is also its replay position in the recorded stream.
+type IngestResult struct {
+	Seq       int    // position assigned by the recorder
+	Failed    bool   // the event faulted at least once before resolution
+	Recovered bool   // a diagnose→patch→rollback cycle resolved it
+	Skipped   bool   // the last-resort fallback dropped it
+	Failures  int    // faults observed while resolving it (retries included)
+	SimCycles uint64 // simulated time consumed resolving it
+}
+
+// Ingest records one live event into the replay log and processes it
+// immediately — the streaming counterpart of Run. The front-end calling
+// Ingest is the paper's network input recorder: because the event is
+// appended before execution, checkpoint/rollback/diagnosis replay it
+// exactly as a pre-recorded input, and the accumulated log re-runs
+// offline with identical results. On a failure the full recovery cycle
+// (including re-execution back to the tail, retries, and the skip
+// fallback) completes before Ingest returns.
+func (s *Supervisor) Ingest(kind, data string, n int) IngestResult {
+	return s.resolve(s.M.Log.Append(kind, data, n))
+}
+
+// IngestEvent is Ingest for an already-built event (its Seq is reassigned
+// by the recorder).
+func (s *Supervisor) IngestEvent(ev replay.Event) IngestResult {
+	return s.resolve(s.M.Log.AppendEvent(ev))
+}
+
+// resolve drains the log to the tail and attributes everything that
+// happened — faults, recoveries, skips, simulated time — to the event at
+// seq, the only event that entered the system since the last drain.
+func (s *Supervisor) resolve(seq int) IngestResult {
+	failures0 := s.failures
+	recov0 := len(s.Recoveries)
+	sim0 := s.M.SimNow()
+	s.drain()
+	res := IngestResult{
+		Seq:       seq,
+		Failures:  s.failures - failures0,
+		SimCycles: s.M.SimNow() - sim0,
+	}
+	res.Failed = res.Failures > 0
+	for _, rec := range s.Recoveries[recov0:] {
+		if rec.Skipped {
+			res.Skipped = true
+		} else {
+			res.Recovered = true
+		}
+	}
+	return res
+}
+
+// Serve consumes live events from src until it is closed, recording each
+// into the replay log and processing it immediately. Per-event outcomes are
+// delivered to sink when non-nil. Returns the final statistics (pending
+// parallel validations are collected first).
+func (s *Supervisor) Serve(src <-chan replay.Event, sink func(IngestResult)) Stats {
+	for ev := range src {
+		r := s.IngestEvent(ev)
+		if sink != nil {
+			sink(r)
+		}
+	}
+	return s.Finish()
+}
+
+// Log returns the supervisor's input log — under streaming supervision,
+// the rolling record of every event ingested so far.
+func (s *Supervisor) Log() *replay.Log { return s.M.Log }
 
 // window estimates the success horizon: events corresponding to ~3
 // checkpoint intervals beyond the failure (§4.1's conservative end point).

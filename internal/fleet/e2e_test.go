@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+
+	"firstaid/internal/app"
+	"firstaid/internal/apps"
+	"firstaid/internal/core"
+)
+
+// TestServeEndToEndTCP is the fleet acceptance run: ≥10k requests with bug
+// triggers mixed in, over a real TCP socket, across ≥4 supervised workers.
+// The shared patch pool must hold fleet-wide failures to at most one per
+// distinct buggy call-site (the first trigger is diagnosed and everyone
+// else is immunized), and not one request may be dropped.
+func TestServeEndToEndTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-request end-to-end run")
+	}
+	newApache := func() app.App {
+		a, err := apps.New("apache")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	f := New(func() app.Program { return newApache() }, Config{
+		Workers:  4,
+		Dispatch: HashBySource,
+		Supervisor: core.Config{
+			// Inline validation keeps each worker single-threaded, so the
+			// outcome (one failure fleet-wide) is reproducible.
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewServer(f)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// 8 clients × ~1300 events ≥ 10k requests. Three clients carry the
+	// apache cache-purge trigger, staggered 300 events apart so the first
+	// diagnosis propagates through the pool before the others trigger.
+	rep, err := RunLoad(base, newApache, LoadConfig{
+		Clients:         8,
+		EventsPerClient: 1300,
+		TriggerClients:  3,
+		Triggers:        []int{110},
+		TriggerStagger:  300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %v", rep)
+
+	if rep.Requests < 10000 {
+		t.Fatalf("load sent %d requests, want ≥ 10000", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport/HTTP errors", rep.Errors)
+	}
+	if rep.Responses != rep.Requests {
+		t.Fatalf("dropped requests: %d sent, %d answered", rep.Requests, rep.Responses)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("telemetry latency percentiles broken: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+
+	// The operational surfaces answer over the same socket.
+	var health Health
+	getJSON(t, base+"/healthz", &health)
+	if len(health.Workers) != 4 {
+		t.Fatalf("/healthz reports %d workers, want 4", len(health.Workers))
+	}
+	resp, err := http.Get(base + "/patches")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/patches: %v (%v)", err, resp)
+	}
+	resp.Body.Close()
+
+	srv.Close()
+	st := f.Close()
+	t.Logf("fleet: %+v", st.Core)
+
+	if st.Core.Failures == 0 {
+		t.Fatal("no trigger manifested — the run proves nothing")
+	}
+	// At most one failure per distinct buggy call-site fleet-wide: every
+	// active patch covers one call-site, so the patch count bounds the
+	// distinct-site count.
+	if st.ActivePatches == 0 {
+		t.Fatalf("failures without patches: %+v", st)
+	}
+	if st.Core.Failures > st.ActivePatches {
+		t.Fatalf("%d failures for %d patched call-sites — the pool did not immunize the fleet",
+			st.Core.Failures, st.ActivePatches)
+	}
+	if st.Core.Skipped != 0 {
+		t.Fatalf("%d requests skipped: %+v", st.Core.Skipped, st.Core)
+	}
+	if uint64(rep.Responses) != st.Requests {
+		t.Fatalf("server completed %d requests, clients got %d results", st.Requests, rep.Responses)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// The HTTP front-end: JSON events in, outcomes out, plus the operational
+// surfaces a fleet deployment needs — merged telemetry, the live patch
+// pool, and worker health.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Server exposes a Fleet over HTTP:
+//
+//	POST /events  {"kind":"search","data":"uid=user7","n":7,"src":"c0"}
+//	              → {"worker":2,"seq":41,"failed":false,...,"latencyUs":183}
+//	GET  /metrics → merged telemetry snapshot (fleet + every worker)
+//	GET  /patches → the shared patch pool as JSON (patch.Pool format)
+//	GET  /healthz → per-worker inbox depth / busy state, pool size
+type Server struct {
+	fleet *Fleet
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a fleet in the HTTP front-end.
+func NewServer(f *Fleet) *Server {
+	s := &Server{fleet: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /events", s.handleEvent)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /patches", s.handlePatches)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad event: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Kind == "" {
+		http.Error(w, "bad event: missing kind", http.StatusBadRequest)
+		return
+	}
+	res, err := s.fleet.Do(req)
+	if errors.Is(err, ErrClosed) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out, err := s.fleet.Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handlePatches(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.fleet.Pool().Save(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.fleet.Health())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,190 @@
+// The built-in load generator: concurrent clients firing app workloads at
+// a firstaid-serve front-end over real TCP, with a configurable trigger
+// mix. Throughput comes from the wall clock; latency percentiles come from
+// the server's own telemetry histograms (fleet.latency_us), the numbers an
+// operator would scrape from /metrics.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"firstaid/internal/app"
+	"firstaid/internal/telemetry"
+)
+
+// LoadConfig tunes the load generator.
+type LoadConfig struct {
+	// Clients is the number of concurrent clients (default 4). Each client
+	// sends its own generated workload sequentially with a sticky source
+	// id ("c0", "c1", …), so HashBySource dispatch preserves per-client
+	// event order on one worker.
+	Clients int
+	// EventsPerClient sizes each client's workload (default 500).
+	EventsPerClient int
+	// TriggerClients is how many clients (the first k) carry bug triggers.
+	TriggerClients int
+	// Triggers are the bug-trigger offsets within a triggering client's
+	// workload; client i's offsets are shifted by i*TriggerStagger.
+	Triggers []int
+	// TriggerStagger staggers the trigger mix across clients so the first
+	// diagnosis lands (and propagates through the shared pool) before the
+	// rest of the fleet reaches its own triggers.
+	TriggerStagger int
+}
+
+// LoadReport is the load generator's result.
+type LoadReport struct {
+	Requests   int           // requests sent
+	Responses  int           // well-formed results received
+	Errors     int           // transport or non-200 failures
+	Failed     int           // results with Failed (faults at the server)
+	Recovered  int           // results with Recovered
+	Skipped    int           // results with Skipped
+	Rerouted   int           // results served off their primary worker
+	Wall       time.Duration // total wall time
+	Throughput float64       // requests per second
+	P50        time.Duration // from the server's fleet.latency_us histogram
+	P99        time.Duration
+	Snapshot   telemetry.Snapshot // the server's post-run /metrics view
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d requests in %.2fs (%.0f req/s), p50 %v p99 %v; failed %d, recovered %d, skipped %d, rerouted %d, errors %d",
+		r.Requests, r.Wall.Seconds(), r.Throughput, r.P50, r.P99,
+		r.Failed, r.Recovered, r.Skipped, r.Rerouted, r.Errors)
+}
+
+// RunLoad drives cfg.Clients concurrent clients against the firstaid-serve
+// front-end at baseURL (e.g. "http://127.0.0.1:8080"). newProg is called
+// once per client to generate that client's workload.
+func RunLoad(baseURL string, newProg func() app.App, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.EventsPerClient <= 0 {
+		cfg.EventsPerClient = 500
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients,
+			MaxIdleConnsPerHost: cfg.Clients,
+		},
+	}
+
+	var sent, responses, errs, failed, recovered, skipped, rerouted atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		var triggers []int
+		if c < cfg.TriggerClients {
+			for _, t := range cfg.Triggers {
+				triggers = append(triggers, t+c*cfg.TriggerStagger)
+			}
+		}
+		prog := newProg()
+		wl := prog.Workload(cfg.EventsPerClient, triggers)
+		src := fmt.Sprintf("c%d", c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ev, ok := wl.Next()
+				if !ok {
+					return
+				}
+				sent.Add(1)
+				res, err := postEvent(client, baseURL, Request{
+					Kind: ev.Kind, Data: ev.Data, N: ev.N, Src: src,
+				})
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				responses.Add(1)
+				if res.Failed {
+					failed.Add(1)
+				}
+				if res.Recovered {
+					recovered.Add(1)
+				}
+				if res.Skipped {
+					skipped.Add(1)
+				}
+				if res.Rerouted {
+					rerouted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	rep := LoadReport{
+		Requests:  int(sent.Load()),
+		Responses: int(responses.Load()),
+		Errors:    int(errs.Load()),
+		Failed:    int(failed.Load()),
+		Recovered: int(recovered.Load()),
+		Skipped:   int(skipped.Load()),
+		Rerouted:  int(rerouted.Load()),
+		Wall:      wall,
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.Requests) / wall.Seconds()
+	}
+
+	// Latency percentiles from the server's own histograms.
+	snap, err := fetchMetrics(client, baseURL)
+	if err != nil {
+		return rep, fmt.Errorf("fetching /metrics: %w", err)
+	}
+	rep.Snapshot = snap
+	if h, ok := snap.Histograms["fleet.latency_us"]; ok {
+		rep.P50 = time.Duration(h.P50) * time.Microsecond
+		rep.P99 = time.Duration(h.P99) * time.Microsecond
+	}
+	return rep, nil
+}
+
+func postEvent(client *http.Client, baseURL string, req Request) (Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := client.Post(baseURL+"/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Result{}, fmt.Errorf("POST /events: %s: %s", resp.Status, msg)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func fetchMetrics(client *http.Client, baseURL string) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}

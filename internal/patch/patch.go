@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"firstaid/internal/allocext"
 	"firstaid/internal/callsite"
@@ -82,6 +83,13 @@ type Pool struct {
 	mu      sync.Mutex
 	patches []*Patch
 	nextID  int
+
+	// gen counts pool mutations (adds, revives, revocations, validation
+	// flags). Bindings poll it on every allocation to decide whether their
+	// resolution maps are stale, so it must be readable without taking the
+	// pool lock: with a fleet of workers sharing one pool, a locked read
+	// per malloc would serialize every machine on this mutex.
+	gen atomic.Uint64
 }
 
 // NewPool creates an empty pool for the named program.
@@ -93,6 +101,7 @@ func NewPool(program string) *Pool { return &Pool{Program: program, nextID: 1} }
 func (pl *Pool) Add(p *Patch) *Patch {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	defer pl.gen.Add(1)
 	for _, old := range pl.patches {
 		if old.Bug == p.Bug && old.Site == p.Site {
 			old.Revoked = false
@@ -115,6 +124,7 @@ func (pl *Pool) Revoke(id int) bool {
 	for _, p := range pl.patches {
 		if p.ID == id {
 			p.Revoked = true
+			pl.gen.Add(1)
 			return true
 		}
 	}
@@ -128,6 +138,7 @@ func (pl *Pool) MarkValidated(id int) bool {
 	for _, p := range pl.patches {
 		if p.ID == id {
 			p.Validated = true
+			pl.gen.Add(1)
 			return true
 		}
 	}
@@ -193,22 +204,10 @@ func (pl *Pool) ActiveSnapshot() []Patch {
 }
 
 // Generation returns a counter that changes whenever the pool's content
-// may have changed; Bound uses it to refresh resolution maps cheaply.
-func (pl *Pool) Generation() int {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	gen := 0
-	for _, p := range pl.patches {
-		gen++
-		if p.Revoked {
-			gen += 1 << 16
-		}
-		if p.Validated {
-			gen += 1 << 8
-		}
-	}
-	return gen
-}
+// may have changed; Bound polls it on every allocation to refresh its
+// resolution maps. It is a single atomic load — no lock — because in a
+// fleet every worker's allocator fast path reads it concurrently.
+func (pl *Pool) Generation() uint64 { return pl.gen.Load() }
 
 // Clone returns a deep copy of the pool — a frozen view for a forked
 // machine (parallel validation reads patch actions while the live pool may
@@ -284,7 +283,7 @@ type Bound struct {
 	pool  *Pool
 	table *callsite.Table
 
-	gen     int // pool length observed at last rebuild
+	gen     uint64 // pool generation observed at last rebuild
 	byAlloc map[callsite.ID]*Patch
 	byFree  map[callsite.ID]*Patch
 	dirty   bool
@@ -304,14 +303,18 @@ func (b *Bound) SetMetrics(reg *telemetry.Registry) {
 
 // Bind attaches the pool to a call-site table.
 func (pl *Pool) Bind(table *callsite.Table) *Bound {
-	return &Bound{pool: pl, table: table, dirty: true, gen: -1}
+	return &Bound{pool: pl, table: table, dirty: true}
 }
 
 // Invalidate forces re-resolution (after Add/Revoke).
 func (b *Bound) Invalidate() { b.dirty = true }
 
 func (b *Bound) resolve() {
-	if gen := b.pool.Generation(); !b.dirty && b.gen == gen {
+	// Read the generation BEFORE snapshotting: a mutation that lands while
+	// the maps are being rebuilt then leaves b.gen behind the pool's, and
+	// the next resolution rebuilds again instead of serving a stale view.
+	gen := b.pool.Generation()
+	if !b.dirty && b.gen == gen {
 		return
 	}
 	b.byAlloc = make(map[callsite.ID]*Patch)
@@ -325,7 +328,7 @@ func (b *Bound) resolve() {
 			b.byFree[id] = &p
 		}
 	}
-	b.gen = b.pool.Generation()
+	b.gen = gen
 	b.dirty = false
 }
 

@@ -229,3 +229,64 @@ func TestQuickPoolRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerationCountsEveryMutation(t *testing.T) {
+	pl := NewPool("apache")
+	g0 := pl.Generation()
+
+	p := pl.Add(New(mmbug.BufferOverflow, siteA))
+	g1 := pl.Generation()
+	if g1 == g0 {
+		t.Fatal("Add did not bump generation")
+	}
+	if !pl.MarkValidated(p.ID) {
+		t.Fatal("MarkValidated failed")
+	}
+	g2 := pl.Generation()
+	if g2 == g1 {
+		t.Fatal("MarkValidated did not bump generation")
+	}
+	if !pl.Revoke(p.ID) {
+		t.Fatal("Revoke failed")
+	}
+	g3 := pl.Generation()
+	if g3 == g2 {
+		t.Fatal("Revoke did not bump generation")
+	}
+	// Reviving via a duplicate Add is a mutation too.
+	pl.Add(New(mmbug.BufferOverflow, siteA))
+	if pl.Generation() == g3 {
+		t.Fatal("reviving Add did not bump generation")
+	}
+	// Misses leave the counter alone.
+	before := pl.Generation()
+	pl.Revoke(999)
+	pl.MarkValidated(999)
+	if pl.Generation() != before {
+		t.Fatal("failed Revoke/MarkValidated bumped generation")
+	}
+}
+
+func TestSecondBindingSeesLaterPatches(t *testing.T) {
+	// Two bindings of one pool model two fleet workers: a patch added
+	// after both have resolved (one worker's diagnosis) must show up at
+	// the other worker's next allocation without an explicit Invalidate.
+	pl := NewPool("apache")
+	ta, tb := callsite.NewTable(), callsite.NewTable()
+	ba, bb := pl.Bind(ta), pl.Bind(tb)
+
+	if _, ok := ba.AllocPatch(ta.Intern(siteA)); ok {
+		t.Fatal("empty pool resolved a patch")
+	}
+	if _, ok := bb.AllocPatch(tb.Intern(siteA)); ok {
+		t.Fatal("empty pool resolved a patch")
+	}
+
+	pl.Add(New(mmbug.BufferOverflow, siteA))
+	if act, ok := ba.AllocPatch(ta.Intern(siteA)); !ok || !act.Pad {
+		t.Fatalf("binding A missed the new patch: %+v %v", act, ok)
+	}
+	if act, ok := bb.AllocPatch(tb.Intern(siteA)); !ok || !act.Pad {
+		t.Fatalf("binding B missed the new patch: %+v %v", act, ok)
+	}
+}

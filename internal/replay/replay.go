@@ -43,6 +43,16 @@ func (l *Log) Append(kind, data string, n int) int {
 	return seq
 }
 
+// AppendEvent records ev at the tail, reassigning its sequence number to
+// the tail position — the recorder primitive of streaming supervision:
+// events arriving from a live source are stamped into the rolling log
+// before execution, so every live run is replayable offline.
+func (l *Log) AppendEvent(ev Event) int {
+	ev.Seq = len(l.events)
+	l.events = append(l.events, ev)
+	return ev.Seq
+}
+
 // Next returns the event under the cursor and advances. ok is false when
 // the log is exhausted.
 func (l *Log) Next() (ev Event, ok bool) {

@@ -320,6 +320,26 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// MergedSnapshot folds several registries into one snapshot: counters and
+// histograms add, gauges are dropped (instantaneous levels owned by their
+// machine), and the journals' spans concatenate in registry order. Nil
+// registries are skipped. This is the fleet-level view: one registry per
+// worker plus the fleet's own, rendered as a single set of instruments.
+func MergedSnapshot(regs ...*Registry) Snapshot {
+	m := NewRegistry()
+	var spans []SpanSnapshot
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		m.Merge(r)
+		spans = append(spans, r.journal.Snapshot()...)
+	}
+	snap := m.Snapshot()
+	snap.Spans = spans
+	return snap
+}
+
 // Snapshot is the JSON view of a registry: every instrument by name, plus
 // the recovery spans recorded so far.
 type Snapshot struct {

@@ -238,3 +238,44 @@ func TestBucketLabel(t *testing.T) {
 		t.Fatal(bucketLabel(4))
 	}
 }
+
+func TestMergedSnapshotAcrossRegistries(t *testing.T) {
+	// Three registries model a fleet: the fleet-level registry plus one
+	// per worker. MergedSnapshot must sum counters and histograms, carry
+	// every journal's spans, skip nils, and leave the inputs untouched.
+	front := NewRegistry()
+	front.Counter("fleet.submitted").Add(10)
+	front.Journal().Begin("recovery", 3).End("recovered")
+
+	w0 := NewRegistry()
+	w0.Counter("heap.mallocs").Add(100)
+	w0.Histogram("ckpt.dirty").Observe(8)
+
+	w1 := NewRegistry()
+	w1.Counter("heap.mallocs").Add(50)
+	w1.Histogram("ckpt.dirty").Observe(24)
+	w1.Gauge("queue").Set(5)
+
+	snap := MergedSnapshot(front, nil, w0, w1)
+	if got := snap.Counters["fleet.submitted"]; got != 10 {
+		t.Fatalf("fleet counter = %d, want 10", got)
+	}
+	if got := snap.Counters["heap.mallocs"]; got != 150 {
+		t.Fatalf("summed counter = %d, want 150", got)
+	}
+	h, ok := snap.Histograms["ckpt.dirty"]
+	if !ok || h.Count != 2 || h.Sum != 32 || h.Max != 24 {
+		t.Fatalf("merged histogram = %+v (ok=%v)", h, ok)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Kind != "recovery" {
+		t.Fatalf("spans = %+v, want the one recovery span", snap.Spans)
+	}
+	// Gauges are instantaneous levels of one registry — dropped.
+	if _, ok := snap.Gauges["queue"]; ok {
+		t.Fatal("gauge leaked into merged snapshot")
+	}
+	// Merging reads, never writes.
+	if w0.Counter("heap.mallocs").Value() != 100 {
+		t.Fatal("MergedSnapshot mutated a source registry")
+	}
+}
