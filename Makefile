@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
 # check is the tier-1 gate: build, vet, the full test suite, and the test
 # suite again under the race detector (the supervisor's parallel validation
@@ -22,3 +22,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke is the CI step: every benchmark (including the telemetry and
+# trace overhead guards) runs once, repo-wide, so a perf regression or a
+# bit-rotted benchmark fails the build without paying for full -benchtime.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -20,6 +20,7 @@ import (
 	"firstaid/internal/core"
 	"firstaid/internal/experiments"
 	"firstaid/internal/fleet"
+	"firstaid/internal/trace"
 	"firstaid/internal/workloads"
 )
 
@@ -257,6 +258,95 @@ func BenchmarkTelemetryOverheadGuard(b *testing.B) {
 	b.ReportMetric(overhead, "overhead-%")
 	if overhead >= budget {
 		b.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget", overhead, budget)
+	}
+}
+
+// benchNilEmitter lives at package level so the compiler cannot prove its
+// tracer is nil and eliminate the Emit calls the guard below is timing.
+var benchNilEmitter trace.Emitter
+
+// BenchmarkTraceOverheadGuard is the regression guard for the execution
+// tracer's two design budgets on the hot allocation path:
+//
+//   - the off switch must be free: the zero Emitter's per-record cost,
+//     multiplied by the records a traced event actually produces, must stay
+//     under 1% of an untraced event's cost;
+//   - an enabled ring must cost < 10% end to end (one atomic add, one
+//     uncontended shard mutex and a 48-byte store per record).
+//
+// Like the telemetry guard, it times fixed-size supervised runs directly
+// (testing.Benchmark cannot nest), interleaves off/on rounds and takes the
+// best of each to shed scheduler noise, and re-measures once before
+// failing.
+func BenchmarkTraceOverheadGuard(b *testing.B) {
+	const (
+		nilBudget = 1.0  // percent, the disabled (zero-Emitter) path
+		onBudget  = 10.0 // percent, the enabled ring
+		events    = 4000
+		rounds    = 5
+	)
+
+	run := func(trc *firstaid.Tracer) time.Duration {
+		a, _ := apps.New("squid")
+		log := a.Workload(events, nil)
+		cfg := firstaid.Config{}
+		cfg.Machine.Trace = trc
+		sup := firstaid.New(a, log, cfg)
+		t0 := time.Now()
+		sup.Run()
+		return time.Since(t0)
+	}
+
+	measure := func() (nilPct, onPct float64) {
+		best := func(d, prev time.Duration) time.Duration {
+			if prev == 0 || d < prev {
+				return d
+			}
+			return prev
+		}
+		var off, on time.Duration
+		run(nil)                            // warmup
+		run(firstaid.NewTracer(1 << 20))    // warmup
+		var recorded uint64
+		for r := 0; r < rounds; r++ { // interleaved: drift hits both sides
+			off = best(run(nil), off)
+			trc := firstaid.NewTracer(1 << 20)
+			on = best(run(trc), on)
+			recorded = trc.Emitted()
+		}
+		onPct = 100 * (float64(on)/float64(off) - 1)
+
+		// The zero-Emitter cost cannot be read off two whole runs — it is
+		// nanoseconds against run-to-run noise — so time it directly and
+		// scale by the records an event of this workload produces.
+		const emits = 1 << 24
+		t0 := time.Now()
+		for i := 0; i < emits; i++ {
+			benchNilEmitter.Emit(trace.KMalloc, uint64(i), 8)
+		}
+		nsPerEmit := float64(time.Since(t0)) / emits
+		recsPerEvent := float64(recorded) / events
+		nsPerEvent := float64(off) / events
+		nilPct = 100 * nsPerEmit * recsPerEvent / nsPerEvent
+		return nilPct, onPct
+	}
+
+	var nilPct, onPct float64
+	for i := 0; i < b.N; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			nilPct, onPct = measure()
+			if nilPct < nilBudget && onPct < onBudget {
+				break
+			}
+		}
+	}
+	b.ReportMetric(nilPct, "nil-overhead-%")
+	b.ReportMetric(onPct, "on-overhead-%")
+	if nilPct >= nilBudget {
+		b.Fatalf("disabled tracer costs %.3f%% of the hot path, budget %.0f%%", nilPct, nilBudget)
+	}
+	if onPct >= onBudget {
+		b.Fatalf("enabled tracer overhead %.2f%% exceeds the %.0f%% budget", onPct, onBudget)
 	}
 }
 

@@ -33,6 +33,8 @@ func main() {
 		system    = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
 		parallel  = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
 		metrics   = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
+		tracePath = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
+		traceCap  = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,10 @@ func main() {
 	if *metrics {
 		reg = firstaid.NewMetrics()
 	}
+	var trc *firstaid.Tracer
+	if *tracePath != "" {
+		trc = firstaid.NewTracer(*traceCap)
+	}
 	dumpMetrics := func() {
 		if reg == nil {
 			return
@@ -79,22 +85,35 @@ func main() {
 		}
 		fmt.Printf("\ntelemetry snapshot:\n%s\n", out)
 	}
+	dumpTrace := func() {
+		if trc == nil {
+			return
+		}
+		if err := firstaid.SaveTrace(*tracePath, trc); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nexecution trace: %d record(s) written to %s (%d dropped by ring wrap)\n",
+			len(trc.Snapshot()), *tracePath, trc.Dropped())
+	}
 
 	switch *system {
 	case "rx":
-		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{Metrics: reg})
+		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{Metrics: reg, Trace: trc})
 		st := rx.Run()
 		fmt.Printf("%s under Rx: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, recoveries: %d, skipped: %d (Rx cannot prevent recurrences)\n",
 			st.Failures, st.Recoveries, st.Skipped)
 		dumpMetrics()
+		dumpTrace()
 		return
 	case "restart":
-		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{Metrics: reg})
+		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{Metrics: reg, Trace: trc})
 		st := rs.Run()
 		fmt.Printf("%s under restart: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, restarts: %d (state lost each time)\n", st.Failures, st.Restarts)
 		dumpMetrics()
+		dumpTrace()
 		return
 	case "first-aid":
 		// fall through
@@ -105,6 +124,7 @@ func main() {
 
 	cfg := firstaid.Config{ParallelValidation: *parallel}
 	cfg.Machine.Metrics = reg
+	cfg.Machine.Trace = trc
 	if *poolPath != "" {
 		switch pool, err := firstaid.LoadPool(*poolPath); {
 		case err == nil:
@@ -168,4 +188,5 @@ func main() {
 		}
 		fmt.Printf("\ntelemetry snapshot:\n%s\n", out)
 	}
+	dumpTrace()
 }

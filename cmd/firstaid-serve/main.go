@@ -13,10 +13,13 @@
 //
 // Endpoints:
 //
-//	POST /events   {"kind":"search","data":"uid=user7","src":"c0"}
-//	GET  /metrics  merged telemetry (fleet + every worker)
-//	GET  /patches  the shared patch pool as JSON
-//	GET  /healthz  per-worker inbox depth and busy state
+//	POST /events        {"kind":"search","data":"uid=user7","src":"c0"}
+//	GET  /metrics       merged telemetry (fleet + every worker); ?format=prom
+//	                    for the Prometheus text exposition
+//	GET  /trace         execution-trace ring; ?format=chrome or ?format=text
+//	GET  /trace/stream  live SSE tail of trace records
+//	GET  /patches       the shared patch pool as JSON
+//	GET  /healthz       per-worker inbox depth and busy state
 //
 // With -load the binary starts its own fleet, drives the built-in
 // concurrent load generator against it over a real TCP socket, prints
@@ -52,6 +55,8 @@ func main() {
 		dispatch = flag.String("dispatch", "hash", "request dispatch: hash (sticky by source) or roundrobin")
 		poolPath = flag.String("pool", "", "patch-pool file to load at start and save at exit")
 		parallel = flag.Bool("parallel-validation", false, "validate patches on cloned machines in parallel")
+		traceCap = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+		journal  = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
 
 		load           = flag.Bool("load", false, "run the built-in load generator against this fleet, print the report, and exit")
 		clients        = flag.Int("clients", 4, "load: concurrent clients")
@@ -75,9 +80,11 @@ func main() {
 	}
 
 	cfg := fleet.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Supervisor: core.Config{ParallelValidation: *parallel},
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Supervisor:    core.Config{ParallelValidation: *parallel},
+		TraceCapacity: *traceCap,
+		JournalSpans:  *journal,
 	}
 	switch *dispatch {
 	case "hash":

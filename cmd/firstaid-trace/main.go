@@ -1,0 +1,114 @@
+// Command firstaid-trace inspects execution traces written by
+// firstaid-run -trace (or any trace.WriteFile caller).
+//
+// Usage:
+//
+//	firstaid-trace dump run.trace              # text timeline to stdout
+//	firstaid-trace convert run.trace run.json  # Chrome trace-event JSON
+//	firstaid-trace summarize run.trace         # per-phase + call-site summary
+//	firstaid-trace summarize -top 20 run.trace
+//
+// convert writes chrome://tracing / Perfetto-loadable JSON; with no output
+// path it writes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firstaid/internal/trace"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := args[0], args[1:]
+
+	var err error
+	switch cmd {
+	case "dump":
+		err = runDump(args)
+	case "convert":
+		err = runConvert(args)
+	case "summarize":
+		err = runSummarize(args)
+	default:
+		fmt.Fprintf(os.Stderr, "firstaid-trace: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firstaid-trace %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  firstaid-trace dump <file>                text timeline to stdout
+  firstaid-trace convert <file> [out.json]  Chrome trace-event JSON (stdout if no out)
+  firstaid-trace summarize [-top N] <file>  per-phase breakdown and top call-sites
+`)
+}
+
+func runDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	fs.Parse(args)
+	recs, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	return trace.WriteText(os.Stdout, recs)
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fs.Parse(args)
+	recs, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(fs.Args()) >= 2 {
+		out, err := os.Create(fs.Args()[1])
+		if err != nil {
+			return err
+		}
+		if err := trace.ChromeTrace(out, recs); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%d record(s) converted to %s (load in chrome://tracing or Perfetto)\n",
+			len(recs), fs.Args()[1])
+		return nil
+	}
+	return trace.ChromeTrace(os.Stdout, recs)
+}
+
+func runSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	topN := fs.Int("top", 10, "call-sites to list, by allocation volume")
+	fs.Parse(args)
+	recs, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d record(s)\n\n", len(recs))
+	return trace.Summarize(recs).Format(os.Stdout, *topN)
+}
+
+// load reads the trace file named by the first positional argument.
+func load(args []string) ([]trace.Record, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("missing trace file argument")
+	}
+	return trace.ReadFile(args[0])
+}

@@ -46,6 +46,7 @@ import (
 	"firstaid/internal/replay"
 	"firstaid/internal/report"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
 
@@ -101,6 +102,34 @@ type (
 	// MetricsSnapshot is the JSON view of a registry.
 	MetricsSnapshot = telemetry.Snapshot
 )
+
+// Execution-trace types. A Tracer wired into MachineConfig.Trace records
+// every allocation, page fault, checkpoint, rollback and pipeline phase as
+// a cycle-stamped record in a bounded ring; see internal/trace for the
+// exporters (Chrome trace-event JSON, text timeline, summarizer) and
+// cmd/firstaid-trace for the file tooling.
+type (
+	// Tracer is the execution-trace ring (see internal/trace).
+	Tracer = trace.Tracer
+	// TraceRecord is one fixed-size execution-trace record.
+	TraceRecord = trace.Record
+)
+
+// NewTracer creates an execution tracer retaining about capacity records
+// (<= 0 selects the default, 64Ki). Assign it to Config.Machine.Trace
+// before New; dump it afterwards:
+//
+//	trc := firstaid.NewTracer(0)
+//	cfg := firstaid.Config{}
+//	cfg.Machine.Trace = trc
+//	sup := firstaid.New(prog, log, cfg)
+//	sup.Run()
+//	firstaid.SaveTrace("run.trace", trc)
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// SaveTrace writes the tracer's retained records to path in the binary
+// trace format read by firstaid-trace.
+func SaveTrace(path string, t *Tracer) error { return trace.WriteFile(path, t.Snapshot()) }
 
 // NewMetrics creates a telemetry registry. Assign it to
 // Config.Machine.Metrics before New to instrument a supervised run:

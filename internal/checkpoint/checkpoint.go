@@ -21,6 +21,7 @@ import (
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
 
@@ -139,6 +140,7 @@ type Manager struct {
 
 	stats Stats
 	met   metrics
+	trc   trace.Emitter
 }
 
 // metrics holds the manager's pre-resolved telemetry instruments; the zero
@@ -172,6 +174,12 @@ func (m *Manager) SetMetrics(reg *telemetry.Registry) {
 	}
 	m.met.interval.Set(int64(m.interval))
 }
+
+// SetTracer wires the manager to an execution-trace emitter (the zero
+// Emitter detaches). Each Take and Rollback becomes a trace record
+// carrying the checkpoint sequence number and, for Take, the dirty-page
+// cost of the preceding interval.
+func (m *Manager) SetTracer(em trace.Emitter) { m.trc = em }
 
 // NewManager wires a manager to the machine's components.
 func NewManager(cfg Config, mem *vmem.Space, h *heap.Heap, p *proc.Proc, ext *allocext.Ext, log *replay.Log) *Manager {
@@ -243,6 +251,7 @@ func (m *Manager) Take() *Checkpoint {
 	m.met.taken.Inc()
 	m.met.dirtyPages.Add(dirty)
 	m.met.dirtyPerCkpt.Observe(dirty)
+	m.trc.Emit(trace.KCkptTake, uint64(cp.Seq), dirty)
 
 	interval := m.p.Clock() - m.lastClock
 	m.lastClock = m.p.Clock()
@@ -282,6 +291,7 @@ func (m *Manager) adapt(dirty, interval uint64) {
 // same checkpoint many times).
 func (m *Manager) Rollback(cp *Checkpoint) {
 	m.met.rollbacks.Inc()
+	m.trc.Emit(trace.KRollback, uint64(cp.Seq), uint64(cp.Cursor))
 	m.mem.Restore(cp.mem)
 	m.h.SetState(cp.heapSt)
 	m.p.SetState(cp.procSt)

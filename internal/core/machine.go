@@ -5,6 +5,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"firstaid/internal/allocext"
 	"firstaid/internal/app"
 	"firstaid/internal/callsite"
@@ -15,6 +17,7 @@ import (
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
 
@@ -52,6 +55,13 @@ type Machine struct {
 	// the x-axis of the Figure-4 throughput plots.
 	simNow    uint64
 	lastClock uint64
+
+	// trc is the machine's execution-trace emitter (zero when tracing is
+	// off); every component is wired to it with TraceClock as the cycle
+	// stamp. cloneSeq numbers validation clones so each gets a distinct
+	// derived trace track.
+	trc      trace.Emitter
+	cloneSeq atomic.Uint64
 }
 
 // MachineConfig tunes a machine.
@@ -72,6 +82,15 @@ type MachineConfig struct {
 	// manager, monitor, patch binding) to the registry. Nil keeps
 	// telemetry off at zero cost.
 	Metrics *telemetry.Registry
+	// Trace, when set, wires every machine component to the execution
+	// tracer: allocations, page faults, COW copies, checkpoints,
+	// rollbacks and traps become cycle-stamped ring records. Nil keeps
+	// tracing off at zero cost. (Distinct from the supervisor Config's
+	// Trace callback, which observes replayed events for experiments.)
+	Trace *trace.Tracer
+	// TraceWorker is the trace track records are attributed to — the
+	// fleet worker index, 0 for a standalone machine.
+	TraceWorker int
 }
 
 // NewMachine builds a machine for prog over the input log, runs the
@@ -108,6 +127,7 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 	}
 	m.Ckpt = checkpoint.NewManager(cfg.Checkpoint, mem, h, p, ext, log)
 	m.wireMetrics()
+	m.wireTrace()
 	if f := proc.Catch(func() { prog.Init(p) }); f != nil {
 		panic("core: program Init faulted: " + f.Error())
 	}
@@ -121,6 +141,33 @@ func (m *Machine) wireMetrics() {
 	m.Heap.SetMetrics(m.Tel)
 	m.Ckpt.SetMetrics(m.Tel)
 	m.Mon.SetMetrics(m.Tel)
+}
+
+// wireTrace attaches every component to the configured tracer. With a nil
+// tracer the emitter is the zero value and every Emit is a nil check.
+func (m *Machine) wireTrace() {
+	m.trc = m.cfg.Trace.Emitter(m.cfg.TraceWorker, m.TraceClock)
+	m.Mem.SetTracer(m.trc)
+	m.Heap.SetTracer(m.trc)
+	m.Proc.SetTracer(m.trc)
+	m.Ckpt.SetTracer(m.trc)
+	m.Mon.SetTracer(m.trc)
+}
+
+// TraceEmitter returns the machine's trace emitter (the zero Emitter when
+// tracing is off). The supervisor stamps its recovery-phase records
+// through this so they land on the machine's track with its clock.
+func (m *Machine) TraceEmitter() trace.Emitter { return m.trc }
+
+// TraceClock is the cycle stamp of the machine's trace records: the
+// monotonic timeline plus process-clock progress not yet folded in by
+// SyncClock. Unlike the raw process clock it never goes backward across a
+// rollback, which keeps per-track trace timelines ordered.
+func (m *Machine) TraceClock() uint64 {
+	if c := m.Proc.Clock(); c > m.lastClock {
+		return m.simNow + (c - m.lastClock)
+	}
+	return m.simNow
 }
 
 // Clone returns a fully independent copy of the machine in its current
@@ -168,6 +215,10 @@ func (m *Machine) Clone() *Machine {
 	}
 	clone.Ckpt = checkpoint.NewManager(checkpoint.Config{}, mem, h, p, ext, log)
 	clone.wireMetrics()
+	// A clone emits on a derived validation track so its records never
+	// interleave with the parent's in per-track timeline views.
+	clone.cfg.TraceWorker = trace.ValidationTrack(m.cfg.TraceWorker, m.cloneSeq.Add(1)-1)
+	clone.wireTrace()
 	clone.lastClock = p.Clock()
 	return clone
 }

@@ -13,6 +13,7 @@ import (
 	"firstaid/internal/replay"
 	"firstaid/internal/report"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 	"firstaid/internal/validate"
 )
 
@@ -136,6 +137,13 @@ func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
 	}
 	m.SetPatches(s.Bound)
 	s.Bound.SetMetrics(m.Tel)
+	if cfg.Pool == nil {
+		// A locally-created pool belongs to this supervisor alone: route
+		// its mutation records onto this machine's track. A shared pool is
+		// wired by its owner (the fleet) instead, so one worker's emitter
+		// does not claim mutations made by its siblings.
+		pool.SetTracer(m.TraceEmitter())
+	}
 	// With a nil registry every instrument resolves to nil and stays a
 	// no-op; recover() and Run() carry no telemetry conditionals.
 	s.met = supMetrics{
@@ -254,6 +262,7 @@ func (s *Supervisor) resolve(seq int) IngestResult {
 	failures0 := s.failures
 	recov0 := len(s.Recoveries)
 	sim0 := s.M.SimNow()
+	s.M.TraceEmitter().Emit(trace.KEventBegin, uint64(seq), 0)
 	s.drain()
 	res := IngestResult{
 		Seq:       seq,
@@ -268,6 +277,14 @@ func (s *Supervisor) resolve(seq int) IngestResult {
 			res.Recovered = true
 		}
 	}
+	outcome := uint64(trace.OutcomeOK)
+	switch {
+	case res.Skipped:
+		outcome = trace.OutcomeSkipped
+	case res.Recovered:
+		outcome = trace.OutcomeRecovered
+	}
+	s.M.TraceEmitter().Emit(trace.KEventEnd, uint64(seq), outcome)
 	return res
 }
 
@@ -319,12 +336,16 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	// One telemetry span per pipeline episode: the diagnosis engine adds
 	// the phase-1/phase-2 phases, this function the patch-gen, rollback
 	// and validation phases plus the terminal outcome. On a nil registry
-	// the span is nil and every call is a no-op.
+	// the span is nil and every call is a no-op. The execution trace gets
+	// the same structure as nested phase records on the machine's track.
 	span := s.M.Tel.Journal().Begin("recovery", f.Event)
+	trc := s.M.TraceEmitter()
+	trc.Emit(trace.KPhaseBegin, trace.PhaseRecovery, uint64(f.Event))
 
 	dcfg := s.cfg.Diagnosis
 	dcfg.Metrics = s.M.Tel
 	dcfg.Span = span
+	dcfg.Trace = trc
 	eng := diagnosis.New(s.M, dcfg)
 	res := eng.Diagnose(until)
 	rec := &Recovery{Fault: f, Result: res}
@@ -338,6 +359,7 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.met.nondet.Inc()
 		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
 		span.End("nondeterministic")
+		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 		return
 	}
 
@@ -349,11 +371,13 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.met.skipped.Inc()
 		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
 		span.End("skipped")
+		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 		return
 	}
 
 	// Patch generation and application.
 	endGen := span.Phase("patch-gen")
+	trc.Emit(trace.KPhaseBegin, trace.PhasePatchGen, uint64(f.Event))
 	for _, fd := range res.Findings {
 		for _, site := range fd.Sites {
 			np := patch.New(fd.Bug, s.M.SiteKey(site))
@@ -364,13 +388,16 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	s.Bound.Invalidate()
 	s.met.patchesMade.Add(uint64(len(rec.Patches)))
 	endGen("", len(rec.Patches))
+	trc.Emit(trace.KPhaseEnd, trace.PhasePatchGen, uint64(len(rec.Patches)))
 
 	// Recovery: roll back to the chosen checkpoint; the main loop
 	// re-executes from there in normal mode with the patches active.
 	endRb := span.Phase("rollback")
+	trc.Emit(trace.KPhaseBegin, trace.PhaseRollback, uint64(res.Checkpoint.Seq))
 	s.M.Rollback(res.Checkpoint)
 	s.M.Ckpt.DropAfter(res.Checkpoint)
 	endRb("", 1)
+	trc.Emit(trace.KPhaseEnd, trace.PhaseRollback, 1)
 
 	rec.RecoveryWall = time.Since(t0)
 	s.met.recoveries.Inc()
@@ -384,6 +411,7 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	case s.cfg.DisableValidation:
 		rec.Report = s.buildReport(rec, f, res)
 		span.End("recovered")
+		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 	case s.cfg.ParallelValidation:
 		clone := s.M.Clone()
 		frozen := s.Pool.Clone().Bind(clone.Proc.Sites)
@@ -398,25 +426,35 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		}
 		s.pending = append(s.pending, pv)
 		s.met.queueDepth.Set(int64(len(s.pending)))
+		// The main loop resumes now; the validation runs concurrently and
+		// traces on the clone's derived track, so its B/E pair nests
+		// cleanly even while the parent track keeps executing.
+		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 		go func() {
+			ctrc := clone.TraceEmitter()
+			ctrc.Emit(trace.KPhaseBegin, trace.PhaseValidation, uint64(f.Event))
 			tv := time.Now()
 			v := validate.New(clone, s.cfg.Validation).Validate(cpClone, until)
 			rec.ValidationResult = &v
 			rec.ValidationWall = time.Since(tv)
+			ctrc.Emit(trace.KPhaseEnd, trace.PhaseValidation, uint64(len(v.Traces)))
 			close(pv.done)
 		}()
 		// The report — and the span — are completed when the validation
 		// is collected on the main goroutine.
 	default:
 		tv := time.Now()
+		trc.Emit(trace.KPhaseBegin, trace.PhaseValidation, uint64(f.Event))
 		v := validate.New(s.M, s.cfg.Validation).Validate(res.Checkpoint, until)
 		rec.ValidationWall = time.Since(tv)
 		rec.ValidationResult = &v
+		trc.Emit(trace.KPhaseEnd, trace.PhaseValidation, uint64(len(v.Traces)))
 		s.applyValidation(rec)
 		// Return to the recovery point for resumption.
 		s.M.Rollback(res.Checkpoint)
 		rec.Report = s.buildReport(rec, f, res)
 		s.finishSpan(span, rec)
+		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 	}
 }
 

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"firstaid/internal/apps"
+	"firstaid/internal/trace"
+)
+
+// TestTraceCoversRecoveryPipeline runs a supervised workload with a bug
+// trigger and checks the execution trace tells the whole story: allocation
+// records with call-sites, checkpoint/rollback records, a trap, and a
+// balanced begin/end pair for every pipeline phase — under both inline and
+// parallel validation (where the validation phase lands on the clone's
+// derived track).
+func TestTraceCoversRecoveryPipeline(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		mode := "sync"
+		if parallel {
+			mode = "parallel"
+		}
+		t.Run(mode, func(t *testing.T) {
+			trc := trace.New(1 << 18)
+			cfg := Config{ParallelValidation: parallel}
+			cfg.Machine.Trace = trc
+			a, _ := apps.New("apache")
+			log := a.Workload(600, []int{230})
+			sup := NewSupervisor(a, log, cfg)
+			stats := sup.Run()
+			if stats.Failures == 0 {
+				t.Fatal("run produced no failures — the trace proves nothing")
+			}
+
+			recs := trc.Snapshot()
+			if trc.Dropped() > 0 {
+				t.Fatalf("ring wrapped (%d dropped); grow the test capacity", trc.Dropped())
+			}
+			kinds := map[trace.Kind]int{}
+			begins := map[uint64]int{}
+			ends := map[uint64]int{}
+			validationTracks := map[uint16]bool{}
+			var lastCycles uint64
+			for _, r := range recs {
+				kinds[r.Kind]++
+				switch r.Kind {
+				case trace.KPhaseBegin:
+					begins[r.Arg1]++
+				case trace.KPhaseEnd:
+					ends[r.Arg1]++
+				}
+				if r.Arg1 == trace.PhaseValidation &&
+					(r.Kind == trace.KPhaseBegin || r.Kind == trace.KPhaseEnd) {
+					validationTracks[r.Worker] = true
+				}
+				// The cycle stamp is monotonic across rollbacks (single
+				// machine, single track here — the validation clone has its
+				// own clock, so restrict to the machine track).
+				if r.Worker == 0 {
+					if r.Cycles < lastCycles {
+						t.Fatalf("cycle stamp rewound: %d after %d (seq %d)", r.Cycles, lastCycles, r.Seq)
+					}
+					lastCycles = r.Cycles
+				}
+			}
+
+			for _, k := range []trace.Kind{
+				trace.KMalloc, trace.KFree, trace.KSnapshot, trace.KCkptTake,
+				trace.KRollback, trace.KRestore, trace.KTrap, trace.KPatchAdd,
+			} {
+				if kinds[k] == 0 {
+					t.Errorf("no %v records in a recovered run", k)
+				}
+			}
+			for _, ph := range []uint64{
+				trace.PhaseRecovery, trace.PhaseDiag1, trace.PhaseDiag2,
+				trace.PhasePatchGen, trace.PhaseRollback, trace.PhaseValidation,
+			} {
+				if begins[ph] == 0 {
+					t.Errorf("phase %s never began", trace.PhaseName(ph))
+				}
+				if begins[ph] != ends[ph] {
+					t.Errorf("phase %s: %d begins, %d ends", trace.PhaseName(ph), begins[ph], ends[ph])
+				}
+			}
+			if parallel {
+				for w := range validationTracks {
+					if w&trace.ValidationTrackBit == 0 {
+						t.Errorf("parallel validation phase on non-clone track %s", trace.TrackName(w))
+					}
+				}
+			} else {
+				if !validationTracks[0] {
+					t.Error("inline validation phase not on the machine track")
+				}
+			}
+
+			// The whole trace must export as valid Chrome trace-event JSON.
+			var buf bytes.Buffer
+			if err := trace.ChromeTrace(&buf, recs); err != nil {
+				t.Fatalf("ChromeTrace: %v", err)
+			}
+			if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+				t.Fatalf("recovered-run trace fails chrome validation: %v", err)
+			}
+
+			// And summarize must attribute cycles to the phases it found.
+			s := trace.Summarize(recs)
+			var sawRecovery bool
+			for _, p := range s.Phases {
+				if p.ID == trace.PhaseRecovery {
+					sawRecovery = true
+					if p.Count == 0 || p.Cycles == 0 {
+						t.Errorf("recovery phase has no attributed time: %+v", p)
+					}
+				}
+			}
+			if !sawRecovery {
+				t.Error("summary lost the recovery phase")
+			}
+		})
+	}
+}

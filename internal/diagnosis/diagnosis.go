@@ -28,6 +28,7 @@ import (
 	"firstaid/internal/mmbug"
 	"firstaid/internal/proc"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 )
 
 // Outcome is the observable result of one diagnostic re-execution.
@@ -83,6 +84,9 @@ type Config struct {
 	// Span, when set, receives one timed phase per diagnosis phase run,
 	// with the phase's rollback count and outcome.
 	Span *telemetry.Span
+	// Trace, when set, records phase begin/end markers in the execution
+	// trace; the end record carries the phase's rollback count.
+	Trace trace.Emitter
 }
 
 func (c *Config) fillDefaults() {
@@ -185,6 +189,7 @@ func (e *Engine) Diagnose(until int) Result {
 
 	e.curPhase = e.metPhase1
 	endPhase1 := e.cfg.Span.Phase("phase1")
+	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag1, uint64(until))
 	cp, res := e.phase1(until)
 	if res != nil {
 		outcome := "unpatchable"
@@ -192,15 +197,18 @@ func (e *Engine) Diagnose(until int) Result {
 			outcome = "nondeterministic"
 		}
 		endPhase1(outcome, e.rollbacks)
+		e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag1, uint64(e.rollbacks))
 		res.Rollbacks = e.rollbacks
 		res.Log = e.log
 		return *res
 	}
 	endPhase1("checkpoint found", e.rollbacks)
+	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag1, uint64(e.rollbacks))
 	phase1Rollbacks := e.rollbacks
 
 	e.curPhase = e.metPhase2
 	endPhase2 := e.cfg.Span.Phase("phase2")
+	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag2, uint64(until))
 	findings, ok := e.phase2(cp, until)
 	result := Result{Checkpoint: cp, Findings: findings, Rollbacks: e.rollbacks}
 	if !ok {
@@ -210,6 +218,7 @@ func (e *Engine) Diagnose(until int) Result {
 	} else {
 		endPhase2("identified", e.rollbacks-phase1Rollbacks)
 	}
+	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag2, uint64(e.rollbacks-phase1Rollbacks))
 	result.Log = e.log
 	return result
 }

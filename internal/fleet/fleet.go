@@ -32,6 +32,7 @@ import (
 	"firstaid/internal/patch"
 	"firstaid/internal/replay"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 )
 
 // Dispatch selects how requests map to workers.
@@ -69,6 +70,18 @@ type Config struct {
 	// histograms). A fresh registry is created when nil: fleet telemetry
 	// is always on — it is the service's /metrics surface.
 	Metrics *telemetry.Registry
+	// Trace is the fleet's execution tracer. A fresh ring (TraceCapacity
+	// records) is created when nil: like fleet metrics, the trace is
+	// always on — it is the service's /trace surface. Every worker
+	// machine emits onto it (worker index = trace track) and the
+	// front-end records dispatch decisions on the fleet track.
+	Trace *trace.Tracer
+	// TraceCapacity sizes the ring when Trace is nil (default
+	// trace.DefaultCapacity).
+	TraceCapacity int
+	// JournalSpans caps each worker's telemetry journal (recovery spans
+	// retained); 0 keeps the journal default.
+	JournalSpans int
 }
 
 // Request is one unit of live traffic: a replay event plus the dispatch
@@ -115,6 +128,8 @@ type Fleet struct {
 	workers []*worker
 	reg     *telemetry.Registry
 	met     fleetMetrics
+	trc     *trace.Tracer
+	em      trace.Emitter // front-end emitter on the fleet track
 
 	rr atomic.Uint64
 
@@ -170,7 +185,11 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
-	f := &Fleet{cfg: cfg, pool: cfg.Pool, reg: cfg.Metrics}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.New(cfg.TraceCapacity)
+	}
+	f := &Fleet{cfg: cfg, pool: cfg.Pool, reg: cfg.Metrics, trc: cfg.Trace}
+	f.em = f.trc.Emitter(trace.FleetTrack, nil)
 	f.met = fleetMetrics{
 		submitted:  f.reg.Counter("fleet.submitted"),
 		completed:  f.reg.Counter("fleet.completed"),
@@ -190,7 +209,12 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 		scfg := cfg.Supervisor
 		scfg.Pool = f.pool
 		wreg := telemetry.NewRegistry()
+		if cfg.JournalSpans > 0 {
+			wreg.Journal().SetCap(cfg.JournalSpans)
+		}
 		scfg.Machine.Metrics = wreg
+		scfg.Machine.Trace = f.trc
+		scfg.Machine.TraceWorker = i
 		w := &worker{
 			id:    i,
 			inbox: make(chan *request, cfg.QueueDepth),
@@ -199,6 +223,9 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 		w.sup = core.NewSupervisor(prog, replay.NewLog(), scfg)
 		f.workers = append(f.workers, w)
 	}
+	// The shared pool's mutation records go on the fleet track: any worker
+	// may add or revoke, so no single worker's emitter can claim them.
+	f.pool.SetTracer(f.em)
 	for _, w := range f.workers {
 		f.wg.Add(1)
 		go w.loop(f)
@@ -277,11 +304,13 @@ func (f *Fleet) dispatch(rq *request) {
 		w := f.workers[f.workerFor(rq.req)]
 		select {
 		case w.inbox <- rq:
+			f.em.Emit(trace.KDispatch, uint64(w.id), uint64(len(w.inbox)))
 		default:
 			// Sticky traffic queues on its worker — re-routing would
 			// split one source's recorded stream across machines.
 			f.met.blocked.Inc()
 			w.inbox <- rq
+			f.em.Emit(trace.KDispatch, uint64(w.id), uint64(len(w.inbox)))
 		}
 	default: // RoundRobin
 		start := int(f.rr.Add(1)-1) % n
@@ -296,6 +325,7 @@ func (f *Fleet) dispatch(rq *request) {
 				if i > 0 {
 					f.met.rerouted.Inc()
 				}
+				f.em.Emit(trace.KDispatch, uint64(w.id), uint64(len(w.inbox)))
 				return
 			default:
 			}
@@ -304,6 +334,7 @@ func (f *Fleet) dispatch(rq *request) {
 		rq.rerouted = false
 		f.met.blocked.Inc()
 		f.workers[start].inbox <- rq
+		f.em.Emit(trace.KDispatch, uint64(start), uint64(len(f.workers[start].inbox)))
 	}
 }
 
@@ -352,6 +383,9 @@ func (f *Fleet) Close() Stats {
 
 // Pool returns the shared patch pool (for persistence and inspection).
 func (f *Fleet) Pool() *patch.Pool { return f.pool }
+
+// Trace returns the fleet's execution-trace ring (never nil).
+func (f *Fleet) Trace() *trace.Tracer { return f.trc }
 
 // Workers returns the fleet size.
 func (f *Fleet) Workers() int { return len(f.workers) }

@@ -1,31 +1,52 @@
 // The HTTP front-end: JSON events in, outcomes out, plus the operational
-// surfaces a fleet deployment needs — merged telemetry, the live patch
-// pool, and worker health.
+// surfaces a fleet deployment needs — merged telemetry (JSON or Prometheus
+// text), the live patch pool, worker health, and the execution trace
+// (Chrome trace-event JSON, text timeline, or a live SSE tail).
 package fleet
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 )
+
+// maxEventBody bounds POST /events request bodies: an event is a short
+// JSON object; anything near a megabyte is a client bug or abuse.
+const maxEventBody = 1 << 20
 
 // Server exposes a Fleet over HTTP:
 //
-//	POST /events  {"kind":"search","data":"uid=user7","n":7,"src":"c0"}
-//	              → {"worker":2,"seq":41,"failed":false,...,"latencyUs":183}
-//	GET  /metrics → merged telemetry snapshot (fleet + every worker)
-//	GET  /patches → the shared patch pool as JSON (patch.Pool format)
-//	GET  /healthz → per-worker inbox depth / busy state, pool size
+//	POST /events        {"kind":"search","data":"uid=user7","n":7,"src":"c0"}
+//	                    → {"worker":2,"seq":41,"failed":false,...,"latencyUs":183}
+//	GET  /metrics       → merged telemetry snapshot (fleet + every worker);
+//	                      ?format=prom (or a text/plain Accept header) selects
+//	                      the Prometheus text exposition
+//	GET  /trace         → the execution-trace ring; ?format=chrome (trace-event
+//	                      JSON) or ?format=text (timeline, the default)
+//	GET  /trace/stream  → live SSE tail of the ring (?from=seq, ?max=n)
+//	GET  /patches       → the shared patch pool as JSON (patch.Pool format)
+//	GET  /healthz       → per-worker inbox depth / busy state, pool size
 type Server struct {
 	fleet *Fleet
 	mux   *http.ServeMux
+
+	// streamPoll is the SSE poll cadence (settable in tests).
+	streamPoll time.Duration
 }
 
 // NewServer wraps a fleet in the HTTP front-end.
 func NewServer(f *Fleet) *Server {
-	s := &Server{fleet: f, mux: http.NewServeMux()}
+	s := &Server{fleet: f, mux: http.NewServeMux(), streamPoll: 100 * time.Millisecond}
 	s.mux.HandleFunc("POST /events", s.handleEvent)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
+	s.mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
 	s.mux.HandleFunc("GET /patches", s.handlePatches)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -35,8 +56,14 @@ func NewServer(f *Fleet) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxEventBody)
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "event too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad event: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -52,15 +79,131 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	out, err := s.fleet.Snapshot().JSON()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && wantsPromText(r.Header.Get("Accept")) {
+		format = "prom"
+	}
+	switch format {
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, s.fleet.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "", "json":
+		out, err := s.fleet.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out)
+		w.Write([]byte("\n"))
+	default:
+		http.Error(w, "unknown format "+strconv.Quote(format)+" (want json or prom)", http.StatusBadRequest)
+	}
+}
+
+// wantsPromText reports whether an Accept header asks for plain text (the
+// Prometheus scraper default) rather than JSON.
+func wantsPromText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	recs := s.fleet.Trace().Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.ChromeTrace(w, recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := trace.WriteText(w, recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown format "+strconv.Quote(format)+" (want chrome or text)", http.StatusBadRequest)
+	}
+}
+
+// handleTraceStream tails the ring as server-sent events, one record per
+// event. The ring has no subscription hooks — emits stay a lock and a
+// store — so the tail polls Since(cursor) on a ticker. ?from= starts the
+// cursor at a sequence number (default: the current tail, i.e. only new
+// records); ?max= closes the stream after that many records (0 = until the
+// client disconnects), which also makes the endpoint testable.
+func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cursor := s.fleet.Trace().Emitted()
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cursor = n
+	}
+	var maxRecs uint64
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		maxRecs = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(out)
-	w.Write([]byte("\n"))
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ticker := time.NewTicker(s.streamPoll)
+	defer ticker.Stop()
+	enc := json.NewEncoder(w)
+	var sent uint64
+	for {
+		for _, rec := range s.fleet.Trace().Since(cursor) {
+			cursor = rec.Seq + 1
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := enc.Encode(trace.ToJSON(rec)); err != nil {
+				return
+			}
+			// The JSON encoder already wrote one \n; the blank line ends
+			// the SSE event.
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			sent++
+			if maxRecs > 0 && sent >= maxRecs {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 func (s *Server) handlePatches(w http.ResponseWriter, _ *http.Request) {

@@ -35,8 +35,10 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
 
@@ -162,6 +164,7 @@ type Heap struct {
 	mem *vmem.Space
 	st  State
 	met metrics
+	trc trace.Emitter
 }
 
 // SetMetrics wires the allocator to a telemetry registry (nil detaches).
@@ -183,6 +186,16 @@ func (h *Heap) SetMetrics(reg *telemetry.Registry) {
 		sbrkGrows:    reg.Counter("heap.sbrk_grows"),
 	}
 }
+
+// SetTracer wires the allocator to an execution-trace emitter (the zero
+// Emitter detaches). The allocator has no call-site knowledge — that lives
+// at the proc/allocext layer — so it traces its own growth decisions: sbrk
+// extensions of the top chunk and dedicated mappings for large requests.
+func (h *Heap) SetTracer(em trace.Emitter) { h.trc = em }
+
+// SizeClass is the power-of-two class of a request: bits.Len32(n), so
+// class c holds 2^(c-1) <= n < 2^c (class 0 is n == 0).
+func SizeClass(n uint32) uint64 { return uint64(bits.Len32(n)) }
 
 // New creates an allocator that obtains memory from mem. No memory is
 // claimed until the first Malloc.
@@ -435,6 +448,7 @@ func (h *Heap) growTop(need uint32) error {
 		return err
 	}
 	h.met.sbrkGrows.Inc()
+	h.trc.Emit(trace.KSbrkGrow, uint64(grow), SizeClass(need))
 	h.st.TopSize += grow
 	_, flags, err := h.readHeader(h.st.Top)
 	if err != nil {
@@ -506,6 +520,7 @@ func (h *Heap) mmapAlloc(n uint32) (vmem.Addr, error) {
 	h.st.NMalloc++
 	h.met.mallocs.Inc()
 	h.met.mmapHits.Inc()
+	h.trc.Emit(trace.KMmapAlloc, uint64(n), SizeClass(n))
 	h.met.allocBytes.Add(uint64(n))
 	h.st.LiveBytes += uint64(n)
 	if h.st.LiveBytes > h.st.PeakBytes {

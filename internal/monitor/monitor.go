@@ -16,6 +16,7 @@ import (
 	"firstaid/internal/heap"
 	"firstaid/internal/proc"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 )
 
 // Detector is a pluggable error detector, the paper's hook for
@@ -47,6 +48,8 @@ type Monitor struct {
 	metEvents *telemetry.Counter
 	metFaults *telemetry.Counter
 	metScans  *telemetry.Counter
+
+	trc trace.Emitter
 }
 
 // New returns a monitor over the given allocator extension.
@@ -58,6 +61,11 @@ func (m *Monitor) SetMetrics(reg *telemetry.Registry) {
 	m.metFaults = reg.Counter("monitor.faults")
 	m.metScans = reg.Counter("monitor.scans")
 }
+
+// SetTracer wires the monitor to an execution-trace emitter (the zero
+// Emitter detaches). Every trapped fault becomes a KTrap record carrying
+// the fault kind and address.
+func (m *Monitor) SetTracer(em trace.Emitter) { m.trc = em }
 
 // RunEvent executes fn (one event handler), returning the trapped fault, if
 // any. The event's replay sequence number is stamped into the fault.
@@ -81,6 +89,7 @@ func (m *Monitor) RunEvent(seq int, fn func()) *proc.Fault {
 		f.Event = seq
 		m.faults++
 		m.metFaults.Inc()
+		m.trc.Emit(trace.KTrap, uint64(f.Kind), uint64(f.Addr))
 	}
 	return f
 }

@@ -23,6 +23,7 @@ import (
 	"firstaid/internal/callsite"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
 )
 
 // Patch is one runtime patch.
@@ -90,6 +91,20 @@ type Pool struct {
 	// pool lock: with a fleet of workers sharing one pool, a locked read
 	// per malloc would serialize every machine on this mutex.
 	gen atomic.Uint64
+
+	// trc records pool mutations in the execution trace. Written only
+	// under mu (SetTracer takes the lock), so mutating methods may read it
+	// while holding mu without a data race.
+	trc trace.Emitter
+}
+
+// SetTracer wires the pool to an execution-trace emitter (the zero
+// Emitter detaches). Adds, revocations and validation flags become trace
+// records carrying the patch ID and the post-mutation pool generation.
+func (pl *Pool) SetTracer(em trace.Emitter) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.trc = em
 }
 
 // NewPool creates an empty pool for the named program.
@@ -101,19 +116,20 @@ func NewPool(program string) *Pool { return &Pool{Program: program, nextID: 1} }
 func (pl *Pool) Add(p *Patch) *Patch {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	defer pl.gen.Add(1)
 	for _, old := range pl.patches {
 		if old.Bug == p.Bug && old.Site == p.Site {
 			old.Revoked = false
 			if old.Origin == "" {
 				old.Origin = p.Origin
 			}
+			pl.trc.Emit(trace.KPatchAdd, uint64(old.ID), pl.gen.Add(1))
 			return old
 		}
 	}
 	p.ID = pl.nextID
 	pl.nextID++
 	pl.patches = append(pl.patches, p)
+	pl.trc.Emit(trace.KPatchAdd, uint64(p.ID), pl.gen.Add(1))
 	return p
 }
 
@@ -124,7 +140,7 @@ func (pl *Pool) Revoke(id int) bool {
 	for _, p := range pl.patches {
 		if p.ID == id {
 			p.Revoked = true
-			pl.gen.Add(1)
+			pl.trc.Emit(trace.KPatchRevoke, uint64(id), pl.gen.Add(1))
 			return true
 		}
 	}
@@ -138,7 +154,7 @@ func (pl *Pool) MarkValidated(id int) bool {
 	for _, p := range pl.patches {
 		if p.ID == id {
 			p.Validated = true
-			pl.gen.Add(1)
+			pl.trc.Emit(trace.KPatchValidate, uint64(id), pl.gen.Add(1))
 			return true
 		}
 	}

@@ -22,6 +22,7 @@ import (
 
 	"firstaid/internal/callsite"
 	"firstaid/internal/heap"
+	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
 
@@ -152,6 +153,7 @@ type Proc struct {
 	checker AccessChecker
 	stack   []frame
 	st      State
+	trc     trace.Emitter
 }
 
 // New creates a process over mem whose memory requests go to mm. The
@@ -171,6 +173,12 @@ func (p *Proc) SetMM(mm MM) { p.mm = mm }
 
 // SetAccessChecker installs or removes (nil) the access observer.
 func (p *Proc) SetAccessChecker(c AccessChecker) { p.checker = c }
+
+// SetTracer wires the process to an execution-trace emitter (the zero
+// Emitter detaches). The process is the layer where a request's call-site
+// and size are both known, so malloc/free/realloc records are emitted
+// here.
+func (p *Proc) SetTracer(em trace.Emitter) { p.trc = em }
 
 // State returns a copy of the out-of-heap process state.
 func (p *Proc) State() State { return p.st }
@@ -318,22 +326,26 @@ func (p *Proc) chargeMM() {
 // for the bug classes under study, and OOM is terminal either way).
 func (p *Proc) Malloc(n uint32) vmem.Addr {
 	p.st.Clock += costMalloc
-	a, err := p.mm.Malloc(n, p.Site())
+	site := p.Site()
+	a, err := p.mm.Malloc(n, site)
 	p.chargeMM()
 	if err != nil {
 		p.faultFromMMError(err, 0)
 	}
+	p.trc.Emit(trace.KMalloc, uint64(site), uint64(n))
 	return a
 }
 
 // Free releases the object at a through the memory-management layer.
 func (p *Proc) Free(a vmem.Addr) {
 	p.st.Clock += costFree
-	err := p.mm.Free(a, p.Site())
+	site := p.Site()
+	err := p.mm.Free(a, site)
 	p.chargeMM()
 	if err != nil {
 		p.faultFromMMError(err, a)
 	}
+	p.trc.Emit(trace.KFree, uint64(site), 0)
 }
 
 // sizedMM is implemented by memory managers that can report an object's
@@ -361,6 +373,9 @@ func (p *Proc) Calloc(n uint32) vmem.Addr {
 func (p *Proc) Realloc(old vmem.Addr, n uint32) vmem.Addr {
 	if old == 0 {
 		return p.Malloc(n)
+	}
+	if p.trc.Enabled() {
+		p.trc.Emit(trace.KRealloc, uint64(p.Site()), uint64(n))
 	}
 	var oldSize uint32
 	if s, ok := p.mm.(sizedMM); ok {

@@ -14,12 +14,66 @@ import (
 	"time"
 )
 
-// Journal is an append-only list of spans. The zero value is ready to use;
-// a nil *Journal discards everything.
+// DefaultSpanCap bounds how many spans a journal retains by default. A
+// long-lived service under a pathological workload can go through
+// thousands of recoveries; the journal is a diagnostic ring, not a log —
+// old spans roll off and are counted in Dropped.
+const DefaultSpanCap = 512
+
+// Journal is a bounded ring of spans, newest retained. The zero value is
+// ready to use (DefaultSpanCap); a nil *Journal discards everything.
 type Journal struct {
-	mu     sync.Mutex
-	nextID int
-	spans  []*Span
+	mu      sync.Mutex
+	nextID  int
+	cap     int // 0 means DefaultSpanCap
+	spans   []*Span
+	dropped uint64
+}
+
+// SetCap changes the number of spans retained (<= 0 restores the
+// default), evicting the oldest spans immediately if over the new cap.
+func (j *Journal) SetCap(n int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n <= 0 {
+		n = DefaultSpanCap
+	}
+	j.cap = n
+	j.evictLocked()
+}
+
+func (j *Journal) capLocked() int {
+	if j.cap <= 0 {
+		return DefaultSpanCap
+	}
+	return j.cap
+}
+
+func (j *Journal) evictLocked() {
+	c := j.capLocked()
+	if over := len(j.spans) - c; over > 0 {
+		j.dropped += uint64(over)
+		// Shift-copy into the same backing array so the slice does not
+		// grow without bound as spans roll off.
+		copy(j.spans, j.spans[over:])
+		for i := c; i < len(j.spans); i++ {
+			j.spans[i] = nil
+		}
+		j.spans = j.spans[:c]
+	}
+}
+
+// Dropped returns the number of spans evicted by the cap so far.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // Begin opens a new span of the given kind (e.g. "recovery") anchored at a
@@ -33,6 +87,7 @@ func (j *Journal) Begin(kind string, event int) *Span {
 	sp := &Span{id: j.nextID, kind: kind, event: event, start: time.Now()}
 	j.nextID++
 	j.spans = append(j.spans, sp)
+	j.evictLocked()
 	return sp
 }
 

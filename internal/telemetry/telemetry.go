@@ -328,15 +328,20 @@ func (r *Registry) Merge(src *Registry) {
 func MergedSnapshot(regs ...*Registry) Snapshot {
 	m := NewRegistry()
 	var spans []SpanSnapshot
+	var dropped uint64
 	for _, r := range regs {
 		if r == nil {
 			continue
 		}
 		m.Merge(r)
 		spans = append(spans, r.journal.Snapshot()...)
+		dropped += r.journal.Dropped()
 	}
 	snap := m.Snapshot()
 	snap.Spans = spans
+	if dropped > 0 {
+		snap.Counters["journal.spans_dropped"] = dropped
+	}
 	return snap
 }
 
@@ -379,6 +384,9 @@ func (r *Registry) Snapshot() Snapshot {
 
 	for name, c := range counters {
 		snap.Counters[name] = c.Value()
+	}
+	if d := r.journal.Dropped(); d > 0 {
+		snap.Counters["journal.spans_dropped"] = d
 	}
 	for name, g := range gauges {
 		snap.Gauges[name] = g.Value()

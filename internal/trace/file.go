@@ -1,0 +1,138 @@
+// The binary trace-file format written by `firstaid-run -trace` and read
+// by `firstaid-trace`:
+//
+//	offset  size  field
+//	0       8     magic "FATRACE1"
+//	8       4     version (little-endian u32, currently 1)
+//	12      4     record size in bytes (little-endian u32, currently 48)
+//	16      ...   records, recordSize bytes each, little-endian fields
+//
+// Each record is the wire image of Record:
+//
+//	0   u64  Seq
+//	8   u64  Cycles
+//	16  i64  WallNS
+//	24  u64  Arg1
+//	32  u64  Arg2
+//	40  u16  Kind
+//	42  u16  Worker
+//	44  u32  reserved (zero)
+//
+// The record count is not stored in the header: a trace cut short by a
+// crash is still readable up to its last complete record, which is the
+// point of an always-on flight recorder.
+
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+const (
+	fileMagic   = "FATRACE1"
+	fileVersion = 1
+	recordSize  = 48
+)
+
+// ErrBadTraceFile reports a file that is not a First-Aid trace.
+var ErrBadTraceFile = errors.New("trace: not a First-Aid trace file")
+
+func encodeRecord(buf []byte, r Record) {
+	binary.LittleEndian.PutUint64(buf[0:], r.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], r.Cycles)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.WallNS))
+	binary.LittleEndian.PutUint64(buf[24:], r.Arg1)
+	binary.LittleEndian.PutUint64(buf[32:], r.Arg2)
+	binary.LittleEndian.PutUint16(buf[40:], uint16(r.Kind))
+	binary.LittleEndian.PutUint16(buf[42:], r.Worker)
+	binary.LittleEndian.PutUint32(buf[44:], 0)
+}
+
+func decodeRecord(buf []byte) Record {
+	return Record{
+		Seq:    binary.LittleEndian.Uint64(buf[0:]),
+		Cycles: binary.LittleEndian.Uint64(buf[8:]),
+		WallNS: int64(binary.LittleEndian.Uint64(buf[16:])),
+		Arg1:   binary.LittleEndian.Uint64(buf[24:]),
+		Arg2:   binary.LittleEndian.Uint64(buf[32:]),
+		Kind:   Kind(binary.LittleEndian.Uint16(buf[40:])),
+		Worker: binary.LittleEndian.Uint16(buf[42:]),
+	}
+}
+
+// Write encodes recs to w in the binary trace format.
+func Write(w io.Writer, recs []Record) error {
+	var hdr [16]byte
+	copy(hdr[:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], recordSize)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	for _, r := range recs {
+		encodeRecord(buf[:], r)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read decodes a binary trace from r. A trailing partial record (a trace
+// cut off mid-write) is discarded, not an error.
+func Read(r io.Reader) ([]Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadTraceFile)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTraceFile, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTraceFile, v)
+	}
+	rs := binary.LittleEndian.Uint32(hdr[12:])
+	if rs < recordSize {
+		return nil, fmt.Errorf("%w: record size %d too small", ErrBadTraceFile, rs)
+	}
+	var out []Record
+	buf := make([]byte, rs)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, decodeRecord(buf))
+	}
+}
+
+// WriteFile writes recs to path in the binary trace format.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a binary trace from path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -14,6 +14,8 @@ package vmem
 import (
 	"errors"
 	"fmt"
+
+	"firstaid/internal/trace"
 )
 
 // Addr is a virtual address in a Space. The address space is 32-bit, which
@@ -87,6 +89,25 @@ type Space struct {
 	mmaps      map[Addr]uint32 // live Map regions: start → length (bytes)
 	mmapBytes  uint64          // total bytes currently mapped via Map
 	budget     uint64          // total memory budget (sbrk + Map)
+
+	trc trace.Emitter // execution tracer; the zero Emitter discards
+}
+
+// SetTracer wires the space to an execution-trace emitter (the zero
+// Emitter detaches): faulting accesses, COW page copies and the page
+// counts of snapshot/restore become trace records. Clone does not carry
+// the emitter over — a cloned space is re-wired by its machine so the
+// records land on the clone's own track.
+func (s *Space) SetTracer(em trace.Emitter) { s.trc = em }
+
+// faultAccess records a faulting access and returns its AccessError.
+func (s *Space) faultAccess(a Addr, n int, write bool) *AccessError {
+	arg2 := uint64(n)
+	if write {
+		arg2 |= 1 << 63
+	}
+	s.trc.Emit(trace.KPageFault, uint64(a), arg2)
+	return &AccessError{Addr: a, Len: n, Write: write}
 }
 
 // New creates an empty Space whose break starts at HeapBase and may grow to
@@ -248,7 +269,7 @@ func (s *Space) Read(a Addr, n int) ([]byte, error) {
 // ReadInto fills buf with the bytes starting at a.
 func (s *Space) ReadInto(a Addr, buf []byte) error {
 	if !s.mapped(a, len(buf)) {
-		return &AccessError{Addr: a, Len: len(buf)}
+		return s.faultAccess(a, len(buf), false)
 	}
 	off := 0
 	for off < len(buf) {
@@ -269,6 +290,7 @@ func (s *Space) writablePage(pn uint32) []byte {
 		p.refs--
 		s.pages[pn] = cp
 		s.dirty++
+		s.trc.Emit(trace.KCOWCopy, uint64(pn), 0)
 		return cp.data
 	}
 	return p.data
@@ -277,7 +299,7 @@ func (s *Space) writablePage(pn uint32) []byte {
 // Write stores data at address a.
 func (s *Space) Write(a Addr, data []byte) error {
 	if !s.mapped(a, len(data)) {
-		return &AccessError{Addr: a, Len: len(data), Write: true}
+		return s.faultAccess(a, len(data), true)
 	}
 	off := 0
 	for off < len(data) {
@@ -293,7 +315,7 @@ func (s *Space) Write(a Addr, data []byte) error {
 // Fill writes n copies of byte b starting at address a.
 func (s *Space) Fill(a Addr, b byte, n int) error {
 	if !s.mapped(a, n) {
-		return &AccessError{Addr: a, Len: n, Write: true}
+		return s.faultAccess(a, n, true)
 	}
 	off := 0
 	for off < n {
@@ -381,11 +403,14 @@ type Snapshot struct {
 func (s *Space) Snapshot() *Snapshot {
 	pages := make([]*page, len(s.pages))
 	copy(pages, s.pages)
+	var captured uint64
 	for _, p := range pages {
 		if p != nil {
 			p.refs++
+			captured++
 		}
 	}
+	s.trc.Emit(trace.KSnapshot, captured, 0)
 	mmaps := make(map[Addr]uint32, len(s.mmaps))
 	for k, v := range s.mmaps {
 		mmaps[k] = v
@@ -410,11 +435,14 @@ func (s *Space) Restore(snap *Snapshot) {
 	}
 	s.pages = make([]*page, len(snap.pages))
 	copy(s.pages, snap.pages)
+	var restored uint64
 	for _, p := range s.pages {
 		if p != nil {
 			p.refs++
+			restored++
 		}
 	}
+	s.trc.Emit(trace.KRestore, restored, 0)
 	s.brk = snap.brk
 	s.mmapCursor = snap.mmapCursor
 	s.mmapBytes = snap.mmapBytes
