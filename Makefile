@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build vet test race bench bench-smoke fuzz-smoke
 
 # check is the tier-1 gate: build, vet, the full test suite, and the test
 # suite again under the race detector (the supervisor's parallel validation
@@ -28,3 +28,11 @@ bench:
 # bit-rotted benchmark fails the build without paying for full -benchtime.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
+# committed seed corpus (which plain `go test` already replays). The
+# minimization budget is capped separately: shrinking an interesting
+# chaos program re-runs a whole supervised machine per attempt, and an
+# uncapped minimizer can eat the entire fuzz window.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzChaosProgram -fuzztime=30s -fuzzminimizetime=5s ./internal/chaos

@@ -8,6 +8,13 @@
 //	firstaid-run -app squid -events 2000 -triggers 300,900,1500
 //	firstaid-run -app cvs -pool /tmp/cvs-patches.json   # persist patches
 //	firstaid-run -list
+//
+// Chaos mode replays a generated bug-injection program from a single
+// seed through the differential oracle (reproduces any chaos-harness
+// failure):
+//
+//	firstaid-run -chaos-seed 0x2a -chaos-class double-free
+//	firstaid-run -chaos-seed 7 -chaos-class overflow -chaos-mode stream
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 
 	"firstaid"
 	"firstaid/internal/apps"
+	"firstaid/internal/chaos"
+	"firstaid/internal/mmbug"
 )
 
 func main() {
@@ -35,8 +44,18 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
 		tracePath = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
 		traceCap  = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+
+		chaosSeed  = flag.String("chaos-seed", "", "run the chaos harness with this program seed (decimal or 0x hex) instead of an application")
+		chaosClass = flag.String("chaos-class", "none", "chaos bug class to inject: none, overflow, dangling-write, dangling-read, double-free, uninit-read")
+		chaosOps   = flag.Int("chaos-ops", 0, "chaos benign-op budget (0 = default 110)")
+		chaosMode  = flag.String("chaos-mode", "sync", "chaos execution mode: sync, parallel, stream")
 	)
 	flag.Parse()
+
+	if *chaosSeed != "" {
+		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode)
+		return
+	}
 
 	if *list {
 		fmt.Println("available applications (paper Table 2):")
@@ -189,4 +208,43 @@ func main() {
 		fmt.Printf("\ntelemetry snapshot:\n%s\n", out)
 	}
 	dumpTrace()
+}
+
+// runChaos reproduces one chaos-harness run from its seed and exits
+// non-zero if the differential oracle rejects the recovered state — the
+// one-liner that replays any failure a chaos test or fuzz run reports.
+func runChaos(seedStr, classStr string, ops int, modeStr string) {
+	seed, err := strconv.ParseUint(seedStr, 0, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos-seed %q: %v\n", seedStr, err)
+		os.Exit(1)
+	}
+	classes := map[string]mmbug.Type{
+		"none":           mmbug.None,
+		"overflow":       mmbug.BufferOverflow,
+		"dangling-write": mmbug.DanglingWrite,
+		"dangling-read":  mmbug.DanglingRead,
+		"double-free":    mmbug.DoubleFree,
+		"uninit-read":    mmbug.UninitRead,
+	}
+	class, ok := classes[classStr]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -chaos-class %q\n", classStr)
+		os.Exit(1)
+	}
+	modes := map[string]chaos.Mode{
+		"sync":     chaos.ModeSync,
+		"parallel": chaos.ModeParallel,
+		"stream":   chaos.ModeStream,
+	}
+	mode, ok := modes[modeStr]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -chaos-mode %q\n", modeStr)
+		os.Exit(1)
+	}
+	out := chaos.Run(chaos.RunConfig{Seed: seed, Class: class, Ops: ops, Mode: mode})
+	fmt.Print(out.Verdict())
+	if !out.OK() {
+		os.Exit(1)
+	}
 }

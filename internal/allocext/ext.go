@@ -542,7 +542,16 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 				Addr:     ptr,
 				Detail:   fmt.Sprintf("object freed at site %d re-freed at site %d", first, site),
 			})
-			if e.paramCheckActive(site) {
+			// The parameter check guards the re-free when the patch covers
+			// either site: the re-free's own, or the first deallocation
+			// site — the patch application point. The latter matters when
+			// the recovery checkpoint falls between the two frees: the
+			// first free is then history (executed unpatched, before the
+			// checkpoint), so only its site's patch can vouch for this
+			// pointer. Found by the chaos harness (seed 0x2a, double
+			// free): the re-free kept crashing the patched re-execution
+			// and the event was dropped instead of survived.
+			if e.paramCheckActive(site) || e.paramCheckActive(first) {
 				e.recordBlockedRefree(ptr, site)
 				return nil
 			}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/mmbug"
+)
+
+// TestDiagnosisAccuracy scores root-cause identification against the
+// injected ground truth, class by class: over a seed matrix, the
+// diagnosed bug class must be the injected one and the patch site must be
+// the script's bug site (allocation site for alloc-point classes, first
+// free site for free-point classes). The accuracy ratio is reported per
+// class and must be 1.0 — the injection scripts are constructed so the
+// bug manifests deterministically whatever the surrounding layout.
+func TestDiagnosisAccuracy(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, class := range mmbug.All {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			wantSite := "chaos_bug_free"
+			if class.AtAllocation() {
+				wantSite = "chaos_bug_alloc"
+			}
+			correct := 0
+			for _, seed := range seeds {
+				out := Run(RunConfig{Seed: seed, Class: class, Mode: ModeSync})
+				if !out.OK() {
+					t.Fatalf("seed %#x: oracle failed:\n%s", seed, out.Verdict())
+				}
+				ok := false
+				for _, rec := range out.Recoveries {
+					for _, f := range rec.Findings {
+						if f.Class != class {
+							continue
+						}
+						for _, site := range f.Sites {
+							if strings.Contains(site, wantSite) {
+								ok = true
+							}
+						}
+					}
+				}
+				if ok {
+					correct++
+				} else {
+					t.Errorf("seed %#x: injected %v at %s not diagnosed:\n%s",
+						seed, class, wantSite, out.Verdict())
+				}
+			}
+			ratio := float64(correct) / float64(len(seeds))
+			t.Logf("diagnosis accuracy for %v: %d/%d = %.2f", class, correct, len(seeds), ratio)
+			if ratio != 1.0 {
+				t.Fatalf("accuracy %.2f, want 1.0", ratio)
+			}
+		})
+	}
+}

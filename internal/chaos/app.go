@@ -1,0 +1,348 @@
+package chaos
+
+import (
+	"strconv"
+	"strings"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// The app keeps ALL of its state in the virtual heap so checkpoint
+// rollback restores it completely: a slot table at root 0, one 16-byte
+// entry per slot.
+//
+//	+0  addr     user address (0 = never allocated)
+//	+4  size     user size in bytes
+//	+8  defined  length of the pattern-filled prefix
+//	+12 pat|stale  fill pattern (low 8 bits) | stale flag (bit 8)
+const rootTable = 0
+
+const staleBit = 1 << 8
+
+// App is the chaos workload interpreter: an app.Program that executes
+// chaos ops delivered as replay events. It is stateless in Go — the same
+// instance can be replayed, rolled back and cloned freely.
+type App struct {
+	// Class is the injected ground-truth bug class of the programs this
+	// instance will run (None for benign traffic); only Bugs() reports it.
+	Class mmbug.Type
+}
+
+// Name implements app.Program.
+func (a *App) Name() string { return "chaos" }
+
+// Bugs implements app.Program.
+func (a *App) Bugs() []mmbug.Type {
+	if a.Class == mmbug.None {
+		return nil
+	}
+	return []mmbug.Type{a.Class}
+}
+
+// Init implements app.Program: it allocates the zeroed slot table.
+func (a *App) Init(p *proc.Proc) {
+	defer p.Enter("chaos_main")()
+	defer p.Enter("chaos_init")()
+	p.SetRoot(rootTable, uint32(p.Calloc(NumSlots*slotBytes)))
+}
+
+// Handle implements app.Program. Events that do not decode to a chaos op
+// (hostile fleet traffic, fuzz garbage) burn their event cost and do
+// nothing, so the machine can never wedge on bad input.
+func (a *App) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("chaos_dispatch")()
+	p.Tick(app.EventCost)
+	op, ok := OpFromEvent(ev)
+	if !ok {
+		return
+	}
+	a.exec(p, op)
+}
+
+// entry is the decoded slot-table row.
+type entry struct {
+	addr    vmem.Addr
+	size    uint32
+	defined uint32
+	pat     byte
+	stale   bool
+}
+
+func (e entry) live() bool  { return e.addr != 0 && !e.stale }
+func (e entry) freed() bool { return e.addr != 0 && e.stale }
+
+func slotBase(p *proc.Proc, slot uint8) vmem.Addr {
+	return p.RootAddr(rootTable) + vmem.Addr(slot)*slotBytes
+}
+
+func loadEntry(p *proc.Proc, slot uint8) entry {
+	b := slotBase(p, slot)
+	flags := p.LoadU32(b + 12)
+	return entry{
+		addr:    vmem.Addr(p.LoadU32(b)),
+		size:    p.LoadU32(b + 4),
+		defined: p.LoadU32(b + 8),
+		pat:     byte(flags),
+		stale:   flags&staleBit != 0,
+	}
+}
+
+func storeEntry(p *proc.Proc, slot uint8, e entry) {
+	b := slotBase(p, slot)
+	flags := uint32(e.pat)
+	if e.stale {
+		flags |= staleBit
+	}
+	p.StoreU32(b, uint32(e.addr))
+	p.StoreU32(b+4, e.size)
+	p.StoreU32(b+8, e.defined)
+	p.StoreU32(b+12, flags)
+}
+
+// siteNames gives each site family a stable virtual stack frame, so
+// callsite identity — and therefore where diagnosed patches land — is a
+// pure function of the op stream.
+var siteNames = [NumSites]string{
+	"chaos_site_0", "chaos_site_1", "chaos_site_2", "chaos_site_3",
+	"chaos_site_4", "chaos_site_5", "chaos_site_6", "chaos_site_7",
+	"chaos_bug_alloc", "chaos_aux", "chaos_bug_free", "chaos_bug_refree",
+}
+
+// exec interprets one op. The shadow model's Apply must mirror the state
+// transitions here exactly (with the injected-bug kinds mapped to their
+// patched, harmless semantics) — that correspondence IS the oracle.
+func (a *App) exec(p *proc.Proc, op Op) {
+	defer p.Enter(siteNames[op.Site])()
+	e := loadEntry(p, op.Slot)
+	switch op.Kind {
+	case OpMalloc:
+		a.malloc(p, op, e)
+	case OpRealloc:
+		if !e.live() {
+			a.malloc(p, op, e)
+			return
+		}
+		var addr vmem.Addr
+		func() {
+			defer p.Enter("chaos_alloc")()
+			addr = p.Realloc(e.addr, op.Size)
+		}()
+		e.addr, e.size = addr, op.Size
+		if e.defined > op.Size {
+			e.defined = op.Size
+		}
+		storeEntry(p, op.Slot, e)
+	case OpFree:
+		if e.live() {
+			func() {
+				defer p.Enter("chaos_free")()
+				p.Free(e.addr)
+			}()
+			e.stale = true
+			storeEntry(p, op.Slot, e)
+		}
+	case OpWrite:
+		if e.live() && e.size > 0 {
+			func() {
+				defer p.Enter("chaos_write")()
+				p.Memset(e.addr, op.Pat, int(e.size))
+			}()
+			e.defined, e.pat = e.size, op.Pat
+			storeEntry(p, op.Slot, e)
+		}
+	case OpRead:
+		if e.live() && e.size > 0 {
+			func() {
+				defer p.Enter("chaos_read")()
+				p.Load(e.addr, int(e.size))
+			}()
+		}
+	case OpCheck:
+		if e.live() && e.defined > 0 {
+			var data []byte
+			func() {
+				defer p.Enter("chaos_read")()
+				data = p.Load(e.addr, int(e.defined))
+			}()
+			bad := -1
+			for i, b := range data {
+				if b != e.pat {
+					bad = i
+					break
+				}
+			}
+			p.Assert(bad < 0, "chaos: slot %d byte %d is %#02x, want %#02x",
+				op.Slot, bad, data[max(bad, 0)], e.pat)
+		}
+	case OpOverflow:
+		// The bug: the in-bounds write plus op.Size bytes beyond the end.
+		// The patched (padded) semantics equal OpWrite.
+		if e.live() && e.size > 0 {
+			func() {
+				defer p.Enter("chaos_write")()
+				p.Memset(e.addr, op.Pat, int(e.size+op.Size))
+			}()
+			e.defined, e.pat = e.size, op.Pat
+			storeEntry(p, op.Slot, e)
+		}
+	case OpDangleWrite:
+		// The bug: a write through the slot's stale pointer. Patched
+		// (delay-free) semantics: the bytes land in quarantined memory —
+		// a no-op as far as live state goes.
+		if n := min(uint32(dangleWriteLen), e.size); e.freed() && n > 0 {
+			func() {
+				defer p.Enter("chaos_write")()
+				p.Memset(e.addr, op.Pat, int(n))
+			}()
+		}
+	case OpDangleRead:
+		// The bug: reads through the stale pointer and insists on the old
+		// contents. Patched (delay-free preserves the quarantined bytes)
+		// the assert holds; unpatched it sees whoever recycled the chunk.
+		if e.freed() && e.size >= probeLen {
+			var data []byte
+			func() {
+				defer p.Enter("chaos_read")()
+				data = p.Load(e.addr, probeLen)
+			}()
+			ok := true
+			for _, b := range data {
+				if b != e.pat {
+					ok = false
+					break
+				}
+			}
+			p.Assert(ok, "chaos: slot %d freed contents no longer %#02x", op.Slot, e.pat)
+		}
+	case OpDoubleFree:
+		// The bug: frees the stale pointer again. Patched, the delayed
+		// first free makes the re-free a detected (blocked) no-op.
+		if e.freed() {
+			func() {
+				defer p.Enter("chaos_free")()
+				p.Free(e.addr)
+			}()
+		}
+	case OpUninitRead:
+		// The bug: asserts a never-written allocation reads as zero,
+		// which only the zero-fill patch guarantees on a recycled chunk.
+		if e.live() && e.defined == 0 && e.size >= probeLen {
+			var data []byte
+			func() {
+				defer p.Enter("chaos_read")()
+				data = p.Load(e.addr, probeLen)
+			}()
+			ok := true
+			for _, b := range data {
+				if b != 0 {
+					ok = false
+					break
+				}
+			}
+			p.Assert(ok, "chaos: slot %d fresh allocation is not zeroed", op.Slot)
+		}
+	}
+}
+
+func (a *App) malloc(p *proc.Proc, op Op, e entry) {
+	if e.live() {
+		func() {
+			defer p.Enter("chaos_free")()
+			p.Free(e.addr)
+		}()
+	}
+	var addr vmem.Addr
+	func() {
+		defer p.Enter("chaos_alloc")()
+		addr = p.Malloc(op.Size)
+	}()
+	storeEntry(p, op.Slot, entry{addr: addr, size: op.Size, pat: op.Pat})
+}
+
+// Event returns the replay-event encoding of an op: Kind is the op-kind
+// name, N the slot, Data "size,pat,site". The representation is plain
+// text so chaos traffic flows unchanged through the fleet's JSON API.
+func (o Op) Event() (kind, data string, n int) {
+	data = strconv.FormatUint(uint64(o.Size), 10) + "," +
+		strconv.FormatUint(uint64(o.Pat), 10) + "," +
+		strconv.FormatUint(uint64(o.Site), 10)
+	return o.Kind.String(), data, int(o.Slot)
+}
+
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = OpKind(k)
+	}
+	return m
+}()
+
+// OpFromEvent decodes and validates a replay event. The app executes and
+// the model simulates ONLY ops accepted here, so the two sides stay in
+// lockstep for any byte stream; everything else is rejected and treated
+// as a paid-for no-op by both.
+func OpFromEvent(ev replay.Event) (Op, bool) {
+	kind, ok := kindByName[ev.Kind]
+	if !ok || ev.N < 0 || ev.N >= NumSlots {
+		return Op{}, false
+	}
+	parts := strings.Split(ev.Data, ",")
+	if len(parts) != 3 {
+		return Op{}, false
+	}
+	size, err1 := strconv.ParseUint(parts[0], 10, 32)
+	pat, err2 := strconv.ParseUint(parts[1], 10, 32)
+	site, err3 := strconv.ParseUint(parts[2], 10, 32)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Op{}, false
+	}
+	if pat > 255 || site >= NumSites {
+		return Op{}, false
+	}
+	// Size bounds: allocation sizes up to the largest reserved script
+	// size (a hostile 4 GiB malloc must not OOM the worker); overflow
+	// deltas within what back padding can absorb.
+	switch kind {
+	case OpOverflow:
+		if size > 256 {
+			return Op{}, false
+		}
+	default:
+		if size > sizeUninit {
+			return Op{}, false
+		}
+	}
+	return Op{
+		Kind: kind,
+		Slot: uint8(ev.N),
+		Site: uint8(site),
+		Size: uint32(size),
+		Pat:  byte(pat),
+	}, true
+}
+
+// AppendTo appends the program's expanded op stream to a replay log.
+func (p *Program) AppendTo(log *replay.Log) {
+	for _, op := range p.Ops() {
+		kind, data, n := op.Event()
+		log.Append(kind, data, n)
+	}
+}
+
+func min(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

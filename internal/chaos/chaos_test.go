@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"firstaid/internal/mmbug"
+)
+
+var allModes = []Mode{ModeSync, ModeParallel, ModeStream}
+
+// TestBenignPrograms: with no injected bug, every mode must run the
+// program failure-free and satisfy the oracle.
+func TestBenignPrograms(t *testing.T) {
+	for _, seed := range []uint64{1, 0xDEAD, 0xC0FFEE} {
+		for _, mode := range allModes {
+			out := Run(RunConfig{Seed: seed, Mode: mode})
+			if out.Stats.Failures != 0 {
+				t.Fatalf("benign program faulted:\n%s", out.Verdict())
+			}
+			if !out.OK() {
+				t.Fatalf("oracle rejected a benign run:\n%s", out.Verdict())
+			}
+		}
+	}
+}
+
+// TestInjectionMatrix is the property-test core: for every bug class and
+// a seed matrix, in all three modes, the injected bug must manifest, be
+// survived, and leave a final state the differential oracle accepts.
+func TestInjectionMatrix(t *testing.T) {
+	seeds := []uint64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, class := range mmbug.All {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				for _, mode := range allModes {
+					out := Run(RunConfig{Seed: seed, Class: class, Mode: mode})
+					if out.Stats.Failures == 0 {
+						t.Fatalf("injected %v never manifested:\n%s", class, out.Verdict())
+					}
+					if out.Stats.Skipped != 0 {
+						t.Errorf("supervisor dropped events:\n%s", out.Verdict())
+					}
+					if !out.OK() {
+						t.Fatalf("oracle rejected the recovered state:\n%s", out.Verdict())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeedDeterminism: the acceptance bar — one seed yields a
+// byte-identical program, the same oracle verdict, and the same
+// diagnosis in every execution mode, twice over.
+func TestSeedDeterminism(t *testing.T) {
+	for _, class := range append([]mmbug.Type{mmbug.None}, mmbug.All...) {
+		seed := uint64(0x5EED<<8) | uint64(class)
+		prog := Generate(seed, class, 0)
+		if again := Generate(seed, class, 0); !reflect.DeepEqual(prog, again) {
+			t.Fatalf("class %v: two generations of seed %#x differ", class, seed)
+		}
+		wire := Encode(prog)
+		if again := Encode(Generate(seed, class, 0)); !reflect.DeepEqual(wire, again) {
+			t.Fatalf("class %v: encoded bytes differ across generations", class)
+		}
+		var base *Outcome
+		for _, mode := range allModes {
+			out := Run(RunConfig{Seed: seed, Class: class, Mode: mode})
+			if base == nil {
+				base = out
+				continue
+			}
+			if !reflect.DeepEqual(out.Recoveries, base.Recoveries) {
+				t.Fatalf("class %v: %s diagnosis diverges from %s:\n%s\nvs\n%s",
+					class, out.Mode, base.Mode, out.Verdict(), base.Verdict())
+			}
+			if out.OK() != base.OK() {
+				t.Fatalf("class %v: oracle verdict diverges between %s and %s:\n%s\nvs\n%s",
+					class, out.Mode, base.Mode, out.Verdict(), base.Verdict())
+			}
+		}
+	}
+}

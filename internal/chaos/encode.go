@@ -1,0 +1,68 @@
+package chaos
+
+import "firstaid/internal/mmbug"
+
+// Wire format for the fuzz target. The encoding deliberately expresses
+// only *benign* ops plus a class selector: the one bug instance is always
+// re-materialised by the trusted injector (Script), never spelled out in
+// raw bytes. That keeps every decodable input inside the oracle's strict
+// contract — arbitrary bytes can rearrange the heap however they like,
+// but the bug that manifests is always a well-formed instance whose
+// patched semantics the model knows.
+//
+//	byte  0    version (1)
+//	byte  1    class selector (mod 6: none + the five mmbug classes)
+//	bytes 2-3  injection index, little endian (mod len(benign)+1)
+//	then 5 bytes per benign op: kind, slot, site, size, pat
+const (
+	wireVersion  = 1
+	wireHeader   = 4
+	wireOpBytes  = 5
+	sizeSpan     = MaxGenSize - MinGenSize + 1 // encodable size range
+	benignKindsN = numBenignKinds
+)
+
+// Decode maps arbitrary bytes onto a valid Program. It is total: every
+// input decodes to something runnable (possibly empty), and for bytes
+// produced by Encode it is the exact inverse.
+func Decode(data []byte) *Program {
+	p := &Program{}
+	if len(data) < wireHeader {
+		return p
+	}
+	p.Class = mmbug.Type(int(data[1]) % (len(mmbug.All) + 1))
+	nOps := (len(data) - wireHeader) / wireOpBytes
+	if nOps > MaxOps {
+		nOps = MaxOps
+	}
+	p.Benign = make([]Op, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		b := data[wireHeader+i*wireOpBytes:]
+		p.Benign = append(p.Benign, Op{
+			Kind: OpKind(int(b[0]) % benignKindsN),
+			Slot: b[1] % GenSlots,
+			Site: b[2] % GenSites,
+			Size: uint32(MinGenSize + int(b[3])%sizeSpan),
+			Pat:  1 + b[4]%255,
+		})
+	}
+	p.InjectAt = (int(data[2]) | int(data[3])<<8) % (len(p.Benign) + 1)
+	return p
+}
+
+// Encode serialises a program into the wire format. Generator output
+// round-trips exactly: Decode(Encode(p)) reproduces p's class, injection
+// point and benign ops (the seed is not carried — replay of an encoded
+// program goes through RunProgram).
+func Encode(p *Program) []byte {
+	at := p.injectClamped()
+	out := make([]byte, wireHeader, wireHeader+len(p.Benign)*wireOpBytes)
+	out[0] = wireVersion
+	out[1] = byte(p.Class)
+	out[2] = byte(at)
+	out[3] = byte(at >> 8)
+	for _, op := range p.Benign {
+		out = append(out, byte(op.Kind), op.Slot, op.Site, byte(op.Size-MinGenSize), op.Pat-1)
+	}
+	return out
+}

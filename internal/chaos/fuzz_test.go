@@ -1,0 +1,27 @@
+package chaos
+
+import (
+	"testing"
+
+	"firstaid/internal/mmbug"
+)
+
+// FuzzChaosProgram decodes arbitrary bytes into a chaos program (benign
+// op soup + at most one injector-materialised bug) and requires the
+// differential oracle to accept the recovered final state. The committed
+// corpus under testdata/fuzz/FuzzChaosProgram holds one encoded generated
+// program per bug class (plus benign), so even the non-fuzzing `go test`
+// run replays a representative through this path; `make fuzz-smoke` gives
+// the mutator a bounded budget on top.
+func FuzzChaosProgram(f *testing.F) {
+	for i, class := range append([]mmbug.Type{mmbug.None}, mmbug.All...) {
+		f.Add(Encode(Generate(uint64(0xF00+i), class, 48)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := Decode(data)
+		out := RunProgram(prog, RunConfig{Mode: ModeSync})
+		if !out.OK() {
+			t.Fatalf("differential oracle rejected the recovered state:\n%s", out.Verdict())
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import "firstaid/internal/mmbug"
+
+// rng is a self-contained xorshift64* generator so programs are identical
+// across Go versions and platforms — the whole harness replays from a
+// single uint64.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds the chaos program for a seed: ops benign operations
+// (clamped to [8, MaxOps]) with the class script injected in the 60–80%
+// region of the stream, far enough in that the heap is churned and far
+// enough from the end that post-bug traffic exercises the patched heap.
+// It is a pure function of its arguments; the same seed yields a
+// byte-identical program forever.
+func Generate(seed uint64, class mmbug.Type, ops int) *Program {
+	if ops <= 0 {
+		ops = 110
+	}
+	if ops < 8 {
+		ops = 8
+	}
+	if ops > MaxOps {
+		ops = MaxOps
+	}
+	r := newRng(seed)
+	benign := make([]Op, 0, ops)
+	// Track which generator slots have ever been allocated so frees and
+	// writes mostly land on plausible targets (the app tolerates any slot,
+	// but aimless ops waste the budget).
+	touched := make([]uint8, 0, GenSlots)
+	for len(benign) < ops {
+		// Every op carries a full field set (kinds that don't use Size or
+		// Pat just ignore them) so the wire format round-trips exactly.
+		op := Op{Size: genSize(r), Pat: genPat(r), Site: uint8(r.intn(GenSites))}
+		roll := r.intn(100)
+		switch {
+		case roll < 35 || len(touched) == 0: // malloc
+			op.Kind = OpMalloc
+			op.Slot = uint8(r.intn(GenSlots))
+			touched = appendSlot(touched, op.Slot)
+		case roll < 55: // free
+			op.Kind = OpFree
+			op.Slot = touched[r.intn(len(touched))]
+		case roll < 65: // realloc
+			op.Kind = OpRealloc
+			op.Slot = touched[r.intn(len(touched))]
+		case roll < 82: // write
+			op.Kind = OpWrite
+			op.Slot = touched[r.intn(len(touched))]
+		case roll < 92: // read
+			op.Kind = OpRead
+			op.Slot = touched[r.intn(len(touched))]
+		default: // check
+			op.Kind = OpCheck
+			op.Slot = touched[r.intn(len(touched))]
+		}
+		benign = append(benign, op)
+	}
+	at := ops*3/5 + r.intn(ops/5+1)
+	return &Program{Seed: seed, Class: class, InjectAt: at, Benign: benign}
+}
+
+// genSize draws from a weighted distribution: mostly small objects with a
+// tail of larger ones, all well under the reserved script sizes.
+func genSize(r *rng) uint32 {
+	if r.intn(10) < 7 {
+		return uint32(MinGenSize + r.intn(96-MinGenSize+1))
+	}
+	return uint32(97 + r.intn(MaxGenSize-97+1))
+}
+
+// genPat draws a non-zero fill byte (zero means "undefined" to the model).
+func genPat(r *rng) byte { return byte(1 + r.intn(255)) }
+
+func appendSlot(s []uint8, v uint8) []uint8 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,40 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed fuzz seed corpus:
+//
+//	cd internal/chaos && go run gen_corpus.go
+//
+// One encoded generated program per bug class (plus a benign one), in the
+// native `go test fuzz v1` format, so FuzzChaosProgram starts from real
+// injection scenarios instead of rediscovering the wire format.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"firstaid/internal/chaos"
+	"firstaid/internal/mmbug"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzChaosProgram")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	classes := append([]mmbug.Type{mmbug.None}, mmbug.All...)
+	for i, class := range classes {
+		data := chaos.Encode(chaos.Generate(uint64(0xF00+i), class, 48))
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		name := "seed-" + strings.ReplaceAll(class.String(), " ", "-")
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/replay"
+)
+
+// TestOracleCatchesBrokenAllocator proves the oracle has teeth on the
+// allocator side: running an ordinary benign program on a deliberately
+// broken allocator (coalescing disabled) must fail CheckInvariants — the
+// exact defect class a silent allocator regression would introduce.
+func TestOracleCatchesBrokenAllocator(t *testing.T) {
+	broken := 0
+	for _, seed := range []uint64{1, 2, 3} {
+		out := Run(RunConfig{Seed: seed, Mode: ModeSync, TamperNoCoalesce: true})
+		if out.OK() {
+			continue
+		}
+		broken++
+		if !strings.Contains(out.OracleErr.Error(), "invariants") {
+			t.Fatalf("seed %#x: unexpected failure mode:\n%s", seed, out.Verdict())
+		}
+		// The same seed on the healthy allocator must pass, so the
+		// verdict flip is attributable to the tamper alone.
+		if healthy := Run(RunConfig{Seed: seed, Mode: ModeSync}); !healthy.OK() {
+			t.Fatalf("seed %#x fails even without tampering:\n%s", seed, healthy.Verdict())
+		}
+	}
+	if broken == 0 {
+		t.Fatal("no seed exposed the uncoalescing allocator — the oracle has no teeth")
+	}
+}
+
+// TestOracleCatchesCorruptedContents proves the oracle has teeth on the
+// content side: flipping a single byte of a live object after a clean run
+// must produce a model mismatch naming the slot.
+func TestOracleCatchesCorruptedContents(t *testing.T) {
+	prog := Generate(99, 0, 0)
+	log := replay.NewLog()
+	prog.AppendTo(log)
+	sup := core.NewSupervisor(&App{}, log, core.Config{})
+	sup.Run()
+	if err := CheckSupervisor(sup); err != nil {
+		t.Fatalf("clean run rejected: %v", err)
+	}
+	// Find a live slot with defined contents and flip its first byte.
+	model := RunModel(OpsFromLog(sup.Log()), nil)
+	table := sup.M.Proc.RootAddr(rootTable)
+	flipped := false
+	for i, s := range model.Slots {
+		if !s.live() || s.Defined == 0 {
+			continue
+		}
+		addr, err := sup.M.Mem.ReadU32(table + 16*uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sup.M.Mem.Write(addr, []byte{s.Pat ^ 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+		flipped = true
+		break
+	}
+	if !flipped {
+		t.Fatal("program left no live defined slot to corrupt; pick another seed")
+	}
+	err := CheckSupervisor(sup)
+	if err == nil {
+		t.Fatal("oracle accepted corrupted object contents")
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+// TestWireRoundTrip: Encode/Decode must be exact inverses on generator
+// output — the fuzz corpus is seeded with encoded real programs, so any
+// asymmetry would silently shrink fuzz coverage.
+func TestWireRoundTrip(t *testing.T) {
+	for class := 0; class <= 5; class++ {
+		for _, seed := range []uint64{1, 0xABCDEF, ^uint64(0)} {
+			p := Generate(seed, mmbug.Type(class), 0)
+			q := Decode(Encode(p))
+			if q.Class != p.Class || q.InjectAt != p.InjectAt {
+				t.Fatalf("class %d seed %#x: header mangled: %v/%d vs %v/%d",
+					class, seed, q.Class, q.InjectAt, p.Class, p.InjectAt)
+			}
+			if len(q.Benign) != len(p.Benign) {
+				t.Fatalf("class %d seed %#x: %d ops decoded, want %d",
+					class, seed, len(q.Benign), len(p.Benign))
+			}
+			for i := range p.Benign {
+				if p.Benign[i] != q.Benign[i] {
+					t.Fatalf("class %d seed %#x: op %d mangled: %v vs %v",
+						class, seed, i, q.Benign[i], p.Benign[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRegressionRefreeAcrossCheckpoint pins, with the discovering
+// program, the recovery bug the harness surfaced: when the recovery
+// checkpoint falls between a double free's first free and its re-free,
+// the first free is pre-checkpoint history and the delay-free patch at
+// its site never fires during re-execution — the re-free (at a different
+// site) went to the raw allocator, crashed the patched timeline again
+// and again, and the event was dropped instead of survived. The
+// parameter check now also honours a patch at the recorded first-free
+// site. Seed 0x2a places the injected script exactly astride a
+// checkpoint boundary.
+func TestRegressionRefreeAcrossCheckpoint(t *testing.T) {
+	for _, mode := range allModes {
+		out := Run(RunConfig{Seed: 0x2a, Class: mmbug.DoubleFree, Mode: mode})
+		if out.Stats.Failures == 0 {
+			t.Fatalf("%s: double free never manifested:\n%s", mode, out.Verdict())
+		}
+		if out.Stats.Skipped != 0 {
+			t.Fatalf("%s: re-free across the checkpoint was dropped, not survived:\n%s",
+				mode, out.Verdict())
+		}
+		if !out.OK() {
+			t.Fatalf("%s: oracle rejected the recovered state:\n%s", mode, out.Verdict())
+		}
+	}
+}
+
+// TestRegressionImperfectFitAccounting pins the allocator bug this
+// harness surfaced during development: recycling a free chunk whose
+// remainder is too small to split grants more bytes than requested, and
+// Malloc used to credit LiveBytes with the request while Free debits the
+// grant — the counter drifted low on every imperfect bin fit and the
+// oracle's accounting invariant (LiveBytes == sum of in-use payloads)
+// tripped. The explicit program below forces exactly that recycle
+// through the chaos app; it fails on the pre-fix allocator.
+func TestRegressionImperfectFitAccounting(t *testing.T) {
+	prog := &Program{
+		Benign: []Op{
+			{Kind: OpMalloc, Slot: 0, Site: 0, Size: 32, Pat: 0x11}, // 56-byte chunk
+			{Kind: OpMalloc, Slot: 1, Site: 1, Size: 8, Pat: 0x22},  // guard: keeps slot 0 off the top
+			{Kind: OpFree, Slot: 0, Site: 2},
+			// 24 bytes wants a 48-byte chunk; the 56-byte hole is the
+			// best fit and its 8-byte remainder cannot be split off, so
+			// the whole chunk is granted — the imperfect fit.
+			{Kind: OpMalloc, Slot: 2, Site: 3, Size: 24, Pat: 0x33},
+			{Kind: OpWrite, Slot: 2, Site: 3, Pat: 0x44},
+			{Kind: OpCheck, Slot: 2, Site: 3},
+		},
+	}
+	for _, mode := range allModes {
+		out := RunProgram(prog, RunConfig{Mode: mode})
+		if out.Stats.Failures != 0 {
+			t.Fatalf("%s: regression program faulted:\n%s", mode, out.Verdict())
+		}
+		if !out.OK() {
+			t.Fatalf("%s: accounting drift is back:\n%s", mode, out.Verdict())
+		}
+	}
+}

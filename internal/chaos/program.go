@@ -1,0 +1,279 @@
+// Package chaos is the seeded bug-injection fuzzing harness with a
+// differential heap oracle.
+//
+// A chaos Program is a randomly generated but fully replayable allocation
+// workload: a stream of benign malloc/free/realloc/write/read/check
+// operations over a fixed slot table, plus (optionally) exactly one
+// injected bug script from any mmbug class at a chosen step. The same
+// program runs twice — through a real First-Aid machine (sync, parallel
+// validation, or streaming ingest) and through a pure-Go shadow model of
+// the *patched* semantics — and the oracle asserts, after every recovery,
+// that the machine's live-object set, contents and heap.CheckInvariants()
+// agree with the model.
+//
+// Everything is a pure function of the seed: the generator uses its own
+// xorshift state, the app keeps all state in the virtual heap, and the
+// injected scripts reserve object sizes so large that no generator chunk
+// (or coalesced run of generator chunks) can ever satisfy them — script
+// objects are therefore always carved from the top chunk with
+// deterministic adjacency, and recycle each other's chunks exactly. That
+// makes every injected bug manifest deterministically whatever the
+// surrounding random layout is, which is what lets the oracle be strict.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"firstaid/internal/mmbug"
+)
+
+// OpKind enumerates chaos operations. The first six are the benign
+// vocabulary the generator (and the fuzz decoder) emits; the rest only
+// appear inside injected bug scripts.
+type OpKind uint8
+
+// Benign operations.
+const (
+	OpMalloc OpKind = iota // allocate Size bytes into Slot (auto-frees a live occupant)
+	OpFree                 // free the object in Slot (keeps the stale address)
+	OpRealloc              // resize the object in Slot to Size bytes
+	OpWrite                // fill the whole object with Pat
+	OpRead                 // read the whole object
+	OpCheck                // read the defined prefix and assert every byte == Pat
+
+	numBenignKinds = iota
+)
+
+// Injected bug operations (script-only; the wire format cannot express
+// them, so fuzz-decoded programs contain them only via a well-formed
+// script).
+const (
+	OpOverflow    OpKind = numBenignKinds + iota // write Size bytes past the object end
+	OpDangleWrite                                // write Pat through the slot's stale pointer
+	OpDangleRead                                 // read through the stale pointer, assert the old Pat
+	OpDoubleFree                                 // free the stale pointer again
+	OpUninitRead                                 // read a never-written object, assert zero
+
+	numOpKinds
+)
+
+var kindNames = [numOpKinds]string{
+	"malloc", "free", "realloc", "write", "read", "check",
+	"overflow", "dangle-write", "dangle-read", "double-free", "uninit-read",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// Op is one chaos operation. It maps 1:1 onto a replay.Event (Kind = the
+// op-kind name, N = Slot, Data = "size,pat,site"), so chaos programs flow
+// unchanged through the offline log, streaming Ingest and the fleet's
+// JSON front-end.
+type Op struct {
+	Kind OpKind
+	Slot uint8 // slot-table index
+	Site uint8 // call-site family
+	Size uint32
+	Pat  byte
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%s slot=%d site=%d size=%d pat=%#02x", o.Kind, o.Slot, o.Site, o.Size, o.Pat)
+}
+
+// Geometry shared by the generator, the app, the model and the fuzz
+// decoder. Generator traffic is confined to the first GenSlots slots,
+// GenSites site families and small sizes; injected scripts own the
+// remaining slots and sites, and reserved sizes so large that the
+// generator's whole footprint (MaxOps chunks of at most
+// maxGenSize+overhead bytes, ~36 KiB) cannot coalesce into a chunk that
+// would satisfy them.
+const (
+	GenSlots  = 32 // slots the generator uses
+	NumSlots  = 36 // + 4 script slots
+	GenSites  = 8  // site families the generator uses
+	NumSites  = 12 // + 4 script site families
+	slotBytes = 16 // table entry: addr, size, defined, pat|stale
+
+	MinGenSize = 8   // smallest generator object
+	MaxGenSize = 200 // largest generator object
+	MaxOps     = 160 // hard cap on benign ops per program
+
+	sizeVictim = 48000 // overflow victim
+	sizeGuard  = 52000 // overflow guard, adjacent to the victim
+	sizeDangle = 56000 // dangling/double-free object and its recycler
+	sizePin    = 60000 // pins bracketing a to-be-freed object
+	sizeUninit = 64000 // uninitialized-read object and the dirtying ancestor
+
+	overflowDelta  = 48 // bytes written past the victim: smashes the guard's boundary tag and header
+	dangleWriteLen = 32 // bytes written through the stale pointer
+	probeLen       = 8  // bytes read by dangle-read/uninit-read asserts
+)
+
+// Script slot indices (outside the generator's range).
+const (
+	slotScript0 = GenSlots + iota
+	slotScript1
+	slotScript2
+	slotScript3
+)
+
+// Script site families (outside the generator's range). Patches diagnosed
+// from an injected bug land exactly on these families.
+const (
+	siteScriptAlloc = GenSites + iota // the buggy object's allocation site
+	siteScriptAux                     // guards, pins, recyclers
+	siteScriptFree                    // the buggy (first) free site
+	siteScriptFree2                   // the re-free site of a double free
+)
+
+// Fixed script fill patterns. They only need to be mutually distinct and
+// non-zero; fixing them keeps decoded fuzz programs deterministic without
+// a seed.
+const (
+	patVictim  = 0x5A
+	patGuard   = 0x69
+	patDangled = 0x3C
+	patRecycle = 0x7E
+	patStale   = 0x99
+	patPin     = 0x24
+)
+
+// Program is one chaos workload: a benign op stream with at most one bug
+// script injected at InjectAt. Ops() expands it to the executable stream.
+type Program struct {
+	Seed     uint64     // generator seed; 0 for fuzz-decoded programs
+	Class    mmbug.Type // injected ground truth (None = benign)
+	InjectAt int        // script insertion index into Benign (clamped to [0, len])
+	Benign   []Op
+}
+
+// Script returns the injection script for a bug class: the op sequence
+// that plants exactly one deterministic instance of the bug using the
+// reserved slots, sites and sizes.
+func Script(class mmbug.Type) []Op {
+	switch class {
+	case mmbug.BufferOverflow:
+		// Victim and guard are carved from the top chunk back to back
+		// (no smaller free region can serve their reserved sizes), so
+		// the overflow smashes the guard's boundary tag, allocator
+		// header and leading content; the check assert trips on the
+		// content. Under the padding patch the delta lands in the
+		// victim's own back padding and the guard survives.
+		return []Op{
+			{Kind: OpMalloc, Slot: slotScript0, Site: siteScriptAlloc, Size: sizeVictim, Pat: patVictim},
+			{Kind: OpMalloc, Slot: slotScript1, Site: siteScriptAux, Size: sizeGuard, Pat: patGuard},
+			{Kind: OpWrite, Slot: slotScript0, Site: siteScriptAlloc, Pat: patVictim},
+			{Kind: OpWrite, Slot: slotScript1, Site: siteScriptAux, Pat: patGuard},
+			{Kind: OpOverflow, Slot: slotScript0, Site: siteScriptAlloc, Size: overflowDelta, Pat: patVictim},
+			{Kind: OpCheck, Slot: slotScript1, Site: siteScriptAux, Pat: patGuard},
+		}
+	case mmbug.DanglingWrite:
+		// Pins on both sides keep the freed chunk from coalescing, so
+		// the recycler reuses exactly the dangled address; the stale
+		// write then corrupts the recycler and its check trips. Under
+		// the delay-free patch the chunk is not recycled and the stale
+		// write is absorbed.
+		return []Op{
+			{Kind: OpMalloc, Slot: slotScript0, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpMalloc, Slot: slotScript1, Site: siteScriptAlloc, Size: sizeDangle, Pat: patDangled},
+			{Kind: OpMalloc, Slot: slotScript2, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpWrite, Slot: slotScript1, Site: siteScriptAlloc, Pat: patDangled},
+			{Kind: OpFree, Slot: slotScript1, Site: siteScriptFree},
+			{Kind: OpMalloc, Slot: slotScript3, Site: siteScriptAux, Size: sizeDangle, Pat: patRecycle},
+			{Kind: OpWrite, Slot: slotScript3, Site: siteScriptAux, Pat: patRecycle},
+			{Kind: OpDangleWrite, Slot: slotScript1, Site: siteScriptFree, Pat: patStale},
+			{Kind: OpCheck, Slot: slotScript3, Site: siteScriptAux, Pat: patRecycle},
+		}
+	case mmbug.DanglingRead:
+		// Same recycle construction; the stale read asserts the old
+		// pattern and finds the recycler's instead. Delay-free (without
+		// canary fill) preserves the contents, so the patched timeline
+		// passes.
+		return []Op{
+			{Kind: OpMalloc, Slot: slotScript0, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpMalloc, Slot: slotScript1, Site: siteScriptAlloc, Size: sizeDangle, Pat: patDangled},
+			{Kind: OpMalloc, Slot: slotScript2, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpWrite, Slot: slotScript1, Site: siteScriptAlloc, Pat: patDangled},
+			{Kind: OpFree, Slot: slotScript1, Site: siteScriptFree},
+			{Kind: OpMalloc, Slot: slotScript3, Site: siteScriptAux, Size: sizeDangle, Pat: patRecycle},
+			{Kind: OpWrite, Slot: slotScript3, Site: siteScriptAux, Pat: patRecycle},
+			{Kind: OpDangleRead, Slot: slotScript1, Site: siteScriptFree},
+		}
+	case mmbug.DoubleFree:
+		// The re-free hands the stale user pointer straight to the raw
+		// allocator, which reads the extension header's flags word as an
+		// insane chunk size and aborts. Under delay-free the parameter
+		// check blocks the re-free.
+		return []Op{
+			{Kind: OpMalloc, Slot: slotScript0, Site: siteScriptAlloc, Size: sizeDangle, Pat: patDangled},
+			{Kind: OpWrite, Slot: slotScript0, Site: siteScriptAlloc, Pat: patDangled},
+			{Kind: OpFree, Slot: slotScript0, Site: siteScriptFree},
+			{Kind: OpDoubleFree, Slot: slotScript0, Site: siteScriptFree2},
+		}
+	case mmbug.UninitRead:
+		// An ancestor dirties the reserved chunk and dies; the reader
+		// recycles it without writing and asserts zeroed content. Under
+		// the zero-fill patch the fresh allocation really is zero.
+		return []Op{
+			{Kind: OpMalloc, Slot: slotScript0, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpMalloc, Slot: slotScript1, Site: siteScriptAux, Size: sizeUninit, Pat: patDangled},
+			{Kind: OpMalloc, Slot: slotScript2, Site: siteScriptAux, Size: sizePin, Pat: patPin},
+			{Kind: OpWrite, Slot: slotScript1, Site: siteScriptAux, Pat: patDangled},
+			{Kind: OpFree, Slot: slotScript1, Site: siteScriptFree},
+			{Kind: OpMalloc, Slot: slotScript1, Site: siteScriptAlloc, Size: sizeUninit},
+			{Kind: OpUninitRead, Slot: slotScript1, Site: siteScriptAlloc},
+		}
+	}
+	return nil
+}
+
+// Ops expands the program into its executable operation stream: the benign
+// ops with the class script spliced in at InjectAt.
+func (p *Program) Ops() []Op {
+	script := Script(p.Class)
+	at := p.InjectAt
+	if at < 0 {
+		at = 0
+	}
+	if at > len(p.Benign) {
+		at = len(p.Benign)
+	}
+	out := make([]Op, 0, len(p.Benign)+len(script))
+	out = append(out, p.Benign[:at]...)
+	out = append(out, script...)
+	out = append(out, p.Benign[at:]...)
+	return out
+}
+
+// String renders the decoded program — part of every failure report, so a
+// failing seed reproduces and shrinks trivially.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos program seed=%#x class=%v inject-at=%d (%d benign ops)\n",
+		p.Seed, p.Class, p.InjectAt, len(p.Benign))
+	for i, op := range p.Ops() {
+		marker := "  "
+		if s := len(Script(p.Class)); s > 0 && i >= p.injectClamped() && i < p.injectClamped()+s {
+			marker = "* " // injected
+		}
+		fmt.Fprintf(&b, "%s#%-3d %v\n", marker, i, op)
+	}
+	return b.String()
+}
+
+func (p *Program) injectClamped() int {
+	at := p.InjectAt
+	if at < 0 {
+		at = 0
+	}
+	if at > len(p.Benign) {
+		at = len(p.Benign)
+	}
+	return at
+}

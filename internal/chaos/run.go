@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// Mode selects how the program is driven through First-Aid. The same
+// program must yield the same oracle verdict and diagnosis in every mode
+// — that equivalence is itself one of the harness's assertions.
+type Mode int
+
+const (
+	// ModeSync replays the pre-recorded log with inline validation.
+	ModeSync Mode = iota
+	// ModeParallel replays the pre-recorded log with parallel (cloned
+	// machine, separate goroutine) patch validation.
+	ModeParallel
+	// ModeStream feeds events one at a time through Supervisor.Ingest,
+	// the live front-end path.
+	ModeStream
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeParallel:
+		return "parallel"
+	case ModeStream:
+		return "stream"
+	}
+	return "invalid"
+}
+
+// RunConfig parameterises one chaos run.
+type RunConfig struct {
+	Seed  uint64
+	Class mmbug.Type
+	Ops   int // benign op budget (default 110, clamped to MaxOps)
+	Mode  Mode
+	// TamperNoCoalesce deliberately breaks the allocator (coalescing
+	// disabled) so tests can prove the oracle notices — a run with this
+	// set MUST fail.
+	TamperNoCoalesce bool
+	// Machine overrides the machine configuration (zero value = defaults).
+	Machine core.MachineConfig
+}
+
+// FindingSummary is one diagnosed bug rendered mode-independently: the
+// class plus its patch sites as stable stack-key strings, sorted.
+type FindingSummary struct {
+	Class mmbug.Type
+	Sites []string
+}
+
+// RecoverySummary distils one recovery episode into the facts that must
+// be identical across execution modes.
+type RecoverySummary struct {
+	Event    int // failing event sequence number
+	Fault    string
+	Nondet   bool
+	Skipped  bool
+	Findings []FindingSummary
+}
+
+// Outcome is the result of one chaos run.
+type Outcome struct {
+	Prog       *Program
+	Mode       Mode
+	Stats      core.Stats
+	Recoveries []RecoverySummary
+	OracleErr  error
+}
+
+// OK reports whether the differential oracle accepted the final state.
+func (o *Outcome) OK() bool { return o.OracleErr == nil }
+
+// DiagnosedClasses returns the distinct bug classes diagnosed across all
+// recoveries, in mmbug order.
+func (o *Outcome) DiagnosedClasses() []mmbug.Type {
+	seen := map[mmbug.Type]bool{}
+	for _, rec := range o.Recoveries {
+		for _, f := range rec.Findings {
+			seen[f.Class] = true
+		}
+	}
+	var out []mmbug.Type
+	for _, b := range mmbug.All {
+		if seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Verdict renders the full failure report: seed, stats, every recovery's
+// diagnosis, the oracle error, and the decoded program — everything
+// needed to replay and shrink from a single uint64.
+func (o *Outcome) Verdict() string {
+	var b strings.Builder
+	oracle := "PASS"
+	if o.OracleErr != nil {
+		oracle = "FAIL: " + o.OracleErr.Error()
+	}
+	fmt.Fprintf(&b, "chaos run mode=%s seed=%#x class=%v: events=%d failures=%d recoveries=%d skipped=%d\n",
+		o.Mode, o.Prog.Seed, o.Prog.Class, o.Stats.Events, o.Stats.Failures, o.Stats.Recoveries, o.Stats.Skipped)
+	for _, rec := range o.Recoveries {
+		fmt.Fprintf(&b, "  recovery at event #%d fault=%s", rec.Event, rec.Fault)
+		switch {
+		case rec.Nondet:
+			b.WriteString(" -> nondeterministic")
+		case rec.Skipped:
+			b.WriteString(" -> skipped")
+		}
+		for _, f := range rec.Findings {
+			fmt.Fprintf(&b, " %v@%s", f.Class, strings.Join(f.Sites, "|"))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  oracle: %s\n", oracle)
+	b.WriteString(o.Prog.String())
+	return b.String()
+}
+
+// Run generates the program for a seed and runs it under the oracle.
+func Run(cfg RunConfig) *Outcome {
+	return RunProgram(Generate(cfg.Seed, cfg.Class, cfg.Ops), cfg)
+}
+
+// RunProgram drives an explicit program (fuzz-decoded or generated)
+// through a fresh supervised machine in the configured mode, then applies
+// the differential oracle to the final state.
+func RunProgram(prog *Program, cfg RunConfig) *Outcome {
+	scfg := core.Config{
+		Machine:            cfg.Machine,
+		ParallelValidation: cfg.Mode == ModeParallel,
+	}
+	var sup *core.Supervisor
+	var stats core.Stats
+	if cfg.Mode == ModeStream {
+		sup = core.NewSupervisor(&App{Class: prog.Class}, replay.NewLog(), scfg)
+		if cfg.TamperNoCoalesce {
+			sup.M.Heap.SetNoCoalesce(true)
+		}
+		for _, op := range prog.Ops() {
+			kind, data, n := op.Event()
+			sup.Ingest(kind, data, n)
+		}
+		stats = sup.Finish()
+	} else {
+		log := replay.NewLog()
+		prog.AppendTo(log)
+		sup = core.NewSupervisor(&App{Class: prog.Class}, log, scfg)
+		if cfg.TamperNoCoalesce {
+			sup.M.Heap.SetNoCoalesce(true)
+		}
+		stats = sup.Run()
+	}
+
+	out := &Outcome{Prog: prog, Mode: cfg.Mode, Stats: stats}
+	for _, rec := range sup.Recoveries {
+		s := RecoverySummary{
+			Event:   rec.Fault.Event,
+			Fault:   rec.Fault.Kind.String(),
+			Nondet:  rec.Result.Nondeterministic,
+			Skipped: rec.Skipped,
+		}
+		for _, fd := range rec.Result.Findings {
+			fs := FindingSummary{Class: fd.Bug}
+			for _, site := range fd.Sites {
+				key := sup.M.SiteKey(site)
+				fs.Sites = append(fs.Sites, strings.Join(key[:], "/"))
+			}
+			sort.Strings(fs.Sites)
+			s.Findings = append(s.Findings, fs)
+		}
+		sort.Slice(s.Findings, func(i, j int) bool { return s.Findings[i].Class < s.Findings[j].Class })
+		out.Recoveries = append(out.Recoveries, s)
+	}
+	out.OracleErr = CheckSupervisor(sup)
+	return out
+}
+
+// CheckSupervisor runs the differential oracle against a finished
+// supervised run: it decodes the op stream back out of the supervisor's
+// own log, replays it through the shadow model (minus the events the
+// supervisor dropped), and compares the machine's final state.
+func CheckSupervisor(sup *core.Supervisor) error {
+	skipped := map[int]bool{}
+	for _, rec := range sup.Recoveries {
+		if rec.Skipped && rec.Fault != nil {
+			skipped[rec.Fault.Event] = true
+		}
+	}
+	model := RunModel(OpsFromLog(sup.Log()), skipped)
+	return CheckMachine(sup.M, model)
+}
+
+// CheckMachine asserts that a machine's final state agrees with the
+// model: allocator invariants hold, the slot table matches slot for slot,
+// every live slot is backed by a live allocator object of the right size
+// whose defined prefix holds the expected pattern, and no extra objects
+// exist.
+func CheckMachine(m *core.Machine, model *Model) error {
+	if err := m.Heap.CheckInvariants(); err != nil {
+		return fmt.Errorf("allocator invariants violated: %w", err)
+	}
+	table := m.Proc.RootAddr(rootTable)
+	if table == 0 {
+		return errors.New("slot-table root register lost")
+	}
+	live := 0
+	for i := 0; i < NumSlots; i++ {
+		base := table + vmem.Addr(i)*slotBytes
+		var word [4]uint32
+		for j := range word {
+			v, err := m.Mem.ReadU32(base + vmem.Addr(4*j))
+			if err != nil {
+				return fmt.Errorf("slot %d: table unreadable: %w", i, err)
+			}
+			word[j] = v
+		}
+		got := entry{
+			addr:    vmem.Addr(word[0]),
+			size:    word[1],
+			defined: word[2],
+			pat:     byte(word[3]),
+			stale:   word[3]&staleBit != 0,
+		}
+		want := model.Slots[i]
+		if (got.addr != 0) != want.Allocated || (want.Allocated && got.stale != want.Stale) {
+			return fmt.Errorf("slot %d: machine has %s, model has %s", i, describe(got), want)
+		}
+		if !want.Allocated {
+			continue
+		}
+		if got.size != want.Size || got.defined != want.Defined || got.pat != want.Pat {
+			return fmt.Errorf("slot %d: machine has %s, model has %s", i, describe(got), want)
+		}
+		if !got.live() {
+			continue
+		}
+		live++
+		obj, ok := m.Ext.Object(got.addr)
+		if !ok || obj.Delayed {
+			return fmt.Errorf("slot %d: no live allocator object at %#x", i, got.addr)
+		}
+		if obj.UserSize != got.size {
+			return fmt.Errorf("slot %d: allocator object is %d bytes, table says %d",
+				i, obj.UserSize, got.size)
+		}
+		if got.defined > 0 {
+			data, err := m.Mem.Read(got.addr, int(got.defined))
+			if err != nil {
+				return fmt.Errorf("slot %d: contents unreadable: %w", i, err)
+			}
+			for j, b := range data {
+				if b != got.pat {
+					return fmt.Errorf("slot %d: byte %d is %#02x, want pattern %#02x",
+						i, j, b, got.pat)
+				}
+			}
+		}
+	}
+	// Exactly the live slots plus the table itself may be live objects.
+	if got := m.Ext.LiveObjects(); got != live+1 {
+		return fmt.Errorf("%d live allocator objects, want %d (table + %d live slots)",
+			got, live+1, live)
+	}
+	return nil
+}
+
+func describe(e entry) string {
+	switch {
+	case e.addr == 0:
+		return "empty"
+	case e.stale:
+		return fmt.Sprintf("stale size=%d pat=%#02x", e.size, e.pat)
+	default:
+		return fmt.Sprintf("live size=%d defined=%d pat=%#02x", e.size, e.defined, e.pat)
+	}
+}

@@ -35,7 +35,7 @@ func TestMallocOOMPropagates(t *testing.T) {
 	if _, err := h.Malloc(16 * 1024); err != nil {
 		t.Fatalf("allocation after recovery from OOM: %v", err)
 	}
-	if err := h.CheckIntegrity(); err != nil {
+	if err := h.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +68,7 @@ func TestFreeListSurvivesHeavyFragmentation(t *testing.T) {
 	if h.Footprint() != footBefore {
 		t.Fatalf("footprint grew from %d to %d despite perfect holes", footBefore, h.Footprint())
 	}
-	if err := h.CheckIntegrity(); err != nil {
+	if err := h.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -92,7 +92,7 @@ func TestSplitRemainderIsUsable(t *testing.T) {
 	if b < big || b > big+1100 {
 		t.Fatalf("remainder not reused: %#x", b)
 	}
-	if err := h.CheckIntegrity(); err != nil {
+	if err := h.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +115,7 @@ func TestZeroAndTinyChunksNeverOverlapMetadata(t *testing.T) {
 			t.Fatalf("free of tiny object: %v", err)
 		}
 	}
-	if err := h.CheckIntegrity(); err != nil {
+	if err := h.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

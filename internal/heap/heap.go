@@ -165,6 +165,12 @@ type Heap struct {
 	st  State
 	met metrics
 	trc trace.Emitter
+
+	// noCoalesce disables free-chunk coalescing — a deliberate allocator
+	// fault injected by tests to prove CheckInvariants has teeth. It is
+	// not part of State: a broken allocator is a harness-level defect,
+	// not program state to checkpoint. See SetNoCoalesce.
+	noCoalesce bool
 }
 
 // SetMetrics wires the allocator to a telemetry registry (nil detaches).
@@ -500,10 +506,19 @@ func (h *Heap) Malloc(n uint32) (vmem.Addr, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Account the granted chunk size, not the request: an imperfect bin
+	// fit (remainder < MinChunk) hands out a chunk up to MinChunk-1 bytes
+	// larger than req, and Free debits the granted size — crediting req
+	// here made LiveBytes drift low on every such recycle (found by the
+	// chaos harness's accounting invariant; see CheckInvariants).
+	granted, _, err := h.readHeader(c)
+	if err != nil {
+		return 0, err
+	}
 	h.st.NMalloc++
 	h.met.mallocs.Inc()
-	h.met.allocBytes.Add(uint64(req - headerLen))
-	h.st.LiveBytes += uint64(req - headerLen)
+	h.met.allocBytes.Add(uint64(granted - headerLen))
+	h.st.LiveBytes += uint64(granted - headerLen)
 	if h.st.LiveBytes > h.st.PeakBytes {
 		h.st.PeakBytes = h.st.LiveBytes
 	}
@@ -735,7 +750,7 @@ func (h *Heap) Free(p vmem.Addr) error {
 	start, total := c, size
 
 	// Backward coalesce.
-	if flags&pinuse == 0 {
+	if flags&pinuse == 0 && !h.noCoalesce {
 		prevSize, err := h.mem.ReadU32(c)
 		if err != nil {
 			return &CorruptError{Addr: c, Detail: "prev_size unreadable"}
@@ -757,27 +772,8 @@ func (h *Heap) Free(p vmem.Addr) error {
 
 	// Forward coalesce (with a free successor or the top chunk).
 	next := c + size
-	if next == h.st.Top {
-		_, sflags, err := h.readHeader(start)
-		if err != nil {
-			return err
-		}
-		h.st.Top = start
-		h.st.TopSize += total
-		return h.writeHeader(start, h.st.TopSize, sflags&pinuse)
-	}
-	nsize, nflags, err := h.checkedHeader(next)
-	if err != nil {
-		return err
-	}
-	if nflags&cinuse == 0 {
-		if err := h.unlink(next, nsize); err != nil {
-			return err
-		}
-		total += nsize
-		if start+total == h.st.Top {
-			// Merged through to the top chunk's predecessor; if the
-			// merged region now borders top, fold into top.
+	if !h.noCoalesce {
+		if next == h.st.Top {
 			_, sflags, err := h.readHeader(start)
 			if err != nil {
 				return err
@@ -785,6 +781,27 @@ func (h *Heap) Free(p vmem.Addr) error {
 			h.st.Top = start
 			h.st.TopSize += total
 			return h.writeHeader(start, h.st.TopSize, sflags&pinuse)
+		}
+		nsize, nflags, err := h.checkedHeader(next)
+		if err != nil {
+			return err
+		}
+		if nflags&cinuse == 0 {
+			if err := h.unlink(next, nsize); err != nil {
+				return err
+			}
+			total += nsize
+			if start+total == h.st.Top {
+				// Merged through to the top chunk's predecessor; if the
+				// merged region now borders top, fold into top.
+				_, sflags, err := h.readHeader(start)
+				if err != nil {
+					return err
+				}
+				h.st.Top = start
+				h.st.TopSize += total
+				return h.writeHeader(start, h.st.TopSize, sflags&pinuse)
+			}
 		}
 	}
 

@@ -1,0 +1,188 @@
+package heap
+
+import (
+	"fmt"
+
+	"firstaid/internal/vmem"
+)
+
+// SetNoCoalesce disables free-chunk coalescing — a deliberate allocator
+// fault. The chaos harness flips it to prove the differential oracle has
+// teeth: a heap growing adjacent free chunks must fail CheckInvariants.
+// Never enable it outside tests.
+func (h *Heap) SetNoCoalesce(on bool) { h.noCoalesce = on }
+
+// CheckInvariants is the strong allocator consistency walker the chaos
+// oracle runs after every recovery. It subsumes CheckIntegrity (boundary
+// tags, PINUSE pairing, the no-adjacent-free invariant) and additionally
+// validates:
+//
+//   - the footer of every free chunk (next.prev_size == size), which
+//     backward coalescing depends on;
+//   - free-list consistency: every chunk linked from a small bin or the
+//     large list is a free chunk discovered by the address-order walk,
+//     appears in exactly one bin, carries the exact size of its small bin,
+//     and has mutually consistent fd/bk links (large list sorted by size);
+//   - set equality: every free chunk (top excluded) is reachable from a
+//     bin, so no free memory has leaked out of the allocator;
+//   - the top chunk's in-heap header against the Go-side state;
+//   - byte accounting: LiveBytes equals the payload capacity of the
+//     in-use chunks plus the live mmapped regions (skipped in randomized
+//     validation mode, whose deliberate spacer leaks are unaccounted);
+//   - every Mmapped entry still has a live vmem mapping of its length.
+//
+// It returns nil when the heap is sound.
+func (h *Heap) CheckInvariants() error {
+	if err := h.CheckIntegrity(); err != nil {
+		return err
+	}
+	if !h.st.Init {
+		return h.checkMmapped()
+	}
+
+	// Address-order walk: collect the free-chunk set and usage totals,
+	// checking footers as we go.
+	free := make(map[vmem.Addr]uint32) // chunk addr -> size, top excluded
+	var inUseBytes uint64
+	var walkErr error
+	err := h.Walk(func(c Chunk) bool {
+		if c.Top {
+			return true
+		}
+		if c.InUse {
+			inUseBytes += uint64(c.Size - headerLen)
+			return true
+		}
+		free[c.Addr] = c.Size
+		if next := c.Addr + c.Size; next < h.mem.Brk() {
+			ps, err := h.mem.ReadU32(next)
+			if err != nil {
+				walkErr = &CorruptError{Addr: c.Addr, Detail: "free chunk footer unreadable"}
+				return false
+			}
+			if ps != c.Size {
+				walkErr = &CorruptError{Addr: c.Addr,
+					Detail: fmt.Sprintf("free chunk footer %d disagrees with size %d", ps, c.Size)}
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if walkErr != nil {
+		return walkErr
+	}
+
+	// Top chunk: in-heap header must agree with the Go-side state.
+	tsize, tflags, err := h.readHeader(h.st.Top)
+	if err != nil {
+		return err
+	}
+	if tsize != h.st.TopSize {
+		return &CorruptError{Addr: h.st.Top,
+			Detail: fmt.Sprintf("top header size %d disagrees with state %d", tsize, h.st.TopSize)}
+	}
+	if tflags&cinuse != 0 {
+		return &CorruptError{Addr: h.st.Top, Detail: "top chunk marked in use"}
+	}
+
+	// Bin walk: every linked chunk must be free, correctly sized, linked
+	// exactly once, and back-linked consistently.
+	binned := 0
+	seen := make(map[vmem.Addr]bool, len(free))
+	checkList := func(head vmem.Addr, small bool, want uint32) error {
+		var prev vmem.Addr
+		var prevSize uint32
+		for c := head; c != 0; {
+			size, ok := free[c]
+			if !ok {
+				return &CorruptError{Addr: c, Detail: "binned chunk is not a free chunk"}
+			}
+			if seen[c] {
+				return &CorruptError{Addr: c, Detail: "free chunk linked twice"}
+			}
+			seen[c] = true
+			binned++
+			if small && size != want {
+				return &CorruptError{Addr: c,
+					Detail: fmt.Sprintf("chunk of size %d in the %d-byte bin", size, want)}
+			}
+			if !small {
+				if size <= maxSmall {
+					return &CorruptError{Addr: c,
+						Detail: fmt.Sprintf("small chunk (%d bytes) on the large list", size)}
+				}
+				if size < prevSize {
+					return &CorruptError{Addr: c, Detail: "large list out of size order"}
+				}
+			}
+			bk, err := h.bk(c)
+			if err != nil {
+				return err
+			}
+			if bk != prev {
+				return &CorruptError{Addr: c,
+					Detail: fmt.Sprintf("bk %#x disagrees with predecessor %#x", bk, prev)}
+			}
+			fd, err := h.fd(c)
+			if err != nil {
+				return err
+			}
+			prev, prevSize = c, size
+			c = fd
+		}
+		return nil
+	}
+	for i := range h.st.Small {
+		if h.st.Small[i] == 0 {
+			continue
+		}
+		want := uint32(MinChunk + align*i)
+		if err := checkList(h.st.Small[i], true, want); err != nil {
+			return err
+		}
+	}
+	if h.st.Large != 0 {
+		if err := checkList(h.st.Large, false, 0); err != nil {
+			return err
+		}
+	}
+	if binned != len(free) {
+		return &CorruptError{Addr: h.st.Start,
+			Detail: fmt.Sprintf("%d free chunk(s) in the heap but %d reachable from bins", len(free), binned)}
+	}
+
+	// Byte accounting. Randomized placement leaks deliberate spacer
+	// chunks (validation clones only, rolled back afterwards), so the
+	// equality cannot hold there.
+	if !h.st.Random {
+		var mmapBytes uint64
+		for _, n := range h.st.Mmapped {
+			mmapBytes += uint64(n)
+		}
+		if want := inUseBytes + mmapBytes; h.st.LiveBytes != want {
+			return &CorruptError{Addr: h.st.Start,
+				Detail: fmt.Sprintf("LiveBytes %d disagrees with in-use payload %d", h.st.LiveBytes, want)}
+		}
+	}
+
+	return h.checkMmapped()
+}
+
+// checkMmapped verifies each mmap-path object still has a live mapping of
+// at least its recorded length.
+func (h *Heap) checkMmapped() error {
+	for start, n := range h.st.Mmapped {
+		length, ok := h.mem.MappedRegion(start)
+		if !ok {
+			return &CorruptError{Addr: start, Detail: "mmapped object has no vmem mapping"}
+		}
+		if length < n {
+			return &CorruptError{Addr: start,
+				Detail: fmt.Sprintf("mmapped object mapping %d bytes short of %d", length, n)}
+		}
+	}
+	return nil
+}

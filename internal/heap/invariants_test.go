@@ -1,0 +1,204 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"firstaid/internal/vmem"
+)
+
+// churn drives a deterministic malloc/free/realloc-style mix and returns
+// the live pointers. CheckInvariants must hold at every step.
+func churn(t *testing.T, h *Heap, steps int) []vmem.Addr {
+	t.Helper()
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var live []vmem.Addr
+	for i := 0; i < steps; i++ {
+		if len(live) > 0 && next(3) == 0 {
+			j := int(next(uint64(len(live))))
+			if err := h.Free(live[j]); err != nil {
+				t.Fatalf("step %d: free: %v", i, err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			size := uint32(8 + next(300))
+			if next(16) == 0 {
+				size = uint32(1000 + next(8000))
+			}
+			p, err := h.Malloc(size)
+			if err != nil {
+				t.Fatalf("step %d: malloc(%d): %v", i, size, err)
+			}
+			live = append(live, p)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return live
+}
+
+func TestCheckInvariantsHoldsUnderChurn(t *testing.T) {
+	h := New(vmem.New(64 << 20))
+	live := churn(t, h, 600)
+	for _, p := range live {
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after freeing everything", h.LiveBytes())
+	}
+}
+
+// TestLiveBytesExactOnImperfectBinFit is the regression test for the
+// accounting bug the chaos harness's invariant walker surfaced: when a bin
+// recycle grants a chunk slightly larger than the request (remainder below
+// MinChunk), Malloc used to credit LiveBytes with the requested size while
+// Free debits the granted size, so the counter drifted low on every such
+// recycle.
+func TestLiveBytesExactOnImperfectBinFit(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	a, err := h.Malloc(32) // 40-byte chunk
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := h.Malloc(16) // keeps a's chunk off the top on free
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// 24 bytes wants a 32-byte chunk; the 40-byte hole is the best fit
+	// and the 8-byte remainder cannot be split off, so the whole 40-byte
+	// chunk (32 usable) is granted.
+	b, err := h.Malloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("imperfect-fit malloc did not recycle the hole: %#x vs %#x", b, a)
+	}
+	granted, err := h.UsableSize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 32 {
+		t.Fatalf("granted %d bytes, want the whole 32-byte payload", granted)
+	}
+	if want := uint64(granted + 16); h.LiveBytes() != want {
+		t.Fatalf("LiveBytes = %d, want %d (granted sizes)", h.LiveBytes(), want)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []vmem.Addr{b, guard} {
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after freeing everything", h.LiveBytes())
+	}
+}
+
+func TestCheckInvariantsDetectsCorruptedBoundaryTag(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	p, _ := h.Malloc(64)
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the in-use chunk's size word the way an overflow would.
+	if err := h.Mem().WriteU32(p-4, 0x5A5A5A5A); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckInvariants(); err == nil {
+		t.Fatal("CheckInvariants accepted a smashed boundary tag")
+	}
+}
+
+func TestCheckInvariantsDetectsBrokenFooter(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	a, _ := h.Malloc(64)
+	if _, err := h.Malloc(64); err != nil { // keeps a off the top chunk
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// a's chunk is free: its footer (next.prev_size) must equal its size.
+	chunk := a - headerLen
+	size, _, err := h.readHeader(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().WriteU32(chunk+size, size+8); err != nil {
+		t.Fatal(err)
+	}
+	err = h.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants accepted a broken free-chunk footer")
+	}
+	if !strings.Contains(err.Error(), "footer") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsMissedCoalesce(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	a, _ := h.Malloc(64)
+	b, _ := h.Malloc(64)
+	if _, err := h.Malloc(64); err != nil { // keeps b off the top chunk
+		t.Fatal(err)
+	}
+	h.SetNoCoalesce(true)
+	defer h.SetNoCoalesce(false)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	err := h.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants accepted adjacent uncoalesced free chunks")
+	}
+	if !strings.Contains(err.Error(), "adjacent free") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsUnbinnedFreeChunk(t *testing.T) {
+	h := New(vmem.New(1 << 20))
+	a, _ := h.Malloc(64)
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// Detach the chunk from its bin head without touching the heap: the
+	// walk still sees a free chunk, but no bin reaches it.
+	size, _, err := h.readHeader(a - headerLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*h.binHead(size) = 0
+	err = h.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants accepted a free chunk reachable from no bin")
+	}
+	if !strings.Contains(err.Error(), "reachable from bins") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}

@@ -34,7 +34,7 @@ func TestLargeAllocationsUseMmapPath(t *testing.T) {
 	if q >= vmem.MmapBase {
 		t.Fatalf("small allocation at %#x, expected sbrk zone", q)
 	}
-	if err := h.CheckIntegrity(); err != nil {
+	if err := h.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
