@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json fuzz-smoke
 
 # check is the tier-1 gate: build, vet, the full test suite, and the test
 # suite again under the race detector (the supervisor's parallel validation
@@ -28,6 +28,19 @@ bench:
 # bit-rotted benchmark fails the build without paying for full -benchtime.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# bench-json records the perf trajectory across PRs: the MMU/allocator
+# benchmarks (with allocation stats) and every perf guard run once, and the
+# combined output is distilled into BENCH_5.json (name → ns/op, B/op,
+# allocs/op, guard metrics), which CI uploads as an artifact. Guards run at
+# -benchtime 1x because they do their own fixed-size interleaved timing;
+# the plain benchmarks get a real sampling budget.
+bench-json:
+	{ $(GO) test -bench '^(BenchmarkSnapshot|BenchmarkRestore|BenchmarkClone|BenchmarkCloneCOW|BenchmarkWrite64|BenchmarkSnapshotRestore|BenchmarkMallocFreeThroughProc)$$' \
+		-benchmem -benchtime 0.2s -run '^$$' ./internal/vmem ./internal/proc ; \
+	  $(GO) test -bench 'Guard$$' -benchtime 1x -run '^$$' \
+		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_5.json
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
 # committed seed corpus (which plain `go test` already replays). The

@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+)
+
+// TestFastSlowPathCrossCheck is the MMU fast-path acceptance test: every
+// bug class in every execution mode is run twice — once on the fast
+// configuration (micro-TLB word accessors, COW machine clones) and once on
+// the reference configuration (SlowMemPaths: byte-path accessors, deep
+// clones) — and the rendered verdicts must be byte-identical. The verdict
+// string covers the oracle result, every recovery's fault, diagnosis sites
+// and nondeterminism flags, the run stats and the decoded program, so any
+// semantic divergence introduced by the fast paths (a missed fault, a
+// perturbed COW count shifting a checkpoint, a different patch site)
+// shows up as a diff here.
+func TestFastSlowPathCrossCheck(t *testing.T) {
+	for _, class := range mmbug.All {
+		seed := uint64(0xFA57<<8) | uint64(class)
+		for _, mode := range allModes {
+			fast := Run(RunConfig{Seed: seed, Class: class, Mode: mode})
+			slow := Run(RunConfig{Seed: seed, Class: class, Mode: mode,
+				Machine: core.MachineConfig{SlowMemPaths: true}})
+			if fast.Verdict() != slow.Verdict() {
+				t.Fatalf("class %v mode %s: fast and slow paths diverge:\nfast:\n%s\nslow:\n%s",
+					class, mode, fast.Verdict(), slow.Verdict())
+			}
+			if fast.OK() != slow.OK() {
+				t.Fatalf("class %v mode %s: oracle verdict differs", class, mode)
+			}
+		}
+	}
+}

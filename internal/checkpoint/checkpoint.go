@@ -288,7 +288,10 @@ func (m *Manager) adapt(dirty, interval uint64) {
 
 // Rollback reinstates the machine state saved in cp. The checkpoint stays
 // valid and may be rolled back to again (diagnosis re-executes from the
-// same checkpoint many times).
+// same checkpoint many times). The memory rewind is O(pages dirtied since
+// the checkpoint), not O(heap pages): vmem replays its slot journal and
+// reuses the existing page table, so the diagnose/re-execute loop pays
+// only for what it changed.
 func (m *Manager) Rollback(cp *Checkpoint) {
 	m.met.rollbacks.Inc()
 	m.trc.Emit(trace.KRollback, uint64(cp.Seq), uint64(cp.Cursor))

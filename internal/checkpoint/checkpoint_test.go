@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"runtime"
 	"testing"
 
 	"firstaid/internal/allocext"
@@ -251,5 +252,48 @@ func TestRollbackDiscardsDirtFromAbandonedTimeline(t *testing.T) {
 	// not be charged to the new checkpoint.
 	if charged := w.p.Clock() - before; charged > 4*CostPerCOWPage+costTake {
 		t.Fatalf("abandoned dirt charged: %d cycles", charged)
+	}
+}
+
+// TestRollbackIsODirty pins the O(dirty) rollback property end to end at
+// the manager level: with a 16 MiB resident heap (4096 pages) and a
+// steady-state diagnose-style loop that dirties a handful of pages per
+// iteration, the bytes allocated per rollback must stay far below the 32
+// KiB page-table slice plus mmap map that an O(pages) restore would
+// rebuild each time.
+func TestRollbackIsODirty(t *testing.T) {
+	w := newWorld(t, Config{})
+	base := w.alloc(t, 16<<20)
+	if f := proc.Catch(func() {
+		defer w.p.Enter("test")()
+		w.p.Memset(base, 0xA5, 16<<20)
+	}); f != nil {
+		t.Fatal(f)
+	}
+	cp := w.mgr.Take()
+	loop := func(n int) {
+		for i := 0; i < n; i++ {
+			for pg := 0; pg < 8; pg++ {
+				w.mem.WriteU32(base+vmem.Addr(pg)*vmem.PageSize, uint32(i))
+			}
+			w.mgr.Rollback(cp)
+		}
+	}
+	loop(32) // steady state: freelist warm, journal capacity settled
+
+	const iters = 512
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	loop(iters)
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.TotalAlloc-before.TotalAlloc) / iters
+	if perOp > 8192 {
+		t.Fatalf("rollback allocates %.0f B/op on a 16 MiB heap; want O(dirty), not O(pages)", perOp)
+	}
+
+	// And the rollback must still be exact.
+	if v, err := w.mem.ReadU32(base); err != nil || v != 0xA5A5A5A5 {
+		t.Fatalf("heap after rollback loop: %#x, %v", v, err)
 	}
 }

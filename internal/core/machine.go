@@ -91,6 +91,12 @@ type MachineConfig struct {
 	// TraceWorker is the trace track records are attributed to — the
 	// fleet worker index, 0 for a standalone machine.
 	TraceWorker int
+	// SlowMemPaths disables the vmem fast paths (micro-TLB, aligned-word
+	// accessors) and makes Clone deep-copy every heap page instead of
+	// sharing them copy-on-write. The machine then runs on the original
+	// reference implementation — the chaos cross-check runs every seed in
+	// both configurations and asserts byte-identical outcomes.
+	SlowMemPaths bool
 }
 
 // NewMachine builds a machine for prog over the input log, runs the
@@ -102,6 +108,9 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 		cfg.MemLimit = 256 << 20
 	}
 	mem := vmem.New(cfg.MemLimit)
+	if cfg.SlowMemPaths {
+		mem.SetFastPaths(false)
+	}
 	h := heap.New(mem)
 	sites := callsite.NewTable()
 	ext := allocext.New(h, sites)
@@ -170,8 +179,10 @@ func (m *Machine) TraceClock() uint64 {
 	return m.simNow
 }
 
-// Clone returns a fully independent copy of the machine in its current
-// state: deep-copied memory, allocator, extension, process registers,
+// Clone returns an independent copy of the machine in its current state:
+// memory shared copy-on-write with the parent (cloning is O(page-table
+// pointers), the paper's fork-style snapshot — deep page copies only under
+// SlowMemPaths), plus cloned allocator, extension, process registers,
 // call-site table and replay log. The clone can run on another goroutine —
 // the substrate of the paper's parallel patch validation ("on a different
 // processor core based on a snapshot of the program"). The Program instance
@@ -179,7 +190,12 @@ func (m *Machine) TraceClock() uint64 {
 // every mutable byte in the virtual heap). Patches are NOT attached; attach
 // a frozen source with SetPatches.
 func (m *Machine) Clone() *Machine {
-	mem := m.Mem.Clone()
+	var mem *vmem.Space
+	if m.cfg.SlowMemPaths {
+		mem = m.Mem.Clone()
+	} else {
+		mem = m.Mem.CloneCOW()
+	}
 	h := heap.New(mem)
 	h.SetState(m.Heap.State())
 	sites := m.Proc.Sites.Clone()

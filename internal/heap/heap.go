@@ -265,6 +265,13 @@ func (h *Heap) PeakBytes() uint64 { return h.st.PeakBytes }
 func (h *Heap) Counts() (mallocs, frees uint64) { return h.st.NMalloc, h.st.NFree }
 
 // --- header helpers -------------------------------------------------------
+//
+// Every boundary-tag and free-list access below goes through
+// vmem.ReadU32/WriteU32 at a 4-aligned address: chunks are 8-aligned and
+// headerLen is 8, so headers, footers and the fd/bk link words all land on
+// word boundaries. That keeps the allocator's entire metadata traffic on
+// the vmem aligned-word fast path (micro-TLB hit: bounds check plus a
+// direct 4-byte load/store) — the single hottest path in the simulator.
 
 func (h *Heap) readHeader(c vmem.Addr) (size uint32, flags uint32, err error) {
 	w, err := h.mem.ReadU32(c + 4)

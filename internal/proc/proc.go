@@ -154,6 +154,16 @@ type Proc struct {
 	stack   []frame
 	st      State
 	trc     trace.Emitter
+
+	// siteKey/siteID memoize the last interned call-site: allocation
+	// bursts issue from the same call chain back to back, and the frame
+	// strings are shared literals, so the key comparison is three
+	// pointer-equal string checks — no map hash, no []string copy.
+	siteKey callsite.Key
+	siteID  callsite.ID
+	// siteMemoOff disables the memo (guard benchmarks measure the
+	// un-memoized reference path against the live one).
+	siteMemoOff bool
 }
 
 // New creates a process over mem whose memory requests go to mm. The
@@ -252,7 +262,17 @@ func (p *Proc) Instr() string {
 
 // Site interns the current 3-level call-site.
 func (p *Proc) Site() callsite.ID {
-	return p.Sites.Intern(callsite.FromStack(p.Stack()))
+	var k callsite.Key
+	n := len(p.stack)
+	for i := 0; i < callsite.Depth && i < n; i++ {
+		k[i] = p.stack[n-1-i].fn
+	}
+	if !p.siteMemoOff && k == p.siteKey && p.siteID != 0 {
+		return p.siteID
+	}
+	id := p.Sites.Intern(k)
+	p.siteKey, p.siteID = k, id
+	return id
 }
 
 // --- faults ------------------------------------------------------------------

@@ -3,6 +3,7 @@ package proc
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"firstaid/internal/callsite"
 	"firstaid/internal/heap"
@@ -260,9 +261,74 @@ func BenchmarkMallocFreeThroughProc(b *testing.B) {
 	p := newProc(b)
 	pop := p.Enter("bench")
 	defer pop()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := p.Malloc(uint32(16 + i%128))
 		p.Free(a)
+	}
+}
+
+// BenchmarkMallocFreeSpeedupGuard enforces this PR's headline acceptance
+// number in-process: the malloc/free hot path with the vmem fast paths
+// (micro-TLB word accessors) and the call-site memo must be ≥ 1.5× faster
+// than the pre-PR reference path, reconstructed by disabling both. Like
+// the repo's other guard benchmarks it times fixed-size runs directly,
+// interleaves reference/fast rounds, takes the best of each to shed
+// scheduler noise, and re-measures once before failing.
+func BenchmarkMallocFreeSpeedupGuard(b *testing.B) {
+	const (
+		target = 1.5
+		ops    = 200_000
+		rounds = 5
+	)
+
+	run := func(reference bool) time.Duration {
+		mem := vmem.New(64 << 20)
+		if reference {
+			mem.SetFastPaths(false)
+		}
+		h := heap.New(mem)
+		p := New(mem, RawMM{H: h})
+		p.siteMemoOff = reference
+		pop := p.Enter("bench")
+		defer pop()
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			a := p.Malloc(uint32(16 + i%128))
+			p.Free(a)
+		}
+		return time.Since(t0)
+	}
+
+	measure := func() float64 {
+		best := func(d, prev time.Duration) time.Duration {
+			if prev == 0 || d < prev {
+				return d
+			}
+			return prev
+		}
+		var ref, fast time.Duration
+		run(true) // warmup
+		run(false)
+		for r := 0; r < rounds; r++ {
+			ref = best(run(true), ref)
+			fast = best(run(false), fast)
+		}
+		return float64(ref) / float64(fast)
+	}
+
+	speedup := 0.0
+	for i := 0; i < b.N; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			speedup = measure()
+			if speedup >= target {
+				break
+			}
+		}
+	}
+	b.ReportMetric(speedup, "speedup-x")
+	if speedup < target {
+		b.Fatalf("malloc/free fast path is %.2fx the reference, want >= %.1fx", speedup, target)
 	}
 }

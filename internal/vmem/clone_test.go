@@ -68,3 +68,140 @@ func TestCloneIsConcurrencySafe(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestCloneKeepsBudget is the regression test for the Clone bug this PR
+// fixes: the cloned Space dropped budget (and everMapd), so the very first
+// Map in a validation clone failed with ErrOutOfMemory even though the
+// parent had hundreds of megabytes of headroom.
+func TestCloneKeepsBudget(t *testing.T) {
+	s := New(64 << 20)
+	if _, err := s.Sbrk(4 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Map(1 << 20); err != nil {
+		t.Fatalf("Map in parent: %v", err)
+	}
+	for name, c := range map[string]*Space{"deep": s.Clone(), "cow": s.CloneCOW()} {
+		a, err := c.Map(8 << 20) // a large block, well within the budget
+		if err != nil {
+			t.Fatalf("%s clone: Map(8 MiB) = %v, budget was dropped", name, err)
+		}
+		if err := c.Fill(a, 0x5A, 8<<20); err != nil {
+			t.Fatalf("%s clone: mapped block unusable: %v", name, err)
+		}
+		if c.EverMapped() < s.EverMapped() {
+			t.Fatalf("%s clone: everMapd %d < parent %d", name, c.EverMapped(), s.EverMapped())
+		}
+	}
+}
+
+func TestCloneCOWIsolation(t *testing.T) {
+	s := New(1 << 22)
+	base, _ := s.Sbrk(4 * PageSize)
+	s.Write(base, []byte("shared past"))
+
+	c := s.CloneCOW()
+	got, err := c.Read(base, 11)
+	if err != nil || string(got) != "shared past" {
+		t.Fatalf("clone contents: %q, %v", got, err)
+	}
+
+	// Divergent futures: each side COWs its own copy.
+	s.Write(base, []byte("original!!!"))
+	c.Write(base+PageSize, []byte("clone only"))
+	if g, _ := c.Read(base, 11); string(g) != "shared past" {
+		t.Fatalf("clone saw original's write: %q", g)
+	}
+	if g, _ := s.Read(base+PageSize, 10); string(g) == "clone only" {
+		t.Fatal("original saw clone's write")
+	}
+	if g, _ := s.Read(base, 11); string(g) != "original!!!" {
+		t.Fatalf("original lost its own write: %q", g)
+	}
+}
+
+// TestCloneCOWDoesNotPerturbDirtyAccounting pins the determinism property
+// the supervisor depends on: COW copies forced purely by a clone's shared
+// pages are not counted as dirty pages (and the checkpoint interval, which
+// feeds on the dirty rate, therefore cannot depend on validation-goroutine
+// lifetime).
+func TestCloneCOWDoesNotPerturbDirtyAccounting(t *testing.T) {
+	run := func(clone bool) uint64 {
+		s := New(1 << 22)
+		base, _ := s.Sbrk(16 * PageSize)
+		snap := s.Snapshot()
+		defer snap.Release()
+		s.TakeDirty()
+		if clone {
+			_ = s.CloneCOW()
+		}
+		for pg := 0; pg < 8; pg++ {
+			s.WriteU32(base+Addr(pg*PageSize), 1)
+		}
+		return s.TakeDirty()
+	}
+	without, with := run(false), run(true)
+	if without != with {
+		t.Fatalf("dirty count depends on a live clone: %d without, %d with", without, with)
+	}
+	if without != 8 {
+		t.Fatalf("dirty count = %d, want 8", without)
+	}
+}
+
+// TestCOWCloneStress is the -race stress test for the COW protocol: N
+// clones write into shared pages (and snapshot/restore on their own) while
+// the parent dirties the same pages and cycles snapshots. Every space must
+// end with exactly the bytes it wrote.
+func TestCOWCloneStress(t *testing.T) {
+	const (
+		clones = 4
+		pages  = 32
+		iters  = 1500
+	)
+	s := New(1 << 22)
+	base, _ := s.Sbrk(pages * PageSize)
+	s.Fill(base, 0xEE, pages*PageSize)
+
+	work := make([]*Space, clones)
+	for i := range work {
+		work[i] = s.CloneCOW()
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range work {
+		wg.Add(1)
+		go func(id byte, c *Space) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				a := base + Addr(i%pages)*PageSize + Addr(4*(int(id)+1))
+				c.WriteU32(a, uint32(id)<<24|uint32(i))
+				if i%64 == 0 {
+					snap := c.Snapshot()
+					c.WriteU32(a, 0xDDDDDDDD)
+					c.Restore(snap)
+					snap.Release()
+				}
+				if v, err := c.ReadU32(a); err != nil || v != uint32(id)<<24|uint32(i) {
+					t.Errorf("clone %d: read back %#x, %v", id, v, err)
+					return
+				}
+			}
+		}(byte(i), c)
+	}
+	// The parent cycles snapshots and restores while the clones run.
+	for i := 0; i < iters; i++ {
+		snap := s.Snapshot()
+		s.WriteU32(base+Addr(i%pages)*PageSize, uint32(i))
+		if i%3 == 0 {
+			s.Restore(snap)
+		}
+		snap.Release()
+	}
+	wg.Wait()
+	for i := 0; i < pages; i++ {
+		if v, err := s.ReadU32(base + Addr(i)*PageSize + 2048); err != nil || v != 0xEEEEEEEE {
+			t.Fatalf("parent page %d tail: %#x, %v (clone write leaked)", i, v, err)
+		}
+	}
+}

@@ -9,11 +9,34 @@
 // cost is proportional to the number of pages dirtied since the previous
 // snapshot — exactly the fork/COW behaviour of the Flashback kernel module
 // used by the paper.
+//
+// # Fast paths
+//
+// The Space is the hot path under every boundary-tag operation of the
+// allocator, so the word accessors are engineered like a software MMU:
+//
+//   - a micro-TLB caches the last translation (page number → exclusively
+//     owned, writable page data), so an aligned ReadU32/WriteU32 on an
+//     already-writable page is a bounds check and a direct 4-byte
+//     load/store — no mapped() range scan, no per-byte loop;
+//   - page reference counts are atomic, which makes CloneCOW possible: a
+//     clone shares every page with its parent and copies only on write, so
+//     handing a machine snapshot to a validation goroutine is O(page-table
+//     pointers) instead of O(heap bytes);
+//   - Restore is O(pages changed since the snapshot): an append-only slot
+//     journal records every page-table mutation while snapshots are live,
+//     and Restore replays only the journal tail, reusing the existing page
+//     table and mmap map instead of reallocating them;
+//   - a small page freelist recycles page frames whose refcount hits zero,
+//     so the COW copies of a diagnose/rollback loop stop hammering the Go
+//     allocator.
 package vmem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"firstaid/internal/trace"
 )
@@ -62,12 +85,19 @@ func (e *AccessError) Error() string {
 // Unwrap reports the underlying sentinel so errors.Is(err, ErrUnmapped) works.
 func (e *AccessError) Unwrap() error { return ErrUnmapped }
 
-// page is a unit of COW sharing. refs counts how many page tables (the live
-// Space plus outstanding Snapshots) reference the data; a write through a
+// page is a unit of COW sharing. refs counts how many page tables (live
+// Spaces plus outstanding Snapshots) reference the data; a write through a
 // page with refs > 1 first copies it.
+//
+// refs is atomic because pages are shared across Spaces by CloneCOW: the
+// parent machine and its validation clones COW-fault on the same pages from
+// different goroutines. The COW protocol keeps that race-clean: a copier
+// finishes reading p.data BEFORE dropping its reference, and a writer
+// mutates p.data in place only after observing refs == 1 — the atomic
+// decrement/load pair orders the copy's reads before the in-place writes.
 type page struct {
 	data []byte
-	refs int32
+	refs atomic.Int32
 }
 
 // MmapBase is the address at which Map-managed regions begin. The break
@@ -75,9 +105,14 @@ type page struct {
 // zone is ample once the allocator diverts big blocks to Map.
 const MmapBase Addr = 0x0200_0000
 
+// freelistCap bounds the per-Space page freelist (256 frames = 1 MiB).
+// Frames beyond the cap fall back to the garbage collector.
+const freelistCap = 256
+
 // Space is a virtual address space. It is not safe for concurrent use; the
 // simulated machine is single-threaded, as were the paper's per-process
-// runtimes.
+// runtimes. Distinct Spaces that share pages via CloneCOW may run on
+// different goroutines concurrently.
 type Space struct {
 	pages    []*page // indexed by page number; nil entries are unmapped
 	brk      Addr    // current program break (end of mapped heap)
@@ -85,10 +120,42 @@ type Space struct {
 	dirty    uint64  // pages copied (COW faults) since last TakeDirty
 	everMapd uint64  // total pages ever mapped, for stats
 
+	// Micro-TLB: the last translated page whose frame this Space owns
+	// exclusively (refs == 1 at fill time). A hit lets WriteU32 store
+	// directly without the refcount check or COW test; any operation
+	// that shares pages or rewrites page-table slots invalidates it by
+	// nilling tlbData.
+	tlbPage uint32
+	tlbData []byte
+
+	// slow disables the word fast paths and the TLB, forcing every access
+	// through the original byte-assembly route. The chaos differential
+	// tests flip this to prove the fast paths change no semantics.
+	slow bool
+
+	// snaps tracks this Space's live (unreleased) snapshots; journal is
+	// the append-only log of page-table slots mutated while any snapshot
+	// is live. Restore replays journal[snap.pos:] instead of rebuilding
+	// the whole table. The journal resets when the last snapshot is
+	// released and compacts as old snapshots go away.
+	snaps   []*Snapshot
+	journal []uint32
+
+	// free recycles page frames whose refcount reached zero; COW copies
+	// reuse them as-is, Sbrk/Map reuse them after zeroing.
+	free [][]byte
+
 	mmapCursor Addr            // next Map placement
 	mmaps      map[Addr]uint32 // live Map regions: start → length (bytes)
 	mmapBytes  uint64          // total bytes currently mapped via Map
 	budget     uint64          // total memory budget (sbrk + Map)
+
+	// mmapEpoch changes on every Map/Unmap; a snapshot records it so
+	// Restore can skip rebuilding the mmaps table when it never changed.
+	// mmapSeq is the monotonic generator (never rewound by Restore, so a
+	// reused epoch value always denotes the same table contents).
+	mmapEpoch uint64
+	mmapSeq   uint64
 
 	trc trace.Emitter // execution tracer; the zero Emitter discards
 }
@@ -99,6 +166,15 @@ type Space struct {
 // the emitter over — a cloned space is re-wired by its machine so the
 // records land on the clone's own track.
 func (s *Space) SetTracer(em trace.Emitter) { s.trc = em }
+
+// SetFastPaths enables or disables the micro-TLB and aligned-word fast
+// paths (enabled by default). Disabling routes every access through the
+// original general path; the chaos cross-check runs both configurations
+// and asserts byte-identical outcomes.
+func (s *Space) SetFastPaths(on bool) {
+	s.slow = !on
+	s.tlbData = nil
+}
 
 // faultAccess records a faulting access and returns its AccessError.
 func (s *Space) faultAccess(a Addr, n int, write bool) *AccessError {
@@ -135,6 +211,68 @@ func (s *Space) Brk() Addr { return s.brk }
 // MappedBytes returns the number of bytes between HeapBase and the break.
 func (s *Space) MappedBytes() uint64 { return uint64(s.brk - HeapBase) }
 
+// EverMapped returns the total number of pages this space has ever mapped.
+func (s *Space) EverMapped() uint64 { return s.everMapd }
+
+// --- page-frame and journal plumbing ---------------------------------------------
+
+// newPage returns a fresh page, recycling a freelist frame when possible.
+// Sbrk/Map pass zero=true (the OS delivers zero-filled pages); the COW copy
+// path passes zero=false because it overwrites the whole frame anyway.
+func (s *Space) newPage(zero bool) *page {
+	p := &page{}
+	if n := len(s.free); n > 0 {
+		d := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		if zero {
+			clear(d)
+		}
+		p.data = d
+	} else {
+		p.data = make([]byte, PageSize)
+	}
+	p.refs.Store(1)
+	return p
+}
+
+// decref drops one reference to p, recycling the frame once nobody holds it.
+// Safe against concurrent decrefs from sibling Spaces: only the holder that
+// observes the count hit zero recycles, and the atomic RMW orders every
+// earlier reader's loads before the recycler's stores.
+func (s *Space) decref(p *page) {
+	if p.refs.Add(-1) == 0 {
+		if len(s.free) < freelistCap {
+			s.free = append(s.free, p.data)
+		}
+		p.data = nil
+	}
+}
+
+// noteSlotChange records a page-table slot mutation for O(dirty) Restore.
+// With no live snapshot there is nothing to rewind to, so the journal
+// stays empty and the call is a len check.
+func (s *Space) noteSlotChange(pn uint32) {
+	if len(s.snaps) > 0 {
+		s.journal = append(s.journal, pn)
+	}
+}
+
+// sharedWithOwnSnapshot reports whether one of this Space's live snapshots
+// still references page p at slot pn. This is the dirty-accounting rule: a
+// COW fault counts as a dirtied page (and is traced) only when the copy
+// preserves checkpoint state — copies forced purely by a foreign CloneCOW
+// sharer are bookkeeping, not checkpoint retention, and counting them
+// would make COW statistics depend on validation-goroutine timing.
+func (s *Space) sharedWithOwnSnapshot(pn uint32, p *page) bool {
+	for _, sn := range s.snaps {
+		if int(pn) < len(sn.pages) && sn.pages[pn] == p {
+			return true
+		}
+	}
+	return false
+}
+
 // Sbrk grows the mapped region by n bytes (rounded up to whole pages) and
 // returns the previous break, which is the start of the new region. New
 // pages are zero-filled, as the OS would deliver them.
@@ -157,11 +295,13 @@ func (s *Space) Sbrk(n uint32) (Addr, error) {
 	}
 	for pn := firstPage; pn <= lastPage; pn++ {
 		if s.pages[pn] == nil {
-			s.pages[pn] = &page{data: make([]byte, PageSize), refs: 1}
+			s.pages[pn] = s.newPage(true)
 			s.everMapd++
+			s.noteSlotChange(pn)
 		}
 	}
 	s.brk = newBrk
+	s.tlbData = nil
 	return old, nil
 }
 
@@ -188,6 +328,15 @@ func (s *Space) mapped(a Addr, n int) bool {
 		}
 	}
 	return true
+}
+
+// wordMapped is the aligned-word form of mapped: a 4-byte access at an
+// aligned address lies within one page, so the per-page scan collapses to
+// the zone bounds check here plus a single slot probe at the call site.
+// (In the Map zone page presence alone decides: guard pages and unmapped
+// regions have nil slots, and the top-of-space guard is never mapped.)
+func (s *Space) wordMapped(a Addr) bool {
+	return a >= MmapBase || (a >= HeapBase && a+4 <= s.brk)
 }
 
 // --- Map / Unmap (the mmap(2) analogue) -----------------------------------------
@@ -221,12 +370,16 @@ func (s *Space) Map(n uint32) (Addr, error) {
 		s.pages = grown
 	}
 	for pn := firstPage; pn <= lastPage; pn++ {
-		s.pages[pn] = &page{data: make([]byte, PageSize), refs: 1}
+		s.pages[pn] = s.newPage(true)
 		s.everMapd++
+		s.noteSlotChange(pn)
 	}
 	s.mmapCursor = Addr(end) + PageSize // skip a guard page
 	s.mmaps[start] = length
 	s.mmapBytes += uint64(length)
+	s.mmapSeq++
+	s.mmapEpoch = s.mmapSeq
+	s.tlbData = nil
 	return start, nil
 }
 
@@ -239,12 +392,16 @@ func (s *Space) Unmap(start Addr) error {
 	}
 	for pn := pageNum(start); pn <= pageNum(start+length-1); pn++ {
 		if p := s.pages[pn]; p != nil {
-			p.refs--
 			s.pages[pn] = nil
+			s.noteSlotChange(pn)
+			s.decref(p)
 		}
 	}
 	delete(s.mmaps, start)
 	s.mmapBytes -= uint64(length)
+	s.mmapSeq++
+	s.mmapEpoch = s.mmapSeq
+	s.tlbData = nil
 	return nil
 }
 
@@ -282,16 +439,30 @@ func (s *Space) ReadInto(a Addr, buf []byte) error {
 }
 
 // writablePage returns the page's data ready for mutation, performing the
-// copy-on-write if the page is shared with a snapshot.
+// copy-on-write if the page is shared, and fills the micro-TLB: once this
+// returns, the Space owns the frame exclusively until the next Snapshot,
+// Restore, Map/Unmap, Sbrk or CloneCOW invalidates the entry.
 func (s *Space) writablePage(pn uint32) []byte {
 	p := s.pages[pn]
-	if p.refs > 1 {
-		cp := &page{data: append([]byte(nil), p.data...), refs: 1}
-		p.refs--
-		s.pages[pn] = cp
-		s.dirty++
-		s.trc.Emit(trace.KCOWCopy, uint64(pn), 0)
-		return cp.data
+	if p.refs.Load() > 1 {
+		np := s.newPage(false)
+		copy(np.data, p.data)
+		// The page is dirty in the checkpoint sense only if one of our
+		// own snapshots retains it; see sharedWithOwnSnapshot.
+		if s.sharedWithOwnSnapshot(pn, p) {
+			s.dirty++
+			s.trc.Emit(trace.KCOWCopy, uint64(pn), 0)
+		}
+		// Drop our reference only after the copy completes: a sibling
+		// Space that observes refs == 1 may immediately write p.data in
+		// place, and the atomic ordering makes our reads happen first.
+		s.decref(p)
+		s.pages[pn] = np
+		s.noteSlotChange(pn)
+		p = np
+	}
+	if !s.slow {
+		s.tlbPage, s.tlbData = pn, p.data
 	}
 	return p.data
 }
@@ -312,7 +483,9 @@ func (s *Space) Write(a Addr, data []byte) error {
 	return nil
 }
 
-// Fill writes n copies of byte b starting at address a.
+// Fill writes n copies of byte b starting at address a. The inner loop is
+// chunked: zero fills use the runtime's memclr, other bytes seed the first
+// byte and double the filled prefix with copy.
 func (s *Space) Fill(a Addr, b byte, n int) error {
 	if !s.mapped(a, n) {
 		return s.faultAccess(a, n, true)
@@ -327,16 +500,42 @@ func (s *Space) Fill(a Addr, b byte, n int) error {
 		if span > n-off {
 			span = n - off
 		}
-		for i := 0; i < span; i++ {
-			data[i] = b
+		chunk := data[:span]
+		if b == 0 {
+			clear(chunk)
+		} else {
+			chunk[0] = b
+			for i := 1; i < span; i *= 2 {
+				copy(chunk[i:], chunk[:i])
+			}
 		}
 		off += span
 	}
 	return nil
 }
 
-// ReadU32 loads a little-endian 32-bit word.
+// ReadU32 loads a little-endian 32-bit word. Aligned loads from a resident
+// page — the boundary-tag case — take a direct fast path: TLB hit or one
+// page-table probe, then a 4-byte load.
 func (s *Space) ReadU32(a Addr) (uint32, error) {
+	if a&3 == 0 && !s.slow && s.wordMapped(a) {
+		pn := a >> pageShift
+		if s.tlbData != nil && pn == s.tlbPage {
+			return binary.LittleEndian.Uint32(s.tlbData[a&(PageSize-1):]), nil
+		}
+		if int(pn) < len(s.pages) {
+			if p := s.pages[pn]; p != nil {
+				return binary.LittleEndian.Uint32(p.data[a&(PageSize-1):]), nil
+			}
+		}
+		return 0, s.faultAccess(a, 4, false)
+	}
+	return s.readU32Slow(a)
+}
+
+// readU32Slow is the original byte-assembly path (unaligned words, or fast
+// paths disabled).
+func (s *Space) readU32Slow(a Addr) (uint32, error) {
 	var buf [4]byte
 	if err := s.ReadInto(a, buf[:]); err != nil {
 		return 0, err
@@ -344,8 +543,28 @@ func (s *Space) ReadU32(a Addr) (uint32, error) {
 	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
 }
 
-// WriteU32 stores a little-endian 32-bit word.
+// WriteU32 stores a little-endian 32-bit word. An aligned store through the
+// micro-TLB is a bounds check and a direct 4-byte store; a TLB miss on a
+// resident page runs the COW machinery once and caches the result.
 func (s *Space) WriteU32(a Addr, v uint32) error {
+	if a&3 == 0 && !s.slow && s.wordMapped(a) {
+		pn := a >> pageShift
+		if s.tlbData != nil && pn == s.tlbPage {
+			binary.LittleEndian.PutUint32(s.tlbData[a&(PageSize-1):], v)
+			return nil
+		}
+		if int(pn) < len(s.pages) && s.pages[pn] != nil {
+			binary.LittleEndian.PutUint32(s.writablePage(pn)[a&(PageSize-1):], v)
+			return nil
+		}
+		return s.faultAccess(a, 4, true)
+	}
+	return s.writeU32Slow(a, v)
+}
+
+// writeU32Slow is the original byte path (unaligned words, or fast paths
+// disabled).
+func (s *Space) writeU32Slow(a Addr, v uint32) error {
 	buf := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
 	return s.Write(a, buf[:])
 }
@@ -363,23 +582,59 @@ func (s *Space) TakeDirty() uint64 {
 func (s *Space) DirtyPages() uint64 { return s.dirty }
 
 // Clone returns a fully independent deep copy of the Space: every mapped
-// page is duplicated, so the clone can be handed to another goroutine (the
-// paper's parallel patch validation runs "on a different processor core
-// based on a snapshot of the program"). Clone must be called while no other
-// goroutine is using the Space.
+// page is duplicated, so the clone can be handed to another goroutine with
+// zero sharing. CloneCOW is the cheap variant used for validation clones;
+// the deep copy remains the reference implementation the differential
+// tests compare against. Clone must be called while no other goroutine is
+// using the Space.
 func (s *Space) Clone() *Space {
+	cp := s.cloneShell()
+	for i, p := range s.pages {
+		if p != nil {
+			np := &page{data: append([]byte(nil), p.data...)}
+			np.refs.Store(1)
+			cp.pages[i] = np
+		}
+	}
+	return cp
+}
+
+// CloneCOW returns an independent Space that shares every page with s
+// copy-on-write: setup is O(page-table pointers) — the paper's fork-like
+// snapshot — and each side copies a page the first time it writes it. The
+// clone may run on another goroutine immediately (the parallel validation
+// substrate). CloneCOW must be called while no other goroutine is using s.
+func (s *Space) CloneCOW() *Space {
+	cp := s.cloneShell()
+	copy(cp.pages, s.pages)
+	for _, p := range cp.pages {
+		if p != nil {
+			p.refs.Add(1)
+		}
+	}
+	// Our frames are shared now: a stale TLB entry would let WriteU32
+	// bypass the COW check and scribble on the clone's view.
+	s.tlbData = nil
+	return cp
+}
+
+// cloneShell copies every non-page field of the Space: break, limit,
+// budget, stats and the mmap table. (An earlier version dropped budget and
+// everMapd, so any Map in a validation clone failed with ErrOutOfMemory —
+// see TestCloneKeepsBudget.)
+func (s *Space) cloneShell() *Space {
 	cp := &Space{
 		pages:      make([]*page, len(s.pages)),
 		brk:        s.brk,
 		limit:      s.limit,
+		everMapd:   s.everMapd,
+		slow:       s.slow,
 		mmapCursor: s.mmapCursor,
 		mmaps:      make(map[Addr]uint32, len(s.mmaps)),
 		mmapBytes:  s.mmapBytes,
-	}
-	for i, p := range s.pages {
-		if p != nil {
-			cp.pages[i] = &page{data: append([]byte(nil), p.data...), refs: 1}
-		}
+		budget:     s.budget,
+		mmapEpoch:  s.mmapEpoch,
+		mmapSeq:    s.mmapSeq,
 	}
 	for k, v := range s.mmaps {
 		cp.mmaps[k] = v
@@ -392,11 +647,15 @@ func (s *Space) Clone() *Space {
 // cost of holding a snapshot is the number of pages subsequently dirtied —
 // the quantity reported in Table 7 of the paper.
 type Snapshot struct {
+	owner      *Space
 	pages      []*page
+	captured   uint64 // non-nil page count at snapshot time
+	pos        int    // owner journal position at snapshot time
 	brk        Addr
 	mmapCursor Addr
 	mmaps      map[Addr]uint32
 	mmapBytes  uint64
+	mmapEpoch  uint64
 }
 
 // Snapshot records the current state for a later Restore.
@@ -406,7 +665,7 @@ func (s *Space) Snapshot() *Snapshot {
 	var captured uint64
 	for _, p := range pages {
 		if p != nil {
-			p.refs++
+			p.refs.Add(1)
 			captured++
 		}
 	}
@@ -415,52 +674,137 @@ func (s *Space) Snapshot() *Snapshot {
 	for k, v := range s.mmaps {
 		mmaps[k] = v
 	}
-	return &Snapshot{
+	snap := &Snapshot{
+		owner:      s,
 		pages:      pages,
+		captured:   captured,
+		pos:        len(s.journal),
 		brk:        s.brk,
 		mmapCursor: s.mmapCursor,
 		mmaps:      mmaps,
 		mmapBytes:  s.mmapBytes,
+		mmapEpoch:  s.mmapEpoch,
 	}
+	s.snaps = append(s.snaps, snap)
+	// Every frame is shared with the snapshot now; the TLB's "exclusively
+	// owned" premise no longer holds.
+	s.tlbData = nil
+	return snap
 }
 
 // Restore rewinds the Space to the snapshot's state. The snapshot remains
 // valid and may be restored again (diagnosis rolls back to the same
 // checkpoint many times).
+//
+// Cost is O(page-table slots changed since the snapshot was taken), not
+// O(pages): the slot journal names exactly the slots that may differ, and
+// the existing page table and mmap map are reused in place. The slots a
+// Restore rewinds are themselves journaled so that other live snapshots
+// stay restorable.
 func (s *Space) Restore(snap *Snapshot) {
-	for _, p := range s.pages {
-		if p != nil {
-			p.refs--
+	s.tlbData = nil
+	if snap.owner == s && len(s.journal)-snap.pos < len(s.pages) {
+		// Replay the journal tail. Appends made by restoreSlot extend
+		// the slice beyond the captured window, so the iteration stays
+		// over the pre-restore entries.
+		tail := s.journal[snap.pos:]
+		for _, pn := range tail {
+			s.restoreSlot(pn, snap)
+		}
+	} else {
+		// Foreign snapshot or a journal tail longer than the table:
+		// sweep every slot (never worse than the old full rebuild).
+		if len(snap.pages) > len(s.pages) {
+			grown := make([]*page, len(snap.pages))
+			copy(grown, s.pages)
+			s.pages = grown
+		}
+		for pn := range s.pages {
+			s.restoreSlot(uint32(pn), snap)
 		}
 	}
-	s.pages = make([]*page, len(snap.pages))
-	copy(s.pages, snap.pages)
-	var restored uint64
-	for _, p := range s.pages {
-		if p != nil {
-			p.refs++
-			restored++
-		}
-	}
-	s.trc.Emit(trace.KRestore, restored, 0)
+	s.trc.Emit(trace.KRestore, snap.captured, 0)
 	s.brk = snap.brk
 	s.mmapCursor = snap.mmapCursor
-	s.mmapBytes = snap.mmapBytes
-	s.mmaps = make(map[Addr]uint32, len(snap.mmaps))
-	for k, v := range snap.mmaps {
-		s.mmaps[k] = v
+	if s.mmapEpoch != snap.mmapEpoch {
+		clear(s.mmaps)
+		for k, v := range snap.mmaps {
+			s.mmaps[k] = v
+		}
+		s.mmapBytes = snap.mmapBytes
+		s.mmapEpoch = snap.mmapEpoch
+	}
+	if snap.owner == s {
+		// The Space now matches the snapshot exactly, so its diff set is
+		// empty: advancing pos keeps the replayed tail from growing
+		// across the many restores of one checkpoint, and compaction can
+		// then drop journal entries no live snapshot reaches.
+		snap.pos = len(s.journal)
+		s.compactJournal()
 	}
 }
 
-// Release drops the snapshot's references so its pages can be collected.
-// The snapshot must not be used afterwards.
+// restoreSlot points slot pn back at the snapshot's page, adjusting
+// refcounts and journaling the change for sibling snapshots.
+func (s *Space) restoreSlot(pn uint32, snap *Snapshot) {
+	var want *page
+	if int(pn) < len(snap.pages) {
+		want = snap.pages[pn]
+	}
+	cur := s.pages[pn]
+	if cur == want {
+		return
+	}
+	if want != nil {
+		want.refs.Add(1)
+	}
+	s.pages[pn] = want
+	s.noteSlotChange(pn)
+	if cur != nil {
+		s.decref(cur)
+	}
+}
+
+// Release drops the snapshot's references so its pages can be collected,
+// and prunes the owner's journal. The snapshot must not be used afterwards.
 func (snap *Snapshot) Release() {
+	s := snap.owner
 	for _, p := range snap.pages {
 		if p != nil {
-			p.refs--
+			s.decref(p)
 		}
 	}
 	snap.pages = nil
+	for i, sn := range s.snaps {
+		if sn == snap {
+			s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
+			break
+		}
+	}
+	if len(s.snaps) == 0 {
+		s.journal = s.journal[:0]
+		return
+	}
+	s.compactJournal()
+}
+
+// compactJournal drops the journal prefix that no live snapshot can reach
+// (entries before the oldest snapshot's position can never be replayed
+// again). The copy is amortized by requiring the dead prefix to be both
+// absolutely large and at least half the journal.
+func (s *Space) compactJournal() {
+	min := s.snaps[0].pos
+	for _, sn := range s.snaps[1:] {
+		if sn.pos < min {
+			min = sn.pos
+		}
+	}
+	if min > 1024 && min >= len(s.journal)/2 {
+		s.journal = append(s.journal[:0], s.journal[min:]...)
+		for _, sn := range s.snaps {
+			sn.pos -= min
+		}
+	}
 }
 
 // Bytes returns the number of bytes of heap captured by the snapshot.
@@ -471,11 +815,5 @@ func (snap *Snapshot) Bytes() uint64 { return uint64(snap.brk - HeapBase) }
 // is not tracked per holder; this reports pages*PageSize as an upper bound
 // for accounting displays).
 func (snap *Snapshot) UniqueBytes() uint64 {
-	var n uint64
-	for _, p := range snap.pages {
-		if p != nil {
-			n += PageSize
-		}
-	}
-	return n
+	return snap.captured * PageSize
 }

@@ -343,3 +343,208 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 		snap.Release()
 	}
 }
+
+// TestFastSlowPathEquivalence drives an identical randomized op soup
+// through a fast-path Space and a SetFastPaths(false) reference Space and
+// demands bit-identical results: values, faults, dirty counts, snapshots.
+func TestFastSlowPathEquivalence(t *testing.T) {
+	type spacePair struct{ fast, slow *Space }
+	p := spacePair{fast: New(1 << 22), slow: New(1 << 22)}
+	p.slow.SetFastPaths(false)
+	both := func(f func(s *Space) (uint64, error)) {
+		t.Helper()
+		vf, ef := f(p.fast)
+		vs, es := f(p.slow)
+		if vf != vs || (ef == nil) != (es == nil) {
+			t.Fatalf("fast/slow divergence: (%#x, %v) vs (%#x, %v)", vf, ef, vs, es)
+		}
+	}
+	both(func(s *Space) (uint64, error) { a, err := s.Sbrk(24 * PageSize); return uint64(a), err })
+
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	var snapsFast, snapsSlow []*Snapshot
+	for i := 0; i < 4000; i++ {
+		r := next()
+		// Half the addresses are aligned in-bounds words, the rest
+		// stress unaligned, beyond-brk and guard-region cases.
+		a := Addr(uint32(HeapBase) + uint32(r>>32)%(26*PageSize))
+		if r&1 == 0 {
+			a &^= 3
+		}
+		switch r % 7 {
+		case 0, 1, 2:
+			v := uint32(r >> 13)
+			both(func(s *Space) (uint64, error) { return 0, s.WriteU32(a, v) })
+		case 3, 4:
+			both(func(s *Space) (uint64, error) { v, err := s.ReadU32(a); return uint64(v), err })
+		case 5:
+			if len(snapsFast) < 4 && r&2 == 0 {
+				snapsFast = append(snapsFast, p.fast.Snapshot())
+				snapsSlow = append(snapsSlow, p.slow.Snapshot())
+			} else if len(snapsFast) > 0 {
+				k := int(r>>8) % len(snapsFast)
+				p.fast.Restore(snapsFast[k])
+				p.slow.Restore(snapsSlow[k])
+			}
+		case 6:
+			both(func(s *Space) (uint64, error) { return 0, s.Fill(a, byte(r>>7), int(r%300)) })
+		}
+		both(func(s *Space) (uint64, error) { return s.DirtyPages(), nil })
+	}
+	// Final heap contents must match byte for byte.
+	n := int(p.fast.Brk() - HeapBase)
+	bf, err := p.fast.Read(HeapBase, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := p.slow.Read(HeapBase, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bf, bs) {
+		t.Fatal("fast and slow heap images differ")
+	}
+}
+
+// TestRestoreAcrossMapUnmap exercises the O(dirty) restore path when the
+// mmap table changed after the snapshot (the epoch mismatch branch).
+func TestRestoreAcrossMapUnmap(t *testing.T) {
+	s := New(64 << 20)
+	base, _ := s.Sbrk(2 * PageSize)
+	keep, err := s.Map(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fill(keep, 0x11, 3*PageSize)
+	s.WriteU32(base, 0xAAAA)
+	snap := s.Snapshot()
+	defer snap.Release()
+
+	// Mutate everything: unmap the old region, map two new ones, dirty
+	// the heap.
+	if err := s.Unmap(keep); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Map(PageSize)
+	m2, _ := s.Map(5 * PageSize)
+	s.Fill(m2, 0x22, 5*PageSize)
+	s.WriteU32(base, 0xBBBB)
+
+	s.Restore(snap)
+	if v, _ := s.ReadU32(base); v != 0xAAAA {
+		t.Fatalf("heap word = %#x, want 0xAAAA", v)
+	}
+	if v, err := s.ReadU32(keep); err != nil || v != 0x11111111 {
+		t.Fatalf("restored mmap region: %#x, %v", v, err)
+	}
+	if _, err := s.ReadU32(m2); err == nil {
+		t.Fatal("post-snapshot mapping survived restore")
+	}
+	if n, ok := s.MappedRegion(keep); !ok || n != 3*PageSize {
+		t.Fatalf("mmap table not restored: (%d, %v)", n, ok)
+	}
+	if _, ok := s.MappedRegion(m1); ok {
+		t.Fatal("mmap table kept post-snapshot region")
+	}
+	// And the cursor must be rewound so future Maps reuse addresses
+	// deterministically.
+	m3, _ := s.Map(PageSize)
+	if m3 != m1 {
+		t.Fatalf("mmap cursor not rewound: %#x vs %#x", m3, m1)
+	}
+}
+
+// TestFreelistPagesAreZeroed pins the zero-fill guarantee when Sbrk and
+// Map recycle frames from the page freelist.
+func TestFreelistPagesAreZeroed(t *testing.T) {
+	s := New(64 << 20)
+	base, _ := s.Sbrk(8 * PageSize)
+	s.Fill(base, 0xFF, 8*PageSize)
+	snap := s.Snapshot()
+	// Dirty every page (COW copies), then restore: the copies' frames
+	// land on the freelist full of 0xFF.
+	s.Fill(base, 0xFF, 8*PageSize)
+	s.Restore(snap)
+	snap.Release()
+
+	a, err := s.Sbrk(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := s.Read(a, 4*PageSize)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("recycled Sbrk page byte %d = %#x, want 0", i, b)
+		}
+	}
+	m, err := s.Map(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ = s.Read(m, 2*PageSize)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("recycled Map page byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+// TestJournalStaysBounded pins the compaction behaviour: the rollback loop
+// of a diagnosis session (dirty a few pages, restore, repeat — with the
+// checkpoint held live throughout) must not grow the slot journal without
+// bound, or restores would silently degrade to full-table sweeps.
+func TestJournalStaysBounded(t *testing.T) {
+	s := New(64 << 20)
+	base, _ := s.Sbrk(1 << 20)
+	snap := s.Snapshot()
+	defer snap.Release()
+	for i := 0; i < 5000; i++ {
+		for pg := 0; pg < 8; pg++ {
+			s.WriteU32(base+Addr(pg*PageSize), uint32(i))
+		}
+		s.Restore(snap)
+	}
+	if len(s.journal) > 4096 {
+		t.Fatalf("journal grew to %d entries over a repeated-restore loop", len(s.journal))
+	}
+}
+
+// TestSnapshotChainWithCompaction interleaves a ring of snapshots (as the
+// checkpoint manager keeps) with restores and releases, checking every
+// surviving snapshot still restores exact contents afterwards.
+func TestSnapshotChainWithCompaction(t *testing.T) {
+	s := New(64 << 20)
+	base, _ := s.Sbrk(32 * PageSize)
+	type held struct {
+		snap *Snapshot
+		word uint32
+	}
+	var ring []held
+	for i := 0; i < 40; i++ {
+		w := uint32(0xC0DE0000 + i)
+		s.WriteU32(base+Addr(i%32)*PageSize, w)
+		ring = append(ring, held{s.Snapshot(), w})
+		if len(ring) > 5 {
+			ring[0].snap.Release()
+			ring = ring[1:]
+		}
+		if i%7 == 3 {
+			s.Restore(ring[i%len(ring)].snap)
+		}
+	}
+	// Restore each surviving snapshot oldest-first and verify its word.
+	for k := len(ring) - 1; k >= 0; k-- {
+		s.Restore(ring[k].snap)
+		idx := ring[k].word - 0xC0DE0000
+		if v, _ := s.ReadU32(base + Addr(idx%32)*PageSize); v != ring[k].word {
+			t.Fatalf("snapshot %d: word %#x, want %#x", k, v, ring[k].word)
+		}
+		ring[k].snap.Release()
+	}
+}
