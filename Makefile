@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json fuzz-smoke \
+	accuracy accuracy-sync accuracy-parallel accuracy-stream
 
 # check is the tier-1 gate: build, vet, the full test suite, and the test
 # suite again under the race detector (the supervisor's parallel validation
@@ -43,9 +44,22 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -o BENCH_5.json
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
-# committed seed corpus (which plain `go test` already replays). The
-# minimization budget is capped separately: shrinking an interesting
-# chaos program re-runs a whole supervised machine per attempt, and an
-# uncapped minimizer can eat the entire fuzz window.
+# committed seed corpus (which plain `go test` already replays). The corpus
+# spans both wire versions: the PR-4 v1 single-bug seeds plus v2 seeds for
+# the multi-bug combos, churn, actors and protected-region scenarios, so
+# the mutator starts from every scenario axis. The minimization budget is
+# capped separately: shrinking an interesting chaos program re-runs a whole
+# supervised machine per attempt, and an uncapped minimizer can eat the
+# entire fuzz window.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzChaosProgram -fuzztime=30s -fuzzminimizetime=5s ./internal/chaos
+
+# accuracy is the diagnosis-accuracy gate: the exhaustive matrix (scenario
+# kind × bug class(es) × protected/unprotected, over the full seed set)
+# must hold 100% class accuracy and exact-site attribution. Sharded by
+# execution mode so CI parallelizes the shards and a red run names the mode
+# that broke; each shard stays well under two minutes.
+accuracy: accuracy-sync accuracy-parallel accuracy-stream
+
+accuracy-sync accuracy-parallel accuracy-stream: accuracy-%:
+	$(GO) test -count=1 -run 'TestDiagnosisAccuracyMatrix/$*$$' ./internal/chaos

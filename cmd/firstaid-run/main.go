@@ -15,6 +15,9 @@
 //
 //	firstaid-run -chaos-seed 0x2a -chaos-class double-free
 //	firstaid-run -chaos-seed 7 -chaos-class overflow -chaos-mode stream
+//	firstaid-run -chaos-seed 13 -chaos-class multi -chaos-combo 0
+//	firstaid-run -chaos-seed 5 -chaos-scenario churn -chaos-class overflow
+//	firstaid-run -chaos-seed 8 -chaos-class dangling-write -chaos-protect
 package main
 
 import (
@@ -45,15 +48,18 @@ func main() {
 		tracePath = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
 		traceCap  = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
 
-		chaosSeed  = flag.String("chaos-seed", "", "run the chaos harness with this program seed (decimal or 0x hex) instead of an application")
-		chaosClass = flag.String("chaos-class", "none", "chaos bug class to inject: none, overflow, dangling-write, dangling-read, double-free, uninit-read")
-		chaosOps   = flag.Int("chaos-ops", 0, "chaos benign-op budget (0 = default 110)")
-		chaosMode  = flag.String("chaos-mode", "sync", "chaos execution mode: sync, parallel, stream")
+		chaosSeed     = flag.String("chaos-seed", "", "run the chaos harness with this program seed (decimal or 0x hex) instead of an application")
+		chaosClass    = flag.String("chaos-class", "none", "chaos bug class to inject: none, overflow, dangling-write, dangling-read, double-free, uninit-read (or 'multi' as shorthand for -chaos-scenario multi)")
+		chaosOps      = flag.Int("chaos-ops", 0, "chaos benign-op budget (0 = default 110)")
+		chaosMode     = flag.String("chaos-mode", "sync", "chaos execution mode: sync, parallel, stream")
+		chaosScenario = flag.String("chaos-scenario", "single", "chaos program shape: single, multi, churn, actors")
+		chaosCombo    = flag.Int("chaos-combo", 0, "multi scenario: index into the interacting-bug combo library")
+		chaosProtect  = flag.Bool("chaos-protect", false, "mark the corruptible script object a Selfie-style sensitive region (eager detection)")
 	)
 	flag.Parse()
 
 	if *chaosSeed != "" {
-		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode)
+		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode, *chaosScenario, *chaosCombo, *chaosProtect)
 		return
 	}
 
@@ -211,13 +217,19 @@ func main() {
 }
 
 // runChaos reproduces one chaos-harness run from its seed and exits
-// non-zero if the differential oracle rejects the recovered state — the
-// one-liner that replays any failure a chaos test or fuzz run reports.
-func runChaos(seedStr, classStr string, ops int, modeStr string) {
+// non-zero if the differential oracle rejects the recovered state or the
+// diagnosis misses the program's ground-truth bug set — the one-liner that
+// replays any cell of the accuracy matrix or any failure a chaos test or
+// fuzz run reports.
+func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, combo int, protect bool) {
 	seed, err := strconv.ParseUint(seedStr, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -chaos-seed %q: %v\n", seedStr, err)
 		os.Exit(1)
+	}
+	if classStr == "multi" {
+		// Shorthand: -chaos-class multi == -chaos-scenario multi.
+		classStr, scenarioStr = "none", "multi"
 	}
 	classes := map[string]mmbug.Type{
 		"none":           mmbug.None,
@@ -242,9 +254,28 @@ func runChaos(seedStr, classStr string, ops int, modeStr string) {
 		fmt.Fprintf(os.Stderr, "unknown -chaos-mode %q\n", modeStr)
 		os.Exit(1)
 	}
-	out := chaos.Run(chaos.RunConfig{Seed: seed, Class: class, Ops: ops, Mode: mode})
+	scenarios := map[string]chaos.Scenario{
+		"single": chaos.ScenarioSingle,
+		"multi":  chaos.ScenarioMulti,
+		"churn":  chaos.ScenarioChurn,
+		"actors": chaos.ScenarioActors,
+	}
+	scenario, ok := scenarios[scenarioStr]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -chaos-scenario %q\n", scenarioStr)
+		os.Exit(1)
+	}
+	out := chaos.Run(chaos.RunConfig{
+		Seed: seed, Class: class, Ops: ops, Mode: mode,
+		Scenario: scenario, Combo: combo, Protect: protect,
+	})
 	fmt.Print(out.Verdict())
 	if !out.OK() {
 		os.Exit(1)
 	}
+	if err := out.CheckExpected(); err != nil {
+		fmt.Printf("ground truth: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("ground truth: every injected bug diagnosed or neutralized at its exact site")
 }

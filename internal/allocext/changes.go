@@ -166,6 +166,25 @@ func AllPreventive() *ChangeSet {
 	return cs
 }
 
+// AllPreventiveCanaried is AllPreventive with the overflow padding
+// canary-filled: prevention is unchanged, but any write landing in a pad
+// leaves evidence. The Phase-1 checkpoint probe uses it so that a
+// checkpoint whose apparent success only means a *pre-checkpoint* object's
+// overflow was absorbed by a neighbour's front padding is rejected — the
+// allocation that needs the patch predates the checkpoint, exactly the
+// §4.1 misidentification the heap marks cannot see inside allocated space.
+func AllPreventiveCanaried() *ChangeSet {
+	cs := NewChangeSet()
+	for _, b := range mmbug.All {
+		if b == mmbug.BufferOverflow {
+			cs.AddAlloc(nil, AllocAction{Pad: true, PadCanary: true})
+			continue
+		}
+		cs.AddPreventive(b, nil)
+	}
+	return cs
+}
+
 // AllocFor resolves the merged allocation action for a call-site.
 func (cs *ChangeSet) AllocFor(site callsite.ID) AllocAction {
 	var act AllocAction

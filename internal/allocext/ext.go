@@ -87,6 +87,7 @@ type Object struct {
 	Alloc     AllocAction // actions applied at allocation
 	Free      FreeAction  // actions applied at deallocation
 	Delayed   bool        // currently delay-freed
+	Protected bool        // Selfie-style sensitive region: always canaried, eagerly validated
 	written   []uint64    // per-byte init bitmap (validation of zero-fill patches)
 }
 
@@ -112,6 +113,7 @@ type extState struct {
 	freed      map[vmem.Addr]callsite.ID // first-free site of recently freed addrs
 	freedOrder []vmem.Addr               // FIFO cap for freed
 	padded     []vmem.Addr               // live canary-padded objects (scan registry)
+	protected  []vmem.Addr               // sensitive-region objects (eager-validation registry)
 	marks      []markRange               // Phase-1 heap-marking regions
 	metaBytes  uint64                    // current metadata+padding overhead
 	metaPeak   uint64
@@ -137,6 +139,7 @@ func (s *extState) clone() extState {
 		freed:      make(map[vmem.Addr]callsite.ID, len(s.freed)),
 		freedOrder: append([]vmem.Addr(nil), s.freedOrder...),
 		padded:     append([]vmem.Addr(nil), s.padded...),
+		protected:  append([]vmem.Addr(nil), s.protected...),
 		marks:      append([]markRange(nil), s.marks...),
 		metaBytes:  s.metaBytes,
 		metaPeak:   s.metaPeak,
@@ -427,6 +430,26 @@ func (e *Ext) Malloc(n uint32, site callsite.ID) (vmem.Addr, error) {
 	e.noteSeen(site, true)
 	e.cost += costPerRequest
 	act, patched := e.allocActionFor(site)
+	user, err := e.mallocWithAction(n, site, act)
+	if err != nil {
+		return 0, err
+	}
+	if patched {
+		e.triggers[site]++
+	}
+	if e.trace != nil {
+		e.trace.Ops = append(e.trace.Ops, MMOp{Alloc: true, Site: site, Addr: user, Size: n, Patched: patched && act.Any()})
+		if patched && act.Any() {
+			e.trace.Triggers[site]++
+		}
+	}
+	return user, nil
+}
+
+// mallocWithAction carves and initialises one object with an explicit
+// action set; the action-resolution and patch-accounting policy stays with
+// the callers (Malloc, and Protect's guarded migration).
+func (e *Ext) mallocWithAction(n uint32, site callsite.ID, act AllocAction) (vmem.Addr, error) {
 	var padF, padB uint32
 	if act.Pad || act.PadCanary {
 		padF, padB = PadFront, PadBack
@@ -488,16 +511,6 @@ func (e *Ext) Malloc(n uint32, site callsite.ID) (vmem.Addr, error) {
 	// "freed" record is now stale.
 	delete(e.s.freed, user)
 	e.dropMarksNear(base, total)
-
-	if patched {
-		e.triggers[site]++
-	}
-	if e.trace != nil {
-		e.trace.Ops = append(e.trace.Ops, MMOp{Alloc: true, Site: site, Addr: user, Size: n, Patched: patched && act.Any()})
-		if patched && act.Any() {
-			e.trace.Triggers[site]++
-		}
-	}
 	return user, nil
 }
 
@@ -583,6 +596,14 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 	}
 
 	act, patched := e.freeActionFor(site)
+	if obj.Protected && e.protectionActive() {
+		// Sensitive regions always quarantine: the freed object keeps its
+		// canary so a dangling write to it is trapped at the next
+		// touchpoint, and any re-free is blocked by the Delayed branch
+		// above — regardless of installed patches.
+		act.Delay = true
+		act.CanaryFill = true
+	}
 	if patched {
 		e.triggers[site]++
 	}
@@ -609,6 +630,10 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 	}
 
 	// Immediate free.
+	if obj.Protected {
+		// Only reachable while protection is dormant (probe replays).
+		e.Unprotect(ptr, site)
+	}
 	delete(e.s.objects, ptr)
 	e.accountRelease(obj)
 	e.markWatchDirtyFor(obj)
@@ -649,13 +674,21 @@ func (e *Ext) rememberFreed(ptr vmem.Addr, site callsite.ID) {
 }
 
 // enforceDelayLimit recycles the oldest delay-freed objects once their
-// accumulated footprint exceeds DelayLimit.
+// accumulated footprint exceeds DelayLimit. Protected objects are never
+// recycled: releasing a sensitive region's quarantine would hand its memory
+// back to the raw allocator while stale pointers may still target it,
+// silently voiding the guarantee the application paid for.
 func (e *Ext) enforceDelayLimit() {
+	var kept []vmem.Addr
 	for e.s.delayBytes > e.DelayLimit && len(e.s.delayQ) > 0 {
 		old := e.s.delayQ[0]
 		e.s.delayQ = e.s.delayQ[1:]
 		obj, ok := e.s.objects[old]
 		if !ok || !obj.Delayed {
+			continue
+		}
+		if obj.Protected {
+			kept = append(kept, old)
 			continue
 		}
 		delete(e.s.objects, old)
@@ -667,6 +700,9 @@ func (e *Ext) enforceDelayLimit() {
 		// re-diagnosed.
 		e.H.Free(obj.Base)
 	}
+	if len(kept) > 0 {
+		e.s.delayQ = append(kept, e.s.delayQ...)
+	}
 }
 
 func (e *Ext) removePadded(ptr vmem.Addr) {
@@ -676,6 +712,187 @@ func (e *Ext) removePadded(ptr vmem.Addr) {
 			return
 		}
 	}
+}
+
+// --- sensitive regions (Selfie-style protected objects) -----------------------
+
+// protectionActive reports whether sensitive-region semantics (migration,
+// forced quarantine, eager validation) are in force. They hold in normal
+// mode and during plain diagnostic re-execution (so a protected-region trap
+// reproduces deterministically for the nondeterminism screen), but are
+// dormant under diagnostic change sets and in validation replays, where the
+// probe's change set alone must decide the object layout and outcome.
+func (e *Ext) protectionActive() bool {
+	switch e.mode {
+	case ModeNormal:
+		return true
+	case ModeDiagnostic:
+		return e.changes.Empty()
+	default:
+		return false
+	}
+}
+
+// Protect marks the live object at user as a sensitive region. When
+// protection is active and the object is not already canary-padded it is
+// migrated to a fresh padded+canaried allocation (contents copied, original
+// allocation site preserved, old chunk released); the possibly-new user
+// address is returned. Protecting an unknown or delay-freed address, or
+// re-protecting, is a no-op.
+func (e *Ext) Protect(user vmem.Addr, site callsite.ID) (vmem.Addr, error) {
+	e.cost += costPerRequest
+	obj, ok := e.s.objects[user]
+	if !ok || obj.Delayed {
+		return user, nil
+	}
+	if obj.Protected {
+		return user, nil
+	}
+	if !e.protectionActive() || obj.Alloc.PadCanary {
+		// Dormant (probe replay), or the object already carries canaried
+		// padding (e.g. an installed add-padding patch): mark in place.
+		obj.Protected = true
+		e.s.protected = append(e.s.protected, user)
+		return user, nil
+	}
+	act := AllocAction{PadCanary: true}
+	nu, err := e.mallocWithAction(obj.UserSize, obj.AllocSite, act)
+	if err != nil {
+		return 0, err
+	}
+	mem := e.H.Mem()
+	if obj.UserSize > 0 {
+		data, rerr := mem.Read(obj.User, int(obj.UserSize))
+		if rerr != nil {
+			return 0, rerr
+		}
+		if werr := mem.Write(nu, data); werr != nil {
+			return 0, werr
+		}
+		e.chargeFill(int(obj.UserSize))
+	}
+	nobj := e.s.objects[nu]
+	nobj.Protected = true
+	e.s.protected = append(e.s.protected, nu)
+	// Release the original immediately: this is an internal move, not a
+	// program free, so it records no freed-site history.
+	delete(e.s.objects, obj.User)
+	e.accountRelease(obj)
+	e.markWatchDirtyFor(obj)
+	if err := e.H.Free(obj.Base); err != nil {
+		return 0, err
+	}
+	return nu, nil
+}
+
+// Unprotect clears the sensitive-region mark on the object at user; its
+// padding (if any) stays, it simply loses eager validation and forced
+// quarantine.
+func (e *Ext) Unprotect(user vmem.Addr, site callsite.ID) {
+	e.cost += costPerRequest
+	obj, ok := e.s.objects[user]
+	if !ok || !obj.Protected {
+		return
+	}
+	obj.Protected = false
+	for i, p := range e.s.protected {
+		if p == user {
+			e.s.protected = append(e.s.protected[:i], e.s.protected[i+1:]...)
+			break
+		}
+	}
+}
+
+// IsProtected reports whether the object at user is a sensitive region
+// (proc.ProtectingMM support; realloc uses it to carry protection over).
+func (e *Ext) IsProtected(user vmem.Addr) bool {
+	obj, ok := e.s.objects[user]
+	return ok && obj.Protected
+}
+
+// ProtectedObjects returns the number of registered sensitive regions.
+func (e *Ext) ProtectedObjects() int { return len(e.s.protected) }
+
+// ProtectedViolation describes corruption of a sensitive region caught by
+// the eager check.
+type ProtectedViolation struct {
+	Addr      vmem.Addr
+	AllocSite callsite.ID
+	FreeSite  callsite.ID
+	Delayed   bool
+	Detail    string
+}
+
+// CheckProtected eagerly validates every sensitive region's canaries —
+// padding of live objects, fill of quarantined ones. The monitor calls it
+// after each event, so corruption of a protected object traps at the event
+// that caused it instead of the next checkpoint scan. Corruption already
+// neutralised by an installed patch at the object's allocation or
+// deallocation site is suppressed (the patched re-execution must not
+// re-trap on the absorbed write).
+func (e *Ext) CheckProtected() *ProtectedViolation {
+	if len(e.s.protected) == 0 || !e.protectionActive() {
+		return nil
+	}
+	mem := e.H.Mem()
+	for _, p := range e.s.protected {
+		obj, ok := e.s.objects[p]
+		if !ok || !obj.Protected {
+			// Released while protection was dormant, or the address was
+			// recycled by an unrelated allocation.
+			continue
+		}
+		e.cost += uint64(obj.UserSize)/8*costFillPerByte + costPerRequest
+		if obj.Delayed {
+			if !obj.Free.CanaryFill {
+				continue
+			}
+			if c := canary.Check(mem, obj.User, int(obj.UserSize), canary.Freed); c.Corrupted() {
+				if e.suppressedByPatch(obj) {
+					continue
+				}
+				return &ProtectedViolation{
+					Addr:      obj.User,
+					AllocSite: obj.AllocSite,
+					FreeSite:  obj.FreeSite,
+					Delayed:   true,
+					Detail:    fmt.Sprintf("protected quarantined object at %#x overwritten (%d bytes)", obj.User, len(c.Offsets)),
+				}
+			}
+			continue
+		}
+		if !obj.Alloc.PadCanary {
+			continue
+		}
+		back := canary.Check(mem, obj.User+obj.UserSize, int(obj.PadBack), canary.Pad)
+		front := canary.Check(mem, obj.Base+HeaderLen, int(obj.PadFront), canary.Pad)
+		if back.Corrupted() || front.Corrupted() {
+			if e.suppressedByPatch(obj) {
+				continue
+			}
+			return &ProtectedViolation{
+				Addr:      obj.User,
+				AllocSite: obj.AllocSite,
+				Detail:    fmt.Sprintf("protected object at %#x: guard canary overwritten", obj.User),
+			}
+		}
+	}
+	return nil
+}
+
+// suppressedByPatch reports whether an installed patch already absorbs the
+// corruption of this protected object: padding at its allocation site for
+// live objects, delay-free at its deallocation site for quarantined ones.
+func (e *Ext) suppressedByPatch(obj *Object) bool {
+	if e.mode != ModeNormal || e.patches == nil {
+		return false
+	}
+	if obj.Delayed {
+		a, ok := e.patches.FreePatch(obj.FreeSite)
+		return ok && a.Delay
+	}
+	a, ok := e.patches.AllocPatch(obj.AllocSite)
+	return ok && (a.Pad || a.PadCanary)
 }
 
 // --- canary scanning -----------------------------------------------------------

@@ -71,6 +71,26 @@ func (s *ManifestSet) HasMark() bool {
 	return false
 }
 
+// HasUnderflow reports whether any overflow manifestation hit an object's
+// *front* padding (negative offsets). A write arriving from before an
+// object's base comes from its heap predecessor — and a padded
+// predecessor would have absorbed it, so the overflowing object must have
+// been allocated before the padding took effect (i.e. before the
+// checkpoint under probe).
+func (s *ManifestSet) HasUnderflow() bool {
+	for _, m := range s.All {
+		if m.Bug != mmbug.BufferOverflow || m.FromMark {
+			continue
+		}
+		for _, o := range m.Offsets {
+			if o < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Sites returns the deduplicated call-sites implicated for bug class b:
 // allocation sites for classes patched at allocation, deallocation sites
 // otherwise.

@@ -1,0 +1,146 @@
+package allocext
+
+import "testing"
+
+// TestProtectMigratesPreservingContentsAndSite: protecting a live object
+// that carries no canaried padding migrates it to a guarded allocation —
+// contents copied, allocation site preserved (diagnosis must keep
+// attributing the object to the site that allocated it, not the protect
+// call), original chunk released, heap still sound.
+func TestProtectMigratesPreservingContentsAndSite(t *testing.T) {
+	f := newFixture(t)
+	a, err := f.ext.Malloc(64, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mem.Fill(a, 0xAB, 64)
+	na, err := f.ext.Protect(a, f.site2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na == a {
+		t.Fatal("protect did not migrate to a guarded allocation")
+	}
+	if _, ok := f.ext.Object(a); ok {
+		t.Fatal("original object still registered after migration")
+	}
+	obj, ok := f.ext.Object(na)
+	if !ok {
+		t.Fatal("migrated object not registered")
+	}
+	if !obj.Protected || !f.ext.IsProtected(na) {
+		t.Fatal("migrated object not marked protected")
+	}
+	if obj.AllocSite != f.site {
+		t.Fatalf("allocation site %d after migration, want the original %d", obj.AllocSite, f.site)
+	}
+	if obj.PadFront == 0 || obj.PadBack == 0 {
+		t.Fatal("migrated object carries no guard padding")
+	}
+	data, err := f.mem.Read(na, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data {
+		if b != 0xAB {
+			t.Fatalf("byte %d lost in migration: %#02x", i, b)
+		}
+	}
+	if err := f.h.CheckIntegrity(); err != nil {
+		t.Fatalf("heap corrupted by migration: %v", err)
+	}
+}
+
+// TestDoubleProtectIsIdempotent: re-protecting keeps one registry entry and
+// the same address; unprotect empties the registry and clears the mark;
+// protecting or unprotecting bogus addresses is a no-op.
+func TestDoubleProtectIsIdempotent(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.ext.Malloc(32, f.site)
+	na, err := f.ext.Protect(a, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.ext.Protect(na, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != na {
+		t.Fatalf("double protect moved the object: %#x -> %#x", na, nb)
+	}
+	if got := f.ext.ProtectedObjects(); got != 1 {
+		t.Fatalf("%d registry entries after double protect, want 1", got)
+	}
+	f.ext.Unprotect(na, f.site)
+	if f.ext.IsProtected(na) || f.ext.ProtectedObjects() != 0 {
+		t.Fatal("unprotect did not clear the mark")
+	}
+	f.ext.Unprotect(na, f.site)       // second unprotect: no-op
+	f.ext.Unprotect(0xDEAD00, f.site) // unknown address: no-op
+	if _, err := f.ext.Protect(0xDEAD00, f.site); err != nil {
+		t.Fatalf("protect of unknown address must be a no-op, got %v", err)
+	}
+	if f.ext.ProtectedObjects() != 0 {
+		t.Fatal("bogus protect registered something")
+	}
+}
+
+// TestProtectEagerDetection: corruption of a protected object's guard
+// canary is caught by the eager per-event check, attributed to the
+// object's allocation site; unprotected neighbours stay silent.
+func TestProtectEagerDetection(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.ext.Malloc(48, f.site)
+	na, err := f.ext.Protect(a, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.ext.CheckProtected(); v != nil {
+		t.Fatalf("clean protected object flagged: %+v", v)
+	}
+	f.mem.Fill(na+48, 0x77, 8) // smash the back guard
+	v := f.ext.CheckProtected()
+	if v == nil {
+		t.Fatal("eager check missed guard-canary corruption")
+	}
+	if v.AllocSite != f.site {
+		t.Fatalf("violation attributed to site %d, want %d", v.AllocSite, f.site)
+	}
+	if v.Delayed {
+		t.Fatal("live-object violation reported as quarantined")
+	}
+}
+
+// TestProtectThenFreeQuarantinesWithCanary: freeing a protected object
+// forces canary-filled quarantine even with no patch installed, so the
+// chunk is not recycled and a dangling write into it trips the eager check
+// at the writing event.
+func TestProtectThenFreeQuarantinesWithCanary(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.ext.Malloc(40, f.site)
+	na, err := f.ext.Protect(a, f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ext.Free(na, f.site2); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := f.ext.Malloc(40, f.site)
+	if b == na {
+		t.Fatal("protected object recycled immediately after free")
+	}
+	if v := f.ext.CheckProtected(); v != nil {
+		t.Fatalf("clean quarantine flagged: %+v", v)
+	}
+	f.mem.Fill(na, 0x13, 8) // the dangling write
+	v := f.ext.CheckProtected()
+	if v == nil {
+		t.Fatal("eager check missed a write into the protected quarantine")
+	}
+	if !v.Delayed {
+		t.Fatal("quarantine violation not marked delayed")
+	}
+	if v.FreeSite != f.site2 {
+		t.Fatalf("violation free-site %d, want %d", v.FreeSite, f.site2)
+	}
+}

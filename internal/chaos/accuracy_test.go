@@ -61,3 +61,123 @@ func TestDiagnosisAccuracy(t *testing.T) {
 		})
 	}
 }
+
+// matrixCell is one row of the accuracy matrix: a scenario shape plus its
+// injected ground truth. Every cell replays from the command line as
+// firstaid-run -chaos-seed <seed> -chaos-scenario <kind> [-class <class>]
+// [-chaos-combo <n>] [-chaos-protect].
+type matrixCell struct {
+	name     string
+	scenario Scenario
+	class    mmbug.Type
+	combo    int
+	protect  bool
+}
+
+func matrixCells() []matrixCell {
+	var cells []matrixCell
+	for _, class := range mmbug.All {
+		cells = append(cells, matrixCell{name: "single/" + class.String(), class: class})
+	}
+	// Protected twins exist only for the classes with a silently
+	// corrupted object (overflow, dangling write); the other classes trap
+	// on their own at the buggy access.
+	for _, class := range []mmbug.Type{mmbug.BufferOverflow, mmbug.DanglingWrite} {
+		cells = append(cells, matrixCell{name: "single/" + class.String() + "/protected", class: class, protect: true})
+	}
+	for combo := 0; combo < NumCombos(); combo++ {
+		cells = append(cells, matrixCell{name: "multi/" + combos[combo].name, scenario: ScenarioMulti, combo: combo})
+	}
+	for _, class := range mmbug.All {
+		cells = append(cells, matrixCell{name: "churn/" + class.String(), scenario: ScenarioChurn, class: class})
+		cells = append(cells, matrixCell{name: "actors/" + class.String(), scenario: ScenarioActors, class: class})
+	}
+	return cells
+}
+
+// TestDiagnosisAccuracyMatrix is the exhaustive accuracy table: scenario
+// kind × bug class(es) × execution mode × protected/unprotected, over a
+// seed matrix. Every cell must reach 100%: the oracle accepts the final
+// state, every diagnosed finding exactly matches an expected (class, site)
+// pair, every injected bug is diagnosed or provably neutralized, and
+// protected cells detect the corruption strictly earlier — measured in
+// events between the corrupting op and the trap — than their unprotected
+// same-seed twins. The top-level subtests are the execution modes, so CI
+// shards with -run 'TestDiagnosisAccuracyMatrix/<mode>'.
+func TestDiagnosisAccuracyMatrix(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	cells := matrixCells()
+	for _, mode := range []Mode{ModeSync, ModeParallel, ModeStream} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, c := range cells {
+				c := c
+				t.Run(c.name, func(t *testing.T) {
+					t.Parallel()
+					correct := 0
+					for _, seed := range seeds {
+						cfg := RunConfig{
+							Seed: seed, Mode: mode,
+							Scenario: c.scenario, Class: c.class,
+							Combo: c.combo, Protect: c.protect,
+						}
+						out := Run(cfg)
+						if !out.OK() {
+							t.Fatalf("seed %#x: oracle failed:\n%s", seed, out.Verdict())
+						}
+						if out.Stats.Failures == 0 {
+							t.Fatalf("seed %#x: injected bug never manifested:\n%s", seed, out.Verdict())
+						}
+						if err := out.CheckExpected(); err != nil {
+							t.Fatalf("seed %#x: %v\n%s", seed, err, out.Verdict())
+						}
+						if c.protect {
+							checkEarlier(t, seed, out, cfg)
+						}
+						correct++
+					}
+					t.Logf("cell %s/%s: %d/%d = %.2f", mode, c.name,
+						correct, len(seeds), float64(correct)/float64(len(seeds)))
+				})
+			}
+		})
+	}
+}
+
+// checkEarlier asserts the sensitive-region contract for a protected run:
+// the first recovery carries the detected-early flag, the trap fires at
+// the corrupting event itself, and the detection latency is strictly
+// smaller than the unprotected twin's on the same seed.
+func checkEarlier(t *testing.T, seed uint64, prot *Outcome, cfg RunConfig) {
+	t.Helper()
+	if len(prot.Recoveries) == 0 || !prot.Recoveries[0].Early {
+		t.Fatalf("seed %#x: protected run not detected early:\n%s", seed, prot.Verdict())
+	}
+	ci := prot.Prog.CorruptionIndex()
+	if ci < 0 {
+		t.Fatalf("seed %#x: protected program has no corrupting op", seed)
+	}
+	protLag := prot.Recoveries[0].Event - ci
+	if protLag != 0 {
+		t.Fatalf("seed %#x: protected run trapped %d events after the corruption, want 0:\n%s",
+			seed, protLag, prot.Verdict())
+	}
+	cfg.Protect = false
+	unprot := Run(cfg)
+	if !unprot.OK() || len(unprot.Recoveries) == 0 {
+		t.Fatalf("seed %#x: unprotected twin failed:\n%s", seed, unprot.Verdict())
+	}
+	if uci := unprot.Prog.CorruptionIndex(); uci >= 0 {
+		unprotLag := unprot.Recoveries[0].Event - uci
+		if protLag >= unprotLag {
+			t.Fatalf("seed %#x: protected lag %d not < unprotected lag %d",
+				seed, protLag, unprotLag)
+		}
+		if unprot.Recoveries[0].Early {
+			t.Fatalf("seed %#x: unprotected twin claims early detection", seed)
+		}
+	}
+}

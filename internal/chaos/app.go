@@ -30,6 +30,10 @@ type App struct {
 	// Class is the injected ground-truth bug class of the programs this
 	// instance will run (None for benign traffic); only Bugs() reports it.
 	Class mmbug.Type
+
+	// Classes is the multi-bug ground truth; when non-empty it takes
+	// precedence over Class.
+	Classes []mmbug.Type
 }
 
 // Name implements app.Program.
@@ -37,6 +41,11 @@ func (a *App) Name() string { return "chaos" }
 
 // Bugs implements app.Program.
 func (a *App) Bugs() []mmbug.Type {
+	if len(a.Classes) > 0 {
+		out := make([]mmbug.Type, len(a.Classes))
+		copy(out, a.Classes)
+		return out
+	}
 	if a.Class == mmbug.None {
 		return nil
 	}
@@ -110,6 +119,8 @@ var siteNames = [NumSites]string{
 	"chaos_site_0", "chaos_site_1", "chaos_site_2", "chaos_site_3",
 	"chaos_site_4", "chaos_site_5", "chaos_site_6", "chaos_site_7",
 	"chaos_bug_alloc", "chaos_aux", "chaos_bug_free", "chaos_bug_refree",
+	"chaos_bug_alloc_b1", "chaos_aux_b1", "chaos_bug_free_b1", "chaos_bug_refree_b1",
+	"chaos_bug_alloc_b2", "chaos_aux_b2", "chaos_bug_free_b2", "chaos_bug_refree_b2",
 }
 
 // exec interprets one op. The shadow model's Apply must mirror the state
@@ -177,6 +188,26 @@ func (a *App) exec(p *proc.Proc, op Op) {
 			}
 			p.Assert(bad < 0, "chaos: slot %d byte %d is %#02x, want %#02x",
 				op.Slot, bad, data[max(bad, 0)], e.pat)
+		}
+	case OpProtect:
+		// Mark the slot's object a sensitive region. Protection may
+		// relocate the object (migration to a canaried layout), so the
+		// slot is updated with the address the allocator hands back.
+		if e.live() {
+			var addr vmem.Addr
+			func() {
+				defer p.Enter("chaos_protect")()
+				addr = p.Protect(e.addr)
+			}()
+			e.addr = addr
+			storeEntry(p, op.Slot, e)
+		}
+	case OpUnprotect:
+		if e.live() {
+			func() {
+				defer p.Enter("chaos_unprotect")()
+				p.Unprotect(e.addr)
+			}()
 		}
 	case OpOverflow:
 		// The bug: the in-bounds write plus op.Size bytes beyond the end.
@@ -312,7 +343,7 @@ func OpFromEvent(ev replay.Event) (Op, bool) {
 			return Op{}, false
 		}
 	default:
-		if size > sizeUninit {
+		if size > sizeUninit && size != sizeSpill {
 			return Op{}, false
 		}
 	}

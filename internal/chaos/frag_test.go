@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/replay"
+)
+
+// TestChurnFragmentationBounded is the fragmentation regression gate: the
+// churn scenario's fill/free/realloc waves plus mmap spills must leave the
+// allocator's invariants intact and its space usage sane on fixed seeds.
+// "Sane" is pinned two ways: utilization (live payload over claimed
+// footprint) must stay above a floor — a regression in coalescing, bin
+// splitting or realloc placement shows up as holes the allocator cannot
+// reuse — and the footprint must have shrunk below the payload high-water
+// mark, which only happens if the freed mmap spill was actually unmapped.
+// Current behaviour is ~0.82 utilization and footprint ≈ 0.61× peak; the
+// bounds leave room for layout tweaks but not for a broken reuse path.
+func TestChurnFragmentationBounded(t *testing.T) {
+	for _, seed := range []uint64{11, 0xFA6} {
+		prog := GenerateSpec(GenSpec{Seed: seed, Scenario: ScenarioChurn, Ops: MaxOps})
+		log := replay.NewLog()
+		prog.AppendTo(log)
+		sup := core.NewSupervisor(&App{}, log, core.Config{})
+		stats := sup.Run()
+		if stats.Failures != 0 {
+			t.Fatalf("seed %#x: benign churn workload faulted", seed)
+		}
+		h := sup.M.Heap
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("seed %#x: invariants violated after churn: %v", seed, err)
+		}
+		if err := CheckSupervisor(sup); err != nil {
+			t.Fatalf("seed %#x: oracle rejected the final state: %v", seed, err)
+		}
+		if util := h.Utilization(); util < 0.5 {
+			t.Fatalf("seed %#x: utilization %.3f below 0.5 — the heap is mostly holes (live=%d footprint=%d)",
+				seed, util, h.LiveBytes(), h.Footprint())
+		}
+		if fp, peak := h.Footprint(), h.PeakBytes(); fp >= peak {
+			t.Fatalf("seed %#x: footprint %d did not drop below peak payload %d — the freed spill was never unmapped",
+				seed, fp, peak)
+		}
+	}
+}

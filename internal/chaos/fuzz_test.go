@@ -1,21 +1,19 @@
 package chaos
 
-import (
-	"testing"
-
-	"firstaid/internal/mmbug"
-)
+import "testing"
 
 // FuzzChaosProgram decodes arbitrary bytes into a chaos program (benign
-// op soup + at most one injector-materialised bug) and requires the
+// op soup plus injector-materialised bug scripts) and requires the
 // differential oracle to accept the recovered final state. The committed
-// corpus under testdata/fuzz/FuzzChaosProgram holds one encoded generated
-// program per bug class (plus benign), so even the non-fuzzing `go test`
-// run replays a representative through this path; `make fuzz-smoke` gives
-// the mutator a bounded budget on top.
+// corpus under testdata/fuzz/FuzzChaosProgram mirrors CorpusSpecs(): one
+// encoded single-bug program per class (plus benign) in the v1 wire
+// format, and v2 representatives for the multi-bug combos, churn, actors
+// and protected-object scenarios — so even the non-fuzzing `go test` run
+// replays one of each through this path; `make fuzz-smoke` gives the
+// mutator a bounded budget on top.
 func FuzzChaosProgram(f *testing.F) {
-	for i, class := range append([]mmbug.Type{mmbug.None}, mmbug.All...) {
-		f.Add(Encode(Generate(uint64(0xF00+i), class, 48)))
+	for _, spec := range CorpusSpecs() {
+		f.Add(Encode(GenerateSpec(spec)))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog := Decode(data)

@@ -24,13 +24,32 @@ func (r *rng) next() uint64 {
 // intn returns a value in [0, n).
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
-// Generate builds the chaos program for a seed: ops benign operations
-// (clamped to [8, MaxOps]) with the class script injected in the 60–80%
-// region of the stream, far enough in that the heap is churned and far
-// enough from the end that post-bug traffic exercises the patched heap.
-// It is a pure function of its arguments; the same seed yields a
+// GenSpec selects what GenerateSpec builds. The zero value plus a seed is
+// the PR-4 single-bug soup.
+type GenSpec struct {
+	Seed     uint64
+	Scenario Scenario
+	Class    mmbug.Type // ignored by ScenarioMulti
+	Combo    int        // ScenarioMulti: combo library index
+	Protect  bool       // mark the corruptible script object sensitive
+	Ops      int        // benign op budget; 0 = default 110
+}
+
+// Generate builds the single-bug chaos program for a seed: ops benign
+// operations (clamped to [8, MaxOps]) with the class script injected in
+// the 60–80% region of the stream, far enough in that the heap is churned
+// and far enough from the end that post-bug traffic exercises the patched
+// heap. It is a pure function of its arguments; the same seed yields a
 // byte-identical program forever.
 func Generate(seed uint64, class mmbug.Type, ops int) *Program {
+	return GenerateSpec(GenSpec{Seed: seed, Class: class, Ops: ops})
+}
+
+// GenerateSpec builds the chaos program for a spec — the scenario picks
+// the benign-stream shape and the injection plan; everything stays a pure
+// function of the spec.
+func GenerateSpec(spec GenSpec) *Program {
+	ops := spec.Ops
 	if ops <= 0 {
 		ops = 110
 	}
@@ -40,7 +59,48 @@ func Generate(seed uint64, class mmbug.Type, ops int) *Program {
 	if ops > MaxOps {
 		ops = MaxOps
 	}
-	r := newRng(seed)
+	r := newRng(spec.Seed)
+	var benign []Op
+	switch spec.Scenario {
+	case ScenarioChurn:
+		benign = genChurn(r, ops)
+	case ScenarioActors:
+		benign = genActors(r, ops)
+	default:
+		benign = genSoup(r, ops)
+	}
+	p := &Program{
+		Seed:     spec.Seed,
+		Class:    spec.Class,
+		Scenario: spec.Scenario,
+		Combo:    spec.Combo,
+		Protect:  spec.Protect,
+		Benign:   benign,
+	}
+	n := len(benign)
+	if spec.Scenario == ScenarioMulti {
+		// Spread the parts across the stream: part k lands near
+		// (35 + 22k)% so earlier bugs' damage and patches are live while
+		// later scripts run.
+		p.Class = mmbug.None
+		nParts := len(combos[p.comboIndex()].parts)
+		for k := 0; k < nParts; k++ {
+			at := n*(35+22*k)/100 + r.intn(n/20+1)
+			if k == 0 {
+				p.InjectAt = at
+			} else {
+				p.Extra = append(p.Extra, at)
+			}
+		}
+	} else {
+		p.InjectAt = n*3/5 + r.intn(n/5+1)
+	}
+	return p
+}
+
+// genSoup is the PR-4 benign stream: weighted random traffic over the
+// generator slots.
+func genSoup(r *rng, ops int) []Op {
 	benign := make([]Op, 0, ops)
 	// Track which generator slots have ever been allocated so frees and
 	// writes mostly land on plausible targets (the app tolerates any slot,
@@ -74,8 +134,102 @@ func Generate(seed uint64, class mmbug.Type, ops int) *Program {
 		}
 		benign = append(benign, op)
 	}
-	at := ops*3/5 + r.intn(ops/5+1)
-	return &Program{Seed: seed, Class: class, InjectAt: at, Benign: benign}
+	return benign
+}
+
+// churnSlots is the slot range churn phases cycle over; the remaining
+// generator slots are reserved for the fixed mmap-spill sequence so the
+// spill objects never collide with bin traffic.
+const churnSlots = 28
+
+// genChurn is the fragmentation scenario: a dense fill, then a
+// free/malloc alternation that splits and coalesces bins, a realloc wave
+// that grows objects in place or moves them, a fixed mmap-spill sequence
+// exercising the dedicated-mapping zone, and a mixed tail.
+func genChurn(r *rng, ops int) []Op {
+	benign := make([]Op, 0, ops)
+	fill := ops * 35 / 100
+	churn := ops * 30 / 100
+	grow := ops * 15 / 100
+	for i := 0; i < fill; i++ {
+		benign = append(benign, Op{
+			Kind: OpMalloc, Slot: uint8(i % churnSlots),
+			Site: uint8(r.intn(GenSites)), Size: genSize(r), Pat: genPat(r),
+		})
+	}
+	for i := 0; i < churn; i++ {
+		slot := uint8(r.intn(churnSlots))
+		op := Op{Slot: slot, Site: uint8(r.intn(GenSites)), Size: genSize(r), Pat: genPat(r)}
+		switch {
+		case i%3 == 0:
+			op.Kind = OpFree
+		case i%3 == 1:
+			op.Kind = OpMalloc
+		default:
+			op.Kind = OpWrite
+		}
+		benign = append(benign, op)
+	}
+	for i := 0; i < grow; i++ {
+		benign = append(benign, Op{
+			Kind: OpRealloc, Slot: uint8(r.intn(churnSlots)),
+			Site: uint8(r.intn(GenSites)), Size: genSize(r), Pat: genPat(r),
+		})
+	}
+	// Fixed spill sequence: two objects above the mmap threshold, one
+	// written and freed, one left live and unwritten — exercises mapping,
+	// content tracking and unmapping in the dedicated zone. Exactly two
+	// spills keeps a delayed-free quarantine from overflowing its byte
+	// budget during diagnosis probes.
+	spillPat := genPat(r)
+	benign = append(benign,
+		Op{Kind: OpMalloc, Slot: churnSlots + 2, Site: 0, Size: sizeSpill, Pat: spillPat},
+		Op{Kind: OpWrite, Slot: churnSlots + 2, Site: 1, Size: genSize(r), Pat: spillPat},
+		Op{Kind: OpMalloc, Slot: churnSlots + 3, Site: 2, Size: sizeSpill, Pat: genPat(r)},
+		Op{Kind: OpFree, Slot: churnSlots + 2, Site: 3, Size: genSize(r), Pat: genPat(r)},
+	)
+	for len(benign) < ops {
+		benign = append(benign, genMixedOp(r, churnSlots))
+	}
+	return benign
+}
+
+// actorSlots is the per-actor slot span in the multi-actor scenario.
+const actorSlots = 9
+
+// genActors interleaves three independent actors, each confined to its
+// own slot range, in a random round-robin — the streaming-ingest path
+// sees event sequences that switch context every few ops.
+func genActors(r *rng, ops int) []Op {
+	benign := make([]Op, 0, ops)
+	for len(benign) < ops {
+		actor := r.intn(3)
+		op := genMixedOp(r, actorSlots)
+		op.Slot += uint8(actor * actorSlots)
+		op.Site = uint8(actor*2 + r.intn(2)) // each actor owns two site families
+		benign = append(benign, op)
+	}
+	return benign
+}
+
+// genMixedOp draws one weighted op over slots [0, span).
+func genMixedOp(r *rng, span int) Op {
+	op := Op{Slot: uint8(r.intn(span)), Site: uint8(r.intn(GenSites)), Size: genSize(r), Pat: genPat(r)}
+	switch roll := r.intn(100); {
+	case roll < 40:
+		op.Kind = OpMalloc
+	case roll < 58:
+		op.Kind = OpFree
+	case roll < 68:
+		op.Kind = OpRealloc
+	case roll < 84:
+		op.Kind = OpWrite
+	case roll < 94:
+		op.Kind = OpRead
+	default:
+		op.Kind = OpCheck
+	}
+	return op
 }
 
 // genSize draws from a weighted distribution: mostly small objects with a

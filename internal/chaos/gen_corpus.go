@@ -4,9 +4,11 @@
 //
 //	cd internal/chaos && go run gen_corpus.go
 //
-// One encoded generated program per bug class (plus a benign one), in the
-// native `go test fuzz v1` format, so FuzzChaosProgram starts from real
-// injection scenarios instead of rediscovering the wire format.
+// One file per chaos.CorpusSpecs() entry, in the native `go test fuzz v1`
+// format, so FuzzChaosProgram starts from real injection scenarios instead
+// of rediscovering the wire format. The single-bug specs encode in the
+// version-1 wire format and regenerate their PR-4 files byte-identically;
+// the scenario/protection specs emit version-2 bytes under seed-v2-* names.
 package main
 
 import (
@@ -15,10 +17,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"strings"
 
 	"firstaid/internal/chaos"
-	"firstaid/internal/mmbug"
 )
 
 func main() {
@@ -26,12 +26,10 @@ func main() {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	classes := append([]mmbug.Type{mmbug.None}, mmbug.All...)
-	for i, class := range classes {
-		data := chaos.Encode(chaos.Generate(uint64(0xF00+i), class, 48))
+	for _, spec := range chaos.CorpusSpecs() {
+		data := chaos.Encode(chaos.GenerateSpec(spec))
 		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
-		name := "seed-" + strings.ReplaceAll(class.String(), " ", "-")
-		path := filepath.Join(dir, name)
+		path := filepath.Join(dir, spec.CorpusName())
 		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}

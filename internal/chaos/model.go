@@ -51,9 +51,11 @@ func (m *Model) Apply(op Op) {
 		if s.live() && s.Size > 0 {
 			s.Defined, s.Pat = s.Size, op.Pat
 		}
-	case OpRead, OpCheck, OpDangleWrite, OpDangleRead, OpDoubleFree, OpUninitRead:
-		// Reads never change state; patched stale/uninit accesses and
-		// blocked re-frees leave live state untouched.
+	case OpRead, OpCheck, OpProtect, OpUnprotect,
+		OpDangleWrite, OpDangleRead, OpDoubleFree, OpUninitRead:
+		// Reads never change state; protection moves an object without
+		// changing its logical contents; patched stale/uninit accesses
+		// and blocked re-frees leave live state untouched.
 	}
 }
 

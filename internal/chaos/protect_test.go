@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/replay"
+)
+
+// TestProtectionFollowsRealloc drives the sensitive-region API through the
+// full app/proc path: a protected object is realloc'd, and the replacement
+// must still be protected (guard pads and eager validation included) while
+// the final state satisfies the oracle. Runs in every mode — the parallel
+// mode exercises protection state in validation clones under -race via
+// make check.
+func TestProtectionFollowsRealloc(t *testing.T) {
+	prog := &Program{Benign: []Op{
+		{Kind: OpMalloc, Slot: 0, Site: 0, Size: 64, Pat: 0x21},
+		{Kind: OpWrite, Slot: 0, Site: 1, Pat: 0x21},
+		{Kind: OpProtect, Slot: 0, Site: 1},
+		{Kind: OpRealloc, Slot: 0, Site: 2, Size: 128, Pat: 0x21},
+		{Kind: OpCheck, Slot: 0, Site: 3, Pat: 0x21},
+	}}
+	for _, mode := range allModes {
+		scfg := core.Config{ParallelValidation: mode == ModeParallel}
+		var sup *core.Supervisor
+		var stats core.Stats
+		if mode == ModeStream {
+			sup = core.NewSupervisor(&App{}, replay.NewLog(), scfg)
+			for _, op := range prog.Ops() {
+				kind, data, n := op.Event()
+				sup.Ingest(kind, data, n)
+			}
+			stats = sup.Finish()
+		} else {
+			log := replay.NewLog()
+			prog.AppendTo(log)
+			sup = core.NewSupervisor(&App{}, log, scfg)
+			stats = sup.Run()
+		}
+		if stats.Failures != 0 {
+			t.Fatalf("%s: protect+realloc program faulted", mode)
+		}
+		addr := slotObjAddr(t, sup, 0)
+		if addr == 0 {
+			t.Fatalf("%s: slot 0 not live after realloc", mode)
+		}
+		if !sup.M.Ext.IsProtected(addr) {
+			t.Fatalf("%s: protection did not follow the object across realloc", mode)
+		}
+		obj, ok := sup.M.Ext.Object(addr)
+		if !ok || obj.PadBack == 0 {
+			t.Fatalf("%s: realloc'd protected object carries no guard padding", mode)
+		}
+		if err := CheckSupervisor(sup); err != nil {
+			t.Fatalf("%s: oracle rejected the final state: %v", mode, err)
+		}
+	}
+}
+
+// TestProtectUnprotectRoundTrip pins both halves of the unprotect
+// contract. Protected, the overflow program traps at the corrupting event
+// itself. With an unprotect inserted right before the overflow, eager
+// validation is off but the migration's guard padding remains — so the
+// overflow is absorbed silently and the program completes with no failure
+// at all, still oracle-clean. (Unprotect documents exactly this: the mark
+// goes, the padding stays.)
+func TestProtectUnprotectRoundTrip(t *testing.T) {
+	prot := Run(RunConfig{Seed: 3, Class: mmbug.BufferOverflow, Mode: ModeSync, Protect: true})
+	if !prot.OK() || len(prot.Recoveries) == 0 || !prot.Recoveries[0].Early {
+		t.Fatalf("protected run not detected early:\n%s", prot.Verdict())
+	}
+	prog := GenerateSpec(GenSpec{Seed: 3, Class: mmbug.BufferOverflow, Protect: true})
+	var ops []Op
+	for _, op := range prog.Ops() {
+		if op.Kind == OpOverflow {
+			ops = append(ops, Op{Kind: OpUnprotect, Slot: op.Slot, Site: op.Site})
+		}
+		ops = append(ops, op)
+	}
+	out := RunProgram(&Program{Benign: ops}, RunConfig{Mode: ModeSync})
+	if out.Stats.Failures != 0 {
+		t.Fatalf("unprotected-again run still trapped:\n%s", out.Verdict())
+	}
+	if !out.OK() {
+		t.Fatalf("oracle rejected the absorbed-overflow state:\n%s", out.Verdict())
+	}
+}

@@ -42,10 +42,13 @@ func (m Mode) String() string {
 
 // RunConfig parameterises one chaos run.
 type RunConfig struct {
-	Seed  uint64
-	Class mmbug.Type
-	Ops   int // benign op budget (default 110, clamped to MaxOps)
-	Mode  Mode
+	Seed     uint64
+	Class    mmbug.Type
+	Ops      int // benign op budget (default 110, clamped to MaxOps)
+	Mode     Mode
+	Scenario Scenario
+	Combo    int  // ScenarioMulti: combo library index
+	Protect  bool // mark the corruptible script object a sensitive region
 	// TamperNoCoalesce deliberately breaks the allocator (coalescing
 	// disabled) so tests can prove the oracle notices — a run with this
 	// set MUST fail.
@@ -66,6 +69,7 @@ type FindingSummary struct {
 type RecoverySummary struct {
 	Event    int // failing event sequence number
 	Fault    string
+	Early    bool // detected by eager sensitive-region validation
 	Nondet   bool
 	Skipped  bool
 	Findings []FindingSummary
@@ -78,6 +82,11 @@ type Outcome struct {
 	Stats      core.Stats
 	Recoveries []RecoverySummary
 	OracleErr  error
+
+	// RefreeBlocks counts re-frees the deployed parameter check blocked
+	// at the dedicated re-free sites — how collaterally-neutralized
+	// double frees announce themselves.
+	RefreeBlocks int
 }
 
 // OK reports whether the differential oracle accepted the final state.
@@ -110,10 +119,14 @@ func (o *Outcome) Verdict() string {
 	if o.OracleErr != nil {
 		oracle = "FAIL: " + o.OracleErr.Error()
 	}
-	fmt.Fprintf(&b, "chaos run mode=%s seed=%#x class=%v: events=%d failures=%d recoveries=%d skipped=%d\n",
-		o.Mode, o.Prog.Seed, o.Prog.Class, o.Stats.Events, o.Stats.Failures, o.Stats.Recoveries, o.Stats.Skipped)
+	fmt.Fprintf(&b, "chaos run mode=%s seed=%#x scenario=%v class=%v protect=%v: events=%d failures=%d recoveries=%d skipped=%d refree-blocks=%d\n",
+		o.Mode, o.Prog.Seed, o.Prog.Scenario, o.Prog.Class, o.Prog.Protect,
+		o.Stats.Events, o.Stats.Failures, o.Stats.Recoveries, o.Stats.Skipped, o.RefreeBlocks)
 	for _, rec := range o.Recoveries {
 		fmt.Fprintf(&b, "  recovery at event #%d fault=%s", rec.Event, rec.Fault)
+		if rec.Early {
+			b.WriteString(" (early)")
+		}
 		switch {
 		case rec.Nondet:
 			b.WriteString(" -> nondeterministic")
@@ -132,7 +145,15 @@ func (o *Outcome) Verdict() string {
 
 // Run generates the program for a seed and runs it under the oracle.
 func Run(cfg RunConfig) *Outcome {
-	return RunProgram(Generate(cfg.Seed, cfg.Class, cfg.Ops), cfg)
+	prog := GenerateSpec(GenSpec{
+		Seed:     cfg.Seed,
+		Scenario: cfg.Scenario,
+		Class:    cfg.Class,
+		Combo:    cfg.Combo,
+		Protect:  cfg.Protect,
+		Ops:      cfg.Ops,
+	})
+	return RunProgram(prog, cfg)
 }
 
 // RunProgram drives an explicit program (fuzz-decoded or generated)
@@ -146,7 +167,7 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	var sup *core.Supervisor
 	var stats core.Stats
 	if cfg.Mode == ModeStream {
-		sup = core.NewSupervisor(&App{Class: prog.Class}, replay.NewLog(), scfg)
+		sup = core.NewSupervisor(&App{Class: prog.Class, Classes: prog.Classes()}, replay.NewLog(), scfg)
 		if cfg.TamperNoCoalesce {
 			sup.M.Heap.SetNoCoalesce(true)
 		}
@@ -158,7 +179,7 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	} else {
 		log := replay.NewLog()
 		prog.AppendTo(log)
-		sup = core.NewSupervisor(&App{Class: prog.Class}, log, scfg)
+		sup = core.NewSupervisor(&App{Class: prog.Class, Classes: prog.Classes()}, log, scfg)
 		if cfg.TamperNoCoalesce {
 			sup.M.Heap.SetNoCoalesce(true)
 		}
@@ -170,6 +191,7 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 		s := RecoverySummary{
 			Event:   rec.Fault.Event,
 			Fault:   rec.Fault.Kind.String(),
+			Early:   rec.Fault.Early,
 			Nondet:  rec.Result.Nondeterministic,
 			Skipped: rec.Skipped,
 		}
@@ -185,8 +207,57 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 		sort.Slice(s.Findings, func(i, j int) bool { return s.Findings[i].Class < s.Findings[j].Class })
 		out.Recoveries = append(out.Recoveries, s)
 	}
+	for site, n := range sup.M.Ext.Triggers() {
+		key := sup.M.SiteKey(site)
+		// The re-free site families are never patched directly, so any
+		// trigger recorded there is a blocked re-free.
+		if strings.HasPrefix(key[1], "chaos_bug_refree") {
+			out.RefreeBlocks += int(n)
+		}
+	}
 	out.OracleErr = CheckSupervisor(sup)
 	return out
+}
+
+// CheckExpected asserts the run's diagnoses against the program's
+// ground-truth bug set: every finding must exactly match an expected
+// (class, single-site) entry, every non-collateral expected bug must have
+// been found, and every collateral bug must have been found OR neutralized
+// as a blocked re-free. Together with OK() this is the accuracy-matrix
+// cell contract.
+func (o *Outcome) CheckExpected() error {
+	expected := o.Prog.Expected()
+	matched := make([]bool, len(expected))
+	for _, rec := range o.Recoveries {
+		for _, f := range rec.Findings {
+			if len(f.Sites) != 1 {
+				return fmt.Errorf("finding %v has %d sites %v, want exactly 1",
+					f.Class, len(f.Sites), f.Sites)
+			}
+			ok := false
+			for i, e := range expected {
+				if e.Class == f.Class && e.Site == f.Sites[0] {
+					matched[i] = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("unexpected finding %v@%s (expected set %v)",
+					f.Class, f.Sites[0], expected)
+			}
+		}
+	}
+	for i, e := range expected {
+		if matched[i] {
+			continue
+		}
+		if e.Collateral && o.RefreeBlocks > 0 {
+			continue // neutralized by another bug's patch, announced as a blocked re-free
+		}
+		return fmt.Errorf("expected bug %v@%s was neither diagnosed nor neutralized", e.Class, e.Site)
+	}
+	return nil
 }
 
 // CheckSupervisor runs the differential oracle against a finished

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// TestWireVersioning pins the two-version wire contract: programs the v1
+// format can express still emit v1 bytes (so the PR-4 corpus regenerates
+// byte-identically), scenario programs emit v2, and both versions
+// round-trip every field through Decode.
+func TestWireVersioning(t *testing.T) {
+	sawV1, sawV2 := false, false
+	for _, spec := range CorpusSpecs() {
+		p := GenerateSpec(spec)
+		data := Encode(p)
+		wantV2 := spec.Scenario != ScenarioSingle || spec.Protect
+		if wantV2 != (data[0] == wireVersion2) {
+			t.Fatalf("%s: version byte %d, want v2=%v", spec.CorpusName(), data[0], wantV2)
+		}
+		if wantV2 {
+			sawV2 = true
+		} else {
+			sawV1 = true
+		}
+		q := Decode(data)
+		q.Seed = p.Seed // the seed is not carried on the wire
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("%s: round trip mangled the program:\n%v\nvs\n%v", spec.CorpusName(), p, q)
+		}
+		if !bytes.Equal(Encode(q), data) {
+			t.Fatalf("%s: re-encode differs from original bytes", spec.CorpusName())
+		}
+	}
+	if !sawV1 || !sawV2 {
+		t.Fatalf("corpus must exercise both wire versions (v1=%v v2=%v)", sawV1, sawV2)
+	}
+}
+
+// TestWireV1IgnoresVersionByte guards the legacy-decode contract: the v1
+// decoder never reads byte 0, so corpus inputs whose first byte is anything
+// but the v2 tag decode exactly as the v1 grammar says. A "helpful" version
+// check added to the v1 path would silently orphan the mutated corpus.
+func TestWireV1IgnoresVersionByte(t *testing.T) {
+	p := Generate(0xF01, mmbug.BufferOverflow, 48)
+	data := Encode(p)
+	if data[0] != wireVersion1 {
+		t.Fatalf("version byte %d, want %d", data[0], wireVersion1)
+	}
+	want := Decode(data)
+	for _, b := range []byte{0, 1, 3, 7, 255} {
+		mut := append([]byte(nil), data...)
+		mut[0] = b
+		if got := Decode(mut); !reflect.DeepEqual(got, want) {
+			t.Fatalf("version byte %d changed the v1 decode", b)
+		}
+	}
+}
+
+// runMultiSupervisor drives a multi-bug program through a sync supervisor
+// and returns it for post-run tampering.
+func runMultiSupervisor(t *testing.T, seed uint64, combo int) *core.Supervisor {
+	t.Helper()
+	prog := GenerateSpec(GenSpec{Seed: seed, Scenario: ScenarioMulti, Combo: combo})
+	log := replay.NewLog()
+	prog.AppendTo(log)
+	sup := core.NewSupervisor(&App{Classes: prog.Classes()}, log, core.Config{})
+	sup.Run()
+	if err := CheckSupervisor(sup); err != nil {
+		t.Fatalf("untampered combo %d run rejected: %v", combo, err)
+	}
+	return sup
+}
+
+// slotObjAddr reads the slot table of a finished run and returns the user
+// address stored for a slot.
+func slotObjAddr(t *testing.T, sup *core.Supervisor, slot uint8) vmem.Addr {
+	t.Helper()
+	table := sup.M.Proc.RootAddr(rootTable)
+	w, err := sup.M.Mem.ReadU32(table + 16*uint32(slot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestOracleTeethMultiBug proves the oracle still has teeth on multi-bug
+// runs, where two recoveries and two patches leave much more room for a
+// broken harness to accept damaged state. Each tamper simulates one failure
+// the matrix must never let through: residual content corruption (byte
+// flip), a dropped overflow patch (the smash past the victim's grant that
+// the padding would have absorbed), one of two bugs left unfixed (the
+// dangling write's damage re-applied to the recycled chunk), and one of two
+// bugs left undiagnosed (a finding dropped from the recovery record).
+func TestOracleTeethMultiBug(t *testing.T) {
+	t.Run("byte-flip", func(t *testing.T) {
+		sup := runMultiSupervisor(t, 7, 2) // overflow-dw-uninit
+		addr := slotObjAddr(t, sup, bankSlot(1, 3))
+		if addr == 0 {
+			t.Fatal("bank-1 recycler slot not live; pick another seed")
+		}
+		if err := sup.M.Mem.Write(addr, []byte{0xFF}); err != nil {
+			t.Fatal(err)
+		}
+		err := CheckSupervisor(sup)
+		if err == nil || !strings.Contains(err.Error(), "byte") {
+			t.Fatalf("oracle missed a flipped byte: %v", err)
+		}
+	})
+	t.Run("dropped-patch", func(t *testing.T) {
+		sup := runMultiSupervisor(t, 7, 0) // overflow-header-df
+		addr := slotObjAddr(t, sup, bankSlot(0, 0))
+		obj, ok := sup.M.Ext.Object(addr)
+		if !ok {
+			t.Fatal("overflow victim not live after recovery")
+		}
+		if obj.PadBack == 0 {
+			t.Fatal("victim carries no padding: the overflow patch was not deployed")
+		}
+		// Re-apply the overflow as if the padding patch had been dropped:
+		// overflowDelta bytes past the *grant* end, beyond what the pads
+		// absorb — exactly the write the patch exists to swallow.
+		smash := bytes.Repeat([]byte{patVictim}, overflowDelta)
+		if err := sup.M.Mem.Write(addr+obj.UserSize+obj.PadBack, smash); err != nil {
+			t.Fatal(err)
+		}
+		err := CheckSupervisor(sup)
+		if err == nil || !strings.Contains(err.Error(), "invariants") {
+			t.Fatalf("oracle missed the unabsorbed overflow: %v", err)
+		}
+	})
+	t.Run("one-bug-unfixed", func(t *testing.T) {
+		sup := runMultiSupervisor(t, 7, 1) // dw-refree-shared-chunk
+		addr := slotObjAddr(t, sup, bankSlot(0, 3))
+		if addr == 0 {
+			t.Fatal("recycler slot not live after recovery")
+		}
+		// Re-apply the dangling write's damage as if its delay-free patch
+		// were missing: the stale-pointer pattern lands in the recycled
+		// chunk the patch keeps out of circulation.
+		smash := bytes.Repeat([]byte{patStale}, dangleWriteLen)
+		if err := sup.M.Mem.Write(addr, smash); err != nil {
+			t.Fatal(err)
+		}
+		err := CheckSupervisor(sup)
+		if err == nil || !strings.Contains(err.Error(), "byte") {
+			t.Fatalf("oracle missed the unprevented dangling write: %v", err)
+		}
+	})
+	t.Run("one-bug-undiagnosed", func(t *testing.T) {
+		out := Run(RunConfig{Seed: 7, Scenario: ScenarioMulti, Combo: 0, Mode: ModeSync})
+		if !out.OK() {
+			t.Fatalf("untampered run rejected:\n%s", out.Verdict())
+		}
+		if err := out.CheckExpected(); err != nil {
+			t.Fatalf("untampered run fails the ground-truth check: %v", err)
+		}
+		// Drop every double-free finding from the recovery record: the
+		// ground-truth check must notice the second bug went undiagnosed.
+		for ri := range out.Recoveries {
+			kept := out.Recoveries[ri].Findings[:0]
+			for _, f := range out.Recoveries[ri].Findings {
+				if f.Class != mmbug.DoubleFree {
+					kept = append(kept, f)
+				}
+			}
+			out.Recoveries[ri].Findings = kept
+		}
+		if err := out.CheckExpected(); err == nil {
+			t.Fatal("ground-truth check accepted a run with one of two bugs undiagnosed")
+		}
+		// And a finding attributed to the wrong site must be rejected too.
+		out2 := Run(RunConfig{Seed: 7, Scenario: ScenarioMulti, Combo: 0, Mode: ModeSync})
+		out2.Recoveries[0].Findings[0].Sites = []string{"chaos_alloc/chaos_aux/chaos_dispatch"}
+		if err := out2.CheckExpected(); err == nil {
+			t.Fatal("ground-truth check accepted a mis-attributed finding")
+		}
+	})
+}

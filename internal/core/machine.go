@@ -322,11 +322,21 @@ func (m *Machine) ReExecute(cs *allocext.ChangeSet, until int) diagnosis.Outcome
 		}
 	}
 	m.Ext.Scan()
+	// A window that survives to the horizon must also leave the raw
+	// allocator's metadata intact: delay-free can mask a smashed chunk
+	// header (the free that would trap is deferred) without the smash
+	// itself being absorbed by any canaried padding. Such a "pass" is a
+	// layout artifact, not evidence the checkpoint precedes the bug.
+	var metaErr error
+	if fault == nil {
+		metaErr = m.Heap.CheckIntegrity()
+	}
 	// Copy the manifest set: the extension's instance is reset by the
 	// next re-execution.
 	return diagnosis.Outcome{
 		Fault:     fault,
 		Manifests: *m.Ext.Manifests(),
+		MetaErr:   metaErr,
 	}
 }
 

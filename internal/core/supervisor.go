@@ -341,11 +341,20 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	span := s.M.Tel.Journal().Begin("recovery", f.Event)
 	trc := s.M.TraceEmitter()
 	trc.Emit(trace.KPhaseBegin, trace.PhaseRecovery, uint64(f.Event))
+	if f.Early {
+		// The trap came from a protected region's eager check: corruption
+		// was caught at the event that caused it, not at a later use. The
+		// journal and trace record the zero-event detection latency.
+		span.AddPhase("early-detect", 0, "same-event", 0)
+		trc.Emit(trace.KPhaseBegin, trace.PhaseEarlyDetect, uint64(f.Event))
+		trc.Emit(trace.KPhaseEnd, trace.PhaseEarlyDetect, 0)
+	}
 
 	dcfg := s.cfg.Diagnosis
 	dcfg.Metrics = s.M.Tel
 	dcfg.Span = span
 	dcfg.Trace = trc
+	dcfg.DetectedEarly = f.Early
 	eng := diagnosis.New(s.M, dcfg)
 	res := eng.Diagnose(until)
 	rec := &Recovery{Fault: f, Result: res}

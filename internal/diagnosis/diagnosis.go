@@ -35,6 +35,11 @@ import (
 type Outcome struct {
 	Fault     *proc.Fault
 	Manifests allocext.ManifestSet
+	// MetaErr is non-nil when the re-execution reached the horizon but
+	// left the allocator's own metadata corrupted: the window's changes
+	// masked a trap (e.g. delay-free never handing a smashed header back
+	// to the raw allocator) without neutralizing the corruption itself.
+	MetaErr error
 }
 
 // Passed reports whether the re-execution survived the failure region.
@@ -77,6 +82,12 @@ type Config struct {
 	// re-executions) instead of the paper's O(M·log N) binary search.
 	// For experiments only.
 	LinearSiteSearch bool
+
+	// DetectedEarly records that the triggering fault came from a
+	// protected region's eager check rather than a later use of the
+	// corrupted state: the error-propagation distance is zero, which the
+	// diagnosis log notes since it shortens the window Phase 1 must cover.
+	DetectedEarly bool
 
 	// Metrics, when set, receives diagnosis counters: total rollbacks and
 	// probe re-executions per phase.
@@ -186,6 +197,9 @@ func (e *Engine) budgetExceeded() bool { return e.rollbacks >= e.cfg.MaxRollback
 func (e *Engine) Diagnose(until int) Result {
 	e.rollbacks = 0
 	e.log = nil
+	if e.cfg.DetectedEarly {
+		e.logf("failure detected early at a protected-region touchpoint: corruption trapped at the causing event (zero-event propagation)")
+	}
 
 	e.curPhase = e.metPhase1
 	endPhase1 := e.cfg.Span.Phase("phase1")
@@ -248,13 +262,17 @@ func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
 	for i := len(cps) - 1; i >= 0 && tried < e.cfg.MaxCheckpoints; i-- {
 		cp := cps[i]
 		tried++
-		out := e.reexec(cp, allocext.AllPreventive(), until, !e.cfg.DisableHeapMarking)
+		out := e.reexec(cp, allocext.AllPreventiveCanaried(), until, !e.cfg.DisableHeapMarking)
 		switch {
-		case out.Passed() && !out.Manifests.HasMark():
+		case out.Passed() && !out.Manifests.HasMark() && !out.Manifests.HasUnderflow() && out.MetaErr == nil:
 			e.logf("all-preventive re-execution from %v passed with clean heap marks: checkpoint precedes the bug-triggering point", cp)
 			return cp, nil
 		case out.Manifests.HasMark():
 			e.logf("heap-marking canaries corrupted re-executing from %v: bug triggered before this checkpoint, searching earlier", cp)
+		case out.Passed() && out.Manifests.HasUnderflow():
+			e.logf("front-padding canaries corrupted re-executing from %v: the overflowing allocation predates this checkpoint, searching earlier", cp)
+		case out.Passed() && out.MetaErr != nil:
+			e.logf("allocator metadata corrupted after re-executing from %v (%v): an unprotected pre-checkpoint object was smashed in-window, searching earlier", cp, out.MetaErr)
 		default:
 			e.logf("all-preventive re-execution from %v still failed (%v): searching earlier", cp, out.Fault.Kind)
 		}

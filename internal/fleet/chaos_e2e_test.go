@@ -68,31 +68,42 @@ func TestChaosThroughFleet(t *testing.T) {
 		t.Fatalf("probing found sources for only %d of %d workers", len(srcFor), workers)
 	}
 
-	// One program per worker, each with a different injected bug class.
-	// The shared patch pool immunizes the whole fleet after each
-	// diagnosis, so the order matters: zero-fill (uninit) cannot mask the
-	// later overflow, and neither alloc-site patch touches the double
-	// free's deallocation sites — every class still manifests once.
-	classes := []mmbug.Type{mmbug.UninitRead, mmbug.BufferOverflow, mmbug.DoubleFree}
+	// One program per worker, spanning the scenario axes: a churn workload
+	// with an uninitialized read, a protected dangling write (eager
+	// sensitive-region detection), and a three-bug multi combo. The shared
+	// patch pool immunizes the whole fleet after each diagnosis, so the
+	// sources are chosen to keep every injected bug manifesting: the
+	// zero-fill patch (uninit, bank-0 alloc site) does not absorb the
+	// combo's bank-0 overflow, the dangling-write patch lands on bank 0's
+	// free site while the combo's dangling write runs in bank 1, and the
+	// combo's uninitialized read runs in bank 2.
+	specs := []chaos.GenSpec{
+		{Seed: 0xF1EE7, Scenario: chaos.ScenarioChurn, Class: mmbug.UninitRead, Ops: 80},
+		{Seed: 0xF1EE8, Class: mmbug.DanglingWrite, Protect: true, Ops: 80},
+		{Seed: 0xF1EE9, Scenario: chaos.ScenarioMulti, Combo: 2, Ops: 80},
+	}
+	// The single-bug workers contribute one failure each, the three-bug
+	// combo three — anything less means an injected bug never manifested.
+	const wantFailures = 5
 	failed := 0
 	for w := 0; w < workers; w++ {
-		prog := chaos.Generate(uint64(0xF1EE7+w), classes[w], 80)
+		prog := chaos.GenerateSpec(specs[w])
 		for _, op := range prog.Ops() {
 			kind, data, n := op.Event()
 			res := post(Request{Kind: kind, Data: data, N: n, Src: srcFor[w]})
 			if res.Skipped {
-				t.Fatalf("worker %d dropped a chaos event (class %v)", w, classes[w])
+				t.Fatalf("worker %d dropped a chaos event (%v)", w, prog)
 			}
 			if res.Failed {
 				failed++
 				if !res.Recovered {
-					t.Fatalf("worker %d failed without recovering (class %v)", w, classes[w])
+					t.Fatalf("worker %d failed without recovering (%v)", w, prog)
 				}
 			}
 		}
 	}
-	if failed < workers {
-		t.Fatalf("only %d failures across %d injected bugs — not every class manifested", failed, workers)
+	if failed < wantFailures {
+		t.Fatalf("only %d failures across the fleet, want %d — an injected bug never manifested", failed, wantFailures)
 	}
 
 	// No worker may be wedged: the fleet still answers health checks and

@@ -261,6 +261,18 @@ func (h *Heap) LiveBytes() uint64 { return h.st.LiveBytes }
 // PeakBytes returns the high-water mark of allocated payload bytes.
 func (h *Heap) PeakBytes() uint64 { return h.st.PeakBytes }
 
+// Utilization returns LiveBytes as a fraction of Footprint — the
+// fragmentation gauge watched by the churn regression tests (1.0 means every
+// claimed byte backs a live payload; low values mean the arena is mostly
+// holes). Returns 1 for an untouched heap.
+func (h *Heap) Utilization() float64 {
+	fp := h.Footprint()
+	if fp == 0 {
+		return 1
+	}
+	return float64(h.st.LiveBytes) / float64(fp)
+}
+
 // Counts returns the number of Malloc and Free calls served.
 func (h *Heap) Counts() (mallocs, frees uint64) { return h.st.NMalloc, h.st.NFree }
 

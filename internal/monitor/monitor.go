@@ -78,6 +78,21 @@ func (m *Monitor) RunEvent(seq int, fn func()) *proc.Fault {
 		m.metScans.Inc()
 	}
 	if f == nil {
+		// Eager validation of sensitive regions: corruption of a protected
+		// object traps at the event that caused it (the extension gates the
+		// check on mode, so probe replays stay undisturbed).
+		if v := m.Ext.CheckProtected(); v != nil {
+			f = &proc.Fault{
+				Kind:  proc.HeapCorruption,
+				Addr:  v.Addr,
+				Msg:   v.Detail,
+				Instr: "protected-region",
+				Stack: []string{"protected-region"},
+				Early: true,
+			}
+		}
+	}
+	if f == nil {
 		for _, d := range m.Detectors {
 			if df := d.Check(); df != nil {
 				f = df

@@ -86,6 +86,10 @@ type Fault struct {
 	Instr string   // instruction label at the fault
 	Clock uint64   // simulated cycle time of the fault
 	Event int      // replay cursor of the event being processed, set by the supervisor
+	// Early marks a fault raised by the eager validation of a protected
+	// (sensitive-region) object: the corruption was trapped at the event
+	// that caused it rather than at a later use or checkpoint scan.
+	Early bool
 }
 
 func (f *Fault) Error() string {
@@ -375,6 +379,47 @@ type sizedMM interface {
 	UserSize(a vmem.Addr) (uint32, bool)
 }
 
+// ProtectingMM is implemented by memory managers that support
+// Selfie-style sensitive regions: objects the application marks as
+// always-canaried and eagerly validated. Protect may relocate the object
+// (to gain guard pads) and returns its possibly-new address.
+type ProtectingMM interface {
+	Protect(a vmem.Addr, site callsite.ID) (vmem.Addr, error)
+	Unprotect(a vmem.Addr, site callsite.ID)
+	IsProtected(a vmem.Addr) bool
+}
+
+// Protect marks the object at a as a sensitive region. If the management
+// layer does not support protection this is a no-op; otherwise the object
+// may be migrated to a guarded allocation and the new address is returned.
+// Programs must treat the returned address as the object's address from
+// then on (the simulated API contract mirrors a relocating
+// protect_region(3) call).
+func (p *Proc) Protect(a vmem.Addr) vmem.Addr {
+	pm, ok := p.mm.(ProtectingMM)
+	if !ok || a == 0 {
+		return a
+	}
+	p.st.Clock += costMalloc // migration is allocator work
+	na, err := pm.Protect(a, p.Site())
+	p.chargeMM()
+	if err != nil {
+		p.faultFromMMError(err, a)
+	}
+	return na
+}
+
+// Unprotect clears the sensitive-region mark on the object at a (no-op if
+// unsupported or not protected).
+func (p *Proc) Unprotect(a vmem.Addr) {
+	pm, ok := p.mm.(ProtectingMM)
+	if !ok || a == 0 {
+		return
+	}
+	pm.Unprotect(a, p.Site())
+	p.chargeMM()
+}
+
 // Calloc allocates n zeroed bytes — the simulated calloc(3). Unlike plain
 // Malloc, the returned memory is always defined, so programs that use it
 // cannot suffer uninitialized reads (and the paper's zero-fill preventive
@@ -403,7 +448,17 @@ func (p *Proc) Realloc(old vmem.Addr, n uint32) vmem.Addr {
 			oldSize = sz
 		}
 	}
+	wasProtected := false
+	if pm, ok := p.mm.(ProtectingMM); ok {
+		wasProtected = pm.IsProtected(old)
+	}
 	a := p.Malloc(n)
+	if wasProtected {
+		// Protection follows the object across realloc: the replacement is
+		// protected before the contents move, the original keeps its mark so
+		// its free below quarantines it.
+		a = p.Protect(a)
+	}
 	if copyLen := oldSize; copyLen > 0 {
 		if copyLen > n {
 			copyLen = n

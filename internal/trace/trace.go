@@ -122,21 +122,23 @@ func (k Kind) String() string {
 // Phase IDs carried in KPhaseBegin/KPhaseEnd.Arg1. Values are part of the
 // file format: append, never renumber.
 const (
-	PhaseRecovery   = 1 // the whole failure→patch→rollback episode
-	PhaseDiag1      = 2 // diagnosis phase 1: backward checkpoint search
-	PhaseDiag2      = 3 // diagnosis phase 2: bug/site identification
-	PhasePatchGen   = 4 // patch generation and application
-	PhaseRollback   = 5 // rollback to the chosen checkpoint
-	PhaseValidation = 6 // patch validation over the buggy region
+	PhaseRecovery    = 1 // the whole failure→patch→rollback episode
+	PhaseDiag1       = 2 // diagnosis phase 1: backward checkpoint search
+	PhaseDiag2       = 3 // diagnosis phase 2: bug/site identification
+	PhasePatchGen    = 4 // patch generation and application
+	PhaseRollback    = 5 // rollback to the chosen checkpoint
+	PhaseValidation  = 6 // patch validation over the buggy region
+	PhaseEarlyDetect = 7 // protected-region eager detection; end Arg2 = detection latency in events
 )
 
 var phaseNames = map[uint64]string{
-	PhaseRecovery:   "recovery",
-	PhaseDiag1:      "phase1",
-	PhaseDiag2:      "phase2",
-	PhasePatchGen:   "patch-gen",
-	PhaseRollback:   "rollback",
-	PhaseValidation: "validation",
+	PhaseRecovery:    "recovery",
+	PhaseDiag1:       "phase1",
+	PhaseDiag2:       "phase2",
+	PhasePatchGen:    "patch-gen",
+	PhaseRollback:    "rollback",
+	PhaseValidation:  "validation",
+	PhaseEarlyDetect: "early-detect",
 }
 
 // PhaseName returns the stable name of a phase ID.
