@@ -32,8 +32,9 @@ bench-smoke:
 
 # bench-json records the perf trajectory across PRs: the MMU/allocator
 # benchmarks (with allocation stats) and every perf guard run once, and the
-# combined output is distilled into BENCH_5.json (name → ns/op, B/op,
-# allocs/op, guard metrics), which CI uploads as an artifact. Guards run at
+# combined output is distilled into BENCH_6.json (name → ns/op, B/op,
+# allocs/op, guard metrics), which CI uploads as an artifact next to the
+# committed PR-5 floor (BENCH_5.json). Guards run at
 # -benchtime 1x because they do their own fixed-size interleaved timing;
 # the plain benchmarks get a real sampling budget.
 bench-json:
@@ -41,7 +42,7 @@ bench-json:
 		-benchmem -benchtime 0.2s -run '^$$' ./internal/vmem ./internal/proc ; \
 	  $(GO) test -bench 'Guard$$' -benchtime 1x -run '^$$' \
 		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_5.json
+	| $(GO) run ./cmd/benchjson -o BENCH_6.json
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
 # committed seed corpus (which plain `go test` already replays). The corpus

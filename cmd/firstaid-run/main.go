@@ -7,6 +7,7 @@
 //	firstaid-run -app apache -report
 //	firstaid-run -app squid -events 2000 -triggers 300,900,1500
 //	firstaid-run -app cvs -pool /tmp/cvs-patches.json   # persist patches
+//	firstaid-run -app apache -guard-rate 4096           # sampled guard pages
 //	firstaid-run -list
 //
 // Chaos mode replays a generated bug-injection program from a single
@@ -35,18 +36,20 @@ import (
 
 func main() {
 	var (
-		appName   = flag.String("app", "apache", "application to run (see -list)")
-		events    = flag.Int("events", 1200, "workload length in events")
-		triggers  = flag.String("triggers", "230", "comma-separated bug-trigger positions (empty = clean run)")
-		report    = flag.Bool("report", false, "print the full Figure-5-style bug report")
-		reportDir = flag.String("report-dir", "", "write the report artifacts (failure.core, diag.log, traces) into this directory")
-		poolPath  = flag.String("pool", "", "patch-pool file to load before and save after the run")
-		list      = flag.Bool("list", false, "list available applications and exit")
-		system    = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
-		parallel  = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
-		metrics   = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
-		tracePath = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
-		traceCap  = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+		appName    = flag.String("app", "apache", "application to run (see -list)")
+		events     = flag.Int("events", 1200, "workload length in events")
+		triggers   = flag.String("triggers", "230", "comma-separated bug-trigger positions (empty = clean run)")
+		report     = flag.Bool("report", false, "print the full Figure-5-style bug report")
+		reportDir  = flag.String("report-dir", "", "write the report artifacts (failure.core, diag.log, traces) into this directory")
+		poolPath   = flag.String("pool", "", "patch-pool file to load before and save after the run")
+		list       = flag.Bool("list", false, "list available applications and exit")
+		system     = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
+		parallel   = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
+		metrics    = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
+		tracePath  = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
+		traceCap   = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+		guardRate  = flag.Int("guard-rate", 0, "guard-page sampling: redirect ~1/N of allocations onto guard pages so stray accesses trap at the faulting instruction (0 = off; 4096 is the always-on default)")
+		guardForce = flag.String("guard-force", "", "comma-separated call-site substrings to guard-sample on every allocation (suspect-site hunting; enables the guard tier even with -guard-rate 0)")
 
 		chaosSeed     = flag.String("chaos-seed", "", "run the chaos harness with this program seed (decimal or 0x hex) instead of an application")
 		chaosClass    = flag.String("chaos-class", "none", "chaos bug class to inject: none, overflow, dangling-write, dangling-read, double-free, uninit-read (or 'multi' as shorthand for -chaos-scenario multi)")
@@ -58,8 +61,16 @@ func main() {
 	)
 	flag.Parse()
 
+	var guardSites []string
+	for _, part := range strings.Split(*guardForce, ",") {
+		if s := strings.TrimSpace(part); s != "" {
+			guardSites = append(guardSites, s)
+		}
+	}
+
 	if *chaosSeed != "" {
-		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode, *chaosScenario, *chaosCombo, *chaosProtect)
+		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode, *chaosScenario, *chaosCombo, *chaosProtect,
+			*guardRate, guardSites)
 		return
 	}
 
@@ -122,9 +133,11 @@ func main() {
 			len(trc.Snapshot()), *tracePath, trc.Dropped())
 	}
 
+	mcfg := firstaid.MachineConfig{Metrics: reg, Trace: trc, GuardRate: *guardRate, GuardForce: guardSites}
+
 	switch *system {
 	case "rx":
-		rx := firstaid.NewRx(prog, log, firstaid.MachineConfig{Metrics: reg, Trace: trc})
+		rx := firstaid.NewRx(prog, log, mcfg)
 		st := rx.Run()
 		fmt.Printf("%s under Rx: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, recoveries: %d, skipped: %d (Rx cannot prevent recurrences)\n",
@@ -133,7 +146,7 @@ func main() {
 		dumpTrace()
 		return
 	case "restart":
-		rs := firstaid.NewRestart(prog, log, firstaid.MachineConfig{Metrics: reg, Trace: trc})
+		rs := firstaid.NewRestart(prog, log, mcfg)
 		st := rs.Run()
 		fmt.Printf("%s under restart: %d events in %.2f simulated seconds\n", prog.Name(), st.Events, st.SimSeconds)
 		fmt.Printf("failures: %d, restarts: %d (state lost each time)\n", st.Failures, st.Restarts)
@@ -148,8 +161,7 @@ func main() {
 	}
 
 	cfg := firstaid.Config{ParallelValidation: *parallel}
-	cfg.Machine.Metrics = reg
-	cfg.Machine.Trace = trc
+	cfg.Machine = mcfg
 	if *poolPath != "" {
 		switch pool, err := firstaid.LoadPool(*poolPath); {
 		case err == nil:
@@ -221,7 +233,8 @@ func main() {
 // diagnosis misses the program's ground-truth bug set — the one-liner that
 // replays any cell of the accuracy matrix or any failure a chaos test or
 // fuzz run reports.
-func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, combo int, protect bool) {
+func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, combo int, protect bool,
+	guardRate int, guardForce []string) {
 	seed, err := strconv.ParseUint(seedStr, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -chaos-seed %q: %v\n", seedStr, err)
@@ -265,10 +278,13 @@ func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, co
 		fmt.Fprintf(os.Stderr, "unknown -chaos-scenario %q\n", scenarioStr)
 		os.Exit(1)
 	}
-	out := chaos.Run(chaos.RunConfig{
+	cfg := chaos.RunConfig{
 		Seed: seed, Class: class, Ops: ops, Mode: mode,
 		Scenario: scenario, Combo: combo, Protect: protect,
-	})
+	}
+	cfg.Machine.GuardRate = guardRate
+	cfg.Machine.GuardForce = guardForce
+	out := chaos.Run(cfg)
 	fmt.Print(out.Verdict())
 	if !out.OK() {
 		os.Exit(1)

@@ -8,6 +8,7 @@
 //
 //	firstaid-serve -app apache -addr :8080 -workers 4
 //	firstaid-serve -app squid -pool /var/lib/firstaid/squid.json
+//	firstaid-serve -app apache -guard-rate 4096     # sampled guard pages fleet-wide
 //	firstaid-serve -app apache -load -clients 8 -events 1000 \
 //	    -trigger-clients 2 -triggers 120 -trigger-stagger 400
 //
@@ -48,15 +49,17 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "apache", "application to serve (see firstaid-run -list)")
-		addr     = flag.String("addr", "127.0.0.1:8080", "TCP listen address")
-		workers  = flag.Int("workers", 4, "supervised machines in the fleet")
-		queue    = flag.Int("queue", 64, "per-worker inbox depth")
-		dispatch = flag.String("dispatch", "hash", "request dispatch: hash (sticky by source) or roundrobin")
-		poolPath = flag.String("pool", "", "patch-pool file to load at start and save at exit")
-		parallel = flag.Bool("parallel-validation", false, "validate patches on cloned machines in parallel")
-		traceCap = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
-		journal  = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
+		appName    = flag.String("app", "apache", "application to serve (see firstaid-run -list)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "TCP listen address")
+		workers    = flag.Int("workers", 4, "supervised machines in the fleet")
+		queue      = flag.Int("queue", 64, "per-worker inbox depth")
+		dispatch   = flag.String("dispatch", "hash", "request dispatch: hash (sticky by source) or roundrobin")
+		poolPath   = flag.String("pool", "", "patch-pool file to load at start and save at exit")
+		parallel   = flag.Bool("parallel-validation", false, "validate patches on cloned machines in parallel")
+		traceCap   = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+		journal    = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
+		guardRate  = flag.Int("guard-rate", 0, "guard-page sampling per worker: redirect ~1/N of allocations onto guard pages so stray accesses trap at the faulting instruction (0 = off; 4096 is the always-on default)")
+		guardForce = flag.String("guard-force", "", "comma-separated call-site substrings to guard-sample on every allocation across the fleet")
 
 		load           = flag.Bool("load", false, "run the built-in load generator against this fleet, print the report, and exit")
 		clients        = flag.Int("clients", 4, "load: concurrent clients")
@@ -79,10 +82,16 @@ func main() {
 		return prog
 	}
 
+	mcfg := core.MachineConfig{GuardRate: *guardRate}
+	for _, part := range strings.Split(*guardForce, ",") {
+		if s := strings.TrimSpace(part); s != "" {
+			mcfg.GuardForce = append(mcfg.GuardForce, s)
+		}
+	}
 	cfg := fleet.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
-		Supervisor:    core.Config{ParallelValidation: *parallel},
+		Supervisor:    core.Config{ParallelValidation: *parallel, Machine: mcfg},
 		TraceCapacity: *traceCap,
 		JournalSpans:  *journal,
 	}

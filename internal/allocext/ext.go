@@ -25,6 +25,7 @@ import (
 
 	"firstaid/internal/callsite"
 	"firstaid/internal/canary"
+	"firstaid/internal/guard"
 	"firstaid/internal/heap"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/vmem"
@@ -88,6 +89,7 @@ type Object struct {
 	Free      FreeAction  // actions applied at deallocation
 	Delayed   bool        // currently delay-freed
 	Protected bool        // Selfie-style sensitive region: always canaried, eagerly validated
+	Guarded   bool        // backed by a sampled guard-page slot, not the raw heap
 	written   []uint64    // per-byte init bitmap (validation of zero-fill patches)
 }
 
@@ -190,6 +192,12 @@ type Ext struct {
 
 	// lifetime patch-trigger counters (not rolled back), for Tables 4/5.
 	triggers map[callsite.ID]uint64
+
+	// guard, when non-nil, is the sampled guard-page tier: a configurable
+	// 1/N of Malloc requests is redirected to guard-page-backed slots
+	// instead of the raw heap. Nil keeps the hot path a single pointer
+	// check (the telemetry/trace off-discipline).
+	guard *guard.Guard
 
 	// watch is a Base-sorted index of "interesting" objects (padded,
 	// delay-freed, or init-tracked) used by validation-mode access
@@ -318,13 +326,62 @@ func (e *Ext) Triggers() map[callsite.ID]uint64 { return e.triggers }
 // ResetTriggers clears the lifetime trigger counters.
 func (e *Ext) ResetTriggers() { e.triggers = map[callsite.ID]uint64{} }
 
+// SetGuard attaches the sampled guard-page tier (nil detaches). Attach
+// before any allocation and before SetState: the guard's sampling-decision
+// state checkpoints together with the extension's.
+func (e *Ext) SetGuard(g *guard.Guard) { e.guard = g }
+
+// Guard returns the attached guard tier (nil when sampling is off).
+func (e *Ext) Guard() *guard.Guard { return e.guard }
+
+// GuardHit classifies a trapped unmapped-page access against the guard
+// tier's live and quarantined slots; ok is false when sampling is off or
+// the address belongs to no guarded slot.
+func (e *Ext) GuardHit(addr vmem.Addr, n int, write bool) (guard.Hit, bool) {
+	if e.guard == nil {
+		return guard.Hit{}, false
+	}
+	return e.guard.Hit(addr, n, write)
+}
+
+// GuardBoost promotes a call-site to the guard tier's always-sample set
+// (no-op when sampling is off).
+func (e *Ext) GuardBoost(site callsite.ID) {
+	if e.guard != nil {
+		e.guard.Boost(site)
+	}
+}
+
+// extCheckpoint bundles the extension state with the guard tier's
+// sampling-decision state: re-execution must replay the exact same
+// sampling decisions or guarded layouts would diverge across rollbacks.
+type extCheckpoint struct {
+	ext   extState
+	guard interface{}
+}
+
 // State snapshots the extension for a checkpoint.
-func (e *Ext) State() interface{} { st := e.s.clone(); return &st }
+func (e *Ext) State() interface{} {
+	st := e.s.clone()
+	if e.guard == nil {
+		return &st
+	}
+	return &extCheckpoint{ext: st, guard: e.guard.State()}
+}
 
 // SetState restores a snapshot taken by State.
 func (e *Ext) SetState(v interface{}) {
-	st := v.(*extState)
-	e.s = st.clone()
+	switch st := v.(type) {
+	case *extState:
+		e.s = st.clone()
+	case *extCheckpoint:
+		e.s = st.ext.clone()
+		if e.guard != nil {
+			e.guard.SetState(st.guard)
+		}
+	default:
+		panic("allocext: unknown checkpoint state type")
+	}
 	e.watchDirty = true
 }
 
@@ -430,7 +487,13 @@ func (e *Ext) Malloc(n uint32, site callsite.ID) (vmem.Addr, error) {
 	e.noteSeen(site, true)
 	e.cost += costPerRequest
 	act, patched := e.allocActionFor(site)
-	user, err := e.mallocWithAction(n, site, act)
+	var user vmem.Addr
+	var err error
+	if e.guard != nil && e.guard.Decide(n, site) {
+		user, err = e.guardMalloc(n, site, act)
+	} else {
+		user, err = e.mallocWithAction(n, site, act)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -514,6 +577,62 @@ func (e *Ext) mallocWithAction(n uint32, site callsite.ID, act AllocAction) (vme
 	return user, nil
 }
 
+// guardMalloc places one sampled object in a guard-page-backed vmem slot
+// instead of the raw heap. The object honours the same action set as the
+// heap path (padding, canaries, zero fill, identical fill costs) so that a
+// diagnostic probe's environmental changes behave identically on sampled
+// objects — but it writes no in-heap metadata header: the slot's bounds
+// live in the guard tier, and Object.Base is the *virtual* header position
+// (used only in address comparisons, never dereferenced). On guard-zone
+// exhaustion the request falls back to the raw heap.
+func (e *Ext) guardMalloc(n uint32, site callsite.ID, act AllocAction) (vmem.Addr, error) {
+	var padF, padB uint32
+	if act.Pad || act.PadCanary {
+		padF, padB = PadFront, PadBack
+	}
+	sl, err := e.guard.Alloc(n, padF, padB, site)
+	if err != nil {
+		return e.mallocWithAction(n, site, act)
+	}
+	mem := e.H.Mem()
+	user := sl.User
+
+	if act.PadCanary {
+		canary.Fill(mem, user-vmem.Addr(padF), int(padF), canary.Pad)
+		canary.Fill(mem, user+vmem.Addr(n), int(padB), canary.Pad)
+		e.chargeFill(int(padF) + int(padB))
+	}
+	if act.Zero {
+		mem.Fill(user, 0, int(n))
+		e.chargeFill(int(n))
+	}
+	if act.CanaryNew {
+		canary.Fill(mem, user, int(n), canary.Fresh)
+		e.chargeFill(int(n))
+	}
+
+	obj := &Object{
+		User:      user,
+		Base:      user - vmem.Addr(padF) - HeaderLen,
+		UserSize:  n,
+		PadFront:  padF,
+		PadBack:   padB,
+		AllocSite: site,
+		Alloc:     act,
+		Guarded:   true,
+	}
+	if e.mode == ModeValidation && act.Zero {
+		obj.written = make([]uint64, (n+63)/64)
+	}
+	e.s.objects[user] = obj
+	if act.PadCanary {
+		e.s.padded = append(e.s.padded, user)
+	}
+	e.accountAlloc(obj)
+	e.markWatchDirtyFor(obj)
+	return user, nil
+}
+
 func (e *Ext) accountAlloc(o *Object) {
 	e.s.metaBytes += o.overhead()
 	if e.s.metaBytes > e.s.metaPeak {
@@ -569,6 +688,30 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 				return nil
 			}
 		}
+		// A re-freed guarded pointer: the guard tier's quarantine, not the
+		// freed ring, remembers sampled frees — guard addresses never
+		// recycle, so ring entries for them would pile up and permanently
+		// grow the freed map every raw free pays to probe. Same
+		// manifestation and parameter-check handling as the ring path;
+		// unprotected, the pointer must still not reach the raw allocator
+		// (its backing pages are unmapped — the heap would trap reading a
+		// header that was never written), so surface the allocator's own
+		// invalid-free error instead.
+		if e.guard != nil {
+			if first, quarantined := e.guard.QuarFreeSite(ptr); quarantined {
+				e.manifests.Add(Manifestation{
+					Bug:      mmbug.DoubleFree,
+					FreeSite: first,
+					Addr:     ptr,
+					Detail:   fmt.Sprintf("guarded object freed at site %d re-freed at site %d", first, site),
+				})
+				if e.paramCheckActive(site) || e.paramCheckActive(first) {
+					e.recordBlockedRefree(ptr, site)
+					return nil
+				}
+				return fmt.Errorf("%w: pointer %#x re-freed after guard-page quarantine", heap.ErrBadFree, ptr)
+			}
+		}
 		// Unprotected: hand the bogus pointer to the raw allocator,
 		// which faults the way glibc would.
 		return e.H.Free(ptr)
@@ -618,7 +761,9 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 		}
 		e.s.delayQ = append(e.s.delayQ, ptr)
 		e.s.delayBytes += uint64(obj.totalLen())
-		e.rememberFreed(ptr, site)
+		if !obj.Guarded {
+			e.rememberFreed(ptr, site)
+		}
 		if e.trace != nil {
 			e.trace.Ops = append(e.trace.Ops, MMOp{Site: site, Addr: ptr, Size: obj.UserSize, Patched: patched, Delayed: true})
 			if patched {
@@ -637,12 +782,23 @@ func (e *Ext) Free(ptr vmem.Addr, site callsite.ID) error {
 	delete(e.s.objects, ptr)
 	e.accountRelease(obj)
 	e.markWatchDirtyFor(obj)
-	e.rememberFreed(ptr, site)
+	// Guarded frees are remembered by the quarantine instead of the freed
+	// ring: their addresses never recycle, so ring entries would only pile
+	// up (see the re-free branch above).
+	if !obj.Guarded {
+		e.rememberFreed(ptr, site)
+	}
 	if e.trace != nil {
 		e.trace.Ops = append(e.trace.Ops, MMOp{Site: site, Addr: ptr, Size: obj.UserSize, Patched: patched})
 		if patched {
 			e.trace.Triggers[site]++
 		}
+	}
+	if obj.Guarded {
+		// Unmap the slot and quarantine it: any dangling access through
+		// this pointer now traps at the faulting instruction.
+		e.guard.Release(ptr, site)
+		return nil
 	}
 	return e.H.Free(obj.Base)
 }
@@ -697,8 +853,13 @@ func (e *Ext) enforceDelayLimit() {
 		e.watchDirty = true
 		// Deallocating very old delay-freed objects is usually safe
 		// (paper §2); a re-triggered bug would surface again and be
-		// re-diagnosed.
-		e.H.Free(obj.Base)
+		// re-diagnosed. A guarded object's slot is unmapped instead of
+		// handed back to the heap — late dangling accesses still trap.
+		if obj.Guarded {
+			e.guard.Release(old, obj.FreeSite)
+		} else {
+			e.H.Free(obj.Base)
+		}
 	}
 	if len(kept) > 0 {
 		e.s.delayQ = append(kept, e.s.delayQ...)
@@ -779,7 +940,9 @@ func (e *Ext) Protect(user vmem.Addr, site callsite.ID) (vmem.Addr, error) {
 	delete(e.s.objects, obj.User)
 	e.accountRelease(obj)
 	e.markWatchDirtyFor(obj)
-	if err := e.H.Free(obj.Base); err != nil {
+	if obj.Guarded {
+		e.guard.Release(obj.User, site)
+	} else if err := e.H.Free(obj.Base); err != nil {
 		return 0, err
 	}
 	return nu, nil

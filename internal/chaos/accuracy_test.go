@@ -72,6 +72,7 @@ type matrixCell struct {
 	class    mmbug.Type
 	combo    int
 	protect  bool
+	sampled  bool // force-sample the injected site (guard tier, rate 1/1)
 }
 
 func matrixCells() []matrixCell {
@@ -84,6 +85,15 @@ func matrixCells() []matrixCell {
 	// on their own at the buggy access.
 	for _, class := range []mmbug.Type{mmbug.BufferOverflow, mmbug.DanglingWrite} {
 		cells = append(cells, matrixCell{name: "single/" + class.String() + "/protected", class: class, protect: true})
+	}
+	// Sampled twins force the guard tier onto the injected site (rate 1/1
+	// via GuardForce, no coin sampling): the overflow or dangling write must
+	// trap at the faulting access itself with the exact site attached, and
+	// diagnosis must take the evidence fast path. Classes whose faults are
+	// not stray accesses (double free, uninit read — guarded pages are
+	// zero-filled) keep the ordinary pipeline and are not sampled cells.
+	for _, class := range []mmbug.Type{mmbug.BufferOverflow, mmbug.DanglingWrite} {
+		cells = append(cells, matrixCell{name: "single/" + class.String() + "/sampled", class: class, sampled: true})
 	}
 	for combo := 0; combo < NumCombos(); combo++ {
 		cells = append(cells, matrixCell{name: "multi/" + combos[combo].name, scenario: ScenarioMulti, combo: combo})
@@ -124,6 +134,9 @@ func TestDiagnosisAccuracyMatrix(t *testing.T) {
 							Scenario: c.scenario, Class: c.class,
 							Combo: c.combo, Protect: c.protect,
 						}
+						if c.sampled {
+							cfg.Machine.GuardForce = []string{"chaos_bug"}
+						}
 						out := Run(cfg)
 						if !out.OK() {
 							t.Fatalf("seed %#x: oracle failed:\n%s", seed, out.Verdict())
@@ -136,6 +149,9 @@ func TestDiagnosisAccuracyMatrix(t *testing.T) {
 						}
 						if c.protect {
 							checkEarlier(t, seed, out, cfg)
+						}
+						if c.sampled {
+							checkSampledEarlier(t, seed, out, cfg)
 						}
 						correct++
 					}
@@ -179,5 +195,42 @@ func checkEarlier(t *testing.T, seed uint64, prot *Outcome, cfg RunConfig) {
 		if unprot.Recoveries[0].Early {
 			t.Fatalf("seed %#x: unprotected twin claims early detection", seed)
 		}
+	}
+}
+
+// checkSampledEarlier asserts the guard-tier contract for a force-sampled
+// run: the first recovery is detected at the faulting access itself (Early,
+// zero events after the corrupting op), diagnosis took the evidence fast
+// path, and the unsampled twin on the same seed detects strictly later
+// through the full pipeline.
+func checkSampledEarlier(t *testing.T, seed uint64, samp *Outcome, cfg RunConfig) {
+	t.Helper()
+	if len(samp.Recoveries) == 0 || !samp.Recoveries[0].Early {
+		t.Fatalf("seed %#x: sampled run not detected at the faulting access:\n%s", seed, samp.Verdict())
+	}
+	if !samp.Recoveries[0].FastPath {
+		t.Fatalf("seed %#x: sampled run did not take the evidence fast path:\n%s", seed, samp.Verdict())
+	}
+	ci := samp.Prog.CorruptionIndex()
+	if ci < 0 {
+		t.Fatalf("seed %#x: sampled program has no corrupting op", seed)
+	}
+	if lag := samp.Recoveries[0].Event - ci; lag != 0 {
+		t.Fatalf("seed %#x: sampled run trapped %d events after the corruption, want 0:\n%s",
+			seed, lag, samp.Verdict())
+	}
+	cfg.Machine.GuardForce = nil
+	unsamp := Run(cfg)
+	if !unsamp.OK() || len(unsamp.Recoveries) == 0 {
+		t.Fatalf("seed %#x: unsampled twin failed:\n%s", seed, unsamp.Verdict())
+	}
+	if unsamp.Recoveries[0].Early {
+		t.Fatalf("seed %#x: unsampled twin claims access-point detection", seed)
+	}
+	if unsamp.Recoveries[0].FastPath {
+		t.Fatalf("seed %#x: unsampled twin claims the evidence fast path", seed)
+	}
+	if lag := unsamp.Recoveries[0].Event - ci; lag <= 0 {
+		t.Fatalf("seed %#x: unsampled twin lag %d, want > 0 (sampled must be strictly earlier)", seed, lag)
 	}
 }

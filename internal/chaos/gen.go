@@ -32,6 +32,7 @@ type GenSpec struct {
 	Class    mmbug.Type // ignored by ScenarioMulti
 	Combo    int        // ScenarioMulti: combo library index
 	Protect  bool       // mark the corruptible script object sensitive
+	Guard    bool       // run with guard-page sampling always on
 	Ops      int        // benign op budget; 0 = default 110
 }
 
@@ -75,6 +76,7 @@ func GenerateSpec(spec GenSpec) *Program {
 		Scenario: spec.Scenario,
 		Combo:    spec.Combo,
 		Protect:  spec.Protect,
+		Guard:    spec.Guard,
 		Benign:   benign,
 	}
 	n := len(benign)

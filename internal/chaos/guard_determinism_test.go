@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"firstaid/internal/mmbug"
+)
+
+// TestGuardDeterminism pins the guard tier's replay contract: the sampling
+// coin draws from the machine's seeded xorshift stream and every decision
+// input is checkpointed, so a sampled recovery must replay byte-identically
+// across sync, parallel-validation and streaming supervision — same faults,
+// same early/fast-path flags, same findings, same oracle verdict. It covers
+// both sampling modes: the forced 1/1 site (guaranteed guard hit plus the
+// evidence fast path) and the 1/2 coin over realloc-heavy churn (guarded
+// objects flowing through realloc's malloc-copy-free and the quarantine).
+func TestGuardDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  RunConfig
+	}{
+		{"forced-overflow", RunConfig{Seed: 0x6A1, Class: mmbug.BufferOverflow}},
+		{"forced-dangling-write", RunConfig{Seed: 0x6A2, Class: mmbug.DanglingWrite}},
+		{"coin-churn", RunConfig{Seed: 0xF34, Scenario: ScenarioChurn, Class: mmbug.DanglingWrite, Guard: true, Ops: 64}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var base *Outcome
+			for _, mode := range allModes {
+				cfg := tc.cfg
+				cfg.Mode = mode
+				if !cfg.Guard {
+					cfg.Machine.GuardForce = []string{"chaos_bug"}
+				}
+				out := Run(cfg)
+				if !out.OK() {
+					t.Fatalf("%s: oracle failed:\n%s", mode, out.Verdict())
+				}
+				if out.Stats.Failures == 0 {
+					t.Fatalf("%s: injected bug never manifested:\n%s", mode, out.Verdict())
+				}
+				if base == nil {
+					base = out
+					continue
+				}
+				if !reflect.DeepEqual(out.Recoveries, base.Recoveries) {
+					t.Fatalf("%s recoveries diverge from %s:\n%s\nvs\n%s",
+						out.Mode, base.Mode, out.Verdict(), base.Verdict())
+				}
+			}
+			if !tc.cfg.Guard {
+				// The forced cases must have taken the access-point fast path
+				// in every mode (DeepEqual above makes one check sufficient).
+				if len(base.Recoveries) == 0 || !base.Recoveries[0].Early || !base.Recoveries[0].FastPath {
+					t.Fatalf("forced site not detected at access with fast path:\n%s", base.Verdict())
+				}
+			}
+		})
+	}
+}

@@ -202,6 +202,7 @@ type Program struct {
 	Scenario Scenario
 	Combo    int   // ScenarioMulti: index into the combo library (mod NumCombos)
 	Protect  bool  // mark the corruptible script object as a sensitive region
+	Guard    bool  // run with guard-page sampling always on (rate 1/2)
 	Extra    []int // ScenarioMulti: insertion indices for parts beyond the first
 }
 
@@ -558,6 +559,9 @@ func (p *Program) String() string {
 	}
 	if p.Protect {
 		b.WriteString(" protect")
+	}
+	if p.Guard {
+		b.WriteString(" guard")
 	}
 	fmt.Fprintf(&b, " (%d benign ops)\n", len(p.Benign))
 	ops, mask := p.expand()

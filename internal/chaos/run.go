@@ -49,6 +49,7 @@ type RunConfig struct {
 	Scenario Scenario
 	Combo    int  // ScenarioMulti: combo library index
 	Protect  bool // mark the corruptible script object a sensitive region
+	Guard    bool // run with guard-page sampling always on (rate 1/2)
 	// TamperNoCoalesce deliberately breaks the allocator (coalescing
 	// disabled) so tests can prove the oracle notices — a run with this
 	// set MUST fail.
@@ -69,7 +70,8 @@ type FindingSummary struct {
 type RecoverySummary struct {
 	Event    int // failing event sequence number
 	Fault    string
-	Early    bool // detected by eager sensitive-region validation
+	Early    bool // detected at the faulting access (guard hit or eager scan)
+	FastPath bool // diagnosed from guard evidence with a single confirmation re-execution
 	Nondet   bool
 	Skipped  bool
 	Findings []FindingSummary
@@ -127,6 +129,9 @@ func (o *Outcome) Verdict() string {
 		if rec.Early {
 			b.WriteString(" (early)")
 		}
+		if rec.FastPath {
+			b.WriteString(" (fast-path)")
+		}
 		switch {
 		case rec.Nondet:
 			b.WriteString(" -> nondeterministic")
@@ -151,6 +156,7 @@ func Run(cfg RunConfig) *Outcome {
 		Class:    cfg.Class,
 		Combo:    cfg.Combo,
 		Protect:  cfg.Protect,
+		Guard:    cfg.Guard,
 		Ops:      cfg.Ops,
 	})
 	return RunProgram(prog, cfg)
@@ -163,6 +169,12 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	scfg := core.Config{
 		Machine:            cfg.Machine,
 		ParallelValidation: cfg.Mode == ModeParallel,
+	}
+	if prog.Guard && scfg.Machine.GuardRate == 0 && len(scfg.Machine.GuardForce) == 0 {
+		// A guarded program with no explicit configuration runs at rate 1/2:
+		// aggressive enough that a short fuzz stream actually samples, while
+		// still exercising the sampled/unsampled mix.
+		scfg.Machine.GuardRate = 2
 	}
 	var sup *core.Supervisor
 	var stats core.Stats
@@ -189,11 +201,12 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	out := &Outcome{Prog: prog, Mode: cfg.Mode, Stats: stats}
 	for _, rec := range sup.Recoveries {
 		s := RecoverySummary{
-			Event:   rec.Fault.Event,
-			Fault:   rec.Fault.Kind.String(),
-			Early:   rec.Fault.Early,
-			Nondet:  rec.Result.Nondeterministic,
-			Skipped: rec.Skipped,
+			Event:    rec.Fault.Event,
+			Fault:    rec.Fault.Kind.String(),
+			Early:    rec.Fault.Early,
+			FastPath: rec.Result.FastPath,
+			Nondet:   rec.Result.Nondeterministic,
+			Skipped:  rec.Skipped,
 		}
 		for _, fd := range rec.Result.Findings {
 			fs := FindingSummary{Class: fd.Bug}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"strings"
 	"sync/atomic"
 
 	"firstaid/internal/allocext"
@@ -12,6 +13,7 @@ import (
 	"firstaid/internal/callsite"
 	"firstaid/internal/checkpoint"
 	"firstaid/internal/diagnosis"
+	"firstaid/internal/guard"
 	"firstaid/internal/heap"
 	"firstaid/internal/monitor"
 	"firstaid/internal/proc"
@@ -97,6 +99,24 @@ type MachineConfig struct {
 	// reference implementation — the chaos cross-check runs every seed in
 	// both configurations and asserts byte-identical outcomes.
 	SlowMemPaths bool
+
+	// GuardRate enables sampled guard-page detection (internal/guard): on
+	// average one of every GuardRate allocation requests is redirected to
+	// a guard-page-backed slot, so overflows and dangling accesses on
+	// sampled objects trap at the faulting instruction with exact-site
+	// attribution. 0 keeps sampling off at zero cost. The sampling coin
+	// draws from the machine's seeded PRNG stream, so replays and clones
+	// make identical decisions.
+	GuardRate int
+	// GuardForce lists call-site substrings that are always sampled
+	// (rate 1/1), matched against the "/"-joined 3-level site key. A
+	// non-empty list enables the guard tier even when GuardRate is 0.
+	GuardForce []string
+}
+
+// guardEnabled reports whether this configuration constructs a guard tier.
+func (c *MachineConfig) guardEnabled() bool {
+	return c.GuardRate > 0 || len(c.GuardForce) > 0
 }
 
 // NewMachine builds a machine for prog over the input log, runs the
@@ -119,6 +139,9 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 	}
 	p := proc.New(mem, ext)
 	p.Sites = sites
+	if cfg.guardEnabled() {
+		attachGuard(mem, ext, p, sites, cfg)
+	}
 	m := &Machine{
 		Mem:  mem,
 		Heap: h,
@@ -144,12 +167,28 @@ func NewMachine(prog app.Program, log *replay.Log, cfg MachineConfig) *Machine {
 	return m
 }
 
+// attachGuard constructs the sampled guard-page tier and binds it to the
+// process's seeded PRNG stream, cycle clock and call-site table. It must
+// run before the extension's SetState so checkpointed guard state has a
+// home to land in.
+func attachGuard(mem *vmem.Space, ext *allocext.Ext, p *proc.Proc, sites *callsite.Table, cfg MachineConfig) {
+	g := guard.New(mem, guard.Config{Rate: cfg.GuardRate, Force: cfg.GuardForce})
+	g.Bind(p.Rand, p.Clock, func(id callsite.ID) string {
+		k := sites.Key(id)
+		return strings.Join(k[:], "/")
+	})
+	ext.SetGuard(g)
+}
+
 // wireMetrics attaches every component to m.Tel. With a nil registry the
 // components resolve nil instruments and the hot paths stay no-ops.
 func (m *Machine) wireMetrics() {
 	m.Heap.SetMetrics(m.Tel)
 	m.Ckpt.SetMetrics(m.Tel)
 	m.Mon.SetMetrics(m.Tel)
+	if g := m.Ext.Guard(); g != nil {
+		g.SetMetrics(m.Tel)
+	}
 }
 
 // wireTrace attaches every component to the configured tracer. With a nil
@@ -161,6 +200,12 @@ func (m *Machine) wireTrace() {
 	m.Proc.SetTracer(m.trc)
 	m.Ckpt.SetTracer(m.trc)
 	m.Mon.SetTracer(m.trc)
+	if g := m.Ext.Guard(); g != nil {
+		// Guard events get their own derived track so the sampled tier
+		// reads as a separate timeline lane next to the worker's
+		// allocation traffic.
+		g.SetTracer(m.cfg.Trace.Emitter(trace.GuardTrack(m.cfg.TraceWorker), m.TraceClock))
+	}
 }
 
 // TraceEmitter returns the machine's trace emitter (the zero Emitter when
@@ -200,11 +245,17 @@ func (m *Machine) Clone() *Machine {
 	h.SetState(m.Heap.State())
 	sites := m.Proc.Sites.Clone()
 	ext := allocext.New(h, sites)
+	p := proc.New(mem, ext)
+	p.Sites = sites
+	if m.cfg.guardEnabled() {
+		// Attach before SetState: the parent's checkpointed guard state
+		// (countdown, slots, quarantine, adaptive records) lands in the
+		// clone's tier, so both machines keep making identical decisions.
+		attachGuard(mem, ext, p, sites, m.cfg)
+	}
 	ext.SetState(m.Ext.State())
 	ext.DelayLimit = m.Ext.DelayLimit
 	ext.MaxPatchBytes = m.Ext.MaxPatchBytes
-	p := proc.New(mem, ext)
-	p.Sites = sites
 	p.SetState(m.Proc.State())
 	log := m.Log.Clone()
 	clone := &Machine{

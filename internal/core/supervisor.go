@@ -8,6 +8,7 @@ import (
 	"firstaid/internal/app"
 	"firstaid/internal/checkpoint"
 	"firstaid/internal/diagnosis"
+	"firstaid/internal/mmbug"
 	"firstaid/internal/patch"
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
@@ -355,6 +356,13 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	dcfg.Span = span
 	dcfg.Trace = trc
 	dcfg.DetectedEarly = f.Early
+	if f.GuardBug != mmbug.None {
+		// A sampled guard-page hit carries direct evidence — class, exact
+		// call-site, and the clock of the decisive operation. Hand it to
+		// the engine so a single confirmation re-execution can replace the
+		// phase-1 checkpoint search and phase-2 identification.
+		dcfg.Evidence = &diagnosis.Evidence{Bug: f.GuardBug, Site: f.GuardSite, Clock: f.GuardClock}
+	}
 	eng := diagnosis.New(s.M, dcfg)
 	res := eng.Diagnose(until)
 	rec := &Recovery{Fault: f, Result: res}
@@ -405,6 +413,11 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	trc.Emit(trace.KPhaseBegin, trace.PhaseRollback, uint64(res.Checkpoint.Seq))
 	s.M.Rollback(res.Checkpoint)
 	s.M.Ckpt.DropAfter(res.Checkpoint)
+	if f.GuardBug != mmbug.None && f.GuardSite != 0 {
+		// The site is a confirmed offender: pin its sampling rate to 1/1
+		// before any validation clone is taken so clones inherit the boost.
+		s.M.Ext.GuardBoost(f.GuardSite)
+	}
 	endRb("", 1)
 	trc.Emit(trace.KPhaseEnd, trace.PhaseRollback, 1)
 

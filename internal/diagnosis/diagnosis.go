@@ -89,6 +89,15 @@ type Config struct {
 	// diagnosis log notes since it shortens the window Phase 1 must cover.
 	DetectedEarly bool
 
+	// Evidence, when set, carries direct bug evidence captured at the
+	// detection point (a sampled guard-page hit): the manifested class,
+	// the implicated call-site and the process clock of the decisive
+	// operation. The engine then tries the fast path — one scoped
+	// confirmation re-execution instead of the phase-1 checkpoint search
+	// and phase-2 class/site identification — falling back to the full
+	// pipeline if confirmation fails.
+	Evidence *Evidence
+
 	// Metrics, when set, receives diagnosis counters: total rollbacks and
 	// probe re-executions per phase.
 	Metrics *telemetry.Registry
@@ -107,6 +116,17 @@ func (c *Config) fillDefaults() {
 	if c.MaxRollbacks == 0 {
 		c.MaxRollbacks = 200
 	}
+}
+
+// Evidence is direct bug evidence from a detector that traps at the
+// faulting access (the guard tier): class, call-site, and the process
+// clock of the decisive operation (allocation for overflow, free for
+// dangling accesses) — the fast path rolls back to the newest checkpoint
+// strictly older than that clock.
+type Evidence struct {
+	Bug   mmbug.Type
+	Site  callsite.ID
+	Clock uint64
 }
 
 // Finding is one diagnosed bug: its class and the call-sites of the
@@ -131,6 +151,10 @@ type Result struct {
 	// Rollbacks counts diagnostic re-executions (Table 3's "No. of
 	// rollbacks for diagnosis").
 	Rollbacks int
+	// FastPath marks a diagnosis completed from detection-point evidence
+	// with a single confirmation re-execution — phase 1 and phase 2 were
+	// skipped entirely.
+	FastPath bool
 	// Log is the human-readable diagnosis log included in the bug
 	// report.
 	Log []string
@@ -152,6 +176,7 @@ type Engine struct {
 	metRollbacks *telemetry.Counter
 	metPhase1    *telemetry.Counter
 	metPhase2    *telemetry.Counter
+	metGuard     *telemetry.Counter
 	curPhase     *telemetry.Counter // phase counter reexec charges to
 }
 
@@ -166,6 +191,7 @@ func New(m Machine, cfg Config) *Engine {
 		metRollbacks: cfg.Metrics.Counter("diag.rollbacks"),
 		metPhase1:    cfg.Metrics.Counter("diag.phase1_reexecs"),
 		metPhase2:    cfg.Metrics.Counter("diag.phase2_reexecs"),
+		metGuard:     cfg.Metrics.Counter("diag.guard_confirms"),
 	}
 }
 
@@ -199,6 +225,12 @@ func (e *Engine) Diagnose(until int) Result {
 	e.log = nil
 	if e.cfg.DetectedEarly {
 		e.logf("failure detected early at a protected-region touchpoint: corruption trapped at the causing event (zero-event propagation)")
+	}
+
+	if e.cfg.Evidence != nil {
+		if res, ok := e.confirmEvidence(until); ok {
+			return res
+		}
 	}
 
 	e.curPhase = e.metPhase1
@@ -235,6 +267,56 @@ func (e *Engine) Diagnose(until int) Result {
 	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag2, uint64(e.rollbacks-phase1Rollbacks))
 	result.Log = e.log
 	return result
+}
+
+// confirmEvidence tries the guard-evidence fast path: one confirmation
+// re-execution from the newest checkpoint predating the evidence clock,
+// with the preventive change for the evidenced class applied only at the
+// evidenced call-site. If that scoped change alone survives the failure
+// region, class and site are confirmed and both search phases are skipped
+// (§4's diagnosis collapses to a single rollback when the detector already
+// caught the bug at the faulting instruction). On any mismatch — no old
+// enough checkpoint, re-execution still faults, residual metadata
+// corruption — diagnosis falls through to the full pipeline.
+func (e *Engine) confirmEvidence(until int) (Result, bool) {
+	ev := e.cfg.Evidence
+	var cp *checkpoint.Checkpoint
+	for _, c := range e.m.Checkpoints() {
+		if c.Clock < ev.Clock {
+			cp = c
+		}
+	}
+	if cp == nil {
+		e.logf("guard evidence (%v at %v): no checkpoint predates the decisive operation (clock %d); falling back to full diagnosis", ev.Bug, ev.Site, ev.Clock)
+		return Result{}, false
+	}
+
+	e.curPhase = e.metGuard
+	endPhase := e.cfg.Span.Phase("guard-confirm")
+	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseGuardConfirm, uint64(until))
+	cs := allocext.NewChangeSet()
+	cs.AddPreventive(ev.Bug, callsite.NewSet(ev.Site))
+	out := e.reexec(cp, cs, until, false)
+	if out.Passed() && out.MetaErr == nil {
+		e.logf("guard evidence confirmed: preventive %v at %v alone survives the failure region from %v", ev.Bug, ev.Site, cp)
+		endPhase("confirmed", 1)
+		e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseGuardConfirm, uint64(e.rollbacks))
+		return Result{
+			Checkpoint: cp,
+			Findings:   []Finding{{Bug: ev.Bug, Sites: []callsite.ID{ev.Site}}},
+			Rollbacks:  e.rollbacks,
+			FastPath:   true,
+			Log:        e.log,
+		}, true
+	}
+	if out.Fault != nil {
+		e.logf("guard evidence not confirmed (re-execution faulted: %v); falling back to full diagnosis", out.Fault.Kind)
+	} else {
+		e.logf("guard evidence not confirmed (metadata corruption: %v); falling back to full diagnosis", out.MetaErr)
+	}
+	endPhase("fallback", 1)
+	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseGuardConfirm, uint64(e.rollbacks))
+	return Result{}, false
 }
 
 // --- Phase 1 ---------------------------------------------------------------------

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+
+	"firstaid/internal/app"
+	"firstaid/internal/chaos"
+	"firstaid/internal/core"
+	"firstaid/internal/guard"
+	"firstaid/internal/mmbug"
+)
+
+// TestGuardThroughFleet soaks the guard tier through the real TCP path:
+// every worker runs with sampling always on — the default 1/4096 coin plus
+// forced 1/1 sampling of the chaos bug sites, the configuration a fleet
+// hunting a known-suspect site would deploy. The fleet must survive the
+// injected bugs with zero drops, the guard counters must surface in the
+// merged telemetry snapshot, and each worker's recorded stream must replay
+// offline (same guard configuration) into a state the differential oracle
+// accepts.
+func TestGuardThroughFleet(t *testing.T) {
+	const workers = 3
+	mcfg := core.MachineConfig{
+		GuardRate:  guard.DefaultRate,
+		GuardForce: []string{"chaos_bug"},
+	}
+	f := New(func() app.Program { return &chaos.App{} }, Config{
+		Workers:    workers,
+		Dispatch:   HashBySource,
+		Supervisor: core.Config{Machine: mcfg},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewServer(f)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(req Request) Result {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(base+"/events", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /events: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /events: %s", resp.Status)
+		}
+		var res Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	srcFor := map[int]string{}
+	for i := 0; len(srcFor) < workers && i < 64; i++ {
+		src := fmt.Sprintf("guard-src-%d", i)
+		res := post(Request{Kind: "probe", Src: src})
+		if _, taken := srcFor[res.Worker]; !taken {
+			srcFor[res.Worker] = src
+		}
+	}
+	if len(srcFor) < workers {
+		t.Fatalf("probing found sources for only %d of %d workers", len(srcFor), workers)
+	}
+
+	// One program per worker: two force-sampled singles (overflow and
+	// dangling write trap at the faulting access and take the evidence fast
+	// path) and the three-bug combo. The shared patch pool immunizes the
+	// fleet as diagnoses land, and guarded pages are zero-filled, so of the
+	// combo's three bugs only the bank-1 dangling write still manifests:
+	// worker 0's padding patch absorbs the bank-0 overflow and the bank-2
+	// uninitialized read observes guard-page zeros. Floor: 3 failures.
+	specs := []chaos.GenSpec{
+		{Seed: 0x6AF1, Class: mmbug.BufferOverflow, Ops: 80},
+		{Seed: 0x6AF2, Class: mmbug.DanglingWrite, Ops: 80},
+		{Seed: 0x6AF3, Scenario: chaos.ScenarioMulti, Combo: 2, Ops: 80},
+	}
+	const wantFailures = 3
+	failed := 0
+	for w := 0; w < workers; w++ {
+		prog := chaos.GenerateSpec(specs[w])
+		for _, op := range prog.Ops() {
+			kind, data, n := op.Event()
+			res := post(Request{Kind: kind, Data: data, N: n, Src: srcFor[w]})
+			if res.Skipped {
+				t.Fatalf("worker %d dropped a chaos event (%v)", w, prog)
+			}
+			if res.Failed {
+				failed++
+				if !res.Recovered {
+					t.Fatalf("worker %d failed without recovering (%v)", w, prog)
+				}
+			}
+		}
+	}
+	if failed < wantFailures {
+		t.Fatalf("only %d failures across the fleet, want >= %d — an injected bug never manifested", failed, wantFailures)
+	}
+
+	// Guard activity must surface in the merged telemetry: forced sites
+	// sampled on every script allocation, and every trapped bug above was a
+	// guard-page hit.
+	snap := f.Snapshot()
+	if snap.Counters["guard.sampled"] == 0 {
+		t.Fatalf("no sampled allocations in merged snapshot: %v", snap.Counters)
+	}
+	if snap.Counters["guard.hits"] < wantFailures {
+		t.Fatalf("guard.hits = %d, want >= %d: %v", snap.Counters["guard.hits"], wantFailures, snap.Counters)
+	}
+	if snap.Counters["guard.quarantined"] == 0 {
+		t.Fatalf("no quarantined frees in merged snapshot: %v", snap.Counters)
+	}
+
+	var health Health
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("fleet degraded after guarded chaos traffic: %+v", health)
+	}
+	for _, w := range health.Workers {
+		if w.Inbox != 0 {
+			t.Fatalf("worker %d wedged with %d queued requests", w.ID, w.Inbox)
+		}
+	}
+
+	srv.Close()
+	st := f.Close()
+	t.Logf("fleet: %+v", st.Core)
+	if st.Core.Skipped != 0 {
+		t.Fatalf("%d events dropped fleet-wide", st.Core.Skipped)
+	}
+
+	// Offline differential check under the same guard configuration: the
+	// sampling coin is seeded per machine, so a fresh supervisor replaying
+	// the recorded stream reproduces the guarded run deterministically.
+	for w := 0; w < workers; w++ {
+		sup := core.NewSupervisor(&chaos.App{}, f.RecordedLog(w), core.Config{Machine: mcfg})
+		stats := sup.Run()
+		if stats.Skipped != 0 {
+			t.Fatalf("worker %d replay dropped %d events", w, stats.Skipped)
+		}
+		if err := chaos.CheckSupervisor(sup); err != nil {
+			t.Fatalf("worker %d: replayed state diverges from the model: %v", w, err)
+		}
+	}
+}

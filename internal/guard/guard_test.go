@@ -1,0 +1,279 @@
+package guard
+
+import (
+	"testing"
+
+	"firstaid/internal/callsite"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/vmem"
+)
+
+// testRand is a tiny deterministic xorshift matching proc's discipline.
+type testRand struct{ s uint64 }
+
+func (r *testRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func newTestGuard(t *testing.T, cfg Config) (*Guard, *callsite.Table) {
+	t.Helper()
+	mem := vmem.New(0)
+	tab := callsite.NewTable()
+	g := New(mem, cfg)
+	r := &testRand{s: 0x9E3779B97F4A7C15}
+	var clock uint64
+	g.Bind(r.next, func() uint64 { clock++; return clock },
+		func(id callsite.ID) string { return tab.Key(id).String() })
+	return g, tab
+}
+
+func site(tab *callsite.Table, leaf string) callsite.ID {
+	return tab.Intern(callsite.Key{leaf, "caller", "main"})
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	run := func() []bool {
+		g, tab := newTestGuard(t, Config{Rate: 8})
+		s := site(tab, "alloc_a")
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = g.Decide(64, s)
+		}
+		return out
+	}
+	a, b := run(), run()
+	sampled := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identical seeded runs", i)
+		}
+		if a[i] {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatalf("rate 1/8 over 200 requests sampled nothing")
+	}
+}
+
+func TestDecideForcedAndOversize(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 0, Force: []string{"hot_site"}})
+	forced := site(tab, "hot_site_alloc")
+	other := site(tab, "cold")
+	if !g.Decide(64, forced) {
+		t.Fatalf("forced site not sampled")
+	}
+	if g.Decide(64, other) {
+		t.Fatalf("rate 0 sampled an unforced site")
+	}
+	if g.Decide(DefaultMaxSize+1, forced) {
+		t.Fatalf("oversize request sampled")
+	}
+}
+
+func TestAllocLayoutRightGuard(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 1, Force: []string{"alloc"}})
+	s := site(tab, "alloc_buf")
+	sl, err := g.Alloc(100, 16, 16, s)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if sl.Left {
+		t.Fatalf("forced site should take the right guard")
+	}
+	if sl.Start%vmem.PageSize != 0 || sl.Len%vmem.PageSize != 0 {
+		t.Fatalf("region not page aligned: start=%v len=%d", sl.Start, sl.Len)
+	}
+	end := uint64(sl.User) + uint64(sl.Size)
+	regionEnd := uint64(sl.Start) + uint64(sl.Len)
+	if end > regionEnd {
+		t.Fatalf("object spills past region: end=%#x regionEnd=%#x", end, regionEnd)
+	}
+	if slack := regionEnd - end; slack > 7+16 { // padB(16) + alignment slack(<=7)
+		t.Fatalf("right-guard slack too large: %d", slack)
+	}
+	if uint64(sl.User)%8 != 0 {
+		t.Fatalf("user pointer not 8-aligned: %v", sl.User)
+	}
+	if sl.User < sl.Start {
+		t.Fatalf("user pointer before region start")
+	}
+}
+
+func TestAllocOrientationAlternates(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 1})
+	s := site(tab, "churn")
+	lefts := 0
+	for i := 0; i < 16; i++ {
+		sl, err := g.Alloc(64, 8, 8, s)
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		if sl.Left {
+			lefts++
+			if sl.User != sl.Start+8 {
+				t.Fatalf("left-guard object not at region start+padF: user=%v start=%v", sl.User, sl.Start)
+			}
+		}
+	}
+	if lefts != 4 {
+		t.Fatalf("expected every 4th coin slot left-guarded, got %d/16", lefts)
+	}
+}
+
+func TestHitClassification(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 1, Quarantine: 4})
+	sAlloc := site(tab, "alloc_site")
+	sFree := site(tab, "free_site")
+
+	live, err := g.Alloc(128, 0, 0, sAlloc)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	// Overflow past the live object's region into the trailing guard page.
+	h, ok := g.Hit(live.Start+vmem.Addr(live.Len)+8, 8, true)
+	if !ok {
+		t.Fatalf("overflow into trailing guard page not classified")
+	}
+	if h.Bug != mmbug.BufferOverflow || h.Site != sAlloc {
+		t.Fatalf("overflow misclassified: %v at %v", h.Bug, h.Site)
+	}
+	if h.Clock != live.Clock {
+		t.Fatalf("overflow clock = %d, want alloc clock %d", h.Clock, live.Clock)
+	}
+
+	// Dangling: release, then touch the quarantined region.
+	victim, err := g.Alloc(64, 0, 0, sAlloc)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if !g.Release(victim.User, sFree) {
+		t.Fatalf("Release of live slot returned false")
+	}
+	if !g.Quarantined(victim.User) {
+		t.Fatalf("released slot not quarantined")
+	}
+	h, ok = g.Hit(victim.User, 4, true)
+	if !ok || h.Bug != mmbug.DanglingWrite || h.Site != sFree {
+		t.Fatalf("dangling write misclassified: ok=%v %v at %v", ok, h.Bug, h.Site)
+	}
+	h, ok = g.Hit(victim.User, 4, false)
+	if !ok || h.Bug != mmbug.DanglingRead {
+		t.Fatalf("dangling read misclassified: ok=%v %v", ok, h.Bug)
+	}
+
+	// An address far from every slot is not a guard hit.
+	if _, ok := g.Hit(0xDEAD0000, 1, true); ok {
+		t.Fatalf("unrelated address classified as guard hit")
+	}
+}
+
+func TestReleaseUnknownPointer(t *testing.T) {
+	g, _ := newTestGuard(t, Config{Rate: 1})
+	if g.Release(0x1234, 0) {
+		t.Fatalf("Release of unknown pointer returned true")
+	}
+}
+
+func TestQuarantineEviction(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 1, Quarantine: 2})
+	s := site(tab, "churn")
+	users := make([]vmem.Addr, 4)
+	for i := range users {
+		sl, err := g.Alloc(32, 0, 0, s)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		users[i] = sl.User
+		g.Release(sl.User, s)
+	}
+	if g.QuarantineLen() != 2 {
+		t.Fatalf("quarantine len = %d, want 2", g.QuarantineLen())
+	}
+	if g.Quarantined(users[0]) {
+		t.Fatalf("oldest entry should be evicted from the ring")
+	}
+	if !g.Quarantined(users[3]) {
+		t.Fatalf("newest entry missing from the ring")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 4})
+	s := site(tab, "alloc")
+	// Warm up: consume coin state, allocate, quarantine, boost.
+	for i := 0; i < 10; i++ {
+		g.Decide(64, s)
+	}
+	sl, err := g.Alloc(64, 0, 0, s)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	g.Release(sl.User, s)
+	g.Boost(s)
+
+	snap := g.State()
+	// Mutate: new allocation, more coin flips.
+	sl2, _ := g.Alloc(64, 0, 0, s)
+	for i := 0; i < 50; i++ {
+		g.Decide(64, s)
+	}
+	g.SetState(snap)
+
+	if g.Live() != 0 {
+		t.Fatalf("post-restore live = %d, want 0", g.Live())
+	}
+	if _, ok := g.Lookup(sl2.User); ok {
+		t.Fatalf("post-checkpoint slot survived restore")
+	}
+	if !g.Quarantined(sl.User) {
+		t.Fatalf("quarantine lost across restore")
+	}
+	if !g.Boosted(s) {
+		t.Fatalf("boost lost across restore")
+	}
+
+	// The restored countdown must replay the same decisions.
+	seqFrom := func() []bool {
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = g.Decide(64, s)
+		}
+		return out
+	}
+	g.SetState(snap)
+	a := seqFrom()
+	g.SetState(snap)
+	b := seqFrom()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged after identical restores", i)
+		}
+	}
+}
+
+func TestAdaptiveDecay(t *testing.T) {
+	g, tab := newTestGuard(t, Config{Rate: 1})
+	s := site(tab, "hot_clean")
+	// Rate 1 samples every request; drive the site past the decay budget.
+	sampled := 0
+	for i := 0; i < decayAfter*3; i++ {
+		if g.Decide(64, s) {
+			sampled++
+			if _, err := g.Alloc(64, 0, 0, s); err != nil {
+				t.Fatalf("Alloc: %v", err)
+			}
+		}
+	}
+	if sampled > decayAfter {
+		t.Fatalf("hot clean site kept sampling past decay: %d > %d", sampled, decayAfter)
+	}
+	// A boost re-enables sampling despite the decayed record.
+	g.Boost(s)
+	if !g.Decide(64, s) {
+		t.Fatalf("boosted site not sampled after decay")
+	}
+}

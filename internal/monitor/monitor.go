@@ -73,6 +73,19 @@ func (m *Monitor) RunEvent(seq int, fn func()) *proc.Fault {
 	m.events++
 	m.metEvents.Inc()
 	f := proc.Catch(fn)
+	if f != nil && f.Access {
+		// An unmapped-page trap may be a sampled guard-page hit: classify
+		// it against the guard tier's live and quarantined slots. A hit is
+		// detection *at the faulting access* — zero propagation distance —
+		// and carries the exact call-site evidence diagnosis needs to skip
+		// its phase-1 checkpoint search.
+		if hit, ok := m.Ext.GuardHit(f.Addr, f.AccessLen, f.AccessWrite); ok {
+			f.GuardBug = hit.Bug
+			f.GuardSite = hit.Site
+			f.GuardClock = hit.Clock
+			f.Early = true
+		}
+	}
 	if m.ScanEachEvent {
 		m.Ext.Scan()
 		m.metScans.Inc()

@@ -22,6 +22,7 @@ import (
 
 	"firstaid/internal/callsite"
 	"firstaid/internal/heap"
+	"firstaid/internal/mmbug"
 	"firstaid/internal/trace"
 	"firstaid/internal/vmem"
 )
@@ -90,6 +91,23 @@ type Fault struct {
 	// (sensitive-region) object: the corruption was trapped at the event
 	// that caused it rather than at a later use or checkpoint scan.
 	Early bool
+
+	// Access marks an access violation that trapped on an unmapped page
+	// (vmem.AccessError): the fault is the access itself, not a
+	// consequence observed later. AccessWrite/AccessLen carry the access
+	// shape for the guard tier's hit classification.
+	Access      bool
+	AccessWrite bool
+	AccessLen   int
+
+	// Guard* are filled by the monitor when the access classifies as a
+	// guarded-slot hit: the manifested class, the implicated call-site
+	// (alloc site for overflow, free site for dangling) and the process
+	// clock of that decisive operation. Diagnosis uses them as evidence
+	// to skip the phase-1 checkpoint search.
+	GuardBug   mmbug.Type
+	GuardSite  callsite.ID
+	GuardClock uint64
 }
 
 func (f *Fault) Error() string {
@@ -491,12 +509,34 @@ func (p *Proc) access(addr vmem.Addr, n int, write bool) {
 	}
 }
 
+// accessFault raises the trap for a failed load/store. When the failure is
+// an unmapped-page access (vmem.AccessError — a guard page, a quarantined
+// slot, an unmapped spill) the fault carries the precise access shape so
+// the monitor can classify it against the guard tier's slots.
+func (p *Proc) accessFault(err error, addr vmem.Addr) {
+	var ae *vmem.AccessError
+	if errors.As(err, &ae) {
+		panic(&Fault{
+			Kind:        AccessViolation,
+			Addr:        addr,
+			Msg:         err.Error(),
+			Stack:       p.Stack(),
+			Instr:       p.Instr(),
+			Clock:       p.st.Clock,
+			Access:      true,
+			AccessWrite: ae.Write,
+			AccessLen:   ae.Len,
+		})
+	}
+	p.fault(AccessViolation, addr, err.Error())
+}
+
 // Load reads n bytes at addr; unmapped memory traps.
 func (p *Proc) Load(addr vmem.Addr, n int) []byte {
 	p.access(addr, n, false)
 	b, err := p.Mem.Read(addr, n)
 	if err != nil {
-		p.fault(AccessViolation, addr, err.Error())
+		p.accessFault(err, addr)
 	}
 	return b
 }
@@ -505,7 +545,7 @@ func (p *Proc) Load(addr vmem.Addr, n int) []byte {
 func (p *Proc) Store(addr vmem.Addr, data []byte) {
 	p.access(addr, len(data), true)
 	if err := p.Mem.Write(addr, data); err != nil {
-		p.fault(AccessViolation, addr, err.Error())
+		p.accessFault(err, addr)
 	}
 }
 
@@ -514,7 +554,7 @@ func (p *Proc) LoadU32(addr vmem.Addr) uint32 {
 	p.access(addr, 4, false)
 	v, err := p.Mem.ReadU32(addr)
 	if err != nil {
-		p.fault(AccessViolation, addr, err.Error())
+		p.accessFault(err, addr)
 	}
 	return v
 }
@@ -523,7 +563,7 @@ func (p *Proc) LoadU32(addr vmem.Addr) uint32 {
 func (p *Proc) StoreU32(addr vmem.Addr, v uint32) {
 	p.access(addr, 4, true)
 	if err := p.Mem.WriteU32(addr, v); err != nil {
-		p.fault(AccessViolation, addr, err.Error())
+		p.accessFault(err, addr)
 	}
 }
 
@@ -531,7 +571,7 @@ func (p *Proc) StoreU32(addr vmem.Addr, v uint32) {
 func (p *Proc) Memset(addr vmem.Addr, b byte, n int) {
 	p.access(addr, n, true)
 	if err := p.Mem.Fill(addr, b, n); err != nil {
-		p.fault(AccessViolation, addr, err.Error())
+		p.accessFault(err, addr)
 	}
 }
 

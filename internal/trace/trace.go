@@ -79,6 +79,12 @@ const (
 	KEventBegin // arg1 = event seq
 	KEventEnd   // arg1 = event seq, arg2 = outcome (OutcomeOK…)
 	KDispatch   // arg1 = target worker, arg2 = its queue depth at dispatch
+
+	// Sampled guard-page detection (internal/guard); records land on the
+	// worker's guard track (GuardTrack).
+	KGuardAlloc // arg1 = call-site ID, arg2 = bytes requested
+	KGuardFree  // arg1 = free call-site ID, arg2 = object size quarantined
+	KGuardHit   // arg1 = manifested bug class, arg2 = faulting address
 )
 
 // Event outcome codes carried in KEventEnd.Arg2.
@@ -109,6 +115,9 @@ var kindNames = map[Kind]string{
 	KEventBegin:    "event-begin",
 	KEventEnd:      "event-end",
 	KDispatch:      "dispatch",
+	KGuardAlloc:    "guard-alloc",
+	KGuardFree:     "guard-free",
+	KGuardHit:      "guard-hit",
 }
 
 // String returns the kind's stable name.
@@ -122,23 +131,25 @@ func (k Kind) String() string {
 // Phase IDs carried in KPhaseBegin/KPhaseEnd.Arg1. Values are part of the
 // file format: append, never renumber.
 const (
-	PhaseRecovery    = 1 // the whole failure→patch→rollback episode
-	PhaseDiag1       = 2 // diagnosis phase 1: backward checkpoint search
-	PhaseDiag2       = 3 // diagnosis phase 2: bug/site identification
-	PhasePatchGen    = 4 // patch generation and application
-	PhaseRollback    = 5 // rollback to the chosen checkpoint
-	PhaseValidation  = 6 // patch validation over the buggy region
-	PhaseEarlyDetect = 7 // protected-region eager detection; end Arg2 = detection latency in events
+	PhaseRecovery     = 1 // the whole failure→patch→rollback episode
+	PhaseDiag1        = 2 // diagnosis phase 1: backward checkpoint search
+	PhaseDiag2        = 3 // diagnosis phase 2: bug/site identification
+	PhasePatchGen     = 4 // patch generation and application
+	PhaseRollback     = 5 // rollback to the chosen checkpoint
+	PhaseValidation   = 6 // patch validation over the buggy region
+	PhaseEarlyDetect  = 7 // protected-region eager detection; end Arg2 = detection latency in events
+	PhaseGuardConfirm = 8 // guard-evidence fast path: single confirmation re-execution
 )
 
 var phaseNames = map[uint64]string{
-	PhaseRecovery:    "recovery",
-	PhaseDiag1:       "phase1",
-	PhaseDiag2:       "phase2",
-	PhasePatchGen:    "patch-gen",
-	PhaseRollback:    "rollback",
-	PhaseValidation:  "validation",
-	PhaseEarlyDetect: "early-detect",
+	PhaseRecovery:     "recovery",
+	PhaseDiag1:        "phase1",
+	PhaseDiag2:        "phase2",
+	PhasePatchGen:     "patch-gen",
+	PhaseRollback:     "rollback",
+	PhaseValidation:   "validation",
+	PhaseEarlyDetect:  "early-detect",
+	PhaseGuardConfirm: "guard-confirm",
 }
 
 // PhaseName returns the stable name of a phase ID.
@@ -180,6 +191,16 @@ func ValidationTrack(worker int, n uint64) int {
 // track.
 const FleetTrack = 0x7FFF
 
+// GuardTrackBit marks a worker ID as a guard track: the sampled guard-page
+// tier of a worker emits on its own derived track so guard events read as
+// their own timeline lane next to the worker's allocation traffic.
+const GuardTrackBit = 0x4000
+
+// GuardTrack derives the guard-tier trace track of the given worker.
+func GuardTrack(worker int) int {
+	return GuardTrackBit | (worker & 0xFFF)
+}
+
 // TrackName renders a worker/track ID for exporters.
 func TrackName(worker uint16) string {
 	if worker == FleetTrack {
@@ -188,6 +209,9 @@ func TrackName(worker uint16) string {
 	if worker&ValidationTrackBit != 0 {
 		parent := uint64(worker>>10) & 0x1F
 		return "worker-" + formatUint(parent) + "/validation-" + formatUint(uint64(worker&0x3FF))
+	}
+	if worker&GuardTrackBit != 0 {
+		return "worker-" + formatUint(uint64(worker&0xFFF)) + "/guard"
 	}
 	return "worker-" + formatUint(uint64(worker))
 }

@@ -288,11 +288,7 @@ func (s *Space) Sbrk(n uint32) (Addr, error) {
 	newBrk := Addr(end)
 	firstPage := pageNum(old)
 	lastPage := pageNum(newBrk - 1)
-	if need := int(lastPage) + 1; need > len(s.pages) {
-		grown := make([]*page, need)
-		copy(grown, s.pages)
-		s.pages = grown
-	}
+	s.growPages(int(lastPage) + 1)
 	for pn := firstPage; pn <= lastPage; pn++ {
 		if s.pages[pn] == nil {
 			s.pages[pn] = s.newPage(true)
@@ -306,6 +302,31 @@ func (s *Space) Sbrk(n uint32) (Addr, error) {
 }
 
 func pageNum(a Addr) uint32 { return uint32(a) >> pageShift }
+
+// growPages extends the page table to hold need slots. The table length
+// tracks the highest mapped page exactly (Snapshot and clone depend on
+// that), but growth reserves doubling spare capacity: the Map zone's
+// cursor only ever moves forward, so exact-size reallocation would copy
+// the entire table on every mapping.
+func (s *Space) growPages(need int) {
+	if need <= len(s.pages) {
+		return
+	}
+	if need <= cap(s.pages) {
+		s.pages = s.pages[:need]
+		return
+	}
+	c := 2 * cap(s.pages)
+	if c < need {
+		// A jump past doubling (the first Map zone mapping crossing from
+		// the brk span to MmapBase's page) still reserves headroom, or the
+		// very next mapping would reallocate the whole table again.
+		c = need + need/4
+	}
+	grown := make([]*page, need, c)
+	copy(grown, s.pages)
+	s.pages = grown
+}
 
 // mapped reports whether the range [a, a+n) lies entirely within mapped
 // memory: below the break in the sbrk zone (strict, so stray accesses past
@@ -364,11 +385,7 @@ func (s *Space) Map(n uint32) (Addr, error) {
 	}
 	firstPage := pageNum(start)
 	lastPage := pageNum(Addr(end - 1))
-	if need := int(lastPage) + 1; need > len(s.pages) {
-		grown := make([]*page, need)
-		copy(grown, s.pages)
-		s.pages = grown
-	}
+	s.growPages(int(lastPage) + 1)
 	for pn := firstPage; pn <= lastPage; pn++ {
 		s.pages[pn] = s.newPage(true)
 		s.everMapd++
