@@ -41,7 +41,7 @@ bench-json:
 	{ $(GO) test -bench '^(BenchmarkSnapshot|BenchmarkRestore|BenchmarkClone|BenchmarkCloneCOW|BenchmarkWrite64|BenchmarkSnapshotRestore|BenchmarkMallocFreeThroughProc)$$' \
 		-benchmem -benchtime 0.2s -run '^$$' ./internal/vmem ./internal/proc ; \
 	  $(GO) test -bench 'Guard$$' -benchtime 1x -run '^$$' \
-		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ; } \
+		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ./internal/chaos ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_6.json
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the

@@ -19,6 +19,16 @@
 //	firstaid-run -chaos-seed 13 -chaos-class multi -chaos-combo 0
 //	firstaid-run -chaos-seed 5 -chaos-scenario churn -chaos-class overflow
 //	firstaid-run -chaos-seed 8 -chaos-class dangling-write -chaos-protect
+//	firstaid-run -chaos-seed 0xF34 -chaos-scenario churn -chaos-guard
+//
+// With -postmortem <dir>, both modes write one postmortem bundle
+// (diagnosis-<id>.tar.gz: diagnosis JSON, report artifacts, trace slice,
+// span journal, metrics snapshot, and — for chaos runs — a REPRO.txt with
+// the exact firstaid-run command) per recovery at exit. A bundle's
+// REPRO.txt replays the identical diagnosis offline:
+//
+//	firstaid-run -chaos-seed 0x2a -chaos-class overflow -postmortem /tmp/pm
+//	tar -xzf /tmp/pm/diagnosis-1.tar.gz REPRO.txt && sh REPRO.txt
 package main
 
 import (
@@ -31,7 +41,6 @@ import (
 	"firstaid"
 	"firstaid/internal/apps"
 	"firstaid/internal/chaos"
-	"firstaid/internal/mmbug"
 )
 
 func main() {
@@ -58,6 +67,8 @@ func main() {
 		chaosScenario = flag.String("chaos-scenario", "single", "chaos program shape: single, multi, churn, actors")
 		chaosCombo    = flag.Int("chaos-combo", 0, "multi scenario: index into the interacting-bug combo library")
 		chaosProtect  = flag.Bool("chaos-protect", false, "mark the corruptible script object a Selfie-style sensitive region (eager detection)")
+		chaosGuard    = flag.Bool("chaos-guard", false, "generate the chaos program with guard-page sampling always on (rate 1/2 unless -guard-rate/-guard-force is set)")
+		postmortem    = flag.String("postmortem", "", "write one postmortem bundle per recovery (diagnosis-<id>.tar.gz) into this directory at exit")
 	)
 	flag.Parse()
 
@@ -70,7 +81,7 @@ func main() {
 
 	if *chaosSeed != "" {
 		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode, *chaosScenario, *chaosCombo, *chaosProtect,
-			*guardRate, guardSites)
+			*chaosGuard, *guardRate, guardSites, *postmortem)
 		return
 	}
 
@@ -210,6 +221,17 @@ func main() {
 			fmt.Printf("  %s\n", p)
 		}
 	}
+	if *postmortem != "" {
+		paths, err := sup.WritePostmortems(*postmortem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing postmortems: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npostmortem bundles written:\n")
+		for _, p := range paths {
+			fmt.Printf("  %s\n", p)
+		}
+	}
 	if *poolPath != "" {
 		if err := sup.Pool.SaveFile(*poolPath); err != nil {
 			fmt.Fprintf(os.Stderr, "saving pool: %v\n", err)
@@ -234,7 +256,7 @@ func main() {
 // replays any cell of the accuracy matrix or any failure a chaos test or
 // fuzz run reports.
 func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, combo int, protect bool,
-	guardRate int, guardForce []string) {
+	guard bool, guardRate int, guardForce []string, postmortemDir string) {
 	seed, err := strconv.ParseUint(seedStr, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -chaos-seed %q: %v\n", seedStr, err)
@@ -244,48 +266,39 @@ func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, co
 		// Shorthand: -chaos-class multi == -chaos-scenario multi.
 		classStr, scenarioStr = "none", "multi"
 	}
-	classes := map[string]mmbug.Type{
-		"none":           mmbug.None,
-		"overflow":       mmbug.BufferOverflow,
-		"dangling-write": mmbug.DanglingWrite,
-		"dangling-read":  mmbug.DanglingRead,
-		"double-free":    mmbug.DoubleFree,
-		"uninit-read":    mmbug.UninitRead,
-	}
-	class, ok := classes[classStr]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown -chaos-class %q\n", classStr)
+	class, err := chaos.ParseClassFlag(classStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos-class: %v\n", err)
 		os.Exit(1)
 	}
-	modes := map[string]chaos.Mode{
-		"sync":     chaos.ModeSync,
-		"parallel": chaos.ModeParallel,
-		"stream":   chaos.ModeStream,
-	}
-	mode, ok := modes[modeStr]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown -chaos-mode %q\n", modeStr)
+	mode, err := chaos.ParseModeFlag(modeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos-mode: %v\n", err)
 		os.Exit(1)
 	}
-	scenarios := map[string]chaos.Scenario{
-		"single": chaos.ScenarioSingle,
-		"multi":  chaos.ScenarioMulti,
-		"churn":  chaos.ScenarioChurn,
-		"actors": chaos.ScenarioActors,
-	}
-	scenario, ok := scenarios[scenarioStr]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown -chaos-scenario %q\n", scenarioStr)
+	scenario, err := chaos.ParseScenarioFlag(scenarioStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos-scenario: %v\n", err)
 		os.Exit(1)
 	}
 	cfg := chaos.RunConfig{
 		Seed: seed, Class: class, Ops: ops, Mode: mode,
-		Scenario: scenario, Combo: combo, Protect: protect,
+		Scenario: scenario, Combo: combo, Protect: protect, Guard: guard,
 	}
 	cfg.Machine.GuardRate = guardRate
 	cfg.Machine.GuardForce = guardForce
 	out := chaos.Run(cfg)
 	fmt.Print(out.Verdict())
+	if postmortemDir != "" {
+		paths, err := out.WritePostmortems(postmortemDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing postmortems: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Printf("postmortem bundle: %s\n", p)
+		}
+	}
 	if !out.OK() {
 		os.Exit(1)
 	}

@@ -20,7 +20,14 @@
 //	GET  /trace         execution-trace ring; ?format=chrome or ?format=text
 //	GET  /trace/stream  live SSE tail of trace records
 //	GET  /patches       the shared patch pool as JSON
-//	GET  /healthz       per-worker inbox depth and busy state
+//	GET  /healthz       per-worker readiness: inbox depth, busy state,
+//	                    last-event clock, in-flight diagnoses
+//	GET  /diagnoses     recovery lifecycle objects from the diagnosis
+//	                    ledger; ?phase=, ?source=, ?worker= filter
+//	GET  /diagnoses/stream      live SSE feed of phase transitions
+//	GET  /diagnoses/{id}        one full diagnosis (conditions + evidence)
+//	GET  /diagnoses/{id}/trace  its trace slice; ?format=chrome or text
+//	GET  /diagnoses/{id}/bundle its postmortem bundle (tar.gz)
 //
 // With -load the binary starts its own fleet, drives the built-in
 // concurrent load generator against it over a real TCP socket, prints
@@ -57,6 +64,7 @@ func main() {
 		poolPath   = flag.String("pool", "", "patch-pool file to load at start and save at exit")
 		parallel   = flag.Bool("parallel-validation", false, "validate patches on cloned machines in parallel")
 		traceCap   = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
+		ledgerCap  = flag.Int("ledger-cap", 0, "diagnosis-ledger ring capacity in entries (0 = default 256)")
 		journal    = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
 		guardRate  = flag.Int("guard-rate", 0, "guard-page sampling per worker: redirect ~1/N of allocations onto guard pages so stray accesses trap at the faulting instruction (0 = off; 4096 is the always-on default)")
 		guardForce = flag.String("guard-force", "", "comma-separated call-site substrings to guard-sample on every allocation across the fleet")
@@ -89,11 +97,12 @@ func main() {
 		}
 	}
 	cfg := fleet.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		Supervisor:    core.Config{ParallelValidation: *parallel, Machine: mcfg},
-		TraceCapacity: *traceCap,
-		JournalSpans:  *journal,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Supervisor:     core.Config{ParallelValidation: *parallel, Machine: mcfg},
+		TraceCapacity:  *traceCap,
+		JournalSpans:   *journal,
+		LedgerCapacity: *ledgerCap,
 	}
 	switch *dispatch {
 	case "hash":

@@ -31,6 +31,7 @@ func TestDiagnosisAccuracy(t *testing.T) {
 			for _, seed := range seeds {
 				out := Run(RunConfig{Seed: seed, Class: class, Mode: ModeSync})
 				if !out.OK() {
+					savePostmortem(t, out)
 					t.Fatalf("seed %#x: oracle failed:\n%s", seed, out.Verdict())
 				}
 				ok := false
@@ -49,6 +50,7 @@ func TestDiagnosisAccuracy(t *testing.T) {
 				if ok {
 					correct++
 				} else {
+					savePostmortem(t, out)
 					t.Errorf("seed %#x: injected %v at %s not diagnosed:\n%s",
 						seed, class, wantSite, out.Verdict())
 				}
@@ -139,12 +141,15 @@ func TestDiagnosisAccuracyMatrix(t *testing.T) {
 						}
 						out := Run(cfg)
 						if !out.OK() {
+							savePostmortem(t, out)
 							t.Fatalf("seed %#x: oracle failed:\n%s", seed, out.Verdict())
 						}
 						if out.Stats.Failures == 0 {
+							savePostmortem(t, out)
 							t.Fatalf("seed %#x: injected bug never manifested:\n%s", seed, out.Verdict())
 						}
 						if err := out.CheckExpected(); err != nil {
+							savePostmortem(t, out)
 							t.Fatalf("seed %#x: %v\n%s", seed, err, out.Verdict())
 						}
 						if c.protect {

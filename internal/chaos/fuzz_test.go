@@ -19,6 +19,7 @@ func FuzzChaosProgram(f *testing.F) {
 		prog := Decode(data)
 		out := RunProgram(prog, RunConfig{Mode: ModeSync})
 		if !out.OK() {
+			savePostmortem(t, out)
 			t.Fatalf("differential oracle rejected the recovered state:\n%s", out.Verdict())
 		}
 	})

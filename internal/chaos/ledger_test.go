@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"firstaid/internal/core"
+	"firstaid/internal/ledger"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/report"
+)
+
+// canonicals returns the canonical projection of every ledger diagnosis of
+// a finished run, oldest first.
+func canonicals(t *testing.T, out *Outcome) [][]byte {
+	t.Helper()
+	var cs [][]byte
+	for _, d := range out.Sup.Ledger().List(ledger.Filter{Worker: ledger.AnyWorker}) {
+		c, err := d.Canonical()
+		if err != nil {
+			t.Fatalf("canonical projection of diagnosis %d: %v", d.ID, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// TestLedgerDeterminism is the mode-invariance contract for the diagnosis
+// ledger: the same seeded chaos program must produce exactly one ledger
+// Diagnosis per recovery in every supervision mode, and the canonical
+// projections — phases, conditions, evidence, clocks — must be
+// byte-identical across sync, parallel-validation and streaming, and
+// across independent reruns of the same mode.
+func TestLedgerDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   RunConfig
+		modes []Mode
+	}{
+		{"overflow", RunConfig{Seed: 0x1D6, Class: mmbug.BufferOverflow}, allModes},
+		{"dangling-write", RunConfig{Seed: 0x1D7, Class: mmbug.DanglingWrite}, allModes},
+		// The multi combo consolidates into one recovery under replay modes
+		// (the first re-execution's preventive patches absorb the later
+		// triggers) but recovers three times under streaming, so the
+		// cross-mode comparison pairs replay with replay and streaming with
+		// an independent streaming rerun.
+		{"multi-combo", RunConfig{Seed: 0x1D8, Scenario: ScenarioMulti, Combo: 2, Ops: 80},
+			[]Mode{ModeSync, ModeParallel}},
+		{"multi-combo-stream", RunConfig{Seed: 0x1D8, Scenario: ScenarioMulti, Combo: 2, Ops: 80, Mode: ModeStream},
+			[]Mode{ModeStream, ModeStream}},
+		{"guarded-churn", RunConfig{Seed: 0xF34, Scenario: ScenarioChurn, Class: mmbug.DanglingWrite, Guard: true, Ops: 64}, allModes},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var base [][]byte
+			var baseMode Mode
+			for _, mode := range tc.modes {
+				cfg := tc.cfg
+				cfg.Mode = mode
+				out := Run(cfg)
+				if !out.OK() {
+					t.Fatalf("%s: oracle failed:\n%s", mode, out.Verdict())
+				}
+				if out.Stats.Recoveries == 0 {
+					t.Fatalf("%s: no recovery happened:\n%s", mode, out.Verdict())
+				}
+
+				// Exactly one ledger diagnosis per recovery, none left open.
+				ldg := out.Sup.Ledger()
+				if ldg.Len() != len(out.Sup.Recoveries) {
+					t.Fatalf("%s: %d ledger diagnoses for %d recoveries",
+						mode, ldg.Len(), len(out.Sup.Recoveries))
+				}
+				if n := ldg.InFlight(ledger.AnyWorker); n != 0 {
+					t.Fatalf("%s: %d diagnoses still open after the run", mode, n)
+				}
+				for i, rec := range out.Sup.Recoveries {
+					if rec.Ledger == nil {
+						t.Fatalf("%s: recovery %d has no ledger entry", mode, i)
+					}
+				}
+
+				cs := canonicals(t, out)
+				if base == nil {
+					base, baseMode = cs, mode
+					continue
+				}
+				if len(cs) != len(base) {
+					t.Fatalf("%s has %d diagnoses, %s has %d", mode, len(cs), baseMode, len(base))
+				}
+				for i := range cs {
+					if !bytes.Equal(cs[i], base[i]) {
+						t.Fatalf("diagnosis %d canonical form diverges between %s and %s:\n%s\nvs\n%s",
+							i, mode, baseMode, cs[i], base[i])
+					}
+				}
+			}
+
+			// Rerunning the same seed in the base mode replays the exact
+			// same canonical diagnoses.
+			cfg := tc.cfg
+			cfg.Mode = tc.modes[0]
+			again := canonicals(t, Run(cfg))
+			for i := range again {
+				if !bytes.Equal(again[i], base[i]) {
+					t.Fatalf("rerun diagnosis %d diverges from first sync run:\n%s\nvs\n%s",
+						i, again[i], base[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBundleDeterminism pins the postmortem-bundle byte-identity contract:
+// two independent runs of the same seed in the same mode produce
+// byte-identical tar.gz bundles once wall-clock content is stripped.
+func TestBundleDeterminism(t *testing.T) {
+	for _, mode := range []Mode{ModeSync, ModeStream} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			bundles := func() [][]byte {
+				out := Run(RunConfig{Seed: 0x1D6, Class: mmbug.BufferOverflow, Mode: mode})
+				if !out.OK() || out.Stats.Recoveries == 0 {
+					t.Fatalf("run did not recover:\n%s", out.Verdict())
+				}
+				var bs [][]byte
+				for _, d := range out.Sup.Ledger().List(ledger.Filter{Worker: ledger.AnyWorker}) {
+					in := report.BundleFor(d, nil, nil)
+					in.StripWall = true
+					var buf bytes.Buffer
+					if err := report.WriteBundle(&buf, in); err != nil {
+						t.Fatalf("bundle for diagnosis %d: %v", d.ID, err)
+					}
+					bs = append(bs, buf.Bytes())
+				}
+				return bs
+			}
+			a, b := bundles(), bundles()
+			if len(a) != len(b) || len(a) == 0 {
+				t.Fatalf("bundle counts diverge: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if !bytes.Equal(a[i], b[i]) {
+					t.Fatalf("bundle %d differs between two identical runs (%d vs %d bytes)",
+						i, len(a[i]), len(b[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestReproRoundTrip pins ReproCommand/ParseRepro as exact inverses over
+// the RunConfig surface they encode.
+func TestReproRoundTrip(t *testing.T) {
+	cfgs := []RunConfig{
+		{Seed: 0x1D6, Class: mmbug.BufferOverflow},
+		{Seed: 0x1D7, Class: mmbug.DanglingWrite, Mode: ModeParallel, Protect: true},
+		{Seed: 0x1D8, Scenario: ScenarioMulti, Combo: 2, Ops: 80, Mode: ModeStream},
+		{Seed: 0xF34, Scenario: ScenarioChurn, Class: mmbug.UninitRead, Guard: true, Ops: 64},
+		{Seed: 0xBEEF, Class: mmbug.DoubleFree, Machine: core.MachineConfig{GuardRate: 4096}},
+		{Seed: 0xBEF0, Class: mmbug.DanglingRead, Machine: core.MachineConfig{GuardForce: []string{"chaos_bug", "script"}}},
+	}
+	for _, cfg := range cfgs {
+		cmd := ReproCommand(cfg)
+		if !strings.HasPrefix(cmd, "firstaid-run ") {
+			t.Fatalf("repro command %q does not name the binary", cmd)
+		}
+		got, err := ParseRepro(cmd)
+		if err != nil {
+			t.Fatalf("ParseRepro(%q): %v", cmd, err)
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Fatalf("round trip of %q:\ngot  %+v\nwant %+v", cmd, got, cfg)
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"firstaid-run",
+		"firstaid-run -chaos-class overflow", // no seed
+		"firstaid-run -chaos-seed 0x1 -chaos-class owl", // unknown class
+		"firstaid-run -chaos-seed 0x1 -frobnicate",      // unknown flag
+		"firstaid-run -chaos-seed",                      // dangling value
+	} {
+		if _, err := ParseRepro(bad); err == nil {
+			t.Fatalf("ParseRepro(%q) accepted a bad command", bad)
+		}
+	}
+}
+
+// TestPostmortemReproducesOffline is the acceptance loop for bundles: run
+// a seeded chaos program, write its postmortem bundles, read the REPRO.txt
+// command back out of the bundle, re-run it offline, and require the
+// reproduced diagnosis to match the original byte for byte in canonical
+// form.
+func TestPostmortemReproducesOffline(t *testing.T) {
+	cfg := RunConfig{Seed: 0x1D6, Class: mmbug.BufferOverflow, Mode: ModeSync}
+	out := Run(cfg)
+	if !out.OK() || out.Stats.Recoveries == 0 {
+		t.Fatalf("run did not recover:\n%s", out.Verdict())
+	}
+
+	dir := t.TempDir()
+	paths, err := out.WritePostmortems(dir)
+	if err != nil {
+		t.Fatalf("WritePostmortems: %v", err)
+	}
+	if len(paths) != out.Sup.Ledger().Len() {
+		t.Fatalf("wrote %d bundles for %d diagnoses", len(paths), out.Sup.Ledger().Len())
+	}
+
+	orig := canonicals(t, out)
+	for i, path := range paths {
+		if filepath.Dir(path) != dir {
+			t.Fatalf("bundle %s written outside %s", path, dir)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files, err := report.ReadBundle(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("bundle %s does not read back: %v", path, err)
+		}
+		repro, ok := files["REPRO.txt"]
+		if !ok {
+			t.Fatalf("bundle %s has no REPRO.txt", path)
+		}
+
+		// The REPRO.txt command, parsed and re-run offline, replays the
+		// same recovery into the same canonical diagnosis.
+		rcfg, err := ParseRepro(string(repro))
+		if err != nil {
+			t.Fatalf("REPRO.txt %q does not parse: %v", repro, err)
+		}
+		if rcfg.Seed != cfg.Seed || rcfg.Class != cfg.Class || rcfg.Mode != cfg.Mode {
+			t.Fatalf("REPRO.txt decodes to %+v, want the original %+v", rcfg, cfg)
+		}
+		redo := Run(rcfg)
+		if !redo.OK() {
+			t.Fatalf("offline reproduction failed the oracle:\n%s", redo.Verdict())
+		}
+		got := canonicals(t, redo)
+		if !bytes.Equal(got[i], orig[i]) {
+			t.Fatalf("offline reproduction of diagnosis %d diverges:\n%s\nvs\n%s", i, got[i], orig[i])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// savePostmortem writes a failing run's postmortem bundles (plus its full
+// verdict) into $FIRSTAID_POSTMORTEM_DIR, the directory CI uploads as a
+// workflow artifact when the accuracy matrix or the fuzz smoke fails. A
+// no-op when the variable is unset, so local runs stay clean.
+func savePostmortem(t *testing.T, out *Outcome) {
+	dir := os.Getenv("FIRSTAID_POSTMORTEM_DIR")
+	if dir == "" || out == nil || out.Prog == nil {
+		return
+	}
+	sub := filepath.Join(dir, fmt.Sprintf("seed-%#x-%s", out.Prog.Seed, out.Mode))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Logf("postmortem: %v", err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(sub, "VERDICT.txt"), []byte(out.Verdict()), 0o644); err != nil {
+		t.Logf("postmortem: %v", err)
+	}
+	paths, err := out.WritePostmortems(sub)
+	if err != nil {
+		t.Logf("postmortem: %v", err)
+		return
+	}
+	t.Logf("postmortem: wrote %d bundle(s) under %s", len(paths), sub)
+}

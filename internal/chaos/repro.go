@@ -1,0 +1,164 @@
+// Repro commands: every chaos diagnosis records the exact firstaid-run
+// invocation that reproduces it offline, and the postmortem flow parses
+// that command back into a RunConfig. ReproCommand and ParseRepro are
+// exact inverses; the flag vocabulary is firstaid-run's.
+
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"firstaid/internal/mmbug"
+)
+
+// classFlags is the -chaos-class vocabulary (firstaid-run's map).
+var classFlags = map[string]mmbug.Type{
+	"none":           mmbug.None,
+	"overflow":       mmbug.BufferOverflow,
+	"dangling-write": mmbug.DanglingWrite,
+	"dangling-read":  mmbug.DanglingRead,
+	"double-free":    mmbug.DoubleFree,
+	"uninit-read":    mmbug.UninitRead,
+}
+
+// ClassFlag renders a bug class as its -chaos-class value.
+func ClassFlag(t mmbug.Type) string {
+	for name, c := range classFlags {
+		if c == t {
+			return name
+		}
+	}
+	return "none"
+}
+
+// ParseClassFlag parses a -chaos-class value.
+func ParseClassFlag(s string) (mmbug.Type, error) {
+	if c, ok := classFlags[s]; ok {
+		return c, nil
+	}
+	return mmbug.None, fmt.Errorf("unknown chaos class %q", s)
+}
+
+// ParseModeFlag parses a -chaos-mode value.
+func ParseModeFlag(s string) (Mode, error) {
+	switch s {
+	case "sync":
+		return ModeSync, nil
+	case "parallel":
+		return ModeParallel, nil
+	case "stream":
+		return ModeStream, nil
+	}
+	return ModeSync, fmt.Errorf("unknown chaos mode %q", s)
+}
+
+// ParseScenarioFlag parses a -chaos-scenario value.
+func ParseScenarioFlag(s string) (Scenario, error) {
+	for i, name := range scenarioNames {
+		if name == s {
+			return Scenario(i), nil
+		}
+	}
+	return ScenarioSingle, fmt.Errorf("unknown chaos scenario %q", s)
+}
+
+// ReproCommand renders the firstaid-run invocation that reproduces this
+// run offline. Only the generator inputs appear — machine overrides beyond
+// the guard flags have no CLI spelling and are omitted.
+func ReproCommand(cfg RunConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "firstaid-run -chaos-seed %#x -chaos-class %s -chaos-mode %s -chaos-scenario %s",
+		cfg.Seed, ClassFlag(cfg.Class), cfg.Mode, cfg.Scenario)
+	if cfg.Ops != 0 {
+		fmt.Fprintf(&b, " -chaos-ops %d", cfg.Ops)
+	}
+	if cfg.Combo != 0 {
+		fmt.Fprintf(&b, " -chaos-combo %d", cfg.Combo)
+	}
+	if cfg.Protect {
+		b.WriteString(" -chaos-protect")
+	}
+	if cfg.Guard {
+		b.WriteString(" -chaos-guard")
+	}
+	if cfg.Machine.GuardRate != 0 {
+		fmt.Fprintf(&b, " -guard-rate %d", cfg.Machine.GuardRate)
+	}
+	if len(cfg.Machine.GuardForce) != 0 {
+		fmt.Fprintf(&b, " -guard-force %s", strings.Join(cfg.Machine.GuardForce, ","))
+	}
+	return b.String()
+}
+
+// ParseRepro parses a ReproCommand line back into its RunConfig — the
+// offline half of the postmortem loop. Leading non-flag tokens (the binary
+// name) are skipped; unknown flags are an error so drift between the two
+// sides cannot pass silently.
+func ParseRepro(cmd string) (RunConfig, error) {
+	var cfg RunConfig
+	fields := strings.Fields(cmd)
+	i := 0
+	for i < len(fields) && !strings.HasPrefix(fields[i], "-") {
+		i++
+	}
+	next := func(flag string) (string, error) {
+		i++
+		if i >= len(fields) {
+			return "", fmt.Errorf("repro: %s needs a value", flag)
+		}
+		return fields[i], nil
+	}
+	for ; i < len(fields); i++ {
+		var err error
+		var v string
+		switch f := fields[i]; f {
+		case "-chaos-seed":
+			if v, err = next(f); err == nil {
+				cfg.Seed, err = strconv.ParseUint(v, 0, 64)
+			}
+		case "-chaos-class":
+			if v, err = next(f); err == nil {
+				cfg.Class, err = ParseClassFlag(v)
+			}
+		case "-chaos-mode":
+			if v, err = next(f); err == nil {
+				cfg.Mode, err = ParseModeFlag(v)
+			}
+		case "-chaos-scenario":
+			if v, err = next(f); err == nil {
+				cfg.Scenario, err = ParseScenarioFlag(v)
+			}
+		case "-chaos-ops":
+			if v, err = next(f); err == nil {
+				cfg.Ops, err = strconv.Atoi(v)
+			}
+		case "-chaos-combo":
+			if v, err = next(f); err == nil {
+				cfg.Combo, err = strconv.Atoi(v)
+			}
+		case "-chaos-protect":
+			cfg.Protect = true
+		case "-chaos-guard":
+			cfg.Guard = true
+		case "-guard-rate":
+			if v, err = next(f); err == nil {
+				cfg.Machine.GuardRate, err = strconv.Atoi(v)
+			}
+		case "-guard-force":
+			if v, err = next(f); err == nil {
+				cfg.Machine.GuardForce = strings.Split(v, ",")
+			}
+		default:
+			return cfg, fmt.Errorf("repro: unknown flag %q", f)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.Seed == 0 {
+		return cfg, fmt.Errorf("repro: no -chaos-seed in %q", cmd)
+	}
+	return cfg, nil
+}

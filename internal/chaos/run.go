@@ -54,6 +54,8 @@ type RunConfig struct {
 	// disabled) so tests can prove the oracle notices — a run with this
 	// set MUST fail.
 	TamperNoCoalesce bool
+	// DisableLedger turns off the diagnosis ledger (overhead benchmarks).
+	DisableLedger bool
 	// Machine overrides the machine configuration (zero value = defaults).
 	Machine core.MachineConfig
 }
@@ -84,6 +86,9 @@ type Outcome struct {
 	Stats      core.Stats
 	Recoveries []RecoverySummary
 	OracleErr  error
+	// Sup is the finished supervisor: its ledger holds one diagnosis per
+	// recovery, and WritePostmortems renders them into bundles.
+	Sup *core.Supervisor
 
 	// RefreeBlocks counts re-frees the deployed parameter check blocked
 	// at the dedicated re-free sites — how collaterally-neutralized
@@ -93,6 +98,16 @@ type Outcome struct {
 
 // OK reports whether the differential oracle accepted the final state.
 func (o *Outcome) OK() bool { return o.OracleErr == nil }
+
+// WritePostmortems writes one postmortem bundle per recovery into dir —
+// the offline flow behind firstaid-run -postmortem and the CI
+// failing-seed artifacts.
+func (o *Outcome) WritePostmortems(dir string) ([]string, error) {
+	if o.Sup == nil {
+		return nil, nil
+	}
+	return o.Sup.WritePostmortems(dir)
+}
 
 // DiagnosedClasses returns the distinct bug classes diagnosed across all
 // recoveries, in mmbug order.
@@ -169,6 +184,13 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	scfg := core.Config{
 		Machine:            cfg.Machine,
 		ParallelValidation: cfg.Mode == ModeParallel,
+		DisableLedger:      cfg.DisableLedger,
+	}
+	if cfg.Seed != 0 {
+		// Fuzz-decoded programs run with Seed 0: their op stream came from
+		// raw bytes, so no firstaid-run command can reproduce them and the
+		// diagnoses carry no repro line.
+		scfg.Repro = ReproCommand(cfg)
 	}
 	if prog.Guard && scfg.Machine.GuardRate == 0 && len(scfg.Machine.GuardForce) == 0 {
 		// A guarded program with no explicit configuration runs at rate 1/2:
@@ -198,7 +220,7 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 		stats = sup.Run()
 	}
 
-	out := &Outcome{Prog: prog, Mode: cfg.Mode, Stats: stats}
+	out := &Outcome{Prog: prog, Mode: cfg.Mode, Stats: stats, Sup: sup}
 	for _, rec := range sup.Recoveries {
 		s := RecoverySummary{
 			Event:    rec.Fault.Event,

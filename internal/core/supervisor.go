@@ -8,6 +8,7 @@ import (
 	"firstaid/internal/app"
 	"firstaid/internal/checkpoint"
 	"firstaid/internal/diagnosis"
+	"firstaid/internal/ledger"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/patch"
 	"firstaid/internal/proc"
@@ -43,6 +44,18 @@ type Config struct {
 	// MaxRetriesPerEvent bounds repeated recovery attempts on the same
 	// failing event before it is dropped (default 2).
 	MaxRetriesPerEvent int
+	// Ledger is the diagnosis ledger recoveries write through. When nil a
+	// private ledger is created (unless DisableLedger is set); the fleet
+	// passes one shared ledger to all of its workers.
+	Ledger *ledger.Ledger
+	// DisableLedger turns the ledger off entirely — overhead benchmarks
+	// only. Recoveries then carry no Report either (a Report is a render
+	// of a ledger entry).
+	DisableLedger bool
+	// Repro, when set, is the exact offline command that reproduces this
+	// run (chaos sources); it is recorded on every diagnosis and lands in
+	// the postmortem bundle's REPRO.txt.
+	Repro string
 }
 
 // Recovery records one failure-recovery episode.
@@ -55,6 +68,9 @@ type Recovery struct {
 	Validated        bool
 	ValidationResult *validate.Result
 	Report           *report.Report
+	// Ledger is the recovery's lifecycle object in the diagnosis ledger
+	// (nil when the ledger is disabled).
+	Ledger *ledger.Entry
 	// Skipped: diagnosis could not produce a patch and the failing
 	// request was dropped instead (the "resort to other recovery
 	// schemes" fallback of §2).
@@ -79,6 +95,9 @@ type Supervisor struct {
 
 	cfg        Config
 	Recoveries []*Recovery
+
+	ldg       *ledger.Ledger
+	streaming bool // an Ingest/resolve has run: recoveries are "stream" mode
 
 	events   int
 	failures int
@@ -129,11 +148,16 @@ func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
 	if pool == nil {
 		pool = patch.NewPool(prog.Name())
 	}
+	ldg := cfg.Ledger
+	if ldg == nil && !cfg.DisableLedger {
+		ldg = ledger.New(ledger.DefaultCapacity)
+	}
 	s := &Supervisor{
 		M:       m,
 		Pool:    pool,
 		Bound:   pool.Bind(m.Proc.Sites),
 		cfg:     cfg,
+		ldg:     ldg,
 		retries: map[int]int{},
 	}
 	m.SetPatches(s.Bound)
@@ -164,6 +188,23 @@ func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
 
 // Telemetry returns the machine's registry (nil when telemetry is off).
 func (s *Supervisor) Telemetry() *telemetry.Registry { return s.M.Tel }
+
+// Ledger returns the diagnosis ledger (nil when disabled).
+func (s *Supervisor) Ledger() *ledger.Ledger { return s.ldg }
+
+// mode names how recoveries execute under this supervisor, for the
+// diagnosis record: "stream" once live ingestion has started, otherwise
+// "parallel" (clone-validated) or "sync".
+func (s *Supervisor) mode() string {
+	switch {
+	case s.streaming:
+		return "stream"
+	case s.cfg.ParallelValidation:
+		return "parallel"
+	default:
+		return "sync"
+	}
+}
 
 // SimSeconds returns the monotonic simulated time consumed so far,
 // including re-execution work during recovery (rollbacks rewind the process
@@ -260,6 +301,7 @@ func (s *Supervisor) IngestEvent(ev replay.Event) IngestResult {
 // happened — faults, recoveries, skips, simulated time — to the event at
 // seq, the only event that entered the system since the last drain.
 func (s *Supervisor) resolve(seq int) IngestResult {
+	s.streaming = true
 	failures0 := s.failures
 	recov0 := len(s.Recoveries)
 	sim0 := s.M.SimNow()
@@ -341,6 +383,44 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	// the same structure as nested phase records on the machine's track.
 	span := s.M.Tel.Journal().Begin("recovery", f.Event)
 	trc := s.M.TraceEmitter()
+
+	// Open the lifecycle object before any recovery work: TraceFrom is the
+	// trace cursor at this instant, so the entry's trace slice covers every
+	// record the recovery emits.
+	entry := s.ldg.Begin(ledger.Meta{
+		Source:    s.M.Prog.Name(),
+		Worker:    s.cfg.Machine.TraceWorker,
+		Mode:      s.mode(),
+		Event:     f.Event,
+		Repro:     s.cfg.Repro,
+		Cycles:    s.M.TraceClock(),
+		TraceFrom: trc.Tracer().Emitted(),
+	})
+	entry.Add(ledger.Condition{
+		Type:    ledger.FaultObserved,
+		Clock:   f.Clock,
+		Message: f.Error(),
+		Fault:   ledger.NewFaultInfo(f),
+	})
+	if f.GuardBug != mmbug.None {
+		attribution := "quarantined-free-site"
+		if f.GuardBug.AtAllocation() {
+			attribution = "alloc-site"
+		}
+		entry.Add(ledger.Condition{
+			Type:    ledger.GuardEvidence,
+			Clock:   f.GuardClock,
+			Message: fmt.Sprintf("sampled guard page claimed %v at %v", f.GuardBug, s.M.SiteKey(f.GuardSite)),
+			Guard: &ledger.GuardInfo{
+				Bug:         f.GuardBug.String(),
+				Site:        s.M.SiteKey(f.GuardSite).String(),
+				Clock:       f.GuardClock,
+				Attribution: attribution,
+			},
+		})
+	}
+	entry.Run()
+
 	trc.Emit(trace.KPhaseBegin, trace.PhaseRecovery, uint64(f.Event))
 	if f.Early {
 		// The trap came from a protected region's eager check: corruption
@@ -363,10 +443,18 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		// phase-1 checkpoint search and phase-2 identification.
 		dcfg.Evidence = &diagnosis.Evidence{Bug: f.GuardBug, Site: f.GuardSite, Clock: f.GuardClock}
 	}
+	dcfg.Ledger = entry
 	eng := diagnosis.New(s.M, dcfg)
 	res := eng.Diagnose(until)
-	rec := &Recovery{Fault: f, Result: res}
+	rec := &Recovery{Fault: f, Result: res, Ledger: entry}
 	s.Recoveries = append(s.Recoveries, rec)
+	entry.Update(func(d *ledger.Diagnosis) {
+		d.Rollbacks = res.Rollbacks
+		d.FastPath = res.FastPath
+		d.DiagLog = append([]string(nil), res.Log...)
+		d.FaultRef = f
+		d.SiteKey = s.M.SiteKey
+	})
 
 	if res.Nondeterministic {
 		// The plain re-execution already carried the program past the
@@ -377,6 +465,9 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
 		span.End("nondeterministic")
 		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
+		entry.Update(func(d *ledger.Diagnosis) { d.RecoverySec = rec.RecoveryWall.Seconds() })
+		entry.Close(true, "nondeterministic", s.M.TraceClock(), trc.Tracer().Emitted())
+		rec.Report = report.FromDiagnosis(entry.Snapshot())
 		return
 	}
 
@@ -389,6 +480,9 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
 		span.End("skipped")
 		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
+		entry.Update(func(d *ledger.Diagnosis) { d.RecoverySec = rec.RecoveryWall.Seconds() })
+		entry.Close(false, "skipped", s.M.TraceClock(), trc.Tracer().Emitted())
+		rec.Report = report.FromDiagnosis(entry.Snapshot())
 		return
 	}
 
@@ -406,6 +500,18 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	s.met.patchesMade.Add(uint64(len(rec.Patches)))
 	endGen("", len(rec.Patches))
 	trc.Emit(trace.KPhaseEnd, trace.PhasePatchGen, uint64(len(rec.Patches)))
+	if len(rec.Patches) > 0 {
+		pis := make([]ledger.PatchInfo, len(rec.Patches))
+		for i, p := range rec.Patches {
+			pis[i] = ledger.NewPatchInfo(p)
+		}
+		entry.Add(ledger.Condition{
+			Type:    ledger.PatchGenerated,
+			Clock:   f.Clock,
+			Message: fmt.Sprintf("%d patch(es) generated from %d finding(s)", len(rec.Patches), len(res.Findings)),
+			Patches: pis,
+		})
+	}
 
 	// Recovery: roll back to the chosen checkpoint; the main loop
 	// re-executes from there in normal mode with the patches active.
@@ -431,7 +537,7 @@ func (s *Supervisor) recover(f *proc.Fault) {
 	// apart from recovery.
 	switch {
 	case s.cfg.DisableValidation:
-		rec.Report = s.buildReport(rec, f, res)
+		s.finishRecovery(rec)
 		span.End("recovered")
 		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 	case s.cfg.ParallelValidation:
@@ -474,7 +580,7 @@ func (s *Supervisor) recover(f *proc.Fault) {
 		s.applyValidation(rec)
 		// Return to the recovery point for resumption.
 		s.M.Rollback(res.Checkpoint)
-		rec.Report = s.buildReport(rec, f, res)
+		s.finishRecovery(rec)
 		s.finishSpan(span, rec)
 		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
 	}
@@ -535,7 +641,7 @@ func (s *Supervisor) collectValidations(block bool) {
 			}
 		}
 		s.applyValidation(pv.rec)
-		pv.rec.Report = s.buildReport(pv.rec, pv.rec.Fault, pv.rec.Result)
+		s.finishRecovery(pv.rec)
 		// Fold the clone's telemetry into the parent and close the span;
 		// both happen on the main goroutine, after the validation
 		// goroutine has closed done, so neither races with the clone.
@@ -546,7 +652,11 @@ func (s *Supervisor) collectValidations(block bool) {
 	s.met.queueDepth.Set(int64(len(s.pending)))
 }
 
-func (s *Supervisor) buildReport(rec *Recovery, f *proc.Fault, res diagnosis.Result) *report.Report {
+// finishRecovery records the validation verdict and installed patches on
+// the recovery's ledger entry, closes it, and renders the report from the
+// closed entry. Called on the main goroutine only (the disabled- and
+// inline-validation paths, and the parallel collect).
+func (s *Supervisor) finishRecovery(rec *Recovery) {
 	// Snapshot the patches under the pool lock: with several processes
 	// sharing the pool, flags may be mutating while we render.
 	snap := make([]*patch.Patch, 0, len(rec.Patches))
@@ -555,11 +665,68 @@ func (s *Supervisor) buildReport(rec *Recovery, f *proc.Fault, res diagnosis.Res
 			snap = append(snap, &q)
 		}
 	}
-	return report.Build(
-		s.M.Prog.Name(), f, res.Log, res.Rollbacks,
-		snap, rec.ValidationResult, s.M.SiteKey,
-		rec.RecoveryWall.Seconds(), rec.ValidationWall.Seconds(),
-	)
+
+	entry := rec.Ledger
+	succeeded, outcome := true, "recovered"
+	// The condition clocks anchor to the recovery checkpoint — the
+	// deterministic process-clock point both the verdict and the installed
+	// patches refer to, identical across sync/parallel/stream modes.
+	var cpClock uint64
+	if rec.Result.Checkpoint != nil {
+		cpClock = rec.Result.Checkpoint.Clock
+	}
+	if v := rec.ValidationResult; v != nil {
+		cond := ledger.Condition{Clock: cpClock, Validation: ledger.NewValidationInfo(v)}
+		if v.Consistent {
+			cond.Type = ledger.ValidationPassed
+			cond.Message = fmt.Sprintf("consistent across %d randomized re-executions", len(v.Traces))
+		} else {
+			cond.Type = ledger.ValidationFailed
+			cond.Message = v.Reason
+			succeeded, outcome = false, "patches-revoked"
+		}
+		entry.Add(cond)
+	}
+	if succeeded && len(snap) > 0 {
+		pis := make([]ledger.PatchInfo, len(snap))
+		for i, p := range snap {
+			pis[i] = ledger.NewPatchInfo(p)
+		}
+		entry.Add(ledger.Condition{
+			Type:    ledger.PatchInstalled,
+			Clock:   cpClock,
+			Message: fmt.Sprintf("%d patch(es) active in pool", len(snap)),
+			Patches: pis,
+		})
+	}
+	entry.Update(func(d *ledger.Diagnosis) {
+		d.ValidationRef = rec.ValidationResult
+		d.PatchRefs = snap
+		d.RecoverySec = rec.RecoveryWall.Seconds()
+		d.ValidationSec = rec.ValidationWall.Seconds()
+	})
+	entry.Close(succeeded, outcome, s.M.TraceClock(), s.M.TraceEmitter().Tracer().Emitted())
+	rec.Report = report.FromDiagnosis(entry.Snapshot())
+}
+
+// WritePostmortems writes one postmortem bundle per ledger diagnosis into
+// dir and returns the paths. Offline flows (firstaid-run -postmortem, CI
+// failure hooks) call it after the run completes.
+func (s *Supervisor) WritePostmortems(dir string) ([]string, error) {
+	if s.ldg == nil {
+		return nil, nil
+	}
+	snap := telemetry.MergedSnapshot(s.M.Tel)
+	var paths []string
+	for _, d := range s.ldg.List(ledger.Filter{Worker: ledger.AnyWorker}) {
+		in := report.BundleFor(d, s.cfg.Machine.Trace, &snap)
+		p, err := report.WriteBundleFile(dir, in)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
 }
 
 // skipFailingEvent is the last-resort fallback: roll back to the latest

@@ -25,6 +25,7 @@ import (
 	"firstaid/internal/allocext"
 	"firstaid/internal/callsite"
 	"firstaid/internal/checkpoint"
+	"firstaid/internal/ledger"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/proc"
 	"firstaid/internal/telemetry"
@@ -97,6 +98,12 @@ type Config struct {
 	// and phase-2 class/site identification — falling back to the full
 	// pipeline if confirmation fails.
 	Evidence *Evidence
+
+	// Ledger, when set, is the recovery's lifecycle entry: the engine
+	// appends the Phase1Skipped/Phase1Completed and CheckpointSelected
+	// conditions, recording every candidate checkpoint it considered and
+	// why the rejected ones were rejected. A nil entry discards appends.
+	Ledger *ledger.Entry
 
 	// Metrics, when set, receives diagnosis counters: total rollbacks and
 	// probe re-executions per phase.
@@ -216,6 +223,14 @@ func (e *Engine) reexec(cp *checkpoint.Checkpoint, cs *allocext.ChangeSet, until
 
 func (e *Engine) budgetExceeded() bool { return e.rollbacks >= e.cfg.MaxRollbacks }
 
+// candidate renders a checkpoint as ledger evidence.
+func candidate(cp *checkpoint.Checkpoint, rejected string) ledger.CandidateInfo {
+	return ledger.CandidateInfo{
+		CheckpointInfo: ledger.CheckpointInfo{Seq: cp.Seq, Clock: cp.Clock, Cursor: cp.Cursor},
+		Rejected:       rejected,
+	}
+}
+
 // Diagnose runs both phases. until is the success horizon: a re-execution
 // that reaches this replay-cursor position without a fault has "passed the
 // original failure region" (the supervisor sets it to the failure cursor
@@ -301,6 +316,29 @@ func (e *Engine) confirmEvidence(until int) (Result, bool) {
 		e.logf("guard evidence confirmed: preventive %v at %v alone survives the failure region from %v", ev.Bug, ev.Site, cp)
 		endPhase("confirmed", 1)
 		e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseGuardConfirm, uint64(e.rollbacks))
+		var cands []ledger.CandidateInfo
+		for _, c := range e.m.Checkpoints() {
+			switch {
+			case c.Clock >= ev.Clock:
+				cands = append(cands, candidate(c, "postdates the guard evidence's decisive operation"))
+			case c != cp:
+				cands = append(cands, candidate(c, "superseded by a newer pre-evidence checkpoint"))
+			default:
+				cands = append(cands, candidate(c, ""))
+			}
+		}
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:    ledger.Phase1Skipped,
+			Clock:   ev.Clock,
+			Message: "guard evidence confirmed by one scoped re-execution; phase-1 search skipped",
+		})
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:       ledger.CheckpointSelected,
+			Clock:      cp.Clock,
+			Message:    cp.String(),
+			Checkpoint: &ledger.CheckpointInfo{Seq: cp.Seq, Clock: cp.Clock, Cursor: cp.Cursor},
+			Candidates: cands,
+		})
 		return Result{
 			Checkpoint: cp,
 			Findings:   []Finding{{Bug: ev.Bug, Sites: []callsite.ID{ev.Site}}},
@@ -327,6 +365,10 @@ func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
 	cps := e.m.Checkpoints()
 	if len(cps) == 0 {
 		e.logf("no checkpoints available")
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:    ledger.Phase1Completed,
+			Message: "no checkpoints available: non-patchable",
+		})
 		return nil, &Result{Unpatchable: true}
 	}
 
@@ -336,10 +378,17 @@ func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
 	out := e.reexec(newest, allocext.NewChangeSet(), until, false)
 	if out.Passed() {
 		e.logf("plain re-execution from %v passed: non-deterministic failure", newest)
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:       ledger.Phase1Completed,
+			Clock:      newest.Clock,
+			Message:    "plain re-execution passed: non-deterministic failure, no patch needed",
+			Candidates: []ledger.CandidateInfo{candidate(newest, "")},
+		})
 		return nil, &Result{Nondeterministic: true}
 	}
 	e.logf("plain re-execution from %v failed again (%v): deterministic bug", newest, out.Fault.Kind)
 
+	var cands []ledger.CandidateInfo
 	tried := 0
 	for i := len(cps) - 1; i >= 0 && tried < e.cfg.MaxCheckpoints; i-- {
 		cp := cps[i]
@@ -348,21 +397,43 @@ func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
 		switch {
 		case out.Passed() && !out.Manifests.HasMark() && !out.Manifests.HasUnderflow() && out.MetaErr == nil:
 			e.logf("all-preventive re-execution from %v passed with clean heap marks: checkpoint precedes the bug-triggering point", cp)
+			cands = append(cands, candidate(cp, ""))
+			e.cfg.Ledger.Add(ledger.Condition{
+				Type:    ledger.Phase1Completed,
+				Clock:   cp.Clock,
+				Message: fmt.Sprintf("checkpoint found after %d candidate(s)", tried),
+			})
+			e.cfg.Ledger.Add(ledger.Condition{
+				Type:       ledger.CheckpointSelected,
+				Clock:      cp.Clock,
+				Message:    cp.String(),
+				Checkpoint: &ledger.CheckpointInfo{Seq: cp.Seq, Clock: cp.Clock, Cursor: cp.Cursor},
+				Candidates: cands,
+			})
 			return cp, nil
 		case out.Manifests.HasMark():
 			e.logf("heap-marking canaries corrupted re-executing from %v: bug triggered before this checkpoint, searching earlier", cp)
+			cands = append(cands, candidate(cp, "heap-marking canaries corrupted: bug triggered before this checkpoint"))
 		case out.Passed() && out.Manifests.HasUnderflow():
 			e.logf("front-padding canaries corrupted re-executing from %v: the overflowing allocation predates this checkpoint, searching earlier", cp)
+			cands = append(cands, candidate(cp, "front-padding canaries corrupted: the overflowing allocation predates this checkpoint"))
 		case out.Passed() && out.MetaErr != nil:
 			e.logf("allocator metadata corrupted after re-executing from %v (%v): an unprotected pre-checkpoint object was smashed in-window, searching earlier", cp, out.MetaErr)
+			cands = append(cands, candidate(cp, fmt.Sprintf("allocator metadata corrupted after re-execution (%v)", out.MetaErr)))
 		default:
 			e.logf("all-preventive re-execution from %v still failed (%v): searching earlier", cp, out.Fault.Kind)
+			cands = append(cands, candidate(cp, fmt.Sprintf("all-preventive re-execution still failed (%v)", out.Fault.Kind)))
 		}
 		if e.budgetExceeded() {
 			break
 		}
 	}
 	e.logf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints)
+	e.cfg.Ledger.Add(ledger.Condition{
+		Type:       ledger.Phase1Completed,
+		Message:    fmt.Sprintf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints),
+		Candidates: cands,
+	})
 	return nil, &Result{Unpatchable: true}
 }
 

@@ -1,0 +1,376 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"firstaid/internal/app"
+	"firstaid/internal/chaos"
+	"firstaid/internal/ledger"
+	"firstaid/internal/report"
+	"firstaid/internal/trace"
+)
+
+// newChaosServer starts a fleet of chaos programs behind httptest and
+// drives one seeded buggy workload through it, so the diagnosis ledger has
+// real entries to serve.
+func newChaosServer(t *testing.T) (*httptest.Server, *Fleet) {
+	t.Helper()
+	f := New(func() app.Program { return &chaos.App{} }, Config{
+		Workers:  2,
+		Dispatch: HashBySource,
+	})
+	srv := NewServer(f)
+	srv.streamPoll = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		f.Close()
+	})
+
+	// A three-bug multi-scenario combo on one sticky source: three distinct
+	// injected bugs, three recoveries, so the ledger holds several
+	// diagnoses (and their phase transitions) to serve.
+	prog := chaos.GenerateSpec(chaos.GenSpec{Seed: 0xF1EE9, Scenario: chaos.ScenarioMulti, Combo: 2, Ops: 80})
+	failed := 0
+	for _, op := range prog.Ops() {
+		kind, data, n := op.Event()
+		res := sendEvent(t, ts.URL, Request{Kind: kind, Data: data, N: n, Src: "diag-src"})
+		if res.Failed {
+			failed++
+		}
+	}
+	if failed < 2 {
+		t.Fatalf("only %d failures from the seeded combo — not enough diagnoses to test against", failed)
+	}
+	return ts, f
+}
+
+func TestHTTPDiagnosesList(t *testing.T) {
+	ts, f := newChaosServer(t)
+
+	var ds []*ledger.Diagnosis
+	getJSON(t, ts.URL+"/diagnoses", &ds)
+	if len(ds) == 0 {
+		t.Fatal("/diagnoses is empty after a recovery")
+	}
+	if len(ds) != f.Ledger().Len() {
+		t.Fatalf("/diagnoses returned %d entries, ledger holds %d", len(ds), f.Ledger().Len())
+	}
+	for _, d := range ds {
+		if d.Source != "chaos" {
+			t.Fatalf("diagnosis %d has source %q, want chaos", d.ID, d.Source)
+		}
+		if !d.Done() {
+			t.Fatalf("diagnosis %d still open after the run: phase %s", d.ID, d.Phase)
+		}
+		if len(d.Conditions) == 0 {
+			t.Fatalf("diagnosis %d has no conditions", d.ID)
+		}
+		if d.Conditions[0].Type != ledger.FaultObserved {
+			t.Fatalf("diagnosis %d first condition is %s, want FaultObserved", d.ID, d.Conditions[0].Type)
+		}
+	}
+
+	// Phase and source filters narrow; a non-matching source empties.
+	var succeeded []*ledger.Diagnosis
+	getJSON(t, ts.URL+"/diagnoses?phase=Succeeded&source=chaos", &succeeded)
+	for _, d := range succeeded {
+		if d.Phase != ledger.PhaseSucceeded {
+			t.Fatalf("phase filter leaked %s diagnosis %d", d.Phase, d.ID)
+		}
+	}
+	var none []*ledger.Diagnosis
+	getJSON(t, ts.URL+"/diagnoses?source=apache", &none)
+	if len(none) != 0 {
+		t.Fatalf("source=apache matched %d chaos diagnoses", len(none))
+	}
+
+	// The worker filter partitions the list: per-worker counts must add up
+	// to the whole, and worker 0 must not swallow the "any" meaning.
+	perWorker := 0
+	for w := 0; w < f.Workers(); w++ {
+		var ws []*ledger.Diagnosis
+		getJSON(t, ts.URL+"/diagnoses?worker="+strconv.Itoa(w), &ws)
+		for _, d := range ws {
+			if d.Worker != w {
+				t.Fatalf("worker=%d filter returned diagnosis %d owned by %d", w, d.ID, d.Worker)
+			}
+		}
+		perWorker += len(ws)
+	}
+	if perWorker != len(ds) {
+		t.Fatalf("worker filters partition %d of %d diagnoses", perWorker, len(ds))
+	}
+
+	resp, err := http.Get(ts.URL + "/diagnoses?worker=banana")
+	wantStatus(t, resp, err, http.StatusBadRequest)
+}
+
+func TestHTTPDiagnosisByID(t *testing.T) {
+	ts, f := newChaosServer(t)
+	id := f.Ledger().LastID()
+
+	var d ledger.Diagnosis
+	getJSON(t, ts.URL+"/diagnoses/"+strconv.FormatUint(id, 10), &d)
+	if d.ID != id {
+		t.Fatalf("GET /diagnoses/%d returned id %d", id, d.ID)
+	}
+	if d.Repro != "" {
+		t.Fatalf("fleet diagnosis carries a chaos repro command: %q", d.Repro)
+	}
+
+	resp, err := http.Get(ts.URL + "/diagnoses/999999")
+	wantStatus(t, resp, err, http.StatusNotFound)
+	resp, err = http.Get(ts.URL + "/diagnoses/banana")
+	wantStatus(t, resp, err, http.StatusBadRequest)
+}
+
+func TestHTTPDiagnosisTrace(t *testing.T) {
+	ts, f := newChaosServer(t)
+	id := f.Ledger().LastID()
+	base := ts.URL + "/diagnoses/" + strconv.FormatUint(id, 10) + "/trace"
+
+	// The text timeline must contain the recovery's own records.
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", base, resp.Status)
+	}
+	if !bytes.Contains(body, []byte("phase")) {
+		t.Fatalf("diagnosis trace slice missing recovery records:\n%.500s", body)
+	}
+
+	// Chrome export passes the structural validator.
+	resp, err = http.Get(base + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := trace.ValidateChrome(body); err != nil {
+		t.Fatalf("chrome trace slice fails validation: %v", err)
+	}
+
+	resp, err = http.Get(base + "?format=pprof")
+	wantStatus(t, resp, err, http.StatusBadRequest)
+}
+
+func TestHTTPDiagnosisBundle(t *testing.T) {
+	ts, f := newChaosServer(t)
+	id := f.Ledger().LastID()
+
+	resp, err := http.Get(ts.URL + "/diagnoses/" + strconv.FormatUint(id, 10) + "/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bundle: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("bundle content-type = %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, report.BundleFileName(id)) {
+		t.Fatalf("bundle disposition = %q", cd)
+	}
+
+	files, err := report.ReadBundle(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("served bundle does not read back: %v", err)
+	}
+	for _, want := range []string{"diagnosis.json", "diagnosis.canonical.json", "report.txt", "trace.txt", "metrics.json"} {
+		if _, ok := files[want]; !ok {
+			t.Fatalf("bundle missing %s; has %v", want, keys(files))
+		}
+	}
+	var d ledger.Diagnosis
+	if err := json.Unmarshal(files["diagnosis.json"], &d); err != nil {
+		t.Fatalf("bundle diagnosis.json: %v", err)
+	}
+	if d.ID != id {
+		t.Fatalf("bundle carries diagnosis %d, want %d", d.ID, id)
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sseRecords reads one SSE response to completion and returns the data
+// payloads.
+func sseRecords(t *testing.T, url string) [][]byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+	var out [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			out = append(out, []byte(line))
+		}
+	}
+	return out
+}
+
+// TestDiagnosesStreamReconnect proves the SSE cursor contract on
+// /diagnoses/stream: a client that disconnects and reconnects with
+// ?from=<last seq + 1> sees every phase transition exactly once, with no
+// gap and no duplicate across the break.
+func TestDiagnosesStreamReconnect(t *testing.T) {
+	ts, f := newChaosServer(t)
+	total := f.Ledger().TransitionsEmitted()
+	if total < 4 {
+		t.Fatalf("only %d transitions emitted; the reconnect test needs a backlog", total)
+	}
+
+	// First connection: roughly half the backlog.
+	half := total / 2
+	first := sseRecords(t, ts.URL+"/diagnoses/stream?from=0&max="+strconv.FormatUint(half, 10))
+	if uint64(len(first)) != half {
+		t.Fatalf("first connection delivered %d transitions, want %d", len(first), half)
+	}
+	var last ledger.Transition
+	if err := json.Unmarshal(first[len(first)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect from the next cursor: the remainder, no overlap, no gap.
+	rest := sseRecords(t, ts.URL+"/diagnoses/stream?from="+strconv.FormatUint(last.Seq+1, 10)+
+		"&max="+strconv.FormatUint(total-half, 10))
+	if uint64(len(rest)) != total-half {
+		t.Fatalf("reconnect delivered %d transitions, want %d", len(rest), total-half)
+	}
+
+	seq := uint64(0)
+	for _, raw := range append(first, rest...) {
+		var tr ledger.Transition
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("bad SSE transition %s: %v", raw, err)
+		}
+		if tr.Seq != seq {
+			t.Fatalf("transition stream not contiguous across reconnect: got seq %d, want %d", tr.Seq, seq)
+		}
+		seq++
+	}
+
+	// Every transition names a real diagnosis and a real phase.
+	for _, raw := range rest {
+		var tr ledger.Transition
+		json.Unmarshal(raw, &tr)
+		if _, ok := f.Ledger().Get(tr.ID); !ok && f.Ledger().Dropped() == 0 {
+			t.Fatalf("transition references unknown diagnosis %d", tr.ID)
+		}
+		switch tr.Phase {
+		case ledger.PhasePending, ledger.PhaseRunning, ledger.PhaseSucceeded, ledger.PhaseFailed:
+		default:
+			t.Fatalf("transition carries unknown phase %q", tr.Phase)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/diagnoses/stream?from=banana")
+	wantStatus(t, resp, err, http.StatusBadRequest)
+	resp, err = http.Get(ts.URL + "/diagnoses/stream?max=-1")
+	wantStatus(t, resp, err, http.StatusBadRequest)
+}
+
+// TestTraceStreamReconnect proves the same cursor contract on
+// /trace/stream: disconnect, resume at ?from=<last seq + 1>, and the two
+// reads concatenate into a gapless, duplicate-free prefix of the ring.
+func TestTraceStreamReconnect(t *testing.T) {
+	ts, f := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		sendEvent(t, ts.URL, Request{Kind: "search", Data: "uid=1", N: i, Src: "c0"})
+	}
+	if f.Trace().Emitted() < 12 {
+		t.Fatalf("only %d trace records; the reconnect test needs a backlog", f.Trace().Emitted())
+	}
+
+	type rec struct {
+		Seq int64 `json:"seq"`
+	}
+	first := sseRecords(t, ts.URL+"/trace/stream?from=0&max=6")
+	var last rec
+	if err := json.Unmarshal(first[len(first)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	rest := sseRecords(t, ts.URL+"/trace/stream?from="+strconv.FormatInt(last.Seq+1, 10)+"&max=6")
+
+	seq := int64(0)
+	for _, raw := range append(first, rest...) {
+		var r rec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("bad SSE trace record %s: %v", raw, err)
+		}
+		if r.Seq != seq {
+			t.Fatalf("trace stream not contiguous across reconnect: got seq %d, want %d", r.Seq, seq)
+		}
+		seq++
+	}
+	if seq != 12 {
+		t.Fatalf("reconnected reads covered %d records, want 12", seq)
+	}
+}
+
+// TestHealthReadiness pins the /healthz readiness contract: a serving,
+// drained fleet is ready, every worker reports a post-traffic event clock,
+// and no diagnosis is left in flight once recoveries complete.
+func TestHealthReadiness(t *testing.T) {
+	ts, f := newChaosServer(t)
+
+	var h Health
+	getJSON(t, ts.URL+"/healthz", &h)
+	if !h.Ready || h.Status != "ok" {
+		t.Fatalf("drained fleet not ready: %+v", h)
+	}
+	if h.QueueDepth <= 0 {
+		t.Fatalf("healthz missing queue depth: %+v", h)
+	}
+	if h.InFlight != 0 {
+		t.Fatalf("%d diagnoses still in flight after the run", h.InFlight)
+	}
+	if h.InFlight != f.Ledger().InFlight(ledger.AnyWorker) {
+		t.Fatalf("healthz in-flight %d disagrees with ledger %d", h.InFlight, f.Ledger().InFlight(ledger.AnyWorker))
+	}
+	served := false
+	for _, w := range h.Workers {
+		if !w.Ready {
+			t.Fatalf("worker %d not ready: %+v", w.ID, w)
+		}
+		if w.Processed > 0 {
+			served = true
+			if w.LastEventClock == 0 {
+				t.Fatalf("worker %d served %d events but reports clock 0", w.ID, w.Processed)
+			}
+		}
+	}
+	if !served {
+		t.Fatal("no worker reports processed events")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"testing"
+	"time"
 
 	"firstaid/internal/app"
 	"firstaid/internal/apps"
@@ -29,8 +30,8 @@ func TestServeEndToEndTCP(t *testing.T) {
 	}
 
 	f := New(func() app.Program { return newApache() }, Config{
-		Workers:  4,
-		Dispatch: HashBySource,
+		Workers:    4,
+		Dispatch:   HashBySource,
 		Supervisor: core.Config{
 			// Inline validation keeps each worker single-threaded, so the
 			// outcome (one failure fleet-wide) is reproducible.
@@ -44,6 +45,22 @@ func TestServeEndToEndTCP(t *testing.T) {
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
+
+	// Gate the run on readiness: every serving goroutine up with inbox
+	// space, exactly as a deployment's load balancer would before admitting
+	// traffic.
+	ready := false
+	for i := 0; i < 100 && !ready; i++ {
+		var h Health
+		getJSON(t, base+"/healthz", &h)
+		ready = h.Ready
+		if !ready {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !ready {
+		t.Fatal("fleet never reported ready on /healthz")
+	}
 
 	// 8 clients × ~1300 events ≥ 10k requests. Three clients carry the
 	// apache cache-purge trigger, staggered 300 events apart so the first
@@ -78,6 +95,17 @@ func TestServeEndToEndTCP(t *testing.T) {
 	getJSON(t, base+"/healthz", &health)
 	if len(health.Workers) != 4 {
 		t.Fatalf("/healthz reports %d workers, want 4", len(health.Workers))
+	}
+	if !health.Ready {
+		t.Fatalf("fleet not ready after the load drained: %+v", health)
+	}
+	if health.InFlight != 0 {
+		t.Fatalf("%d diagnoses still in flight after the load", health.InFlight)
+	}
+	for _, w := range health.Workers {
+		if !w.Ready || w.LastEventClock == 0 {
+			t.Fatalf("worker %d unhealthy after serving load: %+v", w.ID, w)
+		}
 	}
 	resp, err := http.Get(base + "/patches")
 	if err != nil || resp.StatusCode != http.StatusOK {

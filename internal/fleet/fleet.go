@@ -29,8 +29,10 @@ import (
 
 	"firstaid/internal/app"
 	"firstaid/internal/core"
+	"firstaid/internal/ledger"
 	"firstaid/internal/patch"
 	"firstaid/internal/replay"
+	"firstaid/internal/report"
 	"firstaid/internal/telemetry"
 	"firstaid/internal/trace"
 )
@@ -82,6 +84,13 @@ type Config struct {
 	// JournalSpans caps each worker's telemetry journal (recovery spans
 	// retained); 0 keeps the journal default.
 	JournalSpans int
+	// Ledger is the shared diagnosis ledger all workers write through. A
+	// fresh one (LedgerCapacity entries) is created when nil: the ledger
+	// is always on — it is the service's /diagnoses surface.
+	Ledger *ledger.Ledger
+	// LedgerCapacity sizes the ledger ring when Ledger is nil (default
+	// ledger.DefaultCapacity).
+	LedgerCapacity int
 }
 
 // Request is one unit of live traffic: a replay event plus the dispatch
@@ -129,6 +138,7 @@ type Fleet struct {
 	reg     *telemetry.Registry
 	met     fleetMetrics
 	trc     *trace.Tracer
+	ldg     *ledger.Ledger
 	em      trace.Emitter // front-end emitter on the fleet track
 
 	rr atomic.Uint64
@@ -163,7 +173,9 @@ type worker struct {
 	reg       *telemetry.Registry
 	processed atomic.Int64
 	busy      atomic.Bool
-	stats     core.Stats // final, set when the inbox drains after Close
+	started   atomic.Bool   // the serving goroutine is running
+	lastClock atomic.Uint64 // simulated clock after the last ingested event
+	stats     core.Stats    // final, set when the inbox drains after Close
 }
 
 type request struct {
@@ -188,7 +200,10 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 	if cfg.Trace == nil {
 		cfg.Trace = trace.New(cfg.TraceCapacity)
 	}
-	f := &Fleet{cfg: cfg, pool: cfg.Pool, reg: cfg.Metrics, trc: cfg.Trace}
+	if cfg.Ledger == nil {
+		cfg.Ledger = ledger.New(cfg.LedgerCapacity)
+	}
+	f := &Fleet{cfg: cfg, pool: cfg.Pool, reg: cfg.Metrics, trc: cfg.Trace, ldg: cfg.Ledger}
 	f.em = f.trc.Emitter(trace.FleetTrack, nil)
 	f.met = fleetMetrics{
 		submitted:  f.reg.Counter("fleet.submitted"),
@@ -208,6 +223,7 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 		}
 		scfg := cfg.Supervisor
 		scfg.Pool = f.pool
+		scfg.Ledger = f.ldg
 		wreg := telemetry.NewRegistry()
 		if cfg.JournalSpans > 0 {
 			wreg.Journal().SetCap(cfg.JournalSpans)
@@ -238,11 +254,13 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 // contact is the locked patch pool and the atomic telemetry instruments.
 func (w *worker) loop(f *Fleet) {
 	defer f.wg.Done()
+	w.started.Store(true)
 	for rq := range w.inbox {
 		w.busy.Store(true)
 		t0 := time.Now()
 		ir := w.sup.Ingest(rq.req.Kind, rq.req.Data, rq.req.N)
 		ingest := time.Since(t0)
+		w.lastClock.Store(w.sup.M.SimNow())
 		w.busy.Store(false)
 		w.processed.Add(1)
 
@@ -387,6 +405,26 @@ func (f *Fleet) Pool() *patch.Pool { return f.pool }
 // Trace returns the fleet's execution-trace ring (never nil).
 func (f *Fleet) Trace() *trace.Tracer { return f.trc }
 
+// Ledger returns the shared diagnosis ledger (never nil).
+func (f *Fleet) Ledger() *ledger.Ledger { return f.ldg }
+
+// BundleInput assembles the postmortem-bundle input for one diagnosis: its
+// trace slice from the fleet ring and the owning worker's telemetry
+// snapshot (spans and instruments). Safe while the fleet is serving.
+func (f *Fleet) BundleInput(id uint64) (report.BundleInput, bool) {
+	d, ok := f.ldg.Get(id)
+	if !ok {
+		return report.BundleInput{}, false
+	}
+	var snap telemetry.Snapshot
+	if d.Worker >= 0 && d.Worker < len(f.workers) {
+		snap = telemetry.MergedSnapshot(f.workers[d.Worker].reg)
+	} else {
+		snap = f.Snapshot()
+	}
+	return report.BundleFor(d, f.trc, &snap), true
+}
+
 // Workers returns the fleet size.
 func (f *Fleet) Workers() int { return len(f.workers) }
 
@@ -417,32 +455,54 @@ type WorkerHealth struct {
 	Inbox     int   `json:"inbox"` // queued requests (degradation signal)
 	Busy      bool  `json:"busy"`
 	Processed int64 `json:"processed"`
+	// Ready: the serving goroutine is running and the inbox has spare
+	// capacity — the worker can accept a request without queuing behind a
+	// full inbox. The fleet e2e gates on every worker being ready.
+	Ready bool `json:"ready"`
+	// LastEventClock is the simulated clock after the worker's most
+	// recently ingested event (0 until it serves one).
+	LastEventClock uint64 `json:"lastEventClock"`
+	// InFlight counts this worker's open (non-terminal) ledger diagnoses.
+	InFlight int `json:"inFlight"`
 }
 
 // Health is the /healthz view.
 type Health struct {
 	Status        string         `json:"status"` // "ok" or "degraded"
+	Ready         bool           `json:"ready"`  // every worker is ready
 	Workers       []WorkerHealth `json:"workers"`
 	QueueDepth    int            `json:"queueDepth"`
 	ActivePatches int            `json:"activePatches"`
+	InFlight      int            `json:"inFlight"` // open diagnoses, fleet-wide
 }
 
-// Health reports per-worker queue depths and the shared pool size. The
-// fleet is "degraded" while any inbox is full (a worker is mid-recovery or
-// overloaded and traffic is being re-routed, queued or blocked).
+// Health reports per-worker readiness — queue depth, last-event clock, and
+// the in-flight diagnosis count from the ledger — plus the shared pool
+// size. The fleet is "degraded" while any inbox is full (a worker is
+// mid-recovery or overloaded and traffic is being re-routed, queued or
+// blocked), and "ready" once every serving goroutine is running with inbox
+// space to spare.
 func (f *Fleet) Health() Health {
-	h := Health{Status: "ok", QueueDepth: f.cfg.QueueDepth, ActivePatches: len(f.pool.Active())}
+	h := Health{Status: "ok", Ready: true, QueueDepth: f.cfg.QueueDepth, ActivePatches: len(f.pool.Active())}
 	for _, w := range f.workers {
 		depth := len(w.inbox)
 		if depth >= f.cfg.QueueDepth {
 			h.Status = "degraded"
 		}
-		h.Workers = append(h.Workers, WorkerHealth{
-			ID:        w.id,
-			Inbox:     depth,
-			Busy:      w.busy.Load(),
-			Processed: w.processed.Load(),
-		})
+		wh := WorkerHealth{
+			ID:             w.id,
+			Inbox:          depth,
+			Busy:           w.busy.Load(),
+			Processed:      w.processed.Load(),
+			Ready:          w.started.Load() && depth < f.cfg.QueueDepth,
+			LastEventClock: w.lastClock.Load(),
+			InFlight:       f.ldg.InFlight(w.id),
+		}
+		if !wh.Ready {
+			h.Ready = false
+		}
+		h.InFlight += wh.InFlight
+		h.Workers = append(h.Workers, wh)
 	}
 	return h
 }

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"time"
 
+	"firstaid/internal/ledger"
+	"firstaid/internal/report"
 	"firstaid/internal/telemetry"
 	"firstaid/internal/trace"
 )
@@ -31,7 +33,14 @@ const maxEventBody = 1 << 20
 //	                      JSON) or ?format=text (timeline, the default)
 //	GET  /trace/stream  → live SSE tail of the ring (?from=seq, ?max=n)
 //	GET  /patches       → the shared patch pool as JSON (patch.Pool format)
-//	GET  /healthz       → per-worker inbox depth / busy state, pool size
+//	GET  /healthz       → per-worker readiness: inbox depth, busy state,
+//	                      last-event clock, in-flight diagnoses, pool size
+//	GET  /diagnoses     → ledger diagnoses (?phase=, ?source=, ?worker=)
+//	GET  /diagnoses/stream → live SSE feed of phase transitions
+//	                      (?from=cursor resumes, ?max=n bounds)
+//	GET  /diagnoses/{id}       → one full diagnosis object
+//	GET  /diagnoses/{id}/trace → its trace slice (?format=chrome|text)
+//	GET  /diagnoses/{id}/bundle → its postmortem bundle (tar.gz)
 type Server struct {
 	fleet *Fleet
 	mux   *http.ServeMux
@@ -49,6 +58,11 @@ func NewServer(f *Fleet) *Server {
 	s.mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
 	s.mux.HandleFunc("GET /patches", s.handlePatches)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /diagnoses", s.handleDiagnoses)
+	s.mux.HandleFunc("GET /diagnoses/stream", s.handleDiagnosesStream)
+	s.mux.HandleFunc("GET /diagnoses/{id}", s.handleDiagnosis)
+	s.mux.HandleFunc("GET /diagnoses/{id}/trace", s.handleDiagnosisTrace)
+	s.mux.HandleFunc("GET /diagnoses/{id}/bundle", s.handleDiagnosisBundle)
 	return s
 }
 
@@ -215,6 +229,160 @@ func (s *Server) handlePatches(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.fleet.Health())
+}
+
+// handleDiagnoses lists ledger diagnoses, optionally filtered by phase
+// (?phase=Succeeded), source program (?source=chaos) and owning worker
+// (?worker=2).
+func (s *Server) handleDiagnoses(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	flt := ledger.Filter{Worker: ledger.AnyWorker}
+	if v := q.Get("phase"); v != "" {
+		flt.Phase = ledger.Phase(v)
+	}
+	flt.Source = q.Get("source")
+	if v := q.Get("worker"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad worker: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		flt.Worker = n
+	}
+	ds := s.fleet.Ledger().List(flt)
+	if ds == nil {
+		ds = []*ledger.Diagnosis{}
+	}
+	writeJSON(w, ds)
+}
+
+// diagnosisByPath resolves the {id} path value against the ledger.
+func (s *Server) diagnosisByPath(w http.ResponseWriter, r *http.Request) (*ledger.Diagnosis, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	d, ok := s.fleet.Ledger().Get(id)
+	if !ok {
+		http.Error(w, "no such diagnosis", http.StatusNotFound)
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	if d, ok := s.diagnosisByPath(w, r); ok {
+		writeJSON(w, d)
+	}
+}
+
+// handleDiagnosisTrace renders the diagnosis's slice of the execution
+// trace — the records its recovery emitted on the owning worker's tracks.
+func (s *Server) handleDiagnosisTrace(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.diagnosisByPath(w, r)
+	if !ok {
+		return
+	}
+	in := report.BundleFor(d, s.fleet.Trace(), nil)
+	switch format := r.URL.Query().Get("format"); format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.ChromeTrace(w, in.Trace); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := trace.WriteText(w, in.Trace); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown format "+strconv.Quote(format)+" (want chrome or text)", http.StatusBadRequest)
+	}
+}
+
+// handleDiagnosisBundle streams the diagnosis's postmortem bundle.
+func (s *Server) handleDiagnosisBundle(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.diagnosisByPath(w, r)
+	if !ok {
+		return
+	}
+	in, ok := s.fleet.BundleInput(d.ID)
+	if !ok {
+		http.Error(w, "no such diagnosis", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", "attachment; filename="+strconv.Quote(report.BundleFileName(d.ID)))
+	if err := report.WriteBundle(w, in); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleDiagnosesStream feeds ledger phase transitions as server-sent
+// events. Like /trace/stream it polls the transition ring: ?from= resumes
+// from a stream cursor (default: only new transitions; the cursor of each
+// delivered record is seq+1), ?max= closes after n records.
+func (s *Server) handleDiagnosesStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ldg := s.fleet.Ledger()
+	cursor := ldg.TransitionsEmitted()
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cursor = n
+	}
+	var maxRecs uint64
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		maxRecs = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ticker := time.NewTicker(s.streamPoll)
+	defer ticker.Stop()
+	enc := json.NewEncoder(w)
+	var sent uint64
+	for {
+		for _, tr := range ldg.TransitionsSince(cursor) {
+			cursor = tr.Seq + 1
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := enc.Encode(tr); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			sent++
+			if maxRecs > 0 && sent >= maxRecs {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -23,35 +23,34 @@ func (r *Report) WriteFiles(dir string) ([]string, error) {
 		return nil, err
 	}
 	var written []string
-	write := func(name, content string) error {
-		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			return err
+	for _, a := range r.Artifacts() {
+		path := filepath.Join(dir, a.Name)
+		if err := os.WriteFile(path, a.Data, 0o644); err != nil {
+			return written, err
 		}
 		written = append(written, path)
-		return nil
-	}
-
-	if err := write("failure.core", r.coreDump()); err != nil {
-		return written, err
-	}
-	if err := write("diag.log", strings.Join(r.DiagnosisLog, "\n")+"\n"); err != nil {
-		return written, err
-	}
-	orig, patched := r.mmTraces()
-	if err := write("mm_trace_orig.log", orig); err != nil {
-		return written, err
-	}
-	if err := write("mm_trace_patched.log", patched); err != nil {
-		return written, err
-	}
-	if err := write("illegal_access.log", r.illegalLog()); err != nil {
-		return written, err
-	}
-	if err := write("report.txt", r.String()); err != nil {
-		return written, err
 	}
 	return written, nil
+}
+
+// Artifact is one named report file, the unit shared by WriteFiles and the
+// postmortem bundle.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
+// Artifacts generates the Figure-5 file set in a fixed order.
+func (r *Report) Artifacts() []Artifact {
+	orig, patched := r.mmTraces()
+	return []Artifact{
+		{"failure.core", []byte(r.coreDump())},
+		{"diag.log", []byte(strings.Join(r.DiagnosisLog, "\n") + "\n")},
+		{"mm_trace_orig.log", []byte(orig)},
+		{"mm_trace_patched.log", []byte(patched)},
+		{"illegal_access.log", []byte(r.illegalLog())},
+		{"report.txt", []byte(r.String())},
+	}
 }
 
 func (r *Report) coreDump() string {

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"firstaid/internal/ledger"
 )
 
 func TestWriteFilesProducesAllArtifacts(t *testing.T) {
@@ -53,7 +55,7 @@ func TestWriteFilesProducesAllArtifacts(t *testing.T) {
 
 func TestWriteFilesEmptyReport(t *testing.T) {
 	dir := t.TempDir()
-	r := Build("x", nil, nil, 0, nil, nil, nil, 0, 0)
+	r := FromDiagnosis(&ledger.Diagnosis{Source: "x"})
 	if _, err := r.WriteFiles(dir); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,14 @@
 // Package report builds First-Aid's on-site bug report (paper §5,
 // Figure 5): failure core dump, diagnosis summary and log, runtime patch
 // details with call-site chains and trigger counts, the with/without-patch
-// memory-management trace diff, and the illegal-access summary grouped by
-// patch and instruction.
+// memory-management trace diff, the guard-page evidence that claimed the
+// fault (when the sampled tier did), and the illegal-access summary
+// grouped by patch and instruction.
+//
+// A Report is a *render* of a ledger.Diagnosis — the ledger entry is the
+// system of record, the report its human-readable Figure-5 projection.
+// Bundle (bundle.go) packages the same entry as a portable postmortem
+// tar.gz.
 package report
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"firstaid/internal/allocext"
 	"firstaid/internal/callsite"
+	"firstaid/internal/ledger"
 	"firstaid/internal/patch"
 	"firstaid/internal/proc"
 	"firstaid/internal/validate"
@@ -26,6 +33,7 @@ type PatchInfo struct {
 
 // Report is the assembled bug report.
 type Report struct {
+	DiagnosisID    uint64
 	Program        string
 	Fault          *proc.Fault
 	RecoverySec    float64
@@ -36,45 +44,56 @@ type Report struct {
 	SiteKey        func(callsite.ID) callsite.Key
 	DiagRollbacks  int
 	FailureEvent   int
+	HasValidation  bool
 	ValidationOK   bool
 	ValidationNote string
+
+	// Guard is the guard-page evidence that claimed the fault, nil when
+	// the fault was trapped the ordinary way; Phase1Skipped records that
+	// the evidence let diagnosis skip the checkpoint search.
+	Guard         *ledger.GuardInfo
+	Phase1Skipped bool
 }
 
-// Build assembles a report. trace data comes from the validation result's
-// first patched iteration; trigger counts come from its Triggers map.
-func Build(program string, fault *proc.Fault, diagLog []string, rollbacks int,
-	patches []*patch.Patch, val *validate.Result,
-	siteKey func(callsite.ID) callsite.Key,
-	recoverySec, validationSec float64) *Report {
-
+// FromDiagnosis renders a ledger entry as a report. The entry's
+// render-only references (fault, validation result, pool patches, site
+// resolver) supply the trace-level detail its wire form omits.
+func FromDiagnosis(d *ledger.Diagnosis) *Report {
+	if d == nil {
+		return nil
+	}
 	r := &Report{
-		Program:       program,
-		Fault:         fault,
-		RecoverySec:   recoverySec,
-		ValidationSec: validationSec,
-		DiagnosisLog:  diagLog,
-		Validation:    val,
-		SiteKey:       siteKey,
-		DiagRollbacks: rollbacks,
+		DiagnosisID:   d.ID,
+		Program:       d.Source,
+		Fault:         d.FaultRef,
+		RecoverySec:   d.RecoverySec,
+		ValidationSec: d.ValidationSec,
+		DiagnosisLog:  d.DiagLog,
+		Validation:    d.ValidationRef,
+		SiteKey:       d.SiteKey,
+		DiagRollbacks: d.Rollbacks,
+		FailureEvent:  d.Event,
 	}
-	if fault != nil {
-		r.FailureEvent = fault.Event
+	if v := d.ValidationRef; v != nil {
+		r.HasValidation = true
+		r.ValidationOK = v.Consistent
+		r.ValidationNote = v.Reason
 	}
-	if val != nil {
-		r.ValidationOK = val.Consistent
-		r.ValidationNote = val.Reason
+	if c := d.Cond(ledger.GuardEvidence); c != nil {
+		r.Guard = c.Guard
 	}
+	r.Phase1Skipped = d.Cond(ledger.Phase1Skipped) != nil
 
 	var trig map[callsite.ID]int
-	if val != nil && len(val.Traces) > 0 {
-		trig = val.Traces[0].Triggers
+	if v := d.ValidationRef; v != nil && len(v.Traces) > 0 {
+		trig = v.Traces[0].Triggers
 	}
-	for _, p := range patches {
+	for _, p := range d.PatchRefs {
 		info := PatchInfo{Patch: p, Site: p.Site}
 		if trig != nil {
 			// Match trigger counts by site key through the resolver.
 			for site, n := range trig {
-				if siteKey != nil && siteKey(site) == p.Site {
+				if r.SiteKey != nil && r.SiteKey(site) == p.Site {
 					info.Triggers = n
 				}
 			}
@@ -133,9 +152,23 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "   %s\n", line)
 	}
 
-	if r.ValidationOK {
+	// Guard-page evidence, when the sampled tier claimed the fault.
+	if r.Guard != nil {
+		fmt.Fprintf(&b, "GUARD EVIDENCE: sampled guard page claimed the fault\n")
+		fmt.Fprintf(&b, "   class:       %s\n", r.Guard.Bug)
+		fmt.Fprintf(&b, "   site:        %s (%s attribution)\n", r.Guard.Site, r.Guard.Attribution)
+		fmt.Fprintf(&b, "   clock:       %d (process clock of the decisive operation)\n", r.Guard.Clock)
+		if r.Phase1Skipped {
+			fmt.Fprintf(&b, "   phase 1:     skipped — evidence confirmed by one scoped re-execution\n")
+		}
+	}
+
+	switch {
+	case !r.HasValidation:
+		fmt.Fprintf(&b, "Validation: skipped (validation disabled)\n")
+	case r.ValidationOK:
 		fmt.Fprintf(&b, "Validation: consistent across randomized re-executions\n")
-	} else {
+	default:
 		fmt.Fprintf(&b, "Validation: FAILED (%s); patches removed\n", r.ValidationNote)
 	}
 	return b.String()

@@ -6,6 +6,7 @@ import (
 
 	"firstaid/internal/allocext"
 	"firstaid/internal/callsite"
+	"firstaid/internal/ledger"
 	"firstaid/internal/mmbug"
 	"firstaid/internal/patch"
 	"firstaid/internal/proc"
@@ -37,7 +38,9 @@ func sampleValidation(site callsite.ID) *validate.Result {
 	}
 }
 
-func sampleReport(t *testing.T) *Report {
+// sampleDiagnosis assembles a closed ledger entry the way the supervisor
+// does: wire conditions plus the render-only references reports need.
+func sampleDiagnosis(t *testing.T) *ledger.Diagnosis {
 	t.Helper()
 	tab := callsite.NewTable()
 	key := callsite.Key{"util_ald_free", "util_ald_cache_purge", "util_ald_cache_insert"}
@@ -50,9 +53,34 @@ func sampleReport(t *testing.T) *Report {
 		Stack: []string{"ap_process_request", "util_ldap_cache_check"},
 		Instr: "util_ldap_cache_check:check_key",
 		Event: 439,
+		Clock: 4400,
 	}
-	return Build("apache", fault, []string{"phase 1 …", "phase 2 …"}, 28,
-		[]*patch.Patch{p}, sampleValidation(site), tab.Key, 0.108, 0.160)
+	val := sampleValidation(site)
+
+	l := ledger.New(4)
+	e := l.Begin(ledger.Meta{Source: "apache", Mode: "sync", Event: 439})
+	e.Add(ledger.Condition{Type: ledger.FaultObserved, Clock: fault.Clock, Fault: ledger.NewFaultInfo(fault)})
+	e.Run()
+	e.Add(ledger.Condition{Type: ledger.CheckpointSelected, Clock: 4000, Checkpoint: &ledger.CheckpointInfo{Seq: 3, Clock: 4000, Cursor: 430}})
+	e.Add(ledger.Condition{Type: ledger.PatchGenerated, Clock: fault.Clock, Patches: []ledger.PatchInfo{ledger.NewPatchInfo(p)}})
+	e.Add(ledger.Condition{Type: ledger.ValidationPassed, Clock: 4000, Validation: ledger.NewValidationInfo(val)})
+	e.Update(func(d *ledger.Diagnosis) {
+		d.Rollbacks = 28
+		d.DiagLog = []string{"phase 1 …", "phase 2 …"}
+		d.RecoverySec = 0.108
+		d.ValidationSec = 0.160
+		d.FaultRef = fault
+		d.ValidationRef = val
+		d.PatchRefs = []*patch.Patch{p}
+		d.SiteKey = tab.Key
+	})
+	e.Close(true, "recovered", 0, 0)
+	return e.Snapshot()
+}
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	return FromDiagnosis(sampleDiagnosis(t))
 }
 
 func TestReportHasAllFiveSections(t *testing.T) {
@@ -123,12 +151,67 @@ func TestTraceDiffHighlightsPatchedOps(t *testing.T) {
 }
 
 func TestEmptyReportDoesNotPanic(t *testing.T) {
-	r := Build("x", nil, nil, 0, nil, nil, nil, 0, 0)
+	r := FromDiagnosis(&ledger.Diagnosis{Source: "x"})
 	text := r.String()
 	if !strings.Contains(text, "(none recorded)") {
 		t.Errorf("empty fault rendering:\n%s", text)
 	}
 	if len(r.IllegalSummary()) == 0 || len(r.TraceDiff(5)) == 0 {
 		t.Fatal("helpers returned nothing")
+	}
+	if FromDiagnosis(nil) != nil {
+		t.Fatal("FromDiagnosis(nil) != nil")
+	}
+}
+
+func TestValidationSkippedRendering(t *testing.T) {
+	d := sampleDiagnosis(t)
+	d.ValidationRef = nil
+	text := FromDiagnosis(d).String()
+	if !strings.Contains(text, "Validation: skipped") {
+		t.Errorf("disabled validation not rendered as skipped:\n%s", text)
+	}
+}
+
+// guardDiagnosis adds guard-claimed evidence to the sample entry the way
+// the supervisor records a sampled guard-page hit.
+func guardDiagnosis(t *testing.T) *ledger.Diagnosis {
+	t.Helper()
+	d := sampleDiagnosis(t)
+	guard := ledger.Condition{
+		Type:  ledger.GuardEvidence,
+		Clock: 4390,
+		Guard: &ledger.GuardInfo{
+			Bug:         mmbug.DanglingRead.String(),
+			Site:        "util_ald_free<util_ald_cache_purge<util_ald_cache_insert",
+			Clock:       4390,
+			Attribution: "quarantined-free-site",
+		},
+	}
+	skip := ledger.Condition{Type: ledger.Phase1Skipped, Clock: 4390, Message: "guard evidence confirmed"}
+	d.Conditions = append(d.Conditions[:1], append([]ledger.Condition{guard, skip}, d.Conditions[1:]...)...)
+	d.FastPath = true
+	return d
+}
+
+func TestGuardEvidenceSection(t *testing.T) {
+	text := FromDiagnosis(guardDiagnosis(t)).String()
+	for _, want := range []string{
+		"GUARD EVIDENCE: sampled guard page claimed the fault",
+		"class:       dangling pointer read",
+		"util_ald_free<util_ald_cache_purge<util_ald_cache_insert (quarantined-free-site attribution)",
+		"clock:       4390",
+		"phase 1:     skipped",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("guard section missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNoGuardSectionWithoutEvidence(t *testing.T) {
+	text := sampleReport(t).String()
+	if strings.Contains(text, "GUARD EVIDENCE") {
+		t.Errorf("guard section rendered without guard evidence:\n%s", text)
 	}
 }

@@ -14,14 +14,45 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"time"
 )
 
+// processStart anchors firstaid_uptime_seconds; set once at init so every
+// exposition from this process agrees.
+var processStart = time.Now()
+
+// buildVersion resolves the module version stamped into the binary, or
+// "dev" for unstamped builds (go test, plain go build of a dirty tree).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// writeBuildInfo emits the standard process-identity series: a build_info
+// gauge carrying version labels (value always 1, the prometheus idiom for
+// label-only metrics) and the process uptime.
+func writeBuildInfo(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE firstaid_build_info gauge\nfirstaid_build_info{version=%q,goversion=%q} 1\n"+
+			"# TYPE firstaid_uptime_seconds gauge\nfirstaid_uptime_seconds %g\n",
+		buildVersion(), runtime.Version(), time.Since(processStart).Seconds())
+	return err
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format. Spans are omitted — they are structured episodes, not scrapeable
+// format, prefixed with the process-identity series (build info, uptime).
+// Spans are omitted — they are structured episodes, not scrapeable
 // series; scrape the counters/histograms and read spans from /metrics JSON.
 func WritePrometheus(w io.Writer, snap Snapshot) error {
+	if err := writeBuildInfo(w); err != nil {
+		return err
+	}
 	names := make([]string, 0, len(snap.Counters))
 	for name := range snap.Counters {
 		names = append(names, name)

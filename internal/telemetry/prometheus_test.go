@@ -2,9 +2,11 @@ package telemetry
 
 import (
 	"bytes"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestJournalCapEvictsOldest(t *testing.T) {
@@ -137,5 +139,59 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if lastLE < 0 {
 		t.Fatal("no finite histogram buckets in the exposition")
+	}
+}
+
+func TestPrometheusBuildInfoAndUptime(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, NewRegistry().Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE firstaid_build_info gauge\n",
+		`firstaid_build_info{version="`,
+		`goversion="` + runtime.Version() + `"} 1`,
+		"# TYPE firstaid_uptime_seconds gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The identity series lead the exposition so scrapers always see them,
+	// even on an empty snapshot.
+	if !strings.HasPrefix(out, "# TYPE firstaid_build_info gauge\n") {
+		t.Errorf("build_info not first:\n%s", out)
+	}
+
+	// uptime must be a parseable non-negative float that advances.
+	var uptime float64
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "firstaid_uptime_seconds "); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("unparseable uptime %q: %v", line, err)
+			}
+			uptime = f
+		}
+	}
+	if uptime < 0 {
+		t.Fatalf("uptime = %g, want >= 0", uptime)
+	}
+	time.Sleep(2 * time.Millisecond)
+	buf.Reset()
+	if err := WritePrometheus(&buf, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var later float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, "firstaid_uptime_seconds "); ok {
+			later, _ = strconv.ParseFloat(v, 64)
+		}
+	}
+	if later <= uptime {
+		t.Fatalf("uptime did not advance: %g then %g", uptime, later)
 	}
 }

@@ -201,6 +201,26 @@ func GuardTrack(worker int) int {
 	return GuardTrackBit | (worker & 0xFFF)
 }
 
+// TrackBelongsTo reports whether records on the given track belong to the
+// given worker: its main track, its guard track, or any of its validation
+// clone tracks. The fleet track belongs to no worker. The validation bit
+// must be tested before the guard bit — the validation track of a worker
+// with bit 4 set (worker 16..31) also carries GuardTrackBit in its packed
+// worker field. Validation tracks keep only the low 5 worker bits, so the
+// comparison folds the worker the same way ValidationTrack does.
+func TrackBelongsTo(track uint16, worker int) bool {
+	switch {
+	case track == FleetTrack:
+		return false
+	case track&ValidationTrackBit != 0:
+		return int(track>>10)&0x1F == worker&0x1F
+	case track&GuardTrackBit != 0:
+		return int(track&0xFFF) == worker
+	default:
+		return int(track) == worker
+	}
+}
+
 // TrackName renders a worker/track ID for exporters.
 func TrackName(worker uint16) string {
 	if worker == FleetTrack {

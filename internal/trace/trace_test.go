@@ -293,3 +293,30 @@ func TestSummarize(t *testing.T) {
 		}
 	}
 }
+
+func TestTrackBelongsTo(t *testing.T) {
+	cases := []struct {
+		track  uint16
+		worker int
+		want   bool
+	}{
+		{0, 0, true},
+		{3, 3, true},
+		{3, 2, false},
+		{FleetTrack, 0, false},
+		{uint16(GuardTrack(5)), 5, true},
+		{uint16(GuardTrack(5)), 4, false},
+		{uint16(ValidationTrack(2, 0)), 2, true},
+		{uint16(ValidationTrack(2, 7)), 2, true},
+		{uint16(ValidationTrack(2, 7)), 3, false},
+		// Worker 16 sets bit 4, so its validation track also carries
+		// GuardTrackBit in the packed field — the validation test must win.
+		{uint16(ValidationTrack(16, 0)), 16, true},
+		{uint16(ValidationTrack(16, 0)), 0, false},
+	}
+	for _, c := range cases {
+		if got := TrackBelongsTo(c.track, c.worker); got != c.want {
+			t.Errorf("TrackBelongsTo(%#x, %d) = %v, want %v", c.track, c.worker, got, c.want)
+		}
+	}
+}
