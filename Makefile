@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json fuzz-smoke \
-	accuracy accuracy-sync accuracy-parallel accuracy-stream
+.PHONY: check build vet test race bench bench-smoke bench-json cover \
+	fuzz-smoke accuracy accuracy-sync accuracy-parallel accuracy-stream
 
 # check is the tier-1 gate: build, vet, the full test suite, and the test
 # suite again under the race detector (the supervisor's parallel validation
@@ -31,18 +31,34 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # bench-json records the perf trajectory across PRs: the MMU/allocator
-# benchmarks (with allocation stats) and every perf guard run once, and the
-# combined output is distilled into BENCH_6.json (name → ns/op, B/op,
-# allocs/op, guard metrics), which CI uploads as an artifact next to the
-# committed PR-5 floor (BENCH_5.json). Guards run at
-# -benchtime 1x because they do their own fixed-size interleaved timing;
-# the plain benchmarks get a real sampling budget.
+# benchmarks and the standby-clone warm cost (with allocation stats) plus
+# every perf guard run once, and the combined output is distilled into
+# BENCH_7.json (name → ns/op, B/op, allocs/op, guard metrics — including
+# the speculative-vs-serial recovery speedup from
+# BenchmarkSpeculativeRecoveryGuard), which CI uploads as an artifact next
+# to the committed earlier floors (BENCH_5.json, BENCH_6.json). Guards run
+# at -benchtime 1x because they do their own fixed-size interleaved
+# timing; the plain benchmarks get a real sampling budget.
 bench-json:
 	{ $(GO) test -bench '^(BenchmarkSnapshot|BenchmarkRestore|BenchmarkClone|BenchmarkCloneCOW|BenchmarkWrite64|BenchmarkSnapshotRestore|BenchmarkMallocFreeThroughProc)$$' \
 		-benchmem -benchtime 0.2s -run '^$$' ./internal/vmem ./internal/proc ; \
+	  $(GO) test -bench '^BenchmarkStandbyCloneWarm$$' \
+		-benchmem -benchtime 0.2s -run '^$$' ./internal/core ; \
 	  $(GO) test -bench 'Guard$$' -benchtime 1x -run '^$$' \
 		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ./internal/chaos ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_6.json
+	| $(GO) run ./cmd/benchjson -o BENCH_7.json
+
+# cover is the coverage ratchet: the whole internal tree runs with a
+# coverage profile, the HTML render is kept as a CI artifact, and the
+# recovery pipeline's packages (core and the stage/speculation layer it
+# was decomposed into) must not drop below the floors recorded when the
+# pipeline landed. Raise the floors when coverage rises; never lower them.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	$(GO) run ./cmd/coverfloor -profile coverage.out \
+		-floor firstaid/internal/core=80 \
+		-floor firstaid/internal/stages=94
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
 # committed seed corpus (which plain `go test` already replays). The corpus

@@ -1,0 +1,125 @@
+// Command coverfloor enforces per-package coverage ratchets on a Go cover
+// profile. CI runs the full test suite with -coverprofile and then checks
+// the packages named by -floor flags against their recorded floors, so a
+// change that erodes test coverage of a ratcheted package fails the build
+// instead of landing silently.
+//
+// Usage:
+//
+//	coverfloor -profile coverage.out -floor firstaid/internal/core=80 ...
+//
+// Coverage is computed the way `go tool cover -func` does: the fraction of
+// profiled statements inside the package with a non-zero execution count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floors collects repeated -floor pkg=pct flags.
+type floors map[string]float64
+
+func (f floors) String() string { return fmt.Sprint(map[string]float64(f)) }
+
+func (f floors) Set(v string) error {
+	pkg, pct, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=pct, got %q", v)
+	}
+	p, err := strconv.ParseFloat(pct, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor %q: %v", v, err)
+	}
+	f[pkg] = p
+	return nil
+}
+
+type tally struct{ total, covered int }
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "cover profile to check")
+	want := floors{}
+	flag.Var(want, "floor", "package=minimum-percent (repeatable)")
+	flag.Parse()
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "coverfloor: no -floor flags given")
+		os.Exit(2)
+	}
+
+	got, err := tallyProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(want))
+	for pkg := range want {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	failed := false
+	for _, pkg := range pkgs {
+		t, ok := got[pkg]
+		if !ok || t.total == 0 {
+			fmt.Printf("coverfloor: %-32s no profiled statements (floor %.1f%%) FAIL\n", pkg, want[pkg])
+			failed = true
+			continue
+		}
+		pct := 100 * float64(t.covered) / float64(t.total)
+		status := "ok"
+		if pct < want[pkg] {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("coverfloor: %-32s %6.1f%% of %d statements (floor %.1f%%) %s\n",
+			pkg, pct, t.total, want[pkg], status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// tallyProfile sums profiled statement counts per package directory.
+func tallyProfile(name string) (map[string]tally, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	got := map[string]tally{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			continue
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		t := got[path.Dir(file)]
+		t.total += stmts
+		if count > 0 {
+			t.covered += stmts
+		}
+		got[path.Dir(file)] = t
+	}
+	return got, sc.Err()
+}

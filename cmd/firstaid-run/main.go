@@ -54,6 +54,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available applications and exit")
 		system     = flag.String("system", "first-aid", "recovery discipline: first-aid, rx, restart")
 		parallel   = flag.Bool("parallel-validation", false, "validate patches on a cloned machine in parallel")
+		speculate  = flag.Bool("speculate", true, "race diagnosis hypotheses on COW clones with a pre-warmed standby (identical verdicts, shorter recoveries); -speculate=false re-executes serially")
 		metrics    = flag.Bool("metrics", false, "collect telemetry and dump the JSON snapshot (counters, histograms, per-recovery spans) at exit")
 		tracePath  = flag.String("trace", "", "record an execution trace and write it to this file at exit (inspect with firstaid-trace)")
 		traceCap   = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
@@ -81,7 +82,7 @@ func main() {
 
 	if *chaosSeed != "" {
 		runChaos(*chaosSeed, *chaosClass, *chaosOps, *chaosMode, *chaosScenario, *chaosCombo, *chaosProtect,
-			*chaosGuard, *guardRate, guardSites, *postmortem)
+			*chaosGuard, *speculate, *guardRate, guardSites, *postmortem)
 		return
 	}
 
@@ -171,7 +172,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := firstaid.Config{ParallelValidation: *parallel}
+	cfg := firstaid.Config{ParallelValidation: *parallel, Speculate: *speculate}
 	cfg.Machine = mcfg
 	if *poolPath != "" {
 		switch pool, err := firstaid.LoadPool(*poolPath); {
@@ -256,7 +257,7 @@ func main() {
 // replays any cell of the accuracy matrix or any failure a chaos test or
 // fuzz run reports.
 func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, combo int, protect bool,
-	guard bool, guardRate int, guardForce []string, postmortemDir string) {
+	guard, speculate bool, guardRate int, guardForce []string, postmortemDir string) {
 	seed, err := strconv.ParseUint(seedStr, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -chaos-seed %q: %v\n", seedStr, err)
@@ -284,6 +285,7 @@ func runChaos(seedStr, classStr string, ops int, modeStr, scenarioStr string, co
 	cfg := chaos.RunConfig{
 		Seed: seed, Class: class, Ops: ops, Mode: mode,
 		Scenario: scenario, Combo: combo, Protect: protect, Guard: guard,
+		Speculate: speculate,
 	}
 	cfg.Machine.GuardRate = guardRate
 	cfg.Machine.GuardForce = guardForce

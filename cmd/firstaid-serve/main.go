@@ -63,6 +63,7 @@ func main() {
 		dispatch   = flag.String("dispatch", "hash", "request dispatch: hash (sticky by source) or roundrobin")
 		poolPath   = flag.String("pool", "", "patch-pool file to load at start and save at exit")
 		parallel   = flag.Bool("parallel-validation", false, "validate patches on cloned machines in parallel")
+		speculate  = flag.Bool("speculate", true, "per worker: race diagnosis hypotheses on COW clones with a pre-warmed standby (identical verdicts, shorter recoveries); -speculate=false re-executes serially")
 		traceCap   = flag.Int("trace-cap", 0, "execution-trace ring capacity in records (0 = default 64Ki)")
 		ledgerCap  = flag.Int("ledger-cap", 0, "diagnosis-ledger ring capacity in entries (0 = default 256)")
 		journal    = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
@@ -99,7 +100,7 @@ func main() {
 	cfg := fleet.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
-		Supervisor:     core.Config{ParallelValidation: *parallel, Machine: mcfg},
+		Supervisor:     core.Config{ParallelValidation: *parallel, Speculate: *speculate, Machine: mcfg},
 		TraceCapacity:  *traceCap,
 		JournalSpans:   *journal,
 		LedgerCapacity: *ledgerCap,

@@ -135,6 +135,10 @@ func TestDiagnosisAccuracyMatrix(t *testing.T) {
 							Seed: seed, Mode: mode,
 							Scenario: c.scenario, Class: c.class,
 							Combo: c.combo, Protect: c.protect,
+							// The matrix runs with speculation on — the
+							// deployment default; TestStageEquivalence pins
+							// it against the serial pipeline.
+							Speculate: true,
 						}
 						if c.sampled {
 							cfg.Machine.GuardForce = []string{"chaos_bug"}

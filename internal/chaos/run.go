@@ -56,6 +56,10 @@ type RunConfig struct {
 	TamperNoCoalesce bool
 	// DisableLedger turns off the diagnosis ledger (overhead benchmarks).
 	DisableLedger bool
+	// Speculate races diagnosis hypotheses on COW clones (see
+	// core.Config.Speculate). Off by default here so differential tests can
+	// compare a serial and a speculative run of the same program.
+	Speculate bool
 	// Machine overrides the machine configuration (zero value = defaults).
 	Machine core.MachineConfig
 }
@@ -185,6 +189,7 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 		Machine:            cfg.Machine,
 		ParallelValidation: cfg.Mode == ModeParallel,
 		DisableLedger:      cfg.DisableLedger,
+		Speculate:          cfg.Speculate,
 	}
 	if cfg.Seed != 0 {
 		// Fuzz-decoded programs run with Seed 0: their op stream came from

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"firstaid/internal/mmbug"
+	"firstaid/internal/telemetry"
+	"firstaid/internal/trace"
+)
+
+// TestSpeculationStress hammers speculative recovery under the race
+// detector: many supervisors recover concurrently, each racing several
+// hypothesis clones per recovery, with losers force-cancelled mid
+// re-execute and the standby clone reused across episodes. Each run is
+// audited for balanced clone accounting (every launched hypothesis is
+// either consumed or cancelled, and the active gauge drains to zero) and
+// for monotonic trace clocks on every track — a rolled-back parent must
+// never rewind the tracer, and clone tracks must not interleave
+// out of order.
+func TestSpeculationStress(t *testing.T) {
+	workers := 8
+	seedsPerWorker := 4
+	if testing.Short() {
+		workers, seedsPerWorker = 4, 2
+	}
+	modes := []Mode{ModeSync, ModeParallel, ModeStream}
+
+	var cancelled, standby atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < seedsPerWorker; s++ {
+				cfg := RunConfig{
+					Seed:      uint64(0x57E55 + w*seedsPerWorker + s),
+					Class:     mmbug.All[(w+s)%len(mmbug.All)],
+					Mode:      modes[w%len(modes)],
+					Scenario:  ScenarioChurn,
+					Speculate: true,
+				}
+				tel := telemetry.NewRegistry()
+				trc := trace.New(1 << 14)
+				cfg.Machine.Metrics = tel
+				cfg.Machine.Trace = trc
+				cfg.Machine.TraceWorker = w
+				out := Run(cfg)
+				label := fmt.Sprintf("worker %d seed %#x", w, cfg.Seed)
+				if !out.OK() {
+					t.Errorf("%s: oracle failed:\n%s", label, out.Verdict())
+					return
+				}
+				if err := out.CheckExpected(); err != nil {
+					t.Errorf("%s: %v", label, err)
+					return
+				}
+				st := out.Sup.Speculation()
+				if st.Launched == 0 {
+					t.Errorf("%s: no hypothesis ever raced on a clone", label)
+				}
+				if st.Launched != st.Won+st.Cancelled {
+					t.Errorf("%s: leaked clones: launched %d != won %d + cancelled %d",
+						label, st.Launched, st.Won, st.Cancelled)
+				}
+				if g := tel.Gauge("spec.active").Value(); g != 0 {
+					t.Errorf("%s: %d hypotheses still active after the run", label, g)
+				}
+				checkTraceClocks(t, label, trc)
+				cancelled.Add(int64(st.Cancelled))
+				standby.Add(int64(st.StandbyHits))
+			}
+		}()
+	}
+	wg.Wait()
+	// The stress must actually exercise the interesting paths: losers torn
+	// down mid re-execute, and launches served by the pre-warmed standby.
+	if cancelled.Load() == 0 {
+		t.Error("no hypothesis was ever force-cancelled across the whole stress run")
+	}
+	if standby.Load() == 0 {
+		t.Error("the standby clone was never reused across the whole stress run")
+	}
+}
+
+// checkTraceClocks asserts the simulated-cycle clock never rewinds within
+// any single track. Records are appended in Seq order; within one track
+// (one machine lineage: the parent worker, a guard track, or one
+// speculative clone) cycles must be non-decreasing even though recovery
+// rolls the parent's memory image back — the trace clock is monotonic by
+// construction and speculation must not break that.
+func checkTraceClocks(t *testing.T, label string, trc *trace.Tracer) {
+	t.Helper()
+	last := make(map[uint16]uint64)
+	for _, r := range trc.Snapshot() {
+		if prev, seen := last[r.Worker]; seen && r.Cycles < prev {
+			t.Errorf("%s: trace clock rewound on track %s: %d after %d (seq %d kind %v)",
+				label, trace.TrackName(r.Worker), r.Cycles, prev, r.Seq, r.Kind)
+			return
+		}
+		last[r.Worker] = r.Cycles
+	}
+}

@@ -60,10 +60,16 @@ type Machine struct {
 
 	// trc is the machine's execution-trace emitter (zero when tracing is
 	// off); every component is wired to it with TraceClock as the cycle
-	// stamp. cloneSeq numbers validation clones so each gets a distinct
-	// derived trace track.
+	// stamp. cloneSeq numbers validation clones and specSeq speculative
+	// recovery clones, so each gets a distinct derived trace track.
 	trc      trace.Emitter
 	cloneSeq atomic.Uint64
+	specSeq  atomic.Uint64
+
+	// cancel, when set on a speculative clone, is polled between
+	// re-executed events: a losing hypothesis tears down mid-window
+	// instead of running to the horizon.
+	cancel *atomic.Bool
 }
 
 // MachineConfig tunes a machine.
@@ -235,6 +241,22 @@ func (m *Machine) TraceClock() uint64 {
 // every mutable byte in the virtual heap). Patches are NOT attached; attach
 // a frozen source with SetPatches.
 func (m *Machine) Clone() *Machine {
+	// A validation clone emits on a derived validation track so its
+	// records never interleave with the parent's in per-track timelines.
+	return m.clone(trace.ValidationTrack(m.cfg.TraceWorker, m.cloneSeq.Add(1)-1))
+}
+
+// CloneForSpeculation clones the machine for a speculative recovery
+// hypothesis: identical to Clone except the clone emits on a derived
+// speculation track. Patches are not attached — speculative probes run in
+// diagnostic mode, which never consults the patch source.
+func (m *Machine) CloneForSpeculation() *Machine {
+	return m.clone(trace.SpecTrack(m.cfg.TraceWorker, m.specSeq.Add(1)-1))
+}
+
+// clone implements Clone/CloneForSpeculation; track is the derived trace
+// track the copy emits on.
+func (m *Machine) clone(track int) *Machine {
 	var mem *vmem.Space
 	if m.cfg.SlowMemPaths {
 		mem = m.Mem.Clone()
@@ -282,13 +304,19 @@ func (m *Machine) Clone() *Machine {
 	}
 	clone.Ckpt = checkpoint.NewManager(checkpoint.Config{}, mem, h, p, ext, log)
 	clone.wireMetrics()
-	// A clone emits on a derived validation track so its records never
-	// interleave with the parent's in per-track timeline views.
-	clone.cfg.TraceWorker = trace.ValidationTrack(m.cfg.TraceWorker, m.cloneSeq.Add(1)-1)
+	clone.cfg.TraceWorker = track
 	clone.wireTrace()
 	clone.lastClock = p.Clock()
 	return clone
 }
+
+// SetCancel installs the speculation cancel flag; ReExecute polls it
+// between events. Call before the clone's goroutine starts.
+func (m *Machine) SetCancel(c *atomic.Bool) { m.cancel = c }
+
+// Telemetry returns the machine's registry (nil when telemetry is off);
+// the Speculator merges finished clones' registries through it.
+func (m *Machine) Telemetry() *telemetry.Registry { return m.Tel }
 
 // Step consumes and executes one event in the current mode. It returns the
 // fault (nil on success) and ok=false when the log is exhausted.
@@ -363,6 +391,12 @@ func (m *Machine) ReExecute(cs *allocext.ChangeSet, until int) diagnosis.Outcome
 
 	var fault *proc.Fault
 	for m.Log.Cursor() < until {
+		if m.cancel != nil && m.cancel.Load() {
+			// A losing speculative hypothesis: stop mid-window. The engine
+			// never consumes an interrupted outcome, so nothing downstream
+			// observes the partial state.
+			return diagnosis.Outcome{Interrupted: true}
+		}
 		f, ok := m.Step()
 		if !ok {
 			break

@@ -9,11 +9,11 @@ import (
 	"firstaid/internal/checkpoint"
 	"firstaid/internal/diagnosis"
 	"firstaid/internal/ledger"
-	"firstaid/internal/mmbug"
 	"firstaid/internal/patch"
 	"firstaid/internal/proc"
 	"firstaid/internal/replay"
 	"firstaid/internal/report"
+	"firstaid/internal/stages"
 	"firstaid/internal/telemetry"
 	"firstaid/internal/trace"
 	"firstaid/internal/validate"
@@ -56,6 +56,17 @@ type Config struct {
 	// run (chaos sources); it is recorded on every diagnosis and lands in
 	// the postmortem bundle's REPRO.txt.
 	Repro string
+	// Speculate races diagnosis hypotheses (the phase-1 candidate ladder,
+	// the phase-2 class probes) on COW machine clones instead of
+	// re-executing them serially, with a pre-warmed standby clone refreshed
+	// at every checkpoint so recovery starts at zero clone cost. The engine
+	// consumes speculative outcomes in serial program order, so verdicts,
+	// ledger projections and site attribution are identical to the serial
+	// pipeline — only recovery wall time changes. Forced off when
+	// Machine.IntegrityCheckEvery > 1: that detector keeps a call-cadence
+	// counter across probes, which is inherently serial state (a cadence of
+	// 1 checks every event and is stateless).
+	Speculate bool
 }
 
 // Recovery records one failure-recovery episode.
@@ -98,6 +109,11 @@ type Supervisor struct {
 
 	ldg       *ledger.Ledger
 	streaming bool // an Ingest/resolve has run: recoveries are "stream" mode
+
+	// spec races diagnosis probes on clones minted by host; both are nil
+	// when speculation is off.
+	spec *stages.Speculator
+	host *specHost
 
 	events   int
 	failures int
@@ -183,11 +199,28 @@ func NewSupervisor(prog app.Program, log *replay.Log, cfg Config) *Supervisor {
 		validWallUS:    m.Tel.Histogram("core.validation_wall_us"),
 		queueDepth:     m.Tel.Gauge("core.pending_validations"),
 	}
+	if cfg.Speculate && cfg.Machine.IntegrityCheckEvery <= 1 {
+		s.host = &specHost{m: m}
+		s.spec = stages.NewSpeculator(s.host, m.Tel, m.TraceEmitter())
+		// Pre-warm the first standby at checkpoint #0: right after
+		// NewMachine's Take the machine state is exactly the checkpoint
+		// state, so the clone is a faithful stand-in for a rollback.
+		s.host.Refresh(m.Ckpt.Latest())
+	}
 	return s
 }
 
 // Telemetry returns the machine's registry (nil when telemetry is off).
 func (s *Supervisor) Telemetry() *telemetry.Registry { return s.M.Tel }
+
+// Speculation returns the lifetime speculative-execution stats (the zero
+// value when speculation is off).
+func (s *Supervisor) Speculation() stages.SpecStats {
+	if s.spec == nil {
+		return stages.SpecStats{}
+	}
+	return s.spec.Totals()
+}
 
 // Ledger returns the diagnosis ledger (nil when disabled).
 func (s *Supervisor) Ledger() *ledger.Ledger { return s.ldg }
@@ -226,7 +259,12 @@ func (s *Supervisor) Run() Stats {
 func (s *Supervisor) drain() {
 	for {
 		s.collectValidations(false)
-		s.M.Ckpt.MaybeCheckpoint()
+		if cp := s.M.Ckpt.MaybeCheckpoint(); cp != nil && s.host != nil {
+			// Refresh the standby clone while the machine state still
+			// equals the fresh checkpoint's: the next recovery's first
+			// hypothesis then launches at zero clone cost.
+			s.host.Refresh(cp)
+		}
 		s.M.SyncClock()
 		cursorBefore := s.M.Log.Cursor()
 		f, ok := s.M.Step()
@@ -370,220 +408,20 @@ func (s *Supervisor) window() int {
 }
 
 // recover diagnoses the failure, generates and applies patches, rolls back,
-// validates and reports (Figure 1's full cycle).
+// validates and reports (Figure 1's full cycle) — by running the
+// supervisor's recovery plan, an ordered list of stages over a shared
+// context (see internal/stages and recovery.go).
 func (s *Supervisor) recover(f *proc.Fault) {
-	t0 := time.Now()
-	failCursor := s.M.Log.Cursor() // the failing event is consumed
-	until := failCursor + s.window()
-
-	// One telemetry span per pipeline episode: the diagnosis engine adds
-	// the phase-1/phase-2 phases, this function the patch-gen, rollback
-	// and validation phases plus the terminal outcome. On a nil registry
-	// the span is nil and every call is a no-op. The execution trace gets
-	// the same structure as nested phase records on the machine's track.
-	span := s.M.Tel.Journal().Begin("recovery", f.Event)
-	trc := s.M.TraceEmitter()
-
-	// Open the lifecycle object before any recovery work: TraceFrom is the
-	// trace cursor at this instant, so the entry's trace slice covers every
-	// record the recovery emits.
-	entry := s.ldg.Begin(ledger.Meta{
-		Source:    s.M.Prog.Name(),
-		Worker:    s.cfg.Machine.TraceWorker,
-		Mode:      s.mode(),
-		Event:     f.Event,
-		Repro:     s.cfg.Repro,
-		Cycles:    s.M.TraceClock(),
-		TraceFrom: trc.Tracer().Emitted(),
-	})
-	entry.Add(ledger.Condition{
-		Type:    ledger.FaultObserved,
-		Clock:   f.Clock,
-		Message: f.Error(),
-		Fault:   ledger.NewFaultInfo(f),
-	})
-	if f.GuardBug != mmbug.None {
-		attribution := "quarantined-free-site"
-		if f.GuardBug.AtAllocation() {
-			attribution = "alloc-site"
-		}
-		entry.Add(ledger.Condition{
-			Type:    ledger.GuardEvidence,
-			Clock:   f.GuardClock,
-			Message: fmt.Sprintf("sampled guard page claimed %v at %v", f.GuardBug, s.M.SiteKey(f.GuardSite)),
-			Guard: &ledger.GuardInfo{
-				Bug:         f.GuardBug.String(),
-				Site:        s.M.SiteKey(f.GuardSite).String(),
-				Clock:       f.GuardClock,
-				Attribution: attribution,
-			},
-		})
+	ep := &recoveryEpisode{s: s, f: f, t0: time.Now()}
+	ep.failCursor = s.M.Log.Cursor() // the failing event is consumed
+	ep.until = ep.failCursor + s.window()
+	c := &stages.Ctx{
+		Fault:      f,
+		FailCursor: ep.failCursor,
+		Until:      ep.until,
+		NewSession: ep.newSession,
 	}
-	entry.Run()
-
-	trc.Emit(trace.KPhaseBegin, trace.PhaseRecovery, uint64(f.Event))
-	if f.Early {
-		// The trap came from a protected region's eager check: corruption
-		// was caught at the event that caused it, not at a later use. The
-		// journal and trace record the zero-event detection latency.
-		span.AddPhase("early-detect", 0, "same-event", 0)
-		trc.Emit(trace.KPhaseBegin, trace.PhaseEarlyDetect, uint64(f.Event))
-		trc.Emit(trace.KPhaseEnd, trace.PhaseEarlyDetect, 0)
-	}
-
-	dcfg := s.cfg.Diagnosis
-	dcfg.Metrics = s.M.Tel
-	dcfg.Span = span
-	dcfg.Trace = trc
-	dcfg.DetectedEarly = f.Early
-	if f.GuardBug != mmbug.None {
-		// A sampled guard-page hit carries direct evidence — class, exact
-		// call-site, and the clock of the decisive operation. Hand it to
-		// the engine so a single confirmation re-execution can replace the
-		// phase-1 checkpoint search and phase-2 identification.
-		dcfg.Evidence = &diagnosis.Evidence{Bug: f.GuardBug, Site: f.GuardSite, Clock: f.GuardClock}
-	}
-	dcfg.Ledger = entry
-	eng := diagnosis.New(s.M, dcfg)
-	res := eng.Diagnose(until)
-	rec := &Recovery{Fault: f, Result: res, Ledger: entry}
-	s.Recoveries = append(s.Recoveries, rec)
-	entry.Update(func(d *ledger.Diagnosis) {
-		d.Rollbacks = res.Rollbacks
-		d.FastPath = res.FastPath
-		d.DiagLog = append([]string(nil), res.Log...)
-		d.FaultRef = f
-		d.SiteKey = s.M.SiteKey
-	})
-
-	if res.Nondeterministic {
-		// The plain re-execution already carried the program past the
-		// failure region; continue from its state.
-
-		rec.RecoveryWall = time.Since(t0)
-		s.met.nondet.Inc()
-		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
-		span.End("nondeterministic")
-		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
-		entry.Update(func(d *ledger.Diagnosis) { d.RecoverySec = rec.RecoveryWall.Seconds() })
-		entry.Close(true, "nondeterministic", s.M.TraceClock(), trc.Tracer().Emitted())
-		rec.Report = report.FromDiagnosis(entry.Snapshot())
-		return
-	}
-
-	s.retries[f.Event]++
-	if !res.OK() || s.retries[f.Event] > s.cfg.MaxRetriesPerEvent {
-		s.skipFailingEvent(failCursor)
-		rec.Skipped = true
-		rec.RecoveryWall = time.Since(t0)
-		s.met.skipped.Inc()
-		s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
-		span.End("skipped")
-		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
-		entry.Update(func(d *ledger.Diagnosis) { d.RecoverySec = rec.RecoveryWall.Seconds() })
-		entry.Close(false, "skipped", s.M.TraceClock(), trc.Tracer().Emitted())
-		rec.Report = report.FromDiagnosis(entry.Snapshot())
-		return
-	}
-
-	// Patch generation and application.
-	endGen := span.Phase("patch-gen")
-	trc.Emit(trace.KPhaseBegin, trace.PhasePatchGen, uint64(f.Event))
-	for _, fd := range res.Findings {
-		for _, site := range fd.Sites {
-			np := patch.New(fd.Bug, s.M.SiteKey(site))
-			np.Origin = fmt.Sprintf("diagnosed from failure at event #%d", f.Event)
-			rec.Patches = append(rec.Patches, s.Pool.Add(np))
-		}
-	}
-	s.Bound.Invalidate()
-	s.met.patchesMade.Add(uint64(len(rec.Patches)))
-	endGen("", len(rec.Patches))
-	trc.Emit(trace.KPhaseEnd, trace.PhasePatchGen, uint64(len(rec.Patches)))
-	if len(rec.Patches) > 0 {
-		pis := make([]ledger.PatchInfo, len(rec.Patches))
-		for i, p := range rec.Patches {
-			pis[i] = ledger.NewPatchInfo(p)
-		}
-		entry.Add(ledger.Condition{
-			Type:    ledger.PatchGenerated,
-			Clock:   f.Clock,
-			Message: fmt.Sprintf("%d patch(es) generated from %d finding(s)", len(rec.Patches), len(res.Findings)),
-			Patches: pis,
-		})
-	}
-
-	// Recovery: roll back to the chosen checkpoint; the main loop
-	// re-executes from there in normal mode with the patches active.
-	endRb := span.Phase("rollback")
-	trc.Emit(trace.KPhaseBegin, trace.PhaseRollback, uint64(res.Checkpoint.Seq))
-	s.M.Rollback(res.Checkpoint)
-	s.M.Ckpt.DropAfter(res.Checkpoint)
-	if f.GuardBug != mmbug.None && f.GuardSite != 0 {
-		// The site is a confirmed offender: pin its sampling rate to 1/1
-		// before any validation clone is taken so clones inherit the boost.
-		s.M.Ext.GuardBoost(f.GuardSite)
-	}
-	endRb("", 1)
-	trc.Emit(trace.KPhaseEnd, trace.PhaseRollback, 1)
-
-	rec.RecoveryWall = time.Since(t0)
-	s.met.recoveries.Inc()
-	s.met.recoveryWallUS.Observe(uint64(rec.RecoveryWall.Microseconds()))
-
-	// Patch validation on the buggy region. In parallel mode a cloned
-	// machine validates on another goroutine while the main loop resumes
-	// immediately — the paper's design; otherwise it runs inline, timed
-	// apart from recovery.
-	switch {
-	case s.cfg.DisableValidation:
-		s.finishRecovery(rec)
-		span.End("recovered")
-		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
-	case s.cfg.ParallelValidation:
-		clone := s.M.Clone()
-		frozen := s.Pool.Clone().Bind(clone.Proc.Sites)
-		frozen.SetMetrics(clone.Tel)
-		clone.SetPatches(frozen)
-		cpClone := clone.Ckpt.Take()
-		pv := &pendingValidation{
-			rec:      rec,
-			done:     make(chan struct{}),
-			span:     span,
-			cloneTel: clone.Tel,
-		}
-		s.pending = append(s.pending, pv)
-		s.met.queueDepth.Set(int64(len(s.pending)))
-		// The main loop resumes now; the validation runs concurrently and
-		// traces on the clone's derived track, so its B/E pair nests
-		// cleanly even while the parent track keeps executing.
-		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
-		go func() {
-			ctrc := clone.TraceEmitter()
-			ctrc.Emit(trace.KPhaseBegin, trace.PhaseValidation, uint64(f.Event))
-			tv := time.Now()
-			v := validate.New(clone, s.cfg.Validation).Validate(cpClone, until)
-			rec.ValidationResult = &v
-			rec.ValidationWall = time.Since(tv)
-			ctrc.Emit(trace.KPhaseEnd, trace.PhaseValidation, uint64(len(v.Traces)))
-			close(pv.done)
-		}()
-		// The report — and the span — are completed when the validation
-		// is collected on the main goroutine.
-	default:
-		tv := time.Now()
-		trc.Emit(trace.KPhaseBegin, trace.PhaseValidation, uint64(f.Event))
-		v := validate.New(s.M, s.cfg.Validation).Validate(res.Checkpoint, until)
-		rec.ValidationWall = time.Since(tv)
-		rec.ValidationResult = &v
-		trc.Emit(trace.KPhaseEnd, trace.PhaseValidation, uint64(len(v.Traces)))
-		s.applyValidation(rec)
-		// Return to the recovery point for resumption.
-		s.M.Rollback(res.Checkpoint)
-		s.finishRecovery(rec)
-		s.finishSpan(span, rec)
-		trc.Emit(trace.KPhaseEnd, trace.PhaseRecovery, uint64(res.Rollbacks))
-	}
+	s.recoveryPlan(ep).Run(c)
 }
 
 // finishSpan records the validation phase and the terminal outcome on a

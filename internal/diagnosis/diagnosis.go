@@ -41,6 +41,10 @@ type Outcome struct {
 	// masked a trap (e.g. delay-free never handing a smashed header back
 	// to the raw allocator) without neutralizing the corruption itself.
 	MetaErr error
+	// Interrupted marks a re-execution torn down by a speculation cancel
+	// flag before reaching the horizon. Only losing speculative clones
+	// produce it; the engine never consumes an interrupted outcome.
+	Interrupted bool
 }
 
 // Passed reports whether the re-execution survived the failure region.
@@ -104,6 +108,16 @@ type Config struct {
 	// conditions, recording every candidate checkpoint it considered and
 	// why the rejected ones were rejected. A nil entry discards appends.
 	Ledger *ledger.Entry
+
+	// Prober, when set, may satisfy prefetchable probes (the phase-1
+	// candidate ladder and the phase-2 class probes) from speculative
+	// re-executions raced on cloned machines. The engine announces each
+	// batch with Prefetch and then consumes outcomes strictly in serial
+	// program order with Take, so logs, conditions and budget accounting
+	// are identical to the serial pipeline; probes the prober cannot serve
+	// fall back to the engine's own rollback–re-execute. Nil keeps the
+	// engine fully serial.
+	Prober Prober
 
 	// Metrics, when set, receives diagnosis counters: total rollbacks and
 	// probe re-executions per phase.
@@ -221,7 +235,65 @@ func (e *Engine) reexec(cp *checkpoint.Checkpoint, cs *allocext.ChangeSet, until
 	return e.m.ReExecute(cs, until)
 }
 
+// reexecReq performs one prefetchable probe. When a Prober holds the probe's
+// speculative outcome, the engine consumes it in serial program order — the
+// rollback budget, counters and log lines advance exactly as if the probe
+// had just run — and its own machine is left untouched; otherwise the probe
+// falls back to the serial rollback–re-execute.
+func (e *Engine) reexecReq(r *ProbeReq) Outcome {
+	if e.cfg.Prober != nil {
+		if pr, ok := e.cfg.Prober.Take(r); ok {
+			if r.Mark && pr.MarkErr != nil {
+				e.logf("heap marking failed: %v", pr.MarkErr)
+			}
+			e.rollbacks++
+			e.metRollbacks.Inc()
+			e.curPhase.Inc()
+			return pr.Out
+		}
+	}
+	return e.reexec(r.Ckpt, r.CS, r.Until, r.Mark)
+}
+
 func (e *Engine) budgetExceeded() bool { return e.rollbacks >= e.cfg.MaxRollbacks }
+
+// ProbeReq describes one prefetchable diagnostic re-execution: roll back to
+// Ckpt (marking the heap when Mark is set) and re-execute under CS until the
+// replay cursor reaches Until. The engine builds each request exactly once
+// and matches prober answers by request identity, so a ChangeSet is never
+// shared between two probes.
+type ProbeReq struct {
+	Ckpt  *checkpoint.Checkpoint
+	CS    *allocext.ChangeSet
+	Until int
+	Mark  bool
+}
+
+// ProbeResult is a completed probe: the re-execution outcome plus the
+// heap-marking error, if any (the engine logs it exactly where the serial
+// pipeline would).
+type ProbeResult struct {
+	Out     Outcome
+	MarkErr error
+}
+
+// Prober races prefetched probes on behalf of the engine. Implementations
+// must be cheap to call from the supervisor goroutine: Prefetch launches
+// hypotheses asynchronously, Take blocks only for the one requested probe,
+// and CancelAll tears down everything still in flight (the session calls it
+// once, when the diagnosis resolves).
+type Prober interface {
+	// Prefetch announces probes the engine will consume in order. The
+	// prober may launch any subset; unserved requests fall back to serial
+	// re-execution.
+	Prefetch(reqs []*ProbeReq)
+	// Take returns the finished outcome for a previously prefetched
+	// request, blocking until its race completes. ok=false means the
+	// prober never launched it.
+	Take(r *ProbeReq) (ProbeResult, bool)
+	// CancelAll tears down in-flight probes that were never consumed.
+	CancelAll()
+}
 
 // candidate renders a checkpoint as ledger evidence.
 func candidate(cp *checkpoint.Checkpoint, rejected string) ledger.CandidateInfo {
@@ -234,54 +306,275 @@ func candidate(cp *checkpoint.Checkpoint, rejected string) ledger.CandidateInfo 
 // Diagnose runs both phases. until is the success horizon: a re-execution
 // that reaches this replay-cursor position without a fault has "passed the
 // original failure region" (the supervisor sets it to the failure cursor
-// plus ~3 checkpoint intervals of events, per §4.1).
+// plus ~3 checkpoint intervals of events, per §4.1). It is the canonical
+// serial plan over the Session phase methods; a stage plan may drive the
+// same methods itself.
 func (e *Engine) Diagnose(until int) Result {
+	s := e.Session(until)
+	s.TryEvidence()
+	s.Screen()
+	s.SelectCheckpoint()
+	s.Identify()
+	return s.Result()
+}
+
+// Session is one diagnosis split into its externally steerable phases:
+// TryEvidence (guard fast path), Screen (non-determinism screen),
+// SelectCheckpoint (phase-1 backward search), Identify (phase-2 class and
+// site identification), Result (seal and cancel speculation). Each method
+// no-ops once the session has resolved, so a stage plan can run any
+// prefix, reorder around the fast path, or skip phases entirely; the
+// observable output (log lines, ledger conditions, rollback counts) of the
+// phases that do run is byte-identical to Diagnose's.
+type Session struct {
+	e     *Engine
+	until int
+
+	done     bool // a terminal or final result exists
+	finished bool // Result sealed the session and cancelled the prober
+	res      Result
+
+	cp              *checkpoint.Checkpoint
+	endPhase1       func(outcome string, n int)
+	phase1Rollbacks int
+	ladder          []*ProbeReq
+	classReqs       map[mmbug.Type]*ProbeReq
+}
+
+// Session opens a diagnosis session, resetting the engine's per-diagnosis
+// state exactly as Diagnose does.
+func (e *Engine) Session(until int) *Session {
 	e.rollbacks = 0
 	e.log = nil
 	if e.cfg.DetectedEarly {
 		e.logf("failure detected early at a protected-region touchpoint: corruption trapped at the causing event (zero-event propagation)")
 	}
+	return &Session{e: e, until: until}
+}
 
-	if e.cfg.Evidence != nil {
-		if res, ok := e.confirmEvidence(until); ok {
-			return res
-		}
-	}
+// Resolved reports whether the session has produced a result.
+func (s *Session) Resolved() bool { return s.done }
 
-	e.curPhase = e.metPhase1
-	endPhase1 := e.cfg.Span.Phase("phase1")
-	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag1, uint64(until))
-	cp, res := e.phase1(until)
-	if res != nil {
-		outcome := "unpatchable"
-		if res.Nondeterministic {
-			outcome = "nondeterministic"
-		}
-		endPhase1(outcome, e.rollbacks)
-		e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag1, uint64(e.rollbacks))
-		res.Rollbacks = e.rollbacks
-		res.Log = e.log
-		return *res
+// Checkpoint returns the phase-1 selection (nil until SelectCheckpoint, or
+// when the session resolved without one).
+func (s *Session) Checkpoint() *checkpoint.Checkpoint {
+	if s.done && s.res.Checkpoint != nil {
+		return s.res.Checkpoint
 	}
-	endPhase1("checkpoint found", e.rollbacks)
+	return s.cp
+}
+
+// TryEvidence attempts the guard-evidence fast path: one scoped
+// confirmation re-execution replaces both search phases. A session without
+// evidence, or whose confirmation fails, stays unresolved.
+func (s *Session) TryEvidence() {
+	if s.done || s.e.cfg.Evidence == nil {
+		return
+	}
+	if res, ok := s.e.confirmEvidence(s.until); ok {
+		s.res = res
+		s.done = true
+	}
+}
+
+// terminal seals a phase-1 terminal result (non-deterministic or
+// unpatchable), closing the phase-1 span and trace records.
+func (s *Session) terminal(res Result) {
+	e := s.e
+	outcome := "unpatchable"
+	if res.Nondeterministic {
+		outcome = "nondeterministic"
+	}
+	s.endPhase1(outcome, e.rollbacks)
 	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag1, uint64(e.rollbacks))
-	phase1Rollbacks := e.rollbacks
+	res.Rollbacks = e.rollbacks
+	res.Log = e.log
+	s.res = res
+	s.done = true
+}
 
+// Screen opens phase 1 and screens for a non-deterministic failure with a
+// plain re-execution from the newest checkpoint. The screen always runs
+// serially on the engine's own machine: when it passes, the supervisor
+// continues from the re-executed state, so that state must land on the
+// parent, never on a clone. Before the screen runs, the phase-1 candidate
+// ladder is built and handed to the prober — speculative clones race the
+// ladder hypotheses while the parent executes the screen.
+func (s *Session) Screen() {
+	if s.done {
+		return
+	}
+	e := s.e
+	e.curPhase = e.metPhase1
+	s.endPhase1 = e.cfg.Span.Phase("phase1")
+	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag1, uint64(s.until))
+
+	cps := e.m.Checkpoints()
+	if len(cps) == 0 {
+		e.logf("no checkpoints available")
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:    ledger.Phase1Completed,
+			Message: "no checkpoints available: non-patchable",
+		})
+		s.terminal(Result{Unpatchable: true})
+		return
+	}
+
+	// The candidate ladder, newest first, bounded by MaxCheckpoints. Each
+	// request owns a freshly built change set; serial and speculative
+	// consumption share these exact request objects.
+	tried := 0
+	for i := len(cps) - 1; i >= 0 && tried < e.cfg.MaxCheckpoints; i-- {
+		s.ladder = append(s.ladder, &ProbeReq{
+			Ckpt:  cps[i],
+			CS:    allocext.AllPreventiveCanaried(),
+			Until: s.until,
+			Mark:  !e.cfg.DisableHeapMarking,
+		})
+		tried++
+	}
+	if e.cfg.Prober != nil {
+		e.cfg.Prober.Prefetch(s.ladder)
+	}
+
+	newest := cps[len(cps)-1]
+	out := e.reexec(newest, allocext.NewChangeSet(), s.until, false)
+	if out.Passed() {
+		e.logf("plain re-execution from %v passed: non-deterministic failure", newest)
+		e.cfg.Ledger.Add(ledger.Condition{
+			Type:       ledger.Phase1Completed,
+			Clock:      newest.Clock,
+			Message:    "plain re-execution passed: non-deterministic failure, no patch needed",
+			Candidates: []ledger.CandidateInfo{candidate(newest, "")},
+		})
+		s.terminal(Result{Nondeterministic: true})
+		return
+	}
+	e.logf("plain re-execution from %v failed again (%v): deterministic bug", newest, out.Fault.Kind)
+}
+
+// SelectCheckpoint walks the phase-1 ladder: each candidate is probed with
+// every preventive change applied to all objects, heap marking rejecting
+// checkpoints whose apparent success merely reflects disturbed layout after
+// an already-triggered bug. On success the phase-2 class probes are
+// prefetched from the chosen checkpoint before the session moves on.
+func (s *Session) SelectCheckpoint() {
+	if s.done || s.endPhase1 == nil {
+		return
+	}
+	e := s.e
+	var cands []ledger.CandidateInfo
+	tried := 0
+	for _, r := range s.ladder {
+		cp := r.Ckpt
+		tried++
+		out := e.reexecReq(r)
+		switch {
+		case out.Passed() && !out.Manifests.HasMark() && !out.Manifests.HasUnderflow() && out.MetaErr == nil:
+			e.logf("all-preventive re-execution from %v passed with clean heap marks: checkpoint precedes the bug-triggering point", cp)
+			cands = append(cands, candidate(cp, ""))
+			e.cfg.Ledger.Add(ledger.Condition{
+				Type:    ledger.Phase1Completed,
+				Clock:   cp.Clock,
+				Message: fmt.Sprintf("checkpoint found after %d candidate(s)", tried),
+			})
+			e.cfg.Ledger.Add(ledger.Condition{
+				Type:       ledger.CheckpointSelected,
+				Clock:      cp.Clock,
+				Message:    cp.String(),
+				Checkpoint: &ledger.CheckpointInfo{Seq: cp.Seq, Clock: cp.Clock, Cursor: cp.Cursor},
+				Candidates: cands,
+			})
+			s.endPhase1("checkpoint found", e.rollbacks)
+			e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag1, uint64(e.rollbacks))
+			s.phase1Rollbacks = e.rollbacks
+			s.cp = cp
+			s.prefetchClassProbes()
+			return
+		case out.Manifests.HasMark():
+			e.logf("heap-marking canaries corrupted re-executing from %v: bug triggered before this checkpoint, searching earlier", cp)
+			cands = append(cands, candidate(cp, "heap-marking canaries corrupted: bug triggered before this checkpoint"))
+		case out.Passed() && out.Manifests.HasUnderflow():
+			e.logf("front-padding canaries corrupted re-executing from %v: the overflowing allocation predates this checkpoint, searching earlier", cp)
+			cands = append(cands, candidate(cp, "front-padding canaries corrupted: the overflowing allocation predates this checkpoint"))
+		case out.Passed() && out.MetaErr != nil:
+			e.logf("allocator metadata corrupted after re-executing from %v (%v): an unprotected pre-checkpoint object was smashed in-window, searching earlier", cp, out.MetaErr)
+			cands = append(cands, candidate(cp, fmt.Sprintf("allocator metadata corrupted after re-execution (%v)", out.MetaErr)))
+		default:
+			e.logf("all-preventive re-execution from %v still failed (%v): searching earlier", cp, out.Fault.Kind)
+			cands = append(cands, candidate(cp, fmt.Sprintf("all-preventive re-execution still failed (%v)", out.Fault.Kind)))
+		}
+		if e.budgetExceeded() {
+			break
+		}
+	}
+	e.logf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints)
+	e.cfg.Ledger.Add(ledger.Condition{
+		Type:       ledger.Phase1Completed,
+		Message:    fmt.Sprintf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints),
+		Candidates: cands,
+	})
+	s.terminal(Result{Unpatchable: true})
+}
+
+// prefetchClassProbes builds the phase-2 exposing probes (one per bug
+// class, in mmbug order — the order Identify consumes them) and hands them
+// to the prober.
+func (s *Session) prefetchClassProbes() {
+	s.classReqs = make(map[mmbug.Type]*ProbeReq, len(mmbug.All))
+	reqs := make([]*ProbeReq, 0, len(mmbug.All))
+	for _, b := range mmbug.All {
+		r := &ProbeReq{Ckpt: s.cp, CS: exposePlusPrevent(b), Until: s.until}
+		s.classReqs[b] = r
+		reqs = append(reqs, r)
+	}
+	if s.e.cfg.Prober != nil {
+		s.e.cfg.Prober.Prefetch(reqs)
+	}
+}
+
+// Identify runs phase 2 from the selected checkpoint and seals the final
+// result.
+func (s *Session) Identify() {
+	if s.done || s.cp == nil {
+		return
+	}
+	e := s.e
 	e.curPhase = e.metPhase2
 	endPhase2 := e.cfg.Span.Phase("phase2")
-	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag2, uint64(until))
-	findings, ok := e.phase2(cp, until)
-	result := Result{Checkpoint: cp, Findings: findings, Rollbacks: e.rollbacks}
+	e.cfg.Trace.Emit(trace.KPhaseBegin, trace.PhaseDiag2, uint64(s.until))
+	findings, ok := e.phase2(s.cp, s.until, s.classReqs)
+	result := Result{Checkpoint: s.cp, Findings: findings, Rollbacks: e.rollbacks}
 	if !ok {
 		result.Unpatchable = true
 		e.logf("phase 2 failed to isolate a patchable bug set; marking non-patchable")
-		endPhase2("unpatchable", e.rollbacks-phase1Rollbacks)
+		endPhase2("unpatchable", e.rollbacks-s.phase1Rollbacks)
 	} else {
-		endPhase2("identified", e.rollbacks-phase1Rollbacks)
+		endPhase2("identified", e.rollbacks-s.phase1Rollbacks)
 	}
-	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag2, uint64(e.rollbacks-phase1Rollbacks))
+	e.cfg.Trace.Emit(trace.KPhaseEnd, trace.PhaseDiag2, uint64(e.rollbacks-s.phase1Rollbacks))
 	result.Log = e.log
-	return result
+	s.res = result
+	s.done = true
+}
+
+// Result seals the session: outstanding speculative probes are cancelled
+// and joined, and the diagnosis result is returned. A plan that ends
+// without resolving (e.g. a truncated stage list) yields non-patchable.
+// Idempotent; every caller after the first gets the same result.
+func (s *Session) Result() Result {
+	if !s.finished {
+		if s.e.cfg.Prober != nil {
+			s.e.cfg.Prober.CancelAll()
+		}
+		if !s.done {
+			s.e.logf("diagnosis plan ended without resolving; marking non-patchable")
+			s.res = Result{Unpatchable: true, Rollbacks: s.e.rollbacks, Log: s.e.log}
+			s.done = true
+		}
+		s.finished = true
+	}
+	return s.res
 }
 
 // confirmEvidence tries the guard-evidence fast path: one confirmation
@@ -357,86 +650,6 @@ func (e *Engine) confirmEvidence(until int) (Result, bool) {
 	return Result{}, false
 }
 
-// --- Phase 1 ---------------------------------------------------------------------
-
-// phase1 returns the chosen checkpoint, or a terminal result (non-
-// deterministic or unpatchable).
-func (e *Engine) phase1(until int) (*checkpoint.Checkpoint, *Result) {
-	cps := e.m.Checkpoints()
-	if len(cps) == 0 {
-		e.logf("no checkpoints available")
-		e.cfg.Ledger.Add(ledger.Condition{
-			Type:    ledger.Phase1Completed,
-			Message: "no checkpoints available: non-patchable",
-		})
-		return nil, &Result{Unpatchable: true}
-	}
-
-	// Screen for non-deterministic failure: plain re-execution from the
-	// newest checkpoint, no memory-management changes.
-	newest := cps[len(cps)-1]
-	out := e.reexec(newest, allocext.NewChangeSet(), until, false)
-	if out.Passed() {
-		e.logf("plain re-execution from %v passed: non-deterministic failure", newest)
-		e.cfg.Ledger.Add(ledger.Condition{
-			Type:       ledger.Phase1Completed,
-			Clock:      newest.Clock,
-			Message:    "plain re-execution passed: non-deterministic failure, no patch needed",
-			Candidates: []ledger.CandidateInfo{candidate(newest, "")},
-		})
-		return nil, &Result{Nondeterministic: true}
-	}
-	e.logf("plain re-execution from %v failed again (%v): deterministic bug", newest, out.Fault.Kind)
-
-	var cands []ledger.CandidateInfo
-	tried := 0
-	for i := len(cps) - 1; i >= 0 && tried < e.cfg.MaxCheckpoints; i-- {
-		cp := cps[i]
-		tried++
-		out := e.reexec(cp, allocext.AllPreventiveCanaried(), until, !e.cfg.DisableHeapMarking)
-		switch {
-		case out.Passed() && !out.Manifests.HasMark() && !out.Manifests.HasUnderflow() && out.MetaErr == nil:
-			e.logf("all-preventive re-execution from %v passed with clean heap marks: checkpoint precedes the bug-triggering point", cp)
-			cands = append(cands, candidate(cp, ""))
-			e.cfg.Ledger.Add(ledger.Condition{
-				Type:    ledger.Phase1Completed,
-				Clock:   cp.Clock,
-				Message: fmt.Sprintf("checkpoint found after %d candidate(s)", tried),
-			})
-			e.cfg.Ledger.Add(ledger.Condition{
-				Type:       ledger.CheckpointSelected,
-				Clock:      cp.Clock,
-				Message:    cp.String(),
-				Checkpoint: &ledger.CheckpointInfo{Seq: cp.Seq, Clock: cp.Clock, Cursor: cp.Cursor},
-				Candidates: cands,
-			})
-			return cp, nil
-		case out.Manifests.HasMark():
-			e.logf("heap-marking canaries corrupted re-executing from %v: bug triggered before this checkpoint, searching earlier", cp)
-			cands = append(cands, candidate(cp, "heap-marking canaries corrupted: bug triggered before this checkpoint"))
-		case out.Passed() && out.Manifests.HasUnderflow():
-			e.logf("front-padding canaries corrupted re-executing from %v: the overflowing allocation predates this checkpoint, searching earlier", cp)
-			cands = append(cands, candidate(cp, "front-padding canaries corrupted: the overflowing allocation predates this checkpoint"))
-		case out.Passed() && out.MetaErr != nil:
-			e.logf("allocator metadata corrupted after re-executing from %v (%v): an unprotected pre-checkpoint object was smashed in-window, searching earlier", cp, out.MetaErr)
-			cands = append(cands, candidate(cp, fmt.Sprintf("allocator metadata corrupted after re-execution (%v)", out.MetaErr)))
-		default:
-			e.logf("all-preventive re-execution from %v still failed (%v): searching earlier", cp, out.Fault.Kind)
-			cands = append(cands, candidate(cp, fmt.Sprintf("all-preventive re-execution still failed (%v)", out.Fault.Kind)))
-		}
-		if e.budgetExceeded() {
-			break
-		}
-	}
-	e.logf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints)
-	e.cfg.Ledger.Add(ledger.Condition{
-		Type:       ledger.Phase1Completed,
-		Message:    fmt.Sprintf("no surviving checkpoint within %d candidates: non-patchable", e.cfg.MaxCheckpoints),
-		Candidates: cands,
-	})
-	return nil, &Result{Unpatchable: true}
-}
-
 // --- Phase 2 ---------------------------------------------------------------------
 
 // exposePlusPrevent builds the change set that exposes b and prevents every
@@ -464,7 +677,11 @@ func manifested(b mmbug.Type, out Outcome) bool {
 	return false
 }
 
-func (e *Engine) phase2(cp *checkpoint.Checkpoint, until int) ([]Finding, bool) {
+// phase2 identifies bug classes and call-sites from cp. classReqs, when
+// non-nil, holds the prefetched class-probe requests (built by the session
+// in mmbug order) so a prober can race them; classes without a request
+// probe serially.
+func (e *Engine) phase2(cp *checkpoint.Checkpoint, until int, classReqs map[mmbug.Type]*ProbeReq) ([]Finding, bool) {
 	identified := []mmbug.Type{}
 	directSites := map[mmbug.Type][]callsite.ID{}
 	undecided := append([]mmbug.Type(nil), mmbug.All...)
@@ -473,7 +690,12 @@ func (e *Engine) phase2(cp *checkpoint.Checkpoint, until int) ([]Finding, bool) 
 		b := undecided[0]
 		undecided = undecided[1:]
 
-		out := e.reexec(cp, exposePlusPrevent(b), until, false)
+		var out Outcome
+		if r := classReqs[b]; r != nil {
+			out = e.reexecReq(r)
+		} else {
+			out = e.reexec(cp, exposePlusPrevent(b), until, false)
+		}
 		if !manifested(b, out) {
 			e.logf("probe %v: no manifestation, ruled out", b)
 			continue

@@ -26,6 +26,11 @@ func TestChaosThroughFleet(t *testing.T) {
 	f := New(func() app.Program { return &chaos.App{} }, Config{
 		Workers:  workers,
 		Dispatch: HashBySource,
+		// Speculative diagnosis on: each worker races re-execution
+		// hypotheses on its own standby clone while serving traffic, and
+		// the offline replay below (a plain serial supervisor) doubles as
+		// a serial-vs-speculative differential on the recorded streams.
+		Supervisor: core.Config{Speculate: true},
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

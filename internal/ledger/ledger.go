@@ -72,7 +72,22 @@ const (
 	ValidationFailed ConditionType = "ValidationFailed"
 	// PatchInstalled: the surviving patches as they entered the pool.
 	PatchInstalled ConditionType = "PatchInstalled"
+	// SpeculationSummary: the recovery raced diagnosis hypotheses on
+	// speculative clones; evidence is how many were launched, consumed and
+	// cancelled. Excluded from the canonical projection — speculation is
+	// an execution strategy, not an observable verdict.
+	SpeculationSummary ConditionType = "SpeculationSummary"
 )
+
+// SpecInfo summarizes one recovery's speculative execution: hypotheses
+// launched on clones, outcomes the engine actually consumed, losers torn
+// down, and how many launches were served by the pre-warmed standby clone.
+type SpecInfo struct {
+	Launched  int `json:"launched"`
+	Won       int `json:"won"`
+	Cancelled int `json:"cancelled"`
+	Standby   int `json:"standby,omitempty"`
+}
 
 // FaultInfo is the wire form of a trapped fault.
 type FaultInfo struct {
@@ -205,12 +220,13 @@ type Condition struct {
 	WallNS  int64         `json:"wallNs,omitempty"`
 	Message string        `json:"message,omitempty"`
 
-	Fault      *FaultInfo      `json:"fault,omitempty"`
-	Guard      *GuardInfo      `json:"guard,omitempty"`
-	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
-	Candidates []CandidateInfo `json:"candidates,omitempty"`
-	Patches    []PatchInfo     `json:"patches,omitempty"`
-	Validation *ValidationInfo `json:"validation,omitempty"`
+	Fault       *FaultInfo      `json:"fault,omitempty"`
+	Guard       *GuardInfo      `json:"guard,omitempty"`
+	Checkpoint  *CheckpointInfo `json:"checkpoint,omitempty"`
+	Candidates  []CandidateInfo `json:"candidates,omitempty"`
+	Patches     []PatchInfo     `json:"patches,omitempty"`
+	Validation  *ValidationInfo `json:"validation,omitempty"`
+	Speculation *SpecInfo       `json:"speculation,omitempty"`
 }
 
 // Diagnosis is one recovery attempt's lifecycle object. Exactly one is
@@ -311,6 +327,12 @@ func (d *Diagnosis) Canonical() ([]byte, error) {
 		DiagLog:   d.DiagLog,
 	}
 	for _, c := range d.Conditions {
+		// SpeculationSummary records how the diagnosis was scheduled, not
+		// what it concluded; serial and speculative runs must project
+		// identically.
+		if c.Type == SpeculationSummary {
+			continue
+		}
 		cd.Conditions = append(cd.Conditions, canonicalCondition{
 			Type:       c.Type,
 			Clock:      c.Clock,

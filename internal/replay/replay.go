@@ -95,5 +95,17 @@ func (l *Log) Clone() *Log {
 	return &Log{events: append([]Event(nil), l.events...), cursor: l.cursor}
 }
 
+// CatchUp appends the events src has recorded beyond this log's tail. A
+// standby clone taken at checkpoint time replays a log frozen then; under
+// streaming ingest the parent keeps recording, so the clone's log must be
+// brought level before the clone can re-execute the failure window. src
+// must be a descendant of the same recording (the shared prefix is not
+// re-checked).
+func (l *Log) CatchUp(src *Log) {
+	if src.Len() > len(l.events) {
+		l.events = append(l.events, src.events[len(l.events):]...)
+	}
+}
+
 // At returns the event at index i.
 func (l *Log) At(i int) Event { return l.events[i] }

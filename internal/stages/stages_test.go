@@ -1,0 +1,393 @@
+package stages_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"firstaid/internal/allocext"
+	"firstaid/internal/callsite"
+	"firstaid/internal/checkpoint"
+	"firstaid/internal/diagnosis"
+	"firstaid/internal/ledger"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/stages"
+)
+
+// probeStep scripts one diagnostic re-execution: the checkpoint the engine
+// must have rolled back to, and the outcome the fake machine returns.
+type probeStep struct {
+	wantSeq int
+	out     diagnosis.Outcome
+}
+
+// fakeMachine is a scripted diagnosis.Machine: a checkpoint ladder plus an
+// ordered list of probe outcomes. It lets each stage be tested in
+// isolation against a hand-built predecessor state, with no allocator or
+// address space behind it.
+type fakeMachine struct {
+	t     *testing.T
+	cps   []*checkpoint.Checkpoint
+	sites *callsite.Table
+	steps []probeStep
+
+	rolledTo *checkpoint.Checkpoint
+	step     int
+	markErr  error
+}
+
+func (f *fakeMachine) Checkpoints() []*checkpoint.Checkpoint { return f.cps }
+func (f *fakeMachine) Rollback(cp *checkpoint.Checkpoint)    { f.rolledTo = cp }
+func (f *fakeMachine) MarkHeap() error                       { return f.markErr }
+func (f *fakeMachine) SeenAllocSites() []callsite.ID         { return nil }
+func (f *fakeMachine) SeenFreeSites() []callsite.ID          { return nil }
+func (f *fakeMachine) SiteKey(id callsite.ID) callsite.Key   { return f.sites.Key(id) }
+
+func (f *fakeMachine) ReExecute(cs *allocext.ChangeSet, until int) diagnosis.Outcome {
+	f.t.Helper()
+	if f.step >= len(f.steps) {
+		f.t.Fatalf("unexpected re-execution #%d (script has %d)", f.step+1, len(f.steps))
+	}
+	st := f.steps[f.step]
+	f.step++
+	if f.rolledTo == nil || f.rolledTo.Seq != st.wantSeq {
+		f.t.Fatalf("re-execution #%d from checkpoint %v, script expects seq %d", f.step, f.rolledTo, st.wantSeq)
+	}
+	return st.out
+}
+
+func ladder(seqs ...int) []*checkpoint.Checkpoint {
+	var cps []*checkpoint.Checkpoint
+	for i, s := range seqs {
+		cps = append(cps, &checkpoint.Checkpoint{Seq: s, Clock: uint64(100 * (i + 1)), Cursor: 10 * (i + 1)})
+	}
+	return cps
+}
+
+func fault() *proc.Fault { return &proc.Fault{Kind: proc.AccessViolation} }
+
+func manifests(ms ...allocext.Manifestation) allocext.ManifestSet {
+	return allocext.ManifestSet{All: ms}
+}
+
+// newCtx wires a fake machine into a stage context the way the supervisor
+// does, returning the ledger entry the diagnosis stages append to.
+func newCtx(t *testing.T, f *fakeMachine, cfg diagnosis.Config) (*stages.Ctx, *ledger.Entry) {
+	t.Helper()
+	entry := ledger.New(8).Begin(ledger.Meta{Source: "stage-test"})
+	cfg.Ledger = entry
+	c := &stages.Ctx{
+		Until: 40,
+		NewSession: func(c *stages.Ctx) *diagnosis.Session {
+			return diagnosis.New(f, cfg).Session(c.Until)
+		},
+	}
+	return c, entry
+}
+
+func conditions(t *testing.T, entry *ledger.Entry) []ledger.Condition {
+	t.Helper()
+	return entry.Snapshot().Conditions
+}
+
+// TestPlanRunStopsOnStop pins the plan contract itself: stages run in
+// order, a Stop verdict halts the plan, and Names reports the order.
+func TestPlanRunStopsOnStop(t *testing.T) {
+	var ran []string
+	mk := func(name string, st stages.Status) stages.Stage {
+		return stages.NewFunc(name, func(*stages.Ctx) stages.Status {
+			ran = append(ran, name)
+			return st
+		})
+	}
+	p := stages.Plan{Name: "test", Stages: []stages.Stage{
+		mk("a", stages.Next), mk("b", stages.Stop), mk("c", stages.Next),
+	}}
+	p.Run(&stages.Ctx{})
+	if want := []string{"a", "b"}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(p.Names(), want) {
+		t.Fatalf("Names() = %v, want %v", p.Names(), want)
+	}
+}
+
+// TestScreenNoCheckpoints: a session with an empty checkpoint ladder must
+// resolve non-patchable from the screen stage alone.
+func TestScreenNoCheckpoints(t *testing.T) {
+	f := &fakeMachine{t: t, sites: callsite.NewTable()}
+	c, entry := newCtx(t, f, diagnosis.Config{})
+	stages.Screen.Run(c)
+	res := c.Session().Result()
+	if !res.Unpatchable {
+		t.Fatalf("result %+v, want unpatchable", res)
+	}
+	conds := conditions(t, entry)
+	if len(conds) != 1 || conds[0].Type != ledger.Phase1Completed ||
+		!strings.Contains(conds[0].Message, "no checkpoints available") {
+		t.Fatalf("conditions %+v, want one Phase1Completed/no-checkpoints", conds)
+	}
+}
+
+// TestScreenNondeterministic: a passing plain re-execution resolves the
+// session at the screen; the later diagnosis stages must no-op.
+func TestScreenNondeterministic(t *testing.T) {
+	f := &fakeMachine{
+		t: t, sites: callsite.NewTable(), cps: ladder(0, 1),
+		steps: []probeStep{{wantSeq: 1, out: diagnosis.Outcome{}}}, // plain screen passes
+	}
+	c, entry := newCtx(t, f, diagnosis.Config{})
+	for _, st := range stages.DiagnosisStages() {
+		st.Run(c)
+	}
+	res := c.Session().Result()
+	if !res.Nondeterministic {
+		t.Fatalf("result %+v, want nondeterministic", res)
+	}
+	if f.step != len(f.steps) {
+		t.Fatalf("ran %d probes, want %d (checkpoint-select and identify must no-op)", f.step, len(f.steps))
+	}
+	conds := conditions(t, entry)
+	if len(conds) != 1 || conds[0].Type != ledger.Phase1Completed ||
+		!strings.Contains(conds[0].Message, "non-deterministic") {
+		t.Fatalf("conditions %+v, want one Phase1Completed/non-deterministic", conds)
+	}
+}
+
+// TestCheckpointSelectRejections walks a four-candidate ladder through
+// every rejection reason the phase-1 contract defines — heap-marking
+// canaries, the PR-6 underflow witness, the PR-6 MetaErr metadata check,
+// and a plain still-failing probe — and asserts each lands verbatim in the
+// CheckpointSelected condition's candidate evidence.
+func TestCheckpointSelectRejections(t *testing.T) {
+	cases := []struct {
+		name       string
+		out        diagnosis.Outcome
+		wantReject string
+	}{
+		{
+			name:       "heap-mark",
+			out:        diagnosis.Outcome{Manifests: manifests(allocext.Manifestation{Bug: mmbug.BufferOverflow, FromMark: true})},
+			wantReject: "heap-marking canaries corrupted",
+		},
+		{
+			name:       "underflow-witness",
+			out:        diagnosis.Outcome{Manifests: manifests(allocext.Manifestation{Bug: mmbug.BufferOverflow, Offsets: []int{-1}})},
+			wantReject: "front-padding canaries corrupted",
+		},
+		{
+			name:       "meta-err",
+			out:        diagnosis.Outcome{MetaErr: errors.New("header smashed")},
+			wantReject: "allocator metadata corrupted",
+		},
+		{
+			name:       "still-failing",
+			out:        diagnosis.Outcome{Fault: fault()},
+			wantReject: "all-preventive re-execution still failed",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := &fakeMachine{
+				t: t, sites: callsite.NewTable(), cps: ladder(0, 1),
+				steps: []probeStep{
+					{wantSeq: 1, out: diagnosis.Outcome{Fault: fault()}}, // screen: deterministic
+					{wantSeq: 1, out: tc.out},                            // newest rejected
+					{wantSeq: 0, out: diagnosis.Outcome{}},               // oldest survives
+				},
+			}
+			c, entry := newCtx(t, f, diagnosis.Config{})
+			stages.Screen.Run(c)
+			stages.CheckpointSelect.Run(c)
+			if cp := c.Session().Checkpoint(); cp == nil || cp.Seq != 0 {
+				t.Fatalf("selected checkpoint %v, want seq 0", cp)
+			}
+			conds := conditions(t, entry)
+			var sel *ledger.Condition
+			for i := range conds {
+				if conds[i].Type == ledger.CheckpointSelected {
+					sel = &conds[i]
+				}
+			}
+			if sel == nil {
+				t.Fatalf("no CheckpointSelected condition: %+v", conds)
+			}
+			if len(sel.Candidates) != 2 {
+				t.Fatalf("candidates %+v, want 2", sel.Candidates)
+			}
+			if !strings.Contains(sel.Candidates[0].Rejected, tc.wantReject) {
+				t.Fatalf("rejection %q, want substring %q", sel.Candidates[0].Rejected, tc.wantReject)
+			}
+			if sel.Candidates[1].Rejected != "" {
+				t.Fatalf("accepted candidate carries rejection %q", sel.Candidates[1].Rejected)
+			}
+		})
+	}
+}
+
+// TestCheckpointSelectExhaustion: every ladder rung rejected resolves
+// non-patchable with the full candidate evidence chain.
+func TestCheckpointSelectExhaustion(t *testing.T) {
+	f := &fakeMachine{
+		t: t, sites: callsite.NewTable(), cps: ladder(0, 1),
+		steps: []probeStep{
+			{wantSeq: 1, out: diagnosis.Outcome{Fault: fault()}},
+			{wantSeq: 1, out: diagnosis.Outcome{Fault: fault()}},
+			{wantSeq: 0, out: diagnosis.Outcome{Fault: fault()}},
+		},
+	}
+	c, entry := newCtx(t, f, diagnosis.Config{})
+	stages.Screen.Run(c)
+	stages.CheckpointSelect.Run(c)
+	res := c.Session().Result()
+	if !res.Unpatchable {
+		t.Fatalf("result %+v, want unpatchable", res)
+	}
+	conds := conditions(t, entry)
+	var done *ledger.Condition
+	for i := range conds {
+		if conds[i].Type == ledger.Phase1Completed {
+			done = &conds[i]
+		}
+	}
+	if done == nil || !strings.Contains(done.Message, "no surviving checkpoint") {
+		t.Fatalf("conditions %+v, want Phase1Completed/no-surviving-checkpoint", conds)
+	}
+	if len(done.Candidates) != 2 {
+		t.Fatalf("candidates %+v, want both rejections recorded", done.Candidates)
+	}
+}
+
+// TestFullPipelineIdentifies drives the whole diagnosis sub-plan over a
+// scripted deep ladder: screen fails deterministically, three candidates
+// are rejected for three different reasons, the fourth survives, and
+// phase 2 isolates a double free at its exact free site.
+func TestFullPipelineIdentifies(t *testing.T) {
+	sites := callsite.NewTable()
+	dfSite := sites.Intern(callsite.Key{"free_leaf", "bug_mid", "outer"})
+	pass := diagnosis.Outcome{}
+	f := &fakeMachine{
+		t: t, sites: sites, cps: ladder(0, 1, 2, 3),
+		steps: []probeStep{
+			{wantSeq: 3, out: diagnosis.Outcome{Fault: fault()}}, // screen
+			{wantSeq: 3, out: diagnosis.Outcome{Manifests: manifests(allocext.Manifestation{Bug: mmbug.DanglingWrite, FromMark: true})}},
+			{wantSeq: 2, out: diagnosis.Outcome{Manifests: manifests(allocext.Manifestation{Bug: mmbug.BufferOverflow, Offsets: []int{-2}})}},
+			{wantSeq: 1, out: diagnosis.Outcome{MetaErr: errors.New("smashed header")}},
+			{wantSeq: 0, out: pass}, // selected
+			// Phase 2 from checkpoint 0, classes in mmbug order.
+			{wantSeq: 0, out: pass}, // overflow: ruled out
+			{wantSeq: 0, out: pass}, // dangling write: ruled out
+			{wantSeq: 0, out: pass}, // dangling read: ruled out
+			{wantSeq: 0, out: diagnosis.Outcome{Manifests: manifests(allocext.Manifestation{Bug: mmbug.DoubleFree, FreeSite: dfSite})}},
+			{wantSeq: 0, out: pass}, // convergence over {uninit read}
+			{wantSeq: 0, out: pass}, // final scoped verification
+		},
+	}
+	c, _ := newCtx(t, f, diagnosis.Config{})
+	for _, st := range stages.DiagnosisStages() {
+		st.Run(c)
+	}
+	res := c.Session().Result()
+	if !res.OK() {
+		t.Fatalf("result %+v, want OK", res)
+	}
+	if res.Checkpoint.Seq != 0 {
+		t.Fatalf("checkpoint seq %d, want 0", res.Checkpoint.Seq)
+	}
+	want := []diagnosis.Finding{{Bug: mmbug.DoubleFree, Sites: []callsite.ID{dfSite}}}
+	if !reflect.DeepEqual(res.Findings, want) {
+		t.Fatalf("findings %+v, want %+v", res.Findings, want)
+	}
+	if res.Rollbacks != len(f.steps) {
+		t.Fatalf("rollbacks %d, want %d", res.Rollbacks, len(f.steps))
+	}
+	if f.step != len(f.steps) {
+		t.Fatalf("script consumed %d/%d steps", f.step, len(f.steps))
+	}
+}
+
+// TestFastPathPlanEquivalence expresses the guard fast path as data: a
+// plan reduced to the single EvidenceConfirm stage must produce exactly
+// the result and ledger conditions of the full diagnosis plan, whose later
+// stages no-op once the evidence confirms — the hardcoded skip and the
+// skipped plan are the same diagnoser.
+func TestFastPathPlanEquivalence(t *testing.T) {
+	run := func(t *testing.T, plan []stages.Stage) (diagnosis.Result, []ledger.Condition) {
+		sites := callsite.NewTable()
+		site := sites.Intern(callsite.Key{"alloc_leaf", "bug_mid", "outer"})
+		f := &fakeMachine{
+			t: t, sites: sites, cps: ladder(0, 1),
+			// One scoped confirmation re-execution from the newest
+			// checkpoint predating the evidence clock (clock 150 → seq 0).
+			steps: []probeStep{{wantSeq: 0, out: diagnosis.Outcome{}}},
+		}
+		cfg := diagnosis.Config{
+			Evidence: &diagnosis.Evidence{Bug: mmbug.BufferOverflow, Site: site, Clock: 150},
+		}
+		c, entry := newCtx(t, f, cfg)
+		for _, st := range plan {
+			st.Run(c)
+		}
+		res := c.Session().Result()
+		if f.step != len(f.steps) {
+			t.Fatalf("script consumed %d/%d steps", f.step, len(f.steps))
+		}
+		return res, conditions(t, entry)
+	}
+
+	fullRes, fullConds := run(t, stages.DiagnosisStages())
+	skipRes, skipConds := run(t, []stages.Stage{stages.EvidenceConfirm})
+
+	if !fullRes.FastPath || !fullRes.OK() {
+		t.Fatalf("full plan result %+v, want fast-path OK", fullRes)
+	}
+	// Site IDs were interned into distinct tables; compare structurally.
+	if !reflect.DeepEqual(fullRes, skipRes) {
+		t.Fatalf("results diverge:\nfull: %+v\nskip: %+v", fullRes, skipRes)
+	}
+	// Wall-clock stamps are the one legitimately run-dependent field.
+	for i := range fullConds {
+		fullConds[i].WallNS = 0
+	}
+	for i := range skipConds {
+		skipConds[i].WallNS = 0
+	}
+	if !reflect.DeepEqual(fullConds, skipConds) {
+		t.Fatalf("ledger conditions diverge:\nfull: %+v\nskip: %+v", fullConds, skipConds)
+	}
+	wantTypes := []ledger.ConditionType{ledger.Phase1Skipped, ledger.CheckpointSelected}
+	var gotTypes []ledger.ConditionType
+	for _, cond := range fullConds {
+		gotTypes = append(gotTypes, cond.Type)
+	}
+	if !reflect.DeepEqual(gotTypes, wantTypes) {
+		t.Fatalf("condition types %v, want %v", gotTypes, wantTypes)
+	}
+}
+
+// TestTruncatedPlanUnpatchable: a plan that ends before any stage resolves
+// the session must seal a non-patchable result rather than panic or hang.
+func TestTruncatedPlanUnpatchable(t *testing.T) {
+	f := &fakeMachine{
+		t: t, sites: callsite.NewTable(), cps: ladder(0, 1),
+		steps: []probeStep{{wantSeq: 1, out: diagnosis.Outcome{Fault: fault()}}},
+	}
+	c, _ := newCtx(t, f, diagnosis.Config{})
+	stages.Screen.Run(c) // deterministic bug, but no checkpoint-select follows
+	res := c.Session().Result()
+	if !res.Unpatchable {
+		t.Fatalf("result %+v, want unpatchable", res)
+	}
+	found := false
+	for _, line := range res.Log {
+		if strings.Contains(line, "plan ended without resolving") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log %v, want plan-ended note", res.Log)
+	}
+}

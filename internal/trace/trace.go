@@ -85,6 +85,13 @@ const (
 	KGuardAlloc // arg1 = call-site ID, arg2 = bytes requested
 	KGuardFree  // arg1 = free call-site ID, arg2 = object size quarantined
 	KGuardHit   // arg1 = manifested bug class, arg2 = faulting address
+
+	// Speculative recovery (internal/stages.Speculator); records land on
+	// the supervisor's own track, while each racing clone executes on a
+	// derived SpecTrack lane.
+	KSpecLaunch // arg1 = hypothesis ordinal, arg2 = checkpoint seq
+	KSpecWin    // arg1 = hypothesis ordinal, arg2 = 1 if served from the standby clone
+	KSpecCancel // arg1 = hypothesis ordinal, arg2 = checkpoint seq
 )
 
 // Event outcome codes carried in KEventEnd.Arg2.
@@ -118,6 +125,9 @@ var kindNames = map[Kind]string{
 	KGuardAlloc:    "guard-alloc",
 	KGuardFree:     "guard-free",
 	KGuardHit:      "guard-hit",
+	KSpecLaunch:    "spec-launch",
+	KSpecWin:       "spec-win",
+	KSpecCancel:    "spec-cancel",
 }
 
 // String returns the kind's stable name.
@@ -201,6 +211,19 @@ func GuardTrack(worker int) int {
 	return GuardTrackBit | (worker & 0xFFF)
 }
 
+// SpecTrackBit marks a worker ID as a speculation track: each racing
+// recovery clone of a worker executes on its own derived lane so the
+// hypothesis re-executions read as parallel timelines under the worker.
+// The bit sits below GuardTrackBit, and a packed spec track never reaches
+// 0x4000, so the Validation > Guard > Spec test order is unambiguous.
+const SpecTrackBit = 0x2000
+
+// SpecTrack derives the trace track of the n-th speculative clone launched
+// by the given worker's supervisor.
+func SpecTrack(worker int, n uint64) int {
+	return SpecTrackBit | (worker&0x1F)<<8 | int(n&0xFF)
+}
+
 // TrackBelongsTo reports whether records on the given track belong to the
 // given worker: its main track, its guard track, or any of its validation
 // clone tracks. The fleet track belongs to no worker. The validation bit
@@ -216,6 +239,8 @@ func TrackBelongsTo(track uint16, worker int) bool {
 		return int(track>>10)&0x1F == worker&0x1F
 	case track&GuardTrackBit != 0:
 		return int(track&0xFFF) == worker
+	case track&SpecTrackBit != 0:
+		return int(track>>8)&0x1F == worker&0x1F
 	default:
 		return int(track) == worker
 	}
@@ -232,6 +257,9 @@ func TrackName(worker uint16) string {
 	}
 	if worker&GuardTrackBit != 0 {
 		return "worker-" + formatUint(uint64(worker&0xFFF)) + "/guard"
+	}
+	if worker&SpecTrackBit != 0 {
+		return "worker-" + formatUint(uint64(worker>>8)&0x1F) + "/spec-" + formatUint(uint64(worker&0xFF))
 	}
 	return "worker-" + formatUint(uint64(worker))
 }
