@@ -38,7 +38,10 @@ bench-smoke:
 # BenchmarkSpeculativeRecoveryGuard), which CI uploads as an artifact next
 # to the committed earlier floors (BENCH_5.json, BENCH_6.json). Guards run
 # at -benchtime 1x because they do their own fixed-size interleaved
-# timing; the plain benchmarks get a real sampling budget.
+# timing; the plain benchmarks get a real sampling budget. BENCH_8.json
+# records the batched serving path separately: the fleet-ingest throughput
+# guard (ev/s, allocs/ev), so the 1M events/s floor's trajectory is
+# trackable across PRs without re-running the whole suite.
 bench-json:
 	{ $(GO) test -bench '^(BenchmarkSnapshot|BenchmarkRestore|BenchmarkClone|BenchmarkCloneCOW|BenchmarkWrite64|BenchmarkSnapshotRestore|BenchmarkMallocFreeThroughProc)$$' \
 		-benchmem -benchtime 0.2s -run '^$$' ./internal/vmem ./internal/proc ; \
@@ -47,18 +50,22 @@ bench-json:
 	  $(GO) test -bench 'Guard$$' -benchtime 1x -run '^$$' \
 		./internal/vmem ./internal/proc ./internal/core ./internal/checkpoint ./internal/chaos ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_7.json
+	$(GO) test -bench '^BenchmarkFleetIngestThroughput$$' -benchtime 1x -run '^$$' . \
+	| $(GO) run ./cmd/benchjson -o BENCH_8.json
 
 # cover is the coverage ratchet: the whole internal tree runs with a
 # coverage profile, the HTML render is kept as a CI artifact, and the
-# recovery pipeline's packages (core and the stage/speculation layer it
-# was decomposed into) must not drop below the floors recorded when the
-# pipeline landed. Raise the floors when coverage rises; never lower them.
+# recovery pipeline's packages (core, the stage/speculation layer it was
+# decomposed into, and the replay log under the batched ingest path) must
+# not drop below the floors recorded when each landed. Raise the floors
+# when coverage rises; never lower them.
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...
 	$(GO) tool cover -html=coverage.out -o coverage.html
 	$(GO) run ./cmd/coverfloor -profile coverage.out \
 		-floor firstaid/internal/core=80 \
-		-floor firstaid/internal/stages=94
+		-floor firstaid/internal/stages=94 \
+		-floor firstaid/internal/replay=85
 
 # fuzz-smoke gives the chaos mutator a bounded budget in CI on top of the
 # committed seed corpus (which plain `go test` already replays). The corpus

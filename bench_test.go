@@ -20,6 +20,9 @@ import (
 	"firstaid/internal/core"
 	"firstaid/internal/experiments"
 	"firstaid/internal/fleet"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
 	"firstaid/internal/trace"
 	"firstaid/internal/workloads"
 )
@@ -305,8 +308,8 @@ func BenchmarkTraceOverheadGuard(b *testing.B) {
 			return prev
 		}
 		var off, on time.Duration
-		run(nil)                            // warmup
-		run(firstaid.NewTracer(1 << 20))    // warmup
+		run(nil)                         // warmup
+		run(firstaid.NewTracer(1 << 20)) // warmup
 		var recorded uint64
 		for r := 0; r < rounds; r++ { // interleaved: drift hits both sides
 			off = best(run(nil), off)
@@ -413,5 +416,99 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 	if scales && t4 <= 1.5*t1 {
 		b.Fatalf("fleet does not scale: %0.f ev/s at 1 worker, %0.f ev/s at 4", t1, t4)
+	}
+}
+
+// ingestBench is the minimal hot-path program for the batched-ingest
+// throughput guard: one root object, a one-cycle tick per event, no heap
+// churn. It isolates the serving-path cost — dispatch, batch splitting, the
+// worker inbox, the supervisor's fenced drain and the rolling log — from
+// application work, which the apps.* programs deliberately make expensive.
+type ingestBench struct{}
+
+func (ingestBench) Name() string                         { return "ingestbench" }
+func (ingestBench) Bugs() []mmbug.Type                   { return nil }
+func (ingestBench) Init(p *proc.Proc)                    { p.SetRoot(0, p.Malloc(64)) }
+func (ingestBench) Handle(p *proc.Proc, ev replay.Event) { p.Tick(1) }
+
+// BenchmarkFleetIngestThroughput is the regression guard for the batched
+// zero-copy ingest path: an 8-worker fleet fed pre-built binary batches
+// must sustain at least 1M events/s on a ≥4-way host (proportionally less
+// on smaller ones — the fleet can use at most GOMAXPROCS cores), at no
+// more than 1 amortized heap allocation per event across the whole path
+// (batch split, inbox hand-off, arena-backed log append, fenced drain,
+// amortized telemetry). A measurement below the floor is re-measured once
+// before failing, like the other guards.
+func BenchmarkFleetIngestThroughput(b *testing.B) {
+	const (
+		workers          = 8
+		clients          = 8
+		batch            = 512
+		batchesPerClient = 64
+	)
+	floorEv := 1e6
+	allocBudget := 1.0
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		floorEv = 1e6 * float64(procs) / 4
+	}
+
+	items := make([]fleet.BatchItem, batch)
+	for i := range items {
+		items[i] = fleet.BatchItem{Kind: []byte("req"), N: i}
+	}
+
+	run := func() (evPerSec, allocsPerEvent float64) {
+		f := fleet.New(func() app.Program { return ingestBench{} },
+			fleet.Config{Workers: workers, Dispatch: fleet.RoundRobin, QueueDepth: 4})
+		// Warm up: size the inboxes, the scratch pool, each log's first
+		// arena chunk and events slice, and the intern tables.
+		for c := 0; c < clients; c++ {
+			if _, err := f.DoBatch(items); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < batchesPerClient; i++ {
+					f.DoBatch(items)
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		st := f.Close()
+		events := clients * batchesPerClient * batch
+		if st.Core.Events != events+clients*batch {
+			b.Fatalf("fleet served %d events, want %d", st.Core.Events, events+clients*batch)
+		}
+		return float64(events) / wall.Seconds(),
+			float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+	}
+
+	var evPerSec, allocs float64
+	for i := 0; i < b.N; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			evPerSec, allocs = run()
+			if evPerSec >= floorEv && allocs <= allocBudget {
+				break
+			}
+		}
+	}
+	b.ReportMetric(evPerSec, "ev/s")
+	b.ReportMetric(allocs, "allocs/ev")
+	if evPerSec < floorEv {
+		b.Fatalf("batched ingest sustained %.0f ev/s, floor %.0f (GOMAXPROCS %d)",
+			evPerSec, floorEv, runtime.GOMAXPROCS(0))
+	}
+	if allocs > allocBudget {
+		b.Fatalf("batched ingest costs %.2f allocs/event, budget %.1f", allocs, allocBudget)
 	}
 }

@@ -11,10 +11,14 @@
 //	firstaid-serve -app apache -guard-rate 4096     # sampled guard pages fleet-wide
 //	firstaid-serve -app apache -load -clients 8 -events 1000 \
 //	    -trigger-clients 2 -triggers 120 -trigger-stagger 400
+//	firstaid-serve -app apache -load -batch 256 -compact-log   # batched ingest
 //
 // Endpoints:
 //
 //	POST /events        {"kind":"search","data":"uid=user7","src":"c0"}
+//	POST /events/batch  length-prefixed binary batch of events (wire format
+//	                    v1); one request carries N events, split across
+//	                    workers by the dispatch mode
 //	GET  /metrics       merged telemetry (fleet + every worker); ?format=prom
 //	                    for the Prometheus text exposition
 //	GET  /trace         execution-trace ring; ?format=chrome or ?format=text
@@ -69,10 +73,12 @@ func main() {
 		journal    = flag.Int("journal-spans", 0, "recovery spans retained per worker journal (0 = default 512)")
 		guardRate  = flag.Int("guard-rate", 0, "guard-page sampling per worker: redirect ~1/N of allocations onto guard pages so stray accesses trap at the faulting instruction (0 = off; 4096 is the always-on default)")
 		guardForce = flag.String("guard-force", "", "comma-separated call-site substrings to guard-sample on every allocation across the fleet")
+		compactLog = flag.Bool("compact-log", false, "bound each worker's rolling replay log: discard the prefix older than its oldest retained checkpoint (live memory stays flat; whole-run offline replay is given up)")
 
 		load           = flag.Bool("load", false, "run the built-in load generator against this fleet, print the report, and exit")
 		clients        = flag.Int("clients", 4, "load: concurrent clients")
 		events         = flag.Int("events", 500, "load: events per client")
+		batch          = flag.Int("batch", 0, "load: send events in binary batches of this size via POST /events/batch (0 or 1 = one JSON request per event)")
 		triggerClients = flag.Int("trigger-clients", 1, "load: how many clients carry bug triggers")
 		triggers       = flag.String("triggers", "110", "load: comma-separated trigger offsets within a client's workload (empty = clean)")
 		stagger        = flag.Int("trigger-stagger", 300, "load: per-client shift of the trigger offsets")
@@ -100,7 +106,7 @@ func main() {
 	cfg := fleet.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
-		Supervisor:     core.Config{ParallelValidation: *parallel, Speculate: *speculate, Machine: mcfg},
+		Supervisor:     core.Config{ParallelValidation: *parallel, Speculate: *speculate, CompactLog: *compactLog, Machine: mcfg},
 		TraceCapacity:  *traceCap,
 		JournalSpans:   *journal,
 		LedgerCapacity: *ledgerCap,
@@ -145,6 +151,7 @@ func main() {
 		lcfg := fleet.LoadConfig{
 			Clients:         *clients,
 			EventsPerClient: *events,
+			Batch:           *batch,
 			TriggerClients:  *triggerClients,
 			TriggerStagger:  *stagger,
 		}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestBatchIngestEquivalence is the differential pin for batched ingest:
+// every accuracy-matrix cell runs twice on the same seed — once feeding
+// events one at a time through Supervisor.Ingest and once through
+// IngestBatch with a seed-varied batch size — and the two live runs must
+// be observationally identical:
+//
+//   - the batched run independently satisfies the cell contract (oracle
+//     accepted, every injected bug diagnosed at its exact site or provably
+//     neutralized);
+//   - the recovery summaries and the full run statistics are equal —
+//     including SimSeconds, because the visibility fence makes the batched
+//     drain re-execute, validate and skip over exactly the horizons the
+//     serial drain saw;
+//   - the rolling replay logs serialize to identical bytes, so offline
+//     replay and postmortem extraction cannot tell the ingest paths apart;
+//   - the canonical ledger projections are byte-identical, entry for entry.
+//
+// The top-level subtests are the live-path supervision variants, mirroring
+// the three supervision modes: inline validation (the sync shape),
+// parallel validation (the fleet's -parallel-validation shape), and
+// speculation (the deployment default).
+func TestBatchIngestEquivalence(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	// Batch sizes chosen to land faults at batch interiors, edges, and in
+	// single-batch runs (a generated program stays under a few hundred ops).
+	batches := []int{7, 64, 3, 16, 25, 512, 5, 10}
+	variants := []struct {
+		name     string
+		parallel bool
+		spec     bool
+	}{
+		{"inline", false, false},
+		{"parallel-validation", true, false},
+		{"speculate", false, true},
+	}
+	cells := matrixCells()
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, c := range cells {
+				c := c
+				t.Run(c.name, func(t *testing.T) {
+					t.Parallel()
+					for i, seed := range seeds {
+						cfg := RunConfig{
+							Seed: seed, Mode: ModeStream,
+							Scenario: c.scenario, Class: c.class,
+							Combo: c.combo, Protect: c.protect,
+							ParallelValidation: v.parallel, Speculate: v.spec,
+						}
+						if c.sampled {
+							cfg.Machine.GuardForce = []string{"chaos_bug"}
+						}
+						serial := Run(cfg)
+						cfg.Batch = batches[i%len(batches)]
+						batched := Run(cfg)
+						checkBatchEquivalent(t, seed, cfg.Batch, serial, batched)
+					}
+				})
+			}
+		})
+	}
+}
+
+// checkBatchEquivalent asserts that a batched live run matches its
+// serial-ingest twin.
+func checkBatchEquivalent(t *testing.T, seed uint64, batch int, serial, batched *Outcome) {
+	t.Helper()
+	if !batched.OK() {
+		savePostmortem(t, batched)
+		t.Fatalf("seed %#x batch %d: batched run failed the oracle:\n%s",
+			seed, batch, batched.Verdict())
+	}
+	if err := batched.CheckExpected(); err != nil {
+		savePostmortem(t, batched)
+		t.Fatalf("seed %#x batch %d: batched run: %v\n%s", seed, batch, err, batched.Verdict())
+	}
+	if !reflect.DeepEqual(serial.Recoveries, batched.Recoveries) {
+		t.Fatalf("seed %#x batch %d: recovery summaries diverge\nserial:\n%s\nbatched:\n%s",
+			seed, batch, serial.Verdict(), batched.Verdict())
+	}
+	if serial.Stats != batched.Stats {
+		t.Fatalf("seed %#x batch %d: run statistics diverge: serial %+v, batched %+v",
+			seed, batch, serial.Stats, batched.Stats)
+	}
+	if serial.RefreeBlocks != batched.RefreeBlocks {
+		t.Fatalf("seed %#x batch %d: re-free blocks diverge: serial %d, batched %d",
+			seed, batch, serial.RefreeBlocks, batched.RefreeBlocks)
+	}
+	if f := batched.Sup.Log().Fence(); f != -1 {
+		t.Fatalf("seed %#x batch %d: fence left set after the run: %d", seed, batch, f)
+	}
+	var sl, bl bytes.Buffer
+	if err := serial.Sup.Log().Save(&sl); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Sup.Log().Save(&bl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sl.Bytes(), bl.Bytes()) {
+		t.Fatalf("seed %#x batch %d: rolling logs diverge (%d vs %d bytes)",
+			seed, batch, sl.Len(), bl.Len())
+	}
+	sc, bc := canonicals(t, serial), canonicals(t, batched)
+	if len(sc) != len(bc) {
+		t.Fatalf("seed %#x batch %d: ledger sizes diverge: serial %d diagnoses, batched %d",
+			seed, batch, len(sc), len(bc))
+	}
+	for i := range sc {
+		if !bytes.Equal(sc[i], bc[i]) {
+			t.Fatalf("seed %#x batch %d: canonical projection of diagnosis %d diverges\nserial:\n%s\nbatched:\n%s",
+				seed, batch, i, sc[i], bc[i])
+		}
+	}
+}

@@ -60,6 +60,15 @@ type RunConfig struct {
 	// core.Config.Speculate). Off by default here so differential tests can
 	// compare a serial and a speculative run of the same program.
 	Speculate bool
+	// Batch, when > 1 in ModeStream, feeds events through
+	// Supervisor.IngestBatch in batches of that size instead of one Ingest
+	// call per event — the live batched front-end path. The outcome must be
+	// indistinguishable from serial ingest (TestBatchIngestEquivalence).
+	Batch int
+	// ParallelValidation validates patches on cloned machines even outside
+	// ModeParallel — the streaming twin of the fleet's -parallel-validation
+	// deployment shape.
+	ParallelValidation bool
 	// Machine overrides the machine configuration (zero value = defaults).
 	Machine core.MachineConfig
 }
@@ -187,7 +196,7 @@ func Run(cfg RunConfig) *Outcome {
 func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 	scfg := core.Config{
 		Machine:            cfg.Machine,
-		ParallelValidation: cfg.Mode == ModeParallel,
+		ParallelValidation: cfg.Mode == ModeParallel || cfg.ParallelValidation,
 		DisableLedger:      cfg.DisableLedger,
 		Speculate:          cfg.Speculate,
 	}
@@ -210,9 +219,25 @@ func RunProgram(prog *Program, cfg RunConfig) *Outcome {
 		if cfg.TamperNoCoalesce {
 			sup.M.Heap.SetNoCoalesce(true)
 		}
-		for _, op := range prog.Ops() {
-			kind, data, n := op.Event()
-			sup.Ingest(kind, data, n)
+		if ops := prog.Ops(); cfg.Batch > 1 {
+			items := make([]replay.Item, 0, cfg.Batch)
+			for lo := 0; lo < len(ops); lo += cfg.Batch {
+				hi := lo + cfg.Batch
+				if hi > len(ops) {
+					hi = len(ops)
+				}
+				items = items[:0]
+				for _, op := range ops[lo:hi] {
+					kind, data, n := op.Event()
+					items = append(items, replay.Item{Kind: []byte(kind), Data: []byte(data), N: n})
+				}
+				sup.IngestBatch(items)
+			}
+		} else {
+			for _, op := range ops {
+				kind, data, n := op.Event()
+				sup.Ingest(kind, data, n)
+			}
 		}
 		stats = sup.Finish()
 	} else {

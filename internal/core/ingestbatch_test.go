@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"firstaid/internal/app"
+	"firstaid/internal/mmbug"
+	"firstaid/internal/proc"
+	"firstaid/internal/replay"
+	"firstaid/internal/vmem"
+)
+
+// ingestProg is a minimal streaming workload for the batched-ingest pins:
+// benign per-request heap churn, plus an injected deterministic failure on
+// "boom" events (no memory bug behind it, so recovery lands on the skip
+// fallback — exercising rollback and re-execution mid-batch).
+type ingestProg struct{}
+
+func (ingestProg) Name() string { return "ingestprog" }
+
+func (ingestProg) Bugs() []mmbug.Type { return nil }
+
+func (ingestProg) Init(p *proc.Proc) {
+	defer p.Enter("main")()
+	defer p.Enter("ingest_init")()
+	p.SetRoot(0, p.Malloc(64))
+}
+
+func (ingestProg) Handle(p *proc.Proc, ev replay.Event) {
+	defer p.Enter("dispatch")()
+	p.Tick(app.EventCost)
+	switch ev.Kind {
+	case "req":
+		buf := func() vmem.Addr {
+			defer p.Enter("req_scratch")()
+			return p.Malloc(uint32(32 + ev.N%64))
+		}()
+		p.Memset(buf, byte(ev.N), 32)
+		func() {
+			defer p.Enter("req_done")()
+			p.Free(buf)
+		}()
+	case "boom":
+		p.At("boom_site")
+		p.Assert(false, "injected failure")
+	default:
+		p.Assert(false, "ingestprog: unknown event %q", ev.Kind)
+	}
+}
+
+// ingestItems builds n events with a failure injected at each offset in
+// boom (if any), both as strings (serial ingest) and Items (batched).
+func ingestItems(n int, boom map[int]bool) []replay.Item {
+	items := make([]replay.Item, n)
+	for i := range items {
+		kind := "req"
+		if boom[i] {
+			kind = "boom"
+		}
+		items[i] = replay.Item{
+			Kind: []byte(kind),
+			Data: []byte(fmt.Sprintf("payload-%d", i)),
+			N:    i,
+		}
+	}
+	return items
+}
+
+func saveLog(t *testing.T, s *Supervisor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Log().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestBatchMatchesSerial pins the core equivalence contract at the
+// unit level: a batched live run's rolling log, statistics and recovery
+// count must equal the same events ingested one at a time, including when
+// failures (and their rollback/re-execute/skip cycles) land mid-batch.
+func TestIngestBatchMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		boom  map[int]bool
+		batch int
+	}{
+		{"clean", nil, 64},
+		{"fault-mid-batch", map[int]bool{100: true}, 64},
+		{"fault-at-batch-edges", map[int]bool{64: true, 127: true}, 64},
+		{"many-faults-small-batches", map[int]bool{10: true, 11: true, 50: true}, 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 300
+			items := ingestItems(n, tc.boom)
+
+			serial := NewSupervisor(ingestProg{}, replay.NewLog(), Config{DisableLedger: true})
+			for _, it := range items {
+				serial.Ingest(string(it.Kind), string(it.Data), it.N)
+			}
+			serialStats := serial.Finish()
+
+			batched := NewSupervisor(ingestProg{}, replay.NewLog(), Config{DisableLedger: true})
+			var agg BatchResult
+			for lo := 0; lo < n; lo += tc.batch {
+				hi := lo + tc.batch
+				if hi > n {
+					hi = n
+				}
+				br := batched.IngestBatch(items[lo:hi])
+				if br.First != lo || br.Events != hi-lo {
+					t.Fatalf("batch [%d,%d): First=%d Events=%d", lo, hi, br.First, br.Events)
+				}
+				agg.Failures += br.Failures
+				agg.Recoveries += br.Recoveries
+				agg.Skipped += br.Skipped
+			}
+			batchedStats := batched.Finish()
+
+			if serialStats != batchedStats {
+				t.Fatalf("stats diverge:\nserial  %+v\nbatched %+v", serialStats, batchedStats)
+			}
+			if agg.Failures != serialStats.Failures || agg.Skipped != serialStats.Skipped {
+				t.Fatalf("batch results (failures %d, skipped %d) disagree with stats %+v",
+					agg.Failures, agg.Skipped, serialStats)
+			}
+			if a, b := saveLog(t, serial), saveLog(t, batched); !bytes.Equal(a, b) {
+				t.Fatalf("rolling logs diverge:\nserial  %d bytes\nbatched %d bytes", len(a), len(b))
+			}
+			if f := batched.Log().Fence(); f != -1 {
+				t.Fatalf("fence left set after IngestBatch: %d", f)
+			}
+		})
+	}
+}
+
+// TestIngestBatchEmpty pins the trivial edges: an empty batch is a no-op
+// and reports the current tail.
+func TestIngestBatchEmpty(t *testing.T) {
+	s := NewSupervisor(ingestProg{}, replay.NewLog(), Config{DisableLedger: true})
+	s.IngestBatch(ingestItems(3, nil))
+	br := s.IngestBatch(nil)
+	if br.First != 3 || br.Events != 0 || br.Failures != 0 {
+		t.Fatalf("empty batch result: %+v", br)
+	}
+	if st := s.Finish(); st.Events != 3 {
+		t.Fatalf("events = %d", st.Events)
+	}
+}
+
+// TestCompactLogBoundsStreamingMemory is the streaming soak for the
+// bounded rolling log: with CompactLog on, a long live run must hold the
+// retained window (and its payload footprint) flat instead of growing
+// with the event count — while the retained window still replays offline
+// from the oldest retained checkpoint, and the compacted log round-trips
+// through Save/Load.
+func TestCompactLogBoundsStreamingMemory(t *testing.T) {
+	s := NewSupervisor(ingestProg{}, replay.NewLog(), Config{DisableLedger: true, CompactLog: true})
+	const (
+		total = 4000
+		batch = 50
+	)
+	// With EventCost ticks and the default adaptive checkpoint interval,
+	// checkpoints land every few dozen events and the manager retains 16;
+	// the retained window should stay well under 2000 events forever.
+	const retainedCap = 2000
+	items := ingestItems(total, nil)
+	peak := 0
+	for lo := 0; lo < total; lo += batch {
+		s.IngestBatch(items[lo : lo+batch])
+		if r := s.Log().Retained(); r > peak {
+			peak = r
+		}
+	}
+	if st := s.Finish(); st.Events != total || st.Failures != 0 {
+		t.Fatalf("soak stats: %+v", st)
+	}
+	log := s.Log()
+	if log.Len() != total {
+		t.Fatalf("absolute length %d, want %d", log.Len(), total)
+	}
+	if log.Base() == 0 {
+		t.Fatal("log was never compacted")
+	}
+	if peak > retainedCap {
+		t.Fatalf("retained window peaked at %d events (cap %d): log memory is not flat", peak, retainedCap)
+	}
+	if fp := log.Footprint(); fp > retainedCap*32 {
+		t.Fatalf("retained footprint %d bytes", fp)
+	}
+
+	// The retained window must still replay: roll back to the oldest
+	// retained checkpoint and re-execute to the tail without faults.
+	cps := s.M.Ckpt.Checkpoints()
+	if len(cps) == 0 {
+		t.Fatal("no retained checkpoints")
+	}
+	oldest := cps[0]
+	if oldest.Cursor < log.Base() {
+		t.Fatalf("oldest checkpoint cursor %d precedes log base %d", oldest.Cursor, log.Base())
+	}
+	s.M.Rollback(oldest)
+	if c := log.Cursor(); c != oldest.Cursor {
+		t.Fatalf("rollback cursor %d, want %d", c, oldest.Cursor)
+	}
+	replayed := 0
+	for {
+		f, ok := s.M.Step()
+		if !ok {
+			break
+		}
+		if f != nil {
+			t.Fatalf("fault during offline replay of the retained window: %v", f)
+		}
+		s.M.SyncClock()
+		replayed++
+	}
+	if want := total - oldest.Cursor; replayed != want {
+		t.Fatalf("replayed %d events, want %d", replayed, want)
+	}
+
+	// And the compacted log survives persistence.
+	var buf bytes.Buffer
+	if err := log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replay.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base() != log.Base() || got.Len() != log.Len() {
+		t.Fatalf("round-trip base=%d len=%d, want %d/%d", got.Base(), got.Len(), log.Base(), log.Len())
+	}
+}

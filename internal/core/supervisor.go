@@ -56,6 +56,14 @@ type Config struct {
 	// run (chaos sources); it is recorded on every diagnosis and lands in
 	// the postmortem bundle's REPRO.txt.
 	Repro string
+	// CompactLog bounds the rolling replay log under streaming supervision:
+	// after each checkpoint, the log prefix older than the oldest retained
+	// checkpoint's cursor is discarded. Rollback can never reach past the
+	// oldest retained checkpoint, so recovery semantics are unchanged; what
+	// is given up is only whole-run offline replay (Log().Save still works
+	// but replays from the compaction base, and OpsFromLog-style full-log
+	// consumers see the retained window only). Off by default.
+	CompactLog bool
 	// Speculate races diagnosis hypotheses (the phase-1 candidate ladder,
 	// the phase-2 class probes) on COW machine clones instead of
 	// re-executing them serially, with a pre-warmed standby clone refreshed
@@ -259,11 +267,21 @@ func (s *Supervisor) Run() Stats {
 func (s *Supervisor) drain() {
 	for {
 		s.collectValidations(false)
-		if cp := s.M.Ckpt.MaybeCheckpoint(); cp != nil && s.host != nil {
-			// Refresh the standby clone while the machine state still
-			// equals the fresh checkpoint's: the next recovery's first
-			// hypothesis then launches at zero clone cost.
-			s.host.Refresh(cp)
+		if cp := s.M.Ckpt.MaybeCheckpoint(); cp != nil {
+			if s.host != nil {
+				// Refresh the standby clone while the machine state still
+				// equals the fresh checkpoint's: the next recovery's first
+				// hypothesis then launches at zero clone cost.
+				s.host.Refresh(cp)
+			}
+			if s.cfg.CompactLog && s.streaming {
+				// A fresh checkpoint may have evicted the oldest retained
+				// one, moving the rollback horizon forward; everything
+				// before it is unreachable and can be freed.
+				if cps := s.M.Ckpt.Checkpoints(); len(cps) > 0 {
+					s.M.Log.Compact(cps[0].Cursor)
+				}
+			}
 		}
 		s.M.SyncClock()
 		cursorBefore := s.M.Log.Cursor()
@@ -366,6 +384,57 @@ func (s *Supervisor) resolve(seq int) IngestResult {
 		outcome = trace.OutcomeRecovered
 	}
 	s.M.TraceEmitter().Emit(trace.KEventEnd, uint64(seq), outcome)
+	return res
+}
+
+// BatchResult reports how one ingested batch was resolved. Counts are
+// aggregated across the batch; per-event attribution is deliberately not
+// materialized on this path (the point of batching is to amortize that
+// bookkeeping away).
+type BatchResult struct {
+	First      int    // sequence assigned to the first event of the batch
+	Events     int    // events recorded and executed
+	Failures   int    // faults observed (retries included)
+	Recoveries int    // diagnose→patch→rollback cycles completed
+	Skipped    int    // events dropped by the last-resort fallback
+	SimCycles  uint64 // simulated time consumed by the batch
+}
+
+// IngestBatch records a whole batch of live events into the replay log and
+// then executes them — the amortized counterpart of calling Ingest once
+// per event, with identical observable behavior. Record-before-execute
+// covers the full batch: every event is durable in the log before the
+// first one runs. To keep recovery semantics byte-identical to serial
+// ingest, the log's visibility fence is advanced one event at a time, so a
+// failure inside the batch re-executes against exactly the tail a serial
+// run would have had — later batch events are recorded but not yet
+// visible to rollback re-execution, validation, or the skip fallback.
+// Per-event KEventBegin/End trace records are replaced by one
+// KBatchBegin/End pair.
+func (s *Supervisor) IngestBatch(items []replay.Item) BatchResult {
+	s.streaming = true
+	first := s.M.Log.AppendBatch(items)
+	res := BatchResult{First: first, Events: len(items)}
+	if len(items) == 0 {
+		return res
+	}
+	failures0, recov0, sim0 := s.failures, len(s.Recoveries), s.M.SimNow()
+	s.M.TraceEmitter().Emit(trace.KBatchBegin, uint64(first), uint64(len(items)))
+	for seq := first; seq < first+len(items); seq++ {
+		s.M.Log.SetFence(seq + 1)
+		s.drain()
+	}
+	s.M.Log.ClearFence()
+	s.M.TraceEmitter().Emit(trace.KBatchEnd, uint64(first), uint64(len(items)))
+	res.Failures = s.failures - failures0
+	res.SimCycles = s.M.SimNow() - sim0
+	for _, rec := range s.Recoveries[recov0:] {
+		if rec.Skipped {
+			res.Skipped++
+		} else {
+			res.Recoveries++
+		}
+	}
 	return res
 }
 

@@ -22,7 +22,6 @@ package fleet
 
 import (
 	"errors"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,6 +169,7 @@ type worker struct {
 	id        int
 	sup       *core.Supervisor
 	inbox     chan *request
+	batches   chan batchJob
 	reg       *telemetry.Registry
 	processed atomic.Int64
 	busy      atomic.Bool
@@ -232,9 +232,10 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 		scfg.Machine.Trace = f.trc
 		scfg.Machine.TraceWorker = i
 		w := &worker{
-			id:    i,
-			inbox: make(chan *request, cfg.QueueDepth),
-			reg:   wreg,
+			id:      i,
+			inbox:   make(chan *request, cfg.QueueDepth),
+			batches: make(chan batchJob, cfg.QueueDepth),
+			reg:     wreg,
 		}
 		w.sup = core.NewSupervisor(prog, replay.NewLog(), scfg)
 		f.workers = append(f.workers, w)
@@ -252,40 +253,62 @@ func New(newProg func() app.Program, cfg Config) *Fleet {
 // loop is a worker's serving goroutine: it owns the supervisor exclusively,
 // so all machine state stays single-threaded; the only cross-worker
 // contact is the locked patch pool and the atomic telemetry instruments.
+// Per-event and batch submissions drain from separate bounded inboxes
+// (batches would otherwise starve behind a deep per-event queue and vice
+// versa); within each inbox, order is preserved.
 func (w *worker) loop(f *Fleet) {
 	defer f.wg.Done()
 	w.started.Store(true)
-	for rq := range w.inbox {
-		w.busy.Store(true)
-		t0 := time.Now()
-		ir := w.sup.Ingest(rq.req.Kind, rq.req.Data, rq.req.N)
-		ingest := time.Since(t0)
-		w.lastClock.Store(w.sup.M.SimNow())
-		w.busy.Store(false)
-		w.processed.Add(1)
-
-		res := Result{
-			Worker:    w.id,
-			Seq:       ir.Seq,
-			Failed:    ir.Failed,
-			Recovered: ir.Recovered,
-			Skipped:   ir.Skipped,
-			Rerouted:  rq.rerouted,
-			LatencyUS: time.Since(rq.enq).Microseconds(),
+	inbox, batches := w.inbox, w.batches
+	for inbox != nil || batches != nil {
+		select {
+		case rq, ok := <-inbox:
+			if !ok {
+				inbox = nil
+				continue
+			}
+			w.serve(f, rq)
+		case bq, ok := <-batches:
+			if !ok {
+				batches = nil
+				continue
+			}
+			w.serveBatch(f, bq)
 		}
-		f.met.ingestUS.Observe(uint64(ingest.Microseconds()))
-		f.met.latencyUS.Observe(uint64(res.LatencyUS))
-		f.met.completed.Inc()
-		f.met.failures.Add(uint64(ir.Failures))
-		if ir.Recovered {
-			f.met.recoveries.Inc()
-		}
-		if ir.Skipped {
-			f.met.skipped.Inc()
-		}
-		rq.done <- res
 	}
 	w.stats = w.sup.Finish()
+}
+
+// serve ingests one per-event submission on the worker goroutine.
+func (w *worker) serve(f *Fleet, rq *request) {
+	w.busy.Store(true)
+	t0 := time.Now()
+	ir := w.sup.Ingest(rq.req.Kind, rq.req.Data, rq.req.N)
+	ingest := time.Since(t0)
+	w.lastClock.Store(w.sup.M.SimNow())
+	w.busy.Store(false)
+	w.processed.Add(1)
+
+	res := Result{
+		Worker:    w.id,
+		Seq:       ir.Seq,
+		Failed:    ir.Failed,
+		Recovered: ir.Recovered,
+		Skipped:   ir.Skipped,
+		Rerouted:  rq.rerouted,
+		LatencyUS: time.Since(rq.enq).Microseconds(),
+	}
+	f.met.ingestUS.Observe(uint64(ingest.Microseconds()))
+	f.met.latencyUS.Observe(uint64(res.LatencyUS))
+	f.met.completed.Inc()
+	f.met.failures.Add(uint64(ir.Failures))
+	if ir.Recovered {
+		f.met.recoveries.Inc()
+	}
+	if ir.Skipped {
+		f.met.skipped.Inc()
+	}
+	rq.done <- res
 }
 
 // Go submits a request and returns a channel carrying its Result (buffered:
@@ -356,15 +379,49 @@ func (f *Fleet) dispatch(rq *request) {
 	}
 }
 
+// FNV-1a, inlined so the dispatch hot path neither allocates a hasher nor
+// copies the key (hash/fnv would do both per request).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv32a(key string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func fnv32aBytes(key []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
 // workerFor returns the sticky worker index for a request.
 func (f *Fleet) workerFor(req Request) int {
 	key := req.Src
 	if key == "" {
 		key = req.Data
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(f.workers)))
+	return int(fnv32a(key) % uint32(len(f.workers)))
+}
+
+// workerForKey is workerFor over a decoded batch item's byte views; the
+// same hash over the same key bytes, so a source's batched and per-event
+// traffic land on the same worker.
+func (f *Fleet) workerForKey(src, data []byte) int {
+	key := src
+	if len(key) == 0 {
+		key = data
+	}
+	return int(fnv32aBytes(key) % uint32(len(f.workers)))
 }
 
 // Close stops accepting requests, drains every inbox, joins the workers and
@@ -377,6 +434,7 @@ func (f *Fleet) Close() Stats {
 		f.closeMu.Unlock()
 		for _, w := range f.workers {
 			close(w.inbox)
+			close(w.batches)
 		}
 		f.wg.Wait()
 
@@ -452,7 +510,8 @@ func (f *Fleet) RecordedLog(i int) *replay.Log {
 // WorkerHealth is one worker's live state.
 type WorkerHealth struct {
 	ID        int   `json:"id"`
-	Inbox     int   `json:"inbox"` // queued requests (degradation signal)
+	Inbox     int   `json:"inbox"`   // queued requests (degradation signal)
+	Batches   int   `json:"batches"` // queued batch jobs
 	Busy      bool  `json:"busy"`
 	Processed int64 `json:"processed"`
 	// Ready: the serving goroutine is running and the inbox has spare
@@ -486,15 +545,17 @@ func (f *Fleet) Health() Health {
 	h := Health{Status: "ok", Ready: true, QueueDepth: f.cfg.QueueDepth, ActivePatches: len(f.pool.Active())}
 	for _, w := range f.workers {
 		depth := len(w.inbox)
-		if depth >= f.cfg.QueueDepth {
+		bdepth := len(w.batches)
+		if depth >= f.cfg.QueueDepth || bdepth >= f.cfg.QueueDepth {
 			h.Status = "degraded"
 		}
 		wh := WorkerHealth{
 			ID:             w.id,
 			Inbox:          depth,
+			Batches:        bdepth,
 			Busy:           w.busy.Load(),
 			Processed:      w.processed.Load(),
-			Ready:          w.started.Load() && depth < f.cfg.QueueDepth,
+			Ready:          w.started.Load() && depth < f.cfg.QueueDepth && bdepth < f.cfg.QueueDepth,
 			LastEventClock: w.lastClock.Load(),
 			InFlight:       f.ldg.InFlight(w.id),
 		}

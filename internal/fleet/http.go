@@ -7,6 +7,8 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -22,10 +24,22 @@ import (
 // JSON object; anything near a megabyte is a client bug or abuse.
 const maxEventBody = 1 << 20
 
+// maxBatchBody bounds POST /events/batch request bodies. The binary
+// format costs a few bytes of framing per event, so 8 MiB comfortably
+// fits MaxBatchEvents typical events while still bounding a hostile
+// client's buffer.
+const maxBatchBody = 8 << 20
+
 // Server exposes a Fleet over HTTP:
 //
 //	POST /events        {"kind":"search","data":"uid=user7","n":7,"src":"c0"}
 //	                    → {"worker":2,"seq":41,"failed":false,...,"latencyUs":183}
+//	POST /events/batch  binary batch (wire format v1, see batch.go): N events
+//	                    in one request, split across workers by dispatch mode
+//	                    → {"events":512,"failures":0,...,"workers":[...]}
+//	                    413 when body > 8 MiB or count > 65536 (limit echoed);
+//	                    400 on any framing fault — all-or-nothing, nothing
+//	                    from a rejected batch is ingested
 //	GET  /metrics       → merged telemetry snapshot (fleet + every worker);
 //	                      ?format=prom (or a text/plain Accept header) selects
 //	                      the Prometheus text exposition
@@ -53,6 +67,7 @@ type Server struct {
 func NewServer(f *Fleet) *Server {
 	s := &Server{fleet: f, mux: http.NewServeMux(), streamPoll: 100 * time.Millisecond}
 	s.mux.HandleFunc("POST /events", s.handleEvent)
+	s.mux.HandleFunc("POST /events/batch", s.handleEventBatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	s.mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
@@ -86,6 +101,39 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.fleet.Do(req)
+	if errors.Is(err, ErrClosed) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleEventBatch ingests one binary batch. Validation is all-or-nothing:
+// the batch is fully decoded — and every event checked — before anything
+// is submitted, so a rejected batch leaves no partial ingest behind.
+func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	buf, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch too large: body limit %d bytes", maxBatchBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	items, err := DecodeBatch(buf, nil)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "bad batch: "+err.Error(), status)
+		return
+	}
+	res, err := s.fleet.DoBatch(items)
 	if errors.Is(err, ErrClosed) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"firstaid/internal/app"
+	"firstaid/internal/replay"
 	"firstaid/internal/telemetry"
 )
 
@@ -28,6 +29,10 @@ type LoadConfig struct {
 	Clients int
 	// EventsPerClient sizes each client's workload (default 500).
 	EventsPerClient int
+	// Batch, when > 1, sends events in binary batches of that size via
+	// POST /events/batch instead of one JSON request per event. The tail
+	// of a workload that doesn't fill a batch is sent as a short batch.
+	Batch int
 	// TriggerClients is how many clients (the first k) carry bug triggers.
 	TriggerClients int
 	// Triggers are the bug-trigger offsets within a triggering client's
@@ -41,25 +46,49 @@ type LoadConfig struct {
 
 // LoadReport is the load generator's result.
 type LoadReport struct {
-	Requests   int           // requests sent
-	Responses  int           // well-formed results received
-	Errors     int           // transport or non-200 failures
-	Failed     int           // results with Failed (faults at the server)
-	Recovered  int           // results with Recovered
-	Skipped    int           // results with Skipped
-	Rerouted   int           // results served off their primary worker
-	Wall       time.Duration // total wall time
-	Throughput float64       // requests per second
-	P50        time.Duration // from the server's fleet.latency_us histogram
-	P99        time.Duration
-	Snapshot   telemetry.Snapshot // the server's post-run /metrics view
+	Requests        int // events sent
+	HTTPRequests    int // HTTP round-trips (Requests/Batch when batching)
+	Responses       int // events acknowledged by a well-formed result
+	Errors          int // TransportErrors + HTTPErrors
+	TransportErrors int // connection/transport-level failures
+	HTTPErrors      int // non-200 responses (and unparseable 200 bodies)
+	Failed          int // results with Failed (faults at the server)
+	Recovered       int // results with Recovered
+	Skipped         int // results with Skipped
+	Rerouted        int // results served off their primary worker
+	Wall            time.Duration
+	Throughput      float64       // events per second
+	P50             time.Duration // from the server's fleet.latency_us histogram
+	P99             time.Duration
+	Snapshot        telemetry.Snapshot // the server's post-run /metrics view
 }
 
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"%d requests in %.2fs (%.0f req/s), p50 %v p99 %v; failed %d, recovered %d, skipped %d, rerouted %d, errors %d",
-		r.Requests, r.Wall.Seconds(), r.Throughput, r.P50, r.P99,
-		r.Failed, r.Recovered, r.Skipped, r.Rerouted, r.Errors)
+		"%d events in %.2fs (%.0f ev/s over %d HTTP requests), p50 %v p99 %v; failed %d, recovered %d, skipped %d, rerouted %d, errors %d (%d transport, %d http)",
+		r.Requests, r.Wall.Seconds(), r.Throughput, r.HTTPRequests, r.P50, r.P99,
+		r.Failed, r.Recovered, r.Skipped, r.Rerouted, r.Errors, r.TransportErrors, r.HTTPErrors)
+}
+
+// loadClient returns the shared HTTP client all load goroutines use: one
+// transport with an idle pool sized to the client count, so every client
+// keeps one TCP connection alive for its whole workload instead of
+// thrashing sockets (and ephemeral ports) at high concurrency.
+func loadClient(clients int) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        clients + 2, // workload conns + /metrics
+			MaxIdleConnsPerHost: clients + 2,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// loadCounters aggregates client-side outcomes across goroutines.
+type loadCounters struct {
+	sent, httpReqs, responses            atomic.Int64
+	transportErrs, httpErrs              atomic.Int64
+	failed, recovered, skipped, rerouted atomic.Int64
 }
 
 // RunLoad drives cfg.Clients concurrent clients against the firstaid-serve
@@ -72,14 +101,9 @@ func RunLoad(baseURL string, newProg func() app.App, cfg LoadConfig) (LoadReport
 	if cfg.EventsPerClient <= 0 {
 		cfg.EventsPerClient = 500
 	}
-	client := &http.Client{
-		Transport: &http.Transport{
-			MaxIdleConns:        cfg.Clients,
-			MaxIdleConnsPerHost: cfg.Clients,
-		},
-	}
+	client := loadClient(cfg.Clients)
 
-	var sent, responses, errs, failed, recovered, skipped, rerouted atomic.Int64
+	var ctr loadCounters
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -95,31 +119,40 @@ func RunLoad(baseURL string, newProg func() app.App, cfg LoadConfig) (LoadReport
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if cfg.Batch > 1 {
+				runBatchClient(client, baseURL, wl, src, cfg.Batch, &ctr)
+				return
+			}
 			for {
 				ev, ok := wl.Next()
 				if !ok {
 					return
 				}
-				sent.Add(1)
+				ctr.sent.Add(1)
+				ctr.httpReqs.Add(1)
 				res, err := postEvent(client, baseURL, Request{
 					Kind: ev.Kind, Data: ev.Data, N: ev.N, Src: src,
 				})
 				if err != nil {
-					errs.Add(1)
+					if err.transport {
+						ctr.transportErrs.Add(1)
+					} else {
+						ctr.httpErrs.Add(1)
+					}
 					continue
 				}
-				responses.Add(1)
+				ctr.responses.Add(1)
 				if res.Failed {
-					failed.Add(1)
+					ctr.failed.Add(1)
 				}
 				if res.Recovered {
-					recovered.Add(1)
+					ctr.recovered.Add(1)
 				}
 				if res.Skipped {
-					skipped.Add(1)
+					ctr.skipped.Add(1)
 				}
 				if res.Rerouted {
-					rerouted.Add(1)
+					ctr.rerouted.Add(1)
 				}
 			}
 		}()
@@ -128,15 +161,18 @@ func RunLoad(baseURL string, newProg func() app.App, cfg LoadConfig) (LoadReport
 	wall := time.Since(t0)
 
 	rep := LoadReport{
-		Requests:  int(sent.Load()),
-		Responses: int(responses.Load()),
-		Errors:    int(errs.Load()),
-		Failed:    int(failed.Load()),
-		Recovered: int(recovered.Load()),
-		Skipped:   int(skipped.Load()),
-		Rerouted:  int(rerouted.Load()),
-		Wall:      wall,
+		Requests:        int(ctr.sent.Load()),
+		HTTPRequests:    int(ctr.httpReqs.Load()),
+		Responses:       int(ctr.responses.Load()),
+		TransportErrors: int(ctr.transportErrs.Load()),
+		HTTPErrors:      int(ctr.httpErrs.Load()),
+		Failed:          int(ctr.failed.Load()),
+		Recovered:       int(ctr.recovered.Load()),
+		Skipped:         int(ctr.skipped.Load()),
+		Rerouted:        int(ctr.rerouted.Load()),
+		Wall:            wall,
 	}
+	rep.Errors = rep.TransportErrors + rep.HTTPErrors
 	if wall > 0 {
 		rep.Throughput = float64(rep.Requests) / wall.Seconds()
 	}
@@ -154,23 +190,91 @@ func RunLoad(baseURL string, newProg func() app.App, cfg LoadConfig) (LoadReport
 	return rep, nil
 }
 
-func postEvent(client *http.Client, baseURL string, req Request) (Result, error) {
+// runBatchClient drains one client's workload in batches of size batch,
+// reusing one encode buffer and request slice across the whole stream.
+func runBatchClient(client *http.Client, baseURL string, wl *replay.Log, src string, batch int, ctr *loadCounters) {
+	reqs := make([]Request, 0, batch)
+	var buf []byte
+	flush := func() {
+		if len(reqs) == 0 {
+			return
+		}
+		ctr.sent.Add(int64(len(reqs)))
+		ctr.httpReqs.Add(1)
+		buf = AppendRequests(buf[:0], reqs)
+		res, err := postBatch(client, baseURL, buf)
+		if err != nil {
+			if err.transport {
+				ctr.transportErrs.Add(1)
+			} else {
+				ctr.httpErrs.Add(1)
+			}
+			reqs = reqs[:0]
+			return
+		}
+		ctr.responses.Add(int64(res.Events))
+		ctr.failed.Add(int64(res.Failures))
+		ctr.recovered.Add(int64(res.Recovered))
+		ctr.skipped.Add(int64(res.Skipped))
+		reqs = reqs[:0]
+	}
+	for {
+		ev, ok := wl.Next()
+		if !ok {
+			flush()
+			return
+		}
+		reqs = append(reqs, Request{Kind: ev.Kind, Data: ev.Data, N: ev.N, Src: src})
+		if len(reqs) >= batch {
+			flush()
+		}
+	}
+}
+
+// loadError tags a client-side failure with which layer it came from:
+// transport (the request never produced an HTTP response) or HTTP (a
+// response arrived but was not a usable 200).
+type loadError struct {
+	err       error
+	transport bool
+}
+
+func (e *loadError) Error() string { return e.err.Error() }
+
+func postEvent(client *http.Client, baseURL string, req Request) (Result, *loadError) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &loadError{err: err}
 	}
 	resp, err := client.Post(baseURL+"/events", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return Result{}, err
+		return Result{}, &loadError{err: err, transport: true}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return Result{}, fmt.Errorf("POST /events: %s: %s", resp.Status, msg)
+		return Result{}, &loadError{err: fmt.Errorf("POST /events: %s: %s", resp.Status, msg)}
 	}
 	var res Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return Result{}, err
+		return Result{}, &loadError{err: err}
+	}
+	return res, nil
+}
+
+func postBatch(client *http.Client, baseURL string, wire []byte) (BatchResult, *loadError) {
+	resp, err := client.Post(baseURL+"/events/batch", "application/octet-stream", bytes.NewReader(wire))
+	if err != nil {
+		return BatchResult{}, &loadError{err: err, transport: true}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return BatchResult{}, &loadError{err: fmt.Errorf("POST /events/batch: %s: %s", resp.Status, msg)}
+	}
+	var res BatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return BatchResult{}, &loadError{err: err}
 	}
 	return res, nil
 }

@@ -1,0 +1,98 @@
+// Batched recording. The fleet's binary ingest path decodes a whole batch
+// of events as byte slices pointing into the request body; AppendBatch
+// interns those bytes into log-owned storage without allocating per event,
+// so a hot serving path records at memcpy speed while every Event accessor
+// stays a plain Go string.
+
+package replay
+
+import "unsafe"
+
+// Item is one event of a batch before it is stamped into a log: the same
+// payload as Event, but with byte-slice views (typically into a decoded
+// wire buffer) instead of heap strings. The slices are only borrowed —
+// AppendBatch copies what it keeps — so the buffer behind them can be
+// recycled as soon as the call returns.
+type Item struct {
+	Kind []byte
+	Data []byte
+	N    int
+}
+
+// arenaChunkSize is the allocation quantum for interned Data payloads.
+// Large enough to amortize to well under one allocation per event, small
+// enough that Compact releases memory promptly chunk by chunk.
+const arenaChunkSize = 64 << 10
+
+// arena carves immutable strings out of chunk-sized byte slabs. Strings
+// returned by intern alias the slab they were copied into; a slab is never
+// written again past its high-water mark, so the aliasing is safe. Slabs
+// are not tracked — once every string cut from a slab is unreachable
+// (e.g. after Compact drops the events holding them), the GC reclaims it.
+type arena struct {
+	cur []byte // len = high-water mark, cap = chunk size
+}
+
+// intern copies b into the arena and returns it as a string without
+// allocating (beyond the occasional fresh chunk).
+func (a *arena) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if cap(a.cur)-len(a.cur) < len(b) {
+		size := arenaChunkSize
+		if len(b) > size {
+			size = len(b)
+		}
+		a.cur = make([]byte, 0, size)
+	}
+	off := len(a.cur)
+	a.cur = append(a.cur, b...)
+	return unsafe.String(&a.cur[off], len(b))
+}
+
+// internKind deduplicates handler names: a workload has a handful of
+// distinct Kinds repeated across millions of events, so each distinct
+// name is materialized as a string once and shared thereafter. The
+// map lookup with an in-place []byte→string conversion does not allocate.
+func (l *Log) internKind(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := l.kinds[string(b)]; ok {
+		return s
+	}
+	if l.kinds == nil {
+		l.kinds = make(map[string]string, 8)
+	}
+	s := string(b)
+	l.kinds[s] = s
+	return s
+}
+
+// AppendBatch records items at the tail in order and returns the sequence
+// number of the first (the tail sequence when items is empty). Kind bytes
+// are deduplicated through the log's intern table and Data bytes are
+// copied into the log's arena, so steady-state batched recording performs
+// zero per-event heap allocations while the resulting Events remain
+// indistinguishable from ones recorded by Append.
+func (l *Log) AppendBatch(items []Item) int {
+	first := l.Len()
+	if len(items) == 0 {
+		return first
+	}
+	if n := len(l.events) + len(items); cap(l.events) < n {
+		grown := make([]Event, len(l.events), max(n, 2*cap(l.events)))
+		copy(grown, l.events)
+		l.events = grown
+	}
+	for i := range items {
+		l.events = append(l.events, Event{
+			Seq:  first + i,
+			Kind: l.internKind(items[i].Kind),
+			Data: l.arena.intern(items[i].Data),
+			N:    items[i].N,
+		})
+	}
+	return first
+}

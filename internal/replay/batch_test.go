@@ -1,0 +1,278 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func batchOf(n int, tag string) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Kind: []byte("req"),
+			Data: []byte(fmt.Sprintf("%s-%d", tag, i)),
+			N:    i,
+		}
+	}
+	return items
+}
+
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	items := batchOf(20, "x")
+	first := b.AppendBatch(items)
+	if first != 0 {
+		t.Fatalf("first = %d", first)
+	}
+	for i := range items {
+		a.Append(string(items[i].Kind), string(items[i].Data), items[i].N)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("len %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("event %d: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+	// The wire buffer behind the items may be recycled; the log must not
+	// observe the mutation.
+	items[3].Data[0] = 'Z'
+	items[3].Kind[0] = 'Z'
+	if ev := b.At(3); ev.Data != "x-3" || ev.Kind != "req" {
+		t.Fatalf("event 3 aliases caller bytes: %v", ev)
+	}
+}
+
+func TestAppendBatchEmptyAndTail(t *testing.T) {
+	l := NewLog()
+	if first := l.AppendBatch(nil); first != 0 {
+		t.Fatalf("empty batch first = %d", first)
+	}
+	l.Append("a", "", 0)
+	if first := l.AppendBatch(batchOf(2, "t")); first != 1 {
+		t.Fatalf("first = %d, want 1", first)
+	}
+	if l.Len() != 3 || l.At(2).Seq != 2 {
+		t.Fatalf("len %d, seq %d", l.Len(), l.At(2).Seq)
+	}
+	// Empty fields intern to empty strings.
+	l.AppendBatch([]Item{{Kind: []byte("k")}})
+	if ev := l.At(3); ev.Data != "" {
+		t.Fatalf("empty data = %q", ev.Data)
+	}
+}
+
+func TestAppendBatchInternsKinds(t *testing.T) {
+	l := NewLog()
+	l.AppendBatch(batchOf(3, "a"))
+	l.AppendBatch(batchOf(3, "b"))
+	// All six events must share one "req" string (interned once).
+	if len(l.kinds) != 1 {
+		t.Fatalf("kinds table has %d entries", len(l.kinds))
+	}
+}
+
+func TestAppendBatchLargeData(t *testing.T) {
+	l := NewLog()
+	big := bytes.Repeat([]byte("y"), 2*arenaChunkSize)
+	l.AppendBatch([]Item{{Kind: []byte("k"), Data: big}})
+	if got := l.At(0).Data; len(got) != len(big) || got[0] != 'y' {
+		t.Fatalf("oversized payload mangled: len %d", len(got))
+	}
+	// And the arena keeps working for normal payloads after an outsized one.
+	l.AppendBatch(batchOf(4, "z"))
+	if l.At(2).Data != "z-1" {
+		t.Fatalf("post-oversize event = %v", l.At(2))
+	}
+}
+
+func TestAppendBatchSteadyStateAllocs(t *testing.T) {
+	l := NewLog()
+	items := batchOf(256, "steady")
+	// Warm up: grow the events slice, the intern table, the first chunk.
+	for i := 0; i < 64; i++ {
+		l.AppendBatch(items)
+	}
+	const rounds = 100
+	avg := testing.AllocsPerRun(rounds, func() { l.AppendBatch(items) })
+	perEvent := avg / float64(len(items))
+	if perEvent > 0.5 {
+		t.Fatalf("AppendBatch allocates %.2f/event (avg %.1f per %d-event batch), want ≤0.5",
+			perEvent, avg, len(items))
+	}
+}
+
+func TestFenceBoundsNextAndPeek(t *testing.T) {
+	l := NewLog()
+	l.AppendBatch(batchOf(5, "f"))
+	l.SetFence(2)
+	if f := l.Fence(); f != 2 {
+		t.Fatalf("Fence = %d", f)
+	}
+	if _, ok := l.Peek(); !ok {
+		t.Fatal("peek under fence")
+	}
+	for i := 0; i < 2; i++ {
+		if ev, ok := l.Next(); !ok || ev.Seq != i {
+			t.Fatalf("next %d: %v %v", i, ev, ok)
+		}
+	}
+	if _, ok := l.Next(); ok {
+		t.Fatal("Next crossed the fence")
+	}
+	if _, ok := l.Peek(); ok {
+		t.Fatal("Peek crossed the fence")
+	}
+	l.SetFence(3)
+	if ev, ok := l.Next(); !ok || ev.Seq != 2 {
+		t.Fatalf("after advance: %v %v", ev, ok)
+	}
+	l.ClearFence()
+	if l.Fence() != -1 {
+		t.Fatalf("cleared fence = %d", l.Fence())
+	}
+	n := 0
+	for _, ok := l.Next(); ok; _, ok = l.Next() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d after clear, want 2", n)
+	}
+}
+
+func TestFenceBeyondTailIsNoop(t *testing.T) {
+	l := NewLog()
+	l.Append("a", "", 0)
+	l.SetFence(99)
+	if _, ok := l.Next(); !ok {
+		t.Fatal("fence beyond tail hid the event")
+	}
+}
+
+func TestCloneTrimsToFence(t *testing.T) {
+	l := NewLog()
+	l.AppendBatch(batchOf(6, "c"))
+	l.Next()
+	l.SetFence(3)
+	c := l.Clone()
+	if c.Len() != 3 || c.Cursor() != 1 {
+		t.Fatalf("clone len=%d cursor=%d", c.Len(), c.Cursor())
+	}
+	if c.Fence() != -1 {
+		t.Fatal("clone inherited the fence")
+	}
+	// The clone must be indistinguishable from a serial-mode clone: it
+	// drains to the fence position and no further.
+	n := 0
+	for _, ok := c.Next(); ok; _, ok = c.Next() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("clone drained %d, want 2", n)
+	}
+}
+
+func TestCatchUpRespectsFence(t *testing.T) {
+	parent := NewLog()
+	parent.AppendBatch(batchOf(4, "p"))
+	clone := parent.Clone()
+	parent.AppendBatch(batchOf(4, "q"))
+	parent.SetFence(6)
+	clone.CatchUp(parent)
+	if clone.Len() != 6 {
+		t.Fatalf("clone caught up to %d, want fence 6", clone.Len())
+	}
+	parent.ClearFence()
+	clone.CatchUp(parent)
+	if clone.Len() != 8 {
+		t.Fatalf("clone caught up to %d, want 8", clone.Len())
+	}
+	if clone.At(7) != parent.At(7) {
+		t.Fatalf("tail event diverges: %v vs %v", clone.At(7), parent.At(7))
+	}
+}
+
+func TestCompactPreservesAbsoluteSeq(t *testing.T) {
+	l := NewLog()
+	l.AppendBatch(batchOf(10, "k"))
+	l.SetCursor(7)
+	if n := l.Compact(5); n != 5 {
+		t.Fatalf("compacted %d, want 5", n)
+	}
+	if l.Base() != 5 || l.Len() != 10 || l.Retained() != 5 {
+		t.Fatalf("base=%d len=%d retained=%d", l.Base(), l.Len(), l.Retained())
+	}
+	if l.Cursor() != 7 || l.At(7).Data != "k-7" {
+		t.Fatalf("cursor=%d at7=%v", l.Cursor(), l.At(7))
+	}
+	if ev, ok := l.Next(); !ok || ev.Seq != 7 {
+		t.Fatalf("next after compact: %v %v", ev, ok)
+	}
+	// Rewinding below base clamps to base.
+	l.SetCursor(0)
+	if l.Cursor() != 5 {
+		t.Fatalf("cursor rewound below base: %d", l.Cursor())
+	}
+	// Compacting behind the current base, or past the cursor, is a no-op
+	// beyond the cursor clamp.
+	l.SetCursor(6)
+	if n := l.Compact(99); n != 1 {
+		t.Fatalf("cursor-clamped compact dropped %d, want 1", n)
+	}
+	if l.Base() != 6 || l.Compact(3) != 0 {
+		t.Fatalf("base=%d", l.Base())
+	}
+}
+
+func TestCompactBoundsFootprint(t *testing.T) {
+	l := NewLog()
+	for round := 0; round < 50; round++ {
+		l.AppendBatch(batchOf(100, "w"))
+		l.SetCursor(l.Len())
+		l.Compact(l.Len() - 200)
+		if l.Retained() > 300 {
+			t.Fatalf("round %d: retained %d", round, l.Retained())
+		}
+	}
+	if l.Len() != 5000 || l.Base() != 4800 {
+		t.Fatalf("len=%d base=%d", l.Len(), l.Base())
+	}
+	if fp := l.Footprint(); fp > 200*16 {
+		t.Fatalf("footprint %d bytes for 200 retained events", fp)
+	}
+}
+
+func TestCompactedSaveLoadRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.AppendBatch(batchOf(8, "s"))
+	l.SetCursor(6)
+	l.Compact(4)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base() != 4 || got.Len() != 8 || got.Cursor() != 6 {
+		t.Fatalf("loaded base=%d len=%d cursor=%d", got.Base(), got.Len(), got.Cursor())
+	}
+	for seq := 4; seq < 8; seq++ {
+		if got.At(seq) != l.At(seq) {
+			t.Fatalf("event %d: %v vs %v", seq, got.At(seq), l.At(seq))
+		}
+	}
+}
+
+func TestLoadRejectsBadBase(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte(`{"cursor":0,"base":-1,"events":[]}`))); err == nil {
+		t.Fatal("negative base accepted")
+	}
+	bad := `{"cursor":0,"base":2,"events":[{"seq":0,"kind":"a"}]}`
+	if _, err := Load(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("seq/base mismatch accepted")
+	}
+}

@@ -14,8 +14,13 @@ import (
 
 // logFile is the serialized form: the recorded events plus the replay
 // cursor. Event payloads must be valid UTF-8 (they are JSON strings).
+// Base is the sequence of the first recorded event — non-zero only for
+// logs compacted under streaming supervision — and is omitted for the
+// common uncompacted case, keeping old files loadable and new files
+// readable by anything that ignores unknown fields.
 type logFile struct {
 	Cursor int     `json:"cursor"`
+	Base   int     `json:"base,omitempty"`
 	Events []Event `json:"events"`
 }
 
@@ -50,23 +55,27 @@ func (e *Event) UnmarshalJSON(raw []byte) error {
 func (l *Log) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(logFile{Cursor: l.cursor, Events: l.events})
+	return enc.Encode(logFile{Cursor: l.cursor, Base: l.base, Events: l.events})
 }
 
-// Load reads a log written by Save. Event sequence numbers must match
-// their positions (they are assigned by Append, and rollback arithmetic
-// depends on seq == index); the cursor is clamped to the log's bounds.
+// Load reads a log written by Save. Event sequence numbers must run
+// contiguously from the base (they are assigned by Append, and rollback
+// arithmetic depends on seq == base+index); the cursor is clamped to the
+// log's retained window.
 func Load(r io.Reader) (*Log, error) {
 	var lf logFile
 	if err := json.NewDecoder(r).Decode(&lf); err != nil {
 		return nil, fmt.Errorf("replay: decoding log: %w", err)
 	}
+	if lf.Base < 0 {
+		return nil, fmt.Errorf("replay: negative base %d", lf.Base)
+	}
 	for i, ev := range lf.Events {
-		if ev.Seq != i {
-			return nil, fmt.Errorf("replay: event at index %d has seq %d", i, ev.Seq)
+		if ev.Seq != lf.Base+i {
+			return nil, fmt.Errorf("replay: event at index %d has seq %d, want %d", i, ev.Seq, lf.Base+i)
 		}
 	}
-	l := &Log{events: lf.Events}
+	l := &Log{events: lf.Events, base: lf.Base}
 	l.SetCursor(lf.Cursor)
 	return l, nil
 }

@@ -92,6 +92,12 @@ const (
 	KSpecLaunch // arg1 = hypothesis ordinal, arg2 = checkpoint seq
 	KSpecWin    // arg1 = hypothesis ordinal, arg2 = 1 if served from the standby clone
 	KSpecCancel // arg1 = hypothesis ordinal, arg2 = checkpoint seq
+
+	// Batched ingest (core.IngestBatch, fleet batch dispatch). Per-event
+	// KEventBegin/End records are amortized away on the batch path; these
+	// bracket the whole batch instead.
+	KBatchBegin // arg1 = first event seq, arg2 = batch length
+	KBatchEnd   // arg1 = first event seq, arg2 = batch length
 )
 
 // Event outcome codes carried in KEventEnd.Arg2.
@@ -128,6 +134,8 @@ var kindNames = map[Kind]string{
 	KSpecLaunch:    "spec-launch",
 	KSpecWin:       "spec-win",
 	KSpecCancel:    "spec-cancel",
+	KBatchBegin:    "batch-begin",
+	KBatchEnd:      "batch-end",
 }
 
 // String returns the kind's stable name.
